@@ -1,0 +1,57 @@
+// Ablation A6: the Elmore bound under process variation.
+//
+// Monte-Carlo over per-component lognormal R/C variation: report the delay
+// quantiles of the Fig. 1 nodes as the variation sigma grows, and verify
+// that the per-sample theorem makes the sampled q95 a guaranteed-pessimistic
+// sign-off number (every sample's Elmore value bounds that sample's true
+// delay, checked on a sample subset with the exact solver).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/variation.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/circuits.hpp"
+#include "sim/exact.hpp"
+
+using namespace rct;
+
+int main() {
+  bench::header("Ablation: Elmore-delay distribution under R/C process variation",
+                "statistical extension of Table I");
+
+  const RCTree tree = circuits::fig1();
+  const NodeId node = tree.at("n5");
+  constexpr std::size_t kSamples = 2000;
+
+  std::printf("%8s %12s %12s %12s %12s %12s\n", "sigma", "mean (ns)", "stddev", "q05", "q50",
+              "q95");
+  bench::rule();
+  for (double sigma : {0.02, 0.05, 0.10, 0.20}) {
+    core::VariationModel m;
+    m.res_sigma = sigma;
+    m.cap_sigma = sigma;
+    const auto s = core::elmore_variation(tree, node, m, kSamples, 20260706);
+    std::printf("%8.2f %12.4f %12.4f %12.4f %12.4f %12.4f\n", sigma, bench::ns(s.mean),
+                bench::ns(s.stddev), bench::ns(s.q05), bench::ns(s.q50), bench::ns(s.q95));
+  }
+  bench::rule();
+
+  // Per-sample soundness spot-check with the exact solver.
+  core::VariationModel m;
+  m.res_sigma = 0.15;
+  m.cap_sigma = 0.15;
+  bool ok = true;
+  for (std::uint64_t s = 0; s < 25; ++s) {
+    const RCTree sample = core::sample_variation(tree, m, 777 + s);
+    const sim::ExactAnalysis exact(sample);
+    const auto td = moments::elmore_delays(sample);
+    for (NodeId i = 0; i < sample.size(); ++i)
+      ok = ok && exact.step_delay(i) <= td[i] * (1 + 1e-9);
+  }
+  std::printf("# theorem-holds-on-every-sampled-circuit (25 x 7 checks): %s\n",
+              ok ? "PASS" : "FAIL");
+  std::printf("# reading: the sampled q95 of a *bound* is itself a bound with 95%%\n");
+  std::printf("# statistical confidence over the process — safe for sign-off.\n");
+  return ok ? 0 : 1;
+}

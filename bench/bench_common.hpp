@@ -1,0 +1,26 @@
+#pragma once
+// Shared formatting helpers for the table/figure reproduction binaries.
+// Each binary prints the same rows/series the paper reports, with the
+// published value alongside where the paper prints one; output is also
+// machine-greppable (fixed-width columns, `# ` prefixed commentary).
+
+#include <cstdio>
+
+namespace rct::bench {
+
+inline double ns(double seconds) { return seconds * 1e9; }
+inline double ps(double seconds) { return seconds * 1e12; }
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("# %s\n", title);
+  std::printf("# reproduces: %s\n", paper_ref);
+  std::printf("# (absolute values depend on the calibrated component values; the paper\n");
+  std::printf("#  omits them — see DESIGN.md / EXPERIMENTS.md for the calibration story)\n");
+}
+
+inline void rule() {
+  std::printf(
+      "# ------------------------------------------------------------------------\n");
+}
+
+}  // namespace rct::bench

@@ -1,0 +1,55 @@
+// Perf P3: ECO-style incremental Elmore maintenance vs. full recompute.
+// The O(depth) update/query path is what makes Elmore the inner-loop metric
+// for sizing/buffering optimizers.
+
+#include <benchmark/benchmark.h>
+
+#include "moments/incremental.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+using namespace rct;
+
+namespace {
+
+void BM_FullRecomputeAfterOneChange(benchmark::State& state) {
+  RCTree t = gen::random_tree(static_cast<std::size_t>(state.range(0)), 11);
+  moments::IncrementalElmore inc(t);  // used only to mutate consistently
+  std::size_t which = 0;
+  for (auto _ : state) {
+    inc.add_cap(which % inc.size(), 1e-18);
+    const RCTree snap = inc.snapshot();
+    benchmark::DoNotOptimize(moments::elmore_delays(snap)[which % inc.size()]);
+    ++which;
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_IncrementalChangeAndQuery(benchmark::State& state) {
+  const RCTree t = gen::random_tree(static_cast<std::size_t>(state.range(0)), 11);
+  moments::IncrementalElmore inc(t);
+  std::size_t which = 0;
+  for (auto _ : state) {
+    inc.add_cap(which % inc.size(), 1e-18);
+    benchmark::DoNotOptimize(inc.elmore(which % inc.size()));
+    ++which;
+  }
+}
+
+void BM_IncrementalQueryOnly(benchmark::State& state) {
+  const RCTree t = gen::random_tree(static_cast<std::size_t>(state.range(0)), 11);
+  const moments::IncrementalElmore inc(t);
+  std::size_t which = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inc.elmore(which++ % inc.size()));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FullRecomputeAfterOneChange)
+    ->RangeMultiplier(8)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_IncrementalChangeAndQuery)->RangeMultiplier(8)->Range(1 << 10, 1 << 16);
+BENCHMARK(BM_IncrementalQueryOnly)->RangeMultiplier(8)->Range(1 << 10, 1 << 16);

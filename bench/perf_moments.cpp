@@ -1,0 +1,59 @@
+// Perf P1: the O(N) claims of Section II-C — Elmore delays, higher-order
+// moments and the PRH terms all in linear time, on lines and random trees
+// up to 2^17 nodes.
+
+#include <benchmark/benchmark.h>
+
+#include "moments/central.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+using namespace rct;
+
+namespace {
+
+RCTree make_tree(bool line, std::size_t n) {
+  if (line) return gen::line(n - 1, 20.0, 5e-15, 100.0, 30e-15);
+  return gen::random_tree(n, 42);
+}
+
+void BM_ElmoreLine(benchmark::State& state) {
+  const RCTree t = make_tree(true, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(moments::elmore_delays(t));
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_ElmoreRandom(benchmark::State& state) {
+  const RCTree t = make_tree(false, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(moments::elmore_delays(t));
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Moments4Line(benchmark::State& state) {
+  const RCTree t = make_tree(true, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(moments::transfer_moments(t, 4));
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_PrhTermsLine(benchmark::State& state) {
+  const RCTree t = make_tree(true, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(moments::prh_terms(t));
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_ImpulseStatsRandom(benchmark::State& state) {
+  const RCTree t = make_tree(false, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(moments::impulse_stats(t));
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ElmoreLine)->RangeMultiplier(4)->Range(1 << 9, 1 << 17)->Complexity(benchmark::oN);
+BENCHMARK(BM_ElmoreRandom)->RangeMultiplier(4)->Range(1 << 9, 1 << 17)->Complexity(benchmark::oN);
+BENCHMARK(BM_Moments4Line)->RangeMultiplier(4)->Range(1 << 9, 1 << 17)->Complexity(benchmark::oN);
+BENCHMARK(BM_PrhTermsLine)->RangeMultiplier(4)->Range(1 << 9, 1 << 17)->Complexity(benchmark::oN);
+BENCHMARK(BM_ImpulseStatsRandom)
+    ->RangeMultiplier(4)
+    ->Range(1 << 9, 1 << 15)
+    ->Complexity(benchmark::oN);

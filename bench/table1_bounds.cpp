@@ -1,0 +1,55 @@
+// Table I reproduction: delay bounds for the Fig. 1 circuit at nodes
+// C1, C5, C7 — actual 50% delay (exact simulator), Elmore upper bound,
+// mu - sigma lower bound, single-pole ln(2) T_D estimate, and the
+// Penfield-Rubinstein t_max / t_min at the 50% point.  Published values are
+// printed alongside ours.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/elmore.hpp"
+#include "core/penfield_rubinstein.hpp"
+#include "rctree/circuits.hpp"
+#include "sim/exact.hpp"
+
+using namespace rct;
+
+int main() {
+  bench::header("Table I: delay bounds for the circuit in Fig. 1",
+                "Gupta/Tutuianu/Pileggi DAC'95, Table I");
+
+  const RCTree tree = circuits::fig1();
+  const sim::ExactAnalysis exact(tree);
+  const auto bounds = core::delay_bounds(tree);
+  const core::PrhBounds prh(tree);
+  const auto observed = circuits::fig1_observed(tree);
+  const auto published = circuits::table1_published();
+
+  std::printf("%-5s %-6s %9s %9s %9s %9s %9s %9s   (ns)\n", "node", "which", "actual", "elmore",
+              "lower", "ln2*TD", "PRH_tmax", "PRH_tmin");
+  bench::rule();
+  for (int k = 0; k < 3; ++k) {
+    const NodeId i = observed[k];
+    const auto& pub = published[k];
+    std::printf("%-5s %-6s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", pub.node, "ours",
+                bench::ns(exact.step_delay(i)), bench::ns(bounds[i].elmore),
+                bench::ns(bounds[i].lower), bench::ns(core::single_pole_delay(bounds[i].elmore)),
+                bench::ns(prh.t_max(i, 0.5)), bench::ns(prh.t_min(i, 0.5)));
+    std::printf("%-5s %-6s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", pub.node, "paper",
+                bench::ns(pub.actual_delay), bench::ns(pub.elmore), bench::ns(pub.lower_bound),
+                bench::ns(pub.single_pole), bench::ns(pub.prh_tmax), bench::ns(pub.prh_tmin));
+  }
+  bench::rule();
+  std::printf("# shape checks: elmore >= actual at every node; tmax == elmore at the\n");
+  std::printf("# driving point C1 and tmax > elmore at the loads; lower bounds below actual.\n");
+
+  bool ok = true;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    const double actual = exact.step_delay(i);
+    ok = ok && actual <= bounds[i].elmore && actual >= bounds[i].lower &&
+         actual >= prh.t_min(i, 0.5) && actual <= prh.t_max(i, 0.5);
+  }
+  std::printf("# all-bounds-hold-on-all-7-nodes: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

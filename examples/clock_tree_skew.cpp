@@ -1,0 +1,84 @@
+// Clock-tree skew analysis with Elmore bounds.
+//
+// An H-tree distributes a clock to 2^levels sinks.  A perfectly balanced
+// tree has zero skew; real trees have load mismatch.  This example perturbs
+// one sink's load, then uses the paper's bounds to answer the question a
+// clock designer actually asks: "what is the guaranteed worst-case skew?"
+//
+//   skew(i, j) = delay(i) - delay(j)
+//   guaranteed skew upper bound = max_i T_D(i) - min_j max(T_D(j)-sigma_j, 0)
+//
+// The exact simulator confirms the bound and reports the true skew.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "rctree/generators.hpp"
+#include "rctree/units.hpp"
+#include "sim/exact.hpp"
+
+using namespace rct;
+
+namespace {
+
+struct SkewReport {
+  double true_skew;
+  double bound_skew;
+};
+
+SkewReport analyze(const RCTree& tree, const char* label) {
+  const auto leaves = tree.leaves();
+  const auto bounds = core::delay_bounds(tree);
+  const sim::ExactAnalysis exact(tree);
+
+  double max_exact = 0.0;
+  double min_exact = 1e300;
+  double max_upper = 0.0;
+  double min_lower = 1e300;
+  for (NodeId leaf : leaves) {
+    const double d = exact.step_delay(leaf);
+    max_exact = std::max(max_exact, d);
+    min_exact = std::min(min_exact, d);
+    max_upper = std::max(max_upper, bounds[leaf].upper);
+    min_lower = std::min(min_lower, bounds[leaf].lower);
+  }
+  const SkewReport r{max_exact - min_exact, max_upper - min_lower};
+  std::printf("%-22s sinks %3zu  latest sink %-8s  true skew %-9s  bound %-9s\n", label,
+              leaves.size(), format_time(max_exact).c_str(), format_time(r.true_skew).c_str(),
+              format_time(r.bound_skew).c_str());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("clock H-tree skew analysis (Elmore bounds vs exact)\n\n");
+
+  // 16-sink H-tree: level-0 trunk 200 ohm / 150 fF, halving per level,
+  // 12 fF sink loads.
+  const RCTree balanced = gen::htree(4, 200.0, 150e-15, 12e-15);
+  const SkewReport base = analyze(balanced, "balanced");
+
+  // Mismatch: one sink sees 3x load (e.g. a register bank).  Rebuild with
+  // the perturbed cap.
+  RCTreeBuilder b;
+  const auto victim = balanced.leaves().front();
+  for (NodeId i = 0; i < balanced.size(); ++i) {
+    const double extra = (i == victim) ? 24e-15 : 0.0;
+    b.add_node(balanced.name(i), balanced.parent(i), balanced.resistance(i),
+               balanced.capacitance(i) + extra);
+  }
+  const RCTree skewed = std::move(b).build();
+  const SkewReport bad = analyze(skewed, "one sink +24fF");
+
+  std::printf("\nload mismatch multiplied the true skew by %.1fx; the bound tracked it\n",
+              bad.true_skew / std::max(base.true_skew, 1e-15));
+  std::printf("(bound/true at the mismatched tree: %.2fx — conservatism you can budget).\n",
+              bad.bound_skew / bad.true_skew);
+
+  const bool ok = bad.true_skew <= bad.bound_skew && base.true_skew <= base.bound_skew;
+  std::printf("skew bound holds: %s\n", ok ? "yes" : "NO (bug)");
+  return ok ? 0 : 1;
+}

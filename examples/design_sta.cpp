@@ -1,0 +1,57 @@
+// Design-level STA: a small sequential block timed entirely with the
+// paper's guaranteed bounds — no simulation in the signoff loop.
+//
+//   in --net-- u1(inv) --net-- ff_a(dff) --net-- u2(buf) --+--net-- ff_b
+//                                                u3(nand) -+
+//   (u3 is fed by a long slow net from a second input)
+//
+// Every endpoint slack printed here is SAFE: arrival uses the Elmore upper
+// bound per stage, which the paper proves can never under-report.
+
+#include <cstdio>
+
+#include "rctree/generators.hpp"
+#include "sta/design.hpp"
+
+using namespace rct;
+using namespace rct::sta;
+
+int main() {
+  Design d(builtin_library());
+  d.add_primary_input("in", 120.0);
+  d.add_primary_input("sel", 120.0);
+
+  d.add_instance("u1", "inv_x1");
+  d.add_instance("ff_a", "dff_x1");
+  d.add_instance("u2", "buf_x2");
+  d.add_instance("u3", "nand2_x1");
+  d.add_instance("ff_b", "dff_x1");
+
+  // Launch-side logic.
+  d.add_net("in", gen::line(3, 20.0, 2e-15, 90.0, 14e-15), {{"n4", "u1"}});
+  d.add_net("u1", gen::line(4, 20.0, 2e-15, 110.0, 18e-15), {{"n5", "ff_a"}});
+  // Capture-side cone: ff_a relaunches; u3 arrives late via a long route.
+  d.add_net("ff_a", gen::line(5, 20.0, 2e-15, 100.0, 16e-15), {{"n6", "u2"}});
+  d.add_net("sel", gen::line(12, 20.0, 2e-15, 260.0, 35e-15), {{"n13", "u3"}});
+  d.add_net("u2", gen::line(3, 20.0, 2e-15, 95.0, 15e-15), {{"n4", "u3"}});
+  d.add_net("u3", gen::line(4, 20.0, 2e-15, 105.0, 17e-15), {{"n5", "ff_b"}});
+
+  const double clock = 2.5e-9;
+  const auto report = d.analyze(clock);
+
+  std::printf("arrival windows (guaranteed, ps):\n");
+  std::printf("%-8s %12s %12s\n", "pin", "earliest", "latest");
+  for (const auto& a : report.arrivals)
+    std::printf("%-8s %12.1f %12.1f\n", a.instance.c_str(), a.lower * 1e12, a.upper * 1e12);
+
+  std::printf("\nendpoint setup slacks @ %.2fns clock:\n", clock * 1e9);
+  for (const auto& ep : report.endpoints)
+    std::printf("  %-8s arrival %8.1fps  slack %8.1fps  %s\n", ep.instance.c_str(),
+                ep.arrival_upper * 1e12, ep.setup_slack * 1e12,
+                ep.setup_slack >= 0 ? "MET (guaranteed)" : "VIOLATED (maybe)");
+
+  std::printf("\nworst slack: %.1fps — a positive value here is a proof, not an estimate:\n",
+              report.worst_slack * 1e12);
+  std::printf("the Elmore arrival can only over-state the true arrival (paper, Theorem).\n");
+  return report.worst_slack >= 0.0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// STA-lite: time a 3-stage gate/interconnect path with the paper's bounds.
+//
+// Each stage is a driving gate plus an RC wire tree; the timer forms the
+// loaded net (driver resistance + receiver pin caps), applies the Elmore
+// upper bound / mu-sigma lower bound per stage, propagates slew as the
+// quadrature sum of sigmas (central moments add under convolution), and —
+// in audit mode — solves each stage net exactly to show where the bound
+// margin sits.
+
+#include <cstdio>
+
+#include "rctree/generators.hpp"
+#include "sta/path_timer.hpp"
+
+using namespace rct;
+using namespace rct::sta;
+
+int main() {
+  const auto lib = builtin_library();
+
+  // Stage 1: inv_x1 drives a short local net to a buffer.
+  Stage s1;
+  s1.driver = find_gate(lib, "inv_x1");
+  s1.wire = gen::line(3, 25.0, 3e-15, 90.0, 12e-15);
+  s1.sink = "n4";
+  s1.sink_load = find_gate(lib, "buf_x2").input_capacitance;
+
+  // Stage 2: buf_x2 drives a long route with a side branch (modeled by an
+  // extra pin load mid-net).
+  Stage s2;
+  s2.driver = find_gate(lib, "buf_x2");
+  s2.wire = gen::line(8, 25.0, 3e-15, 140.0, 22e-15);
+  s2.sink = "n9";
+  s2.extra_loads.push_back({s2.wire.at("n5"), find_gate(lib, "nand2_x1").input_capacitance});
+  s2.sink_load = find_gate(lib, "inv_x4").input_capacitance;
+
+  // Stage 3: inv_x4 drives the capture flop.
+  Stage s3;
+  s3.driver = find_gate(lib, "inv_x4");
+  s3.wire = gen::line(5, 25.0, 3e-15, 110.0, 18e-15);
+  s3.sink = "n6";
+  s3.sink_load = find_gate(lib, "dff_x1").input_capacitance;
+
+  std::printf("3-stage path: inv_x1 -> buf_x2 -> inv_x4 -> dff_x1\n\n");
+  const PathTiming timing = time_path({s1, s2, s3}, /*input_sigma=*/30e-12,
+                                      /*with_exact=*/true);
+  std::printf("%s\n", format_path_timing(timing).c_str());
+
+  const double margin =
+      (timing.path_upper - *timing.path_exact) / *timing.path_exact * 100.0;
+  std::printf("bound margin over exact: %.1f%% — the guaranteed-safe slack a signoff\n",
+              margin);
+  std::printf("flow can bank without running a simulator on every net.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, run the full test suite, regenerate every
+# table/figure/ablation, and leave the transcripts next to the sources.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==== $(basename "$b") ====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "done: see test_output.txt and bench_output.txt"

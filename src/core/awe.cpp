@@ -1,0 +1,140 @@
+#include "core/awe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/polynomial.hpp"
+#include "linalg/root_find.hpp"
+#include "moments/path_tracing.hpp"
+
+namespace rct::core {
+namespace {
+
+using cd = std::complex<double>;
+
+// Gaussian elimination with partial pivoting on a small complex system.
+std::vector<cd> solve_complex(std::vector<std::vector<cd>> a, std::vector<cd> b) {
+  const std::size_t n = b.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(a[i][k]) > std::abs(a[piv][k])) piv = i;
+    if (std::abs(a[piv][k]) == 0.0) throw std::runtime_error("AWE: singular moment system");
+    std::swap(a[k], a[piv]);
+    std::swap(b[k], b[piv]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const cd f = a[i][k] / a[k][k];
+      for (std::size_t j = k; j < n; ++j) a[i][j] -= f * a[k][j];
+      b[i] -= f * b[k];
+    }
+  }
+  std::vector<cd> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    cd acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= a[ii][j] * x[j];
+    x[ii] = acc / a[ii][ii];
+  }
+  return x;
+}
+
+std::vector<double> node_moments(const RCTree& tree, NodeId node, std::size_t count) {
+  const auto all = moments::transfer_moments(tree, count - 1);
+  std::vector<double> m(count);
+  for (std::size_t k = 0; k < count; ++k) m[k] = all[k][node];
+  return m;
+}
+
+}  // namespace
+
+AweApproximation::AweApproximation(const RCTree& tree, NodeId node, std::size_t q) {
+  if (q < 1) throw std::invalid_argument("AWE: order must be >= 1");
+  fit(node_moments(tree, node, 2 * q), q);
+}
+
+AweApproximation::AweApproximation(const std::vector<double>& transfer_moments, std::size_t q) {
+  if (q < 1) throw std::invalid_argument("AWE: order must be >= 1");
+  if (transfer_moments.size() < 2 * q)
+    throw std::invalid_argument("AWE: need 2q transfer moments");
+  fit(transfer_moments, q);
+}
+
+void AweApproximation::fit(const std::vector<double>& m, std::size_t q) {
+  // c_k = (-1)^k m_k = sum_j k_j x_j^{k+1}, with x_j = 1/lambda_j.
+  std::vector<double> c(2 * q);
+  for (std::size_t k = 0; k < 2 * q; ++k) c[k] = ((k % 2) ? -1.0 : 1.0) * m[k];
+
+  // Characteristic polynomial of the x_j: Hankel system
+  //   sum_i a_i c_{k+i} = -c_{k+q},  k = 0..q-1.
+  std::vector<double> a(q);
+  if (q == 1) {
+    if (c[0] == 0.0) throw std::runtime_error("AWE: zero DC moment");
+    a[0] = -c[1] / c[0];
+  } else {
+    std::vector<std::vector<cd>> h(q, std::vector<cd>(q));
+    std::vector<cd> rhs(q);
+    for (std::size_t k = 0; k < q; ++k) {
+      for (std::size_t i = 0; i < q; ++i) h[k][i] = c[k + i];
+      rhs[k] = -c[k + q];
+    }
+    const auto sol = solve_complex(std::move(h), std::move(rhs));
+    for (std::size_t i = 0; i < q; ++i) a[i] = sol[i].real();
+  }
+
+  // Roots of x^q + a_{q-1} x^{q-1} + ... + a_0.
+  std::vector<double> poly(q + 1);
+  for (std::size_t i = 0; i < q; ++i) poly[i] = a[i];
+  poly[q] = 1.0;
+  const auto roots = linalg::polynomial_roots(poly);
+
+  lambda_.resize(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    if (std::abs(roots[j]) == 0.0) throw std::runtime_error("AWE: zero root (pole at infinity)");
+    lambda_[j] = 1.0 / roots[j];
+  }
+
+  // Residues from the Vandermonde system sum_j k_j x_j^{k+1} = c_k.
+  std::vector<std::vector<cd>> v(q, std::vector<cd>(q));
+  std::vector<cd> rhs(q);
+  for (std::size_t k = 0; k < q; ++k) {
+    for (std::size_t j = 0; j < q; ++j) v[k][j] = std::pow(roots[j], static_cast<double>(k + 1));
+    rhs[k] = c[k];
+  }
+  k_ = solve_complex(std::move(v), std::move(rhs));
+
+  stable_ = true;
+  for (const cd& l : lambda_)
+    if (!(l.real() > 0.0)) stable_ = false;
+}
+
+double AweApproximation::step_response(double t) const {
+  if (t <= 0.0) return 0.0;
+  cd acc = 0.0;
+  for (std::size_t j = 0; j < lambda_.size(); ++j)
+    acc += k_[j] / lambda_[j] * std::exp(-lambda_[j] * t);
+  return 1.0 - acc.real();
+}
+
+double AweApproximation::impulse_response(double t) const {
+  if (t < 0.0) return 0.0;
+  cd acc = 0.0;
+  for (std::size_t j = 0; j < lambda_.size(); ++j) acc += k_[j] * std::exp(-lambda_[j] * t);
+  return acc.real();
+}
+
+double AweApproximation::delay(double fraction) const {
+  if (!stable_) throw std::runtime_error("AWE: unstable fit; delay undefined");
+  if (!(fraction > 0.0 && fraction < 1.0))
+    throw std::invalid_argument("AWE: fraction must be in (0,1)");
+  double tau = 0.0;
+  for (const cd& l : lambda_) tau = std::max(tau, 1.0 / l.real());
+  auto f = [&](double t) { return step_response(t) - fraction; };
+  const auto root = linalg::bracket_and_solve(f, tau, 1e7 * tau);
+  if (!root) throw std::runtime_error("AWE: response never crosses the threshold");
+  return *root;
+}
+
+double two_pole_delay(const RCTree& tree, NodeId node, double fraction) {
+  return AweApproximation(tree, node, 2).delay(fraction);
+}
+
+}  // namespace rct::core

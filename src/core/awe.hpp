@@ -1,0 +1,64 @@
+#pragma once
+// Asymptotic Waveform Evaluation (AWE) moment matching ([19], [22]; the
+// paper's Section II-E points to q-pole approximations as the higher-order
+// alternative to the Elmore metric).
+//
+// From 2q transfer moments of H_i(s) we fit
+//
+//     h(t) ~= sum_{j=1}^{q} k_j exp(-lambda_j t)
+//
+// by solving the Hankel system for the characteristic polynomial of
+// x_j = 1/lambda_j, rooting it (Durand-Kerner) and recovering residues from
+// the Vandermonde system.  q = 1 reduces exactly to the dominant-pole
+// ln(2)*T_D estimate; q = 2 is the classic two-pole approximation [4].
+//
+// AWE on ill-conditioned moment sequences can produce unstable (positive
+// real part) poles; `stable` reports this and delay() refuses to run on
+// unstable fits.
+
+#include <complex>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::core {
+
+/// A fitted q-pole approximation at one node.
+class AweApproximation {
+ public:
+  /// Fits order-q AWE at `node`.  q >= 1; needs 2q moments (computed
+  /// internally).  Throws std::runtime_error if the Hankel system is
+  /// singular (e.g. q exceeds the number of distinct circuit poles).
+  AweApproximation(const RCTree& tree, NodeId node, std::size_t q);
+
+  /// Fit directly from transfer moments m_0..m_{2q-1} (m[k] = coeff of s^k).
+  AweApproximation(const std::vector<double>& transfer_moments, std::size_t q);
+
+  [[nodiscard]] std::size_t order() const { return lambda_.size(); }
+  /// Pole magnitudes lambda_j (response decays like exp(-lambda t)).
+  [[nodiscard]] const std::vector<std::complex<double>>& poles() const { return lambda_; }
+  [[nodiscard]] const std::vector<std::complex<double>>& residues() const { return k_; }
+  /// True when all poles have positive real part (decaying response).
+  [[nodiscard]] bool stable() const { return stable_; }
+
+  /// Approximate unit-step response at time t (real part of the complex sum).
+  [[nodiscard]] double step_response(double t) const;
+
+  /// Approximate impulse response at time t.
+  [[nodiscard]] double impulse_response(double t) const;
+
+  /// Threshold-crossing delay of the approximate step response.
+  /// Throws std::runtime_error if the fit is unstable or never crosses.
+  [[nodiscard]] double delay(double fraction = 0.5) const;
+
+ private:
+  void fit(const std::vector<double>& m, std::size_t q);
+  std::vector<std::complex<double>> lambda_;
+  std::vector<std::complex<double>> k_;
+  bool stable_ = false;
+};
+
+/// Classic two-pole estimate: AWE with q = 2.
+[[nodiscard]] double two_pole_delay(const RCTree& tree, NodeId node, double fraction = 0.5);
+
+}  // namespace rct::core

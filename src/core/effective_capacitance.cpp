@@ -1,0 +1,45 @@
+#include "core/effective_capacitance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rct::core {
+
+EffectiveCap effective_capacitance(const PiModel& pi, double driver_resistance) {
+  if (!(driver_resistance > 0.0))
+    throw std::invalid_argument("effective_capacitance: driver resistance must be > 0");
+  const double total = pi.c1 + pi.c2;
+  const double tau2 = pi.r2 * pi.c2;
+
+  EffectiveCap out{total, total, 0.0, 0};
+  double ceff = total;
+  for (int it = 0; it < 60; ++it) {
+    ++out.iterations;
+    const double dt = std::log(2.0) * driver_resistance * ceff;
+    // Fraction of C2's charge the driver actually sees in the window:
+    // k -> 1 for slow windows (no shielding), k -> 0 for fast ones.
+    const double x = dt / tau2;
+    const double k = 1.0 - (1.0 - std::exp(-x)) / x;
+    const double next = pi.c1 + k * pi.c2;
+    if (std::abs(next - ceff) < 1e-9 * total) {
+      ceff = next;
+      break;
+    }
+    ceff = next;
+  }
+  out.ceff = ceff;
+  out.shielding = 1.0 - ceff / total;
+  return out;
+}
+
+EffectiveCap effective_capacitance(const RCTree& load, double driver_resistance) {
+  try {
+    return effective_capacitance(input_pi_model(load), driver_resistance);
+  } catch (const std::invalid_argument&) {
+    // Load too small to reduce (e.g. a bare capacitor): nothing shielded.
+    const double total = load.total_capacitance();
+    return {total, total, 0.0, 0};
+  }
+}
+
+}  // namespace rct::core

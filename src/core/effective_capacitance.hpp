@@ -1,0 +1,38 @@
+#pragma once
+// Effective capacitance of an RC load.
+//
+// A gate delay table is characterized against a single lumped load, but a
+// real RC tree shields part of its capacitance behind wire resistance —
+// the "resistance shielding" the paper's Section IV cites ([6]).  The
+// standard fix reduces the tree to the O'Brien-Savarino pi-model and then
+// finds the single capacitance C_eff that draws the same average current
+// from the driver over the switching window:
+//
+//   C_eff = C1 + k C2,   k = 1 - (tau2/dt)(1 - e^{-dt/tau2}),  tau2 = R2 C2
+//
+// iterated with the switching window dt re-estimated from C_eff itself
+// (dt = ln 2 * R_drv * C_eff, the single-pole 50% window).  Fixed point in
+// a handful of iterations; always in [C1, C1 + C2].
+
+#include "core/pi_model.hpp"
+#include "rctree/rctree.hpp"
+
+namespace rct::core {
+
+/// Result of the C_eff iteration.
+struct EffectiveCap {
+  double ceff;        ///< farads, in [C1, C1 + C2]
+  double total;       ///< C1 + C2 (the unshielded lumped value)
+  double shielding;   ///< 1 - ceff/total, in [0, 1): how much the wire hides
+  int iterations;     ///< fixed-point iterations used
+};
+
+/// C_eff of an explicit pi-load driven through `driver_resistance`.
+[[nodiscard]] EffectiveCap effective_capacitance(const PiModel& pi, double driver_resistance);
+
+/// C_eff of a whole RC tree load (reduced to its pi-model first).
+/// Falls back to the exact total capacitance for loads too small to reduce
+/// (single capacitor: nothing is shielded).
+[[nodiscard]] EffectiveCap effective_capacitance(const RCTree& load, double driver_resistance);
+
+}  // namespace rct::core

@@ -1,0 +1,32 @@
+#pragma once
+// The Elmore delay metric (paper Sections I-II).
+//
+// T_D(i) = sum_k R_ki C_k is the mean of the impulse response at node i and
+// — the paper's central theorem — an absolute upper bound on the exact 50%
+// delay.  This header is the stable public entry point; heavy lifting lives
+// in rct::moments.
+
+#include <cmath>
+
+#include "moments/path_tracing.hpp"
+#include "rctree/rctree.hpp"
+
+namespace rct::core {
+
+/// Elmore delay at one node (seconds).
+[[nodiscard]] inline double elmore_delay(const RCTree& tree, NodeId node) {
+  return moments::elmore_delays(tree)[node];
+}
+
+/// Elmore delay at every node; O(N).
+[[nodiscard]] inline std::vector<double> elmore_delays(const RCTree& tree) {
+  return moments::elmore_delays(tree);
+}
+
+/// Single-pole ("dominant time constant") 50% estimate ln(2) * T_D
+/// (paper eq. 11-14).  Can be optimistic or pessimistic — Table I.
+[[nodiscard]] inline double single_pole_delay(double elmore, double fraction = 0.5) {
+  return -std::log(1.0 - fraction) * elmore;
+}
+
+}  // namespace rct::core

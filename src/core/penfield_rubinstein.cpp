@@ -1,0 +1,38 @@
+#include "core/penfield_rubinstein.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rct::core {
+namespace {
+
+void check_fraction(double v) {
+  if (!(v >= 0.0 && v < 1.0))
+    throw std::invalid_argument("PrhBounds: fraction must be in [0, 1)");
+}
+
+}  // namespace
+
+double PrhBounds::t_min(NodeId node, double v) const {
+  check_fraction(v);
+  const double tp = terms_.tp;
+  const double td = terms_.td[node];
+  const double tr = terms_.tr[node];
+  if (v <= 1.0 - td / tp) return 0.0;
+  if (v <= 1.0 - tr / tp) return td - tp * (1.0 - v);
+  return td - tr + tr * std::log(tr / (tp * (1.0 - v)));
+}
+
+double PrhBounds::t_max(NodeId node, double v) const {
+  check_fraction(v);
+  const double tp = terms_.tp;
+  const double td = terms_.td[node];
+  const double tr = terms_.tr[node];
+  if (v <= 1.0 - td / tp) return td / (1.0 - v) - tr;
+  // Note: the 1997 journal transcription prints "T_D - T_R + ..." here,
+  // which is discontinuous at the regime boundary; the original RPH'83
+  // bound is T_P - T_R + T_P ln[...], continuous and an actual upper bound.
+  return tp - tr + tp * std::log(td / (tp * (1.0 - v)));
+}
+
+}  // namespace rct::core

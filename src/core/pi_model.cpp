@@ -1,0 +1,44 @@
+#include "core/pi_model.hpp"
+
+#include <stdexcept>
+
+#include "moments/admittance.hpp"
+
+namespace rct::core {
+
+PiModel pi_model_from_moments(const linalg::PowerSeries& y) {
+  if (y.order() < 3) throw std::invalid_argument("pi_model: need admittance moments up to m3");
+  const double m1 = y[1];
+  const double m2 = y[2];
+  const double m3 = y[3];
+  if (!(m1 > 0.0) || !(m2 < 0.0) || !(m3 > 0.0))
+    throw std::invalid_argument("pi_model: moments not realizable as an RC pi load");
+  PiModel p{};
+  p.c2 = m2 * m2 / m3;
+  p.c1 = m1 - p.c2;
+  p.r2 = -(m3 * m3) / (m2 * m2 * m2);
+  return p;
+}
+
+PiModel input_pi_model(const RCTree& tree) {
+  return pi_model_from_moments(moments::input_admittance(tree, 3));
+}
+
+PiModel subtree_pi_model(const RCTree& tree, NodeId node) {
+  return pi_model_from_moments(moments::node_admittance(tree, node, 3));
+}
+
+AppendixBMoments appendix_b_central_moments(double r1, const PiModel& pi) {
+  const double c1 = pi.c1;
+  const double c2 = pi.c2;
+  const double r2 = pi.r2;
+  AppendixBMoments out{};
+  // eq. (28)
+  out.mu2 = r1 * r1 * (c1 * c1 + c2 * c2) + 2.0 * r1 * r1 * c1 * c2 + 2.0 * r1 * r2 * c2 * c2;
+  // eq. (29) / (B4)
+  const double rc = r1 * (c1 + c2);
+  out.mu3 = 6.0 * r1 * r2 * c2 * c2 * (rc + r2 * c2) + 2.0 * rc * rc * rc;
+  return out;
+}
+
+}  // namespace rct::core

@@ -1,0 +1,54 @@
+#pragma once
+// O'Brien-Savarino pi-model reduction (paper Lemma 2 / eq. 26, [14]):
+// a 3-element C1 - R2 - C2 circuit whose driving-point admittance matches
+// the first three moments of an arbitrary RC tree's Y(s) exactly.
+//
+//   C1 = m1(Y) - m2(Y)^2 / m3(Y)
+//   C2 = m2(Y)^2 / m3(Y)
+//   R2 = -m3(Y)^2 / m2(Y)^3
+//
+// The paper uses this reduction as the induction vehicle for Lemma 2 (the
+// skewness non-negativity proof); production timers use it as a driver load
+// model.  This module also provides the closed-form central moments of the
+// two-node R1 + pi circuit of Appendix B, which tests validate.
+
+#include "linalg/power_series.hpp"
+#include "rctree/rctree.hpp"
+
+namespace rct::core {
+
+/// The reduced pi load: C1 at the near node, R2 to a far node with C2.
+struct PiModel {
+  double c1;
+  double c2;
+  double r2;
+
+  /// Admittance moments m1..m3 of the pi itself (for verification):
+  /// m1 = C1 + C2, m2 = -R2 C2^2, m3 = R2^2 C2^3.
+  [[nodiscard]] double m1() const { return c1 + c2; }
+  [[nodiscard]] double m2() const { return -r2 * c2 * c2; }
+  [[nodiscard]] double m3() const { return r2 * r2 * c2 * c2 * c2; }
+};
+
+/// Pi-model of the admittance series y (needs orders 1..3).
+/// Throws std::invalid_argument if the moments cannot come from an RC tree
+/// (m1 <= 0, m2 >= 0 or m3 <= 0) — e.g. a single-capacitor subtree, whose
+/// higher admittance moments vanish.
+[[nodiscard]] PiModel pi_model_from_moments(const linalg::PowerSeries& y);
+
+/// Pi-model of the load the ideal source drives.
+[[nodiscard]] PiModel input_pi_model(const RCTree& tree);
+
+/// Pi-model of the subtree hanging at `node` (the paper's Fig. 8 with node 1
+/// = `node`'s parent side).
+[[nodiscard]] PiModel subtree_pi_model(const RCTree& tree, NodeId node);
+
+/// Closed-form central moments at node 1 of the Appendix-B circuit
+/// (R1 feeding C1, then R2 to C2): eq. 28-29.
+struct AppendixBMoments {
+  double mu2;
+  double mu3;
+};
+[[nodiscard]] AppendixBMoments appendix_b_central_moments(double r1, const PiModel& pi);
+
+}  // namespace rct::core

@@ -1,0 +1,185 @@
+#include "core/prima.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/root_find.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "sim/tree_solver.hpp"
+
+namespace rct::core {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+double ReducedModel::step_response(double t) const {
+  if (t <= 0.0) return 0.0;
+  double acc = dc;
+  for (std::size_t j = 0; j < poles.size(); ++j) acc -= coeffs[j] * std::exp(-poles[j] * t);
+  return acc;
+}
+
+double ReducedModel::impulse_response(double t) const {
+  if (t < 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t j = 0; j < poles.size(); ++j)
+    acc += coeffs[j] * poles[j] * std::exp(-poles[j] * t);
+  return acc;
+}
+
+double ReducedModel::delay(double fraction) const {
+  if (!(fraction > 0.0 && fraction < 1.0))
+    throw std::invalid_argument("ReducedModel::delay: fraction must be in (0,1)");
+  const double tau = 1.0 / poles.front();
+  auto f = [&](double t) { return step_response(t) - fraction * dc; };
+  linalg::RootOptions opt;
+  opt.x_tol = 1e-12 * tau;
+  const auto root = linalg::bracket_and_solve(f, tau, 1e7 * tau, opt);
+  if (!root) throw std::runtime_error("ReducedModel::delay: crossing not found");
+  return *root;
+}
+
+double ReducedModel::distribution_moment(int q) const {
+  if (q < 0) throw std::invalid_argument("ReducedModel: q must be >= 0");
+  double fact = 1.0;
+  for (int k = 2; k <= q; ++k) fact *= k;
+  double acc = 0.0;
+  for (std::size_t j = 0; j < poles.size(); ++j) acc += coeffs[j] / std::pow(poles[j], q);
+  return fact * acc;
+}
+
+PrimaReduction::PrimaReduction(const RCTree& tree, std::size_t order) {
+  if (order < 1) throw std::invalid_argument("PrimaReduction: order must be >= 1");
+  n_ = tree.size();
+  const std::size_t q_req = std::min<std::size_t>(order, n_);
+
+  // Capacitance floor (zero-cap nodes would make Chat singular).
+  std::vector<double> cap(n_);
+  double cmax = 0.0;
+  for (NodeId i = 0; i < n_; ++i) cmax = std::max(cmax, tree.capacitance(i));
+  if (cmax <= 0.0) throw std::invalid_argument("PrimaReduction: tree has no capacitance");
+  for (NodeId i = 0; i < n_; ++i) cap[i] = std::max(tree.capacitance(i), 1e-9 * cmax);
+
+  // O(N) applications of G^-1 (tree LDL) and G (stamp-on-the-fly).
+  const sim::TreeSystem ginv(tree, 0.0);
+  std::vector<double> b(n_, 0.0);
+  for (NodeId i = 0; i < n_; ++i)
+    if (tree.parent(i) == kSource) b[i] = 1.0 / tree.resistance(i);
+  auto apply_g = [&](const std::vector<double>& x) {
+    std::vector<double> y(n_, 0.0);
+    for (NodeId i = 0; i < n_; ++i) {
+      const double g = 1.0 / tree.resistance(i);
+      const NodeId p = tree.parent(i);
+      const double xp = (p == kSource) ? 0.0 : x[p];
+      const double cur = g * (x[i] - xp);
+      y[i] += cur;
+      if (p != kSource) y[p] -= cur;
+    }
+    return y;
+  };
+
+  // Krylov basis with (twice-)modified Gram-Schmidt.
+  std::vector<std::vector<double>> v;
+  std::vector<double> work = ginv.solve(b);  // G^-1 b
+  double first_norm = 0.0;
+  for (std::size_t k = 0; k < q_req; ++k) {
+    if (k > 0) {
+      std::vector<double> cx(n_);
+      for (NodeId i = 0; i < n_; ++i) cx[i] = cap[i] * v.back()[i];
+      work = ginv.solve(cx);  // (G^-1 C) v_{k-1}
+    }
+    for (int pass = 0; pass < 2; ++pass)
+      for (const auto& u : v) {
+        const double proj = dot(u, work);
+        for (std::size_t i = 0; i < n_; ++i) work[i] -= proj * u[i];
+      }
+    const double norm = std::sqrt(dot(work, work));
+    if (k == 0) first_norm = norm;
+    if (norm <= 1e-12 * first_norm) break;  // Krylov space saturated
+    for (double& x : work) x /= norm;
+    v.push_back(work);
+  }
+  const std::size_t q = v.size();
+
+  // Reduced matrices Ghat, Chat and input bhat.
+  linalg::Matrix ghat(q, q);
+  linalg::Matrix chat(q, q);
+  std::vector<double> bhat(q);
+  for (std::size_t j = 0; j < q; ++j) {
+    const auto gv = apply_g(v[j]);
+    for (std::size_t i = 0; i <= j; ++i) {
+      ghat(i, j) = ghat(j, i) = dot(v[i], gv);
+      double cij = 0.0;
+      for (std::size_t m = 0; m < n_; ++m) cij += v[i][m] * cap[m] * v[j][m];
+      chat(i, j) = chat(j, i) = cij;
+    }
+    bhat[j] = dot(v[j], b);
+  }
+
+  // Chat^{-1/2} via its own eigendecomposition (SPD by congruence).
+  const auto ce = linalg::symmetric_eigen(chat);
+  linalg::Matrix chalf(q, q);  // Chat^{-1/2}
+  for (std::size_t i = 0; i < q; ++i)
+    for (std::size_t j = 0; j < q; ++j) {
+      double acc = 0.0;
+      for (std::size_t m = 0; m < q; ++m) {
+        const double w = ce.eigenvalues[m];
+        if (!(w > 0.0)) throw std::runtime_error("PrimaReduction: Chat not positive definite");
+        acc += ce.eigenvectors(i, m) * ce.eigenvectors(j, m) / std::sqrt(w);
+      }
+      chalf(i, j) = acc;
+    }
+
+  // S = Chat^{-1/2} Ghat Chat^{-1/2}, then its spectrum = reduced poles.
+  const linalg::Matrix s = chalf.multiply(ghat).multiply(chalf);
+  const auto se = linalg::symmetric_eigen(s);
+  lambda_ = se.eigenvalues;
+  for (double l : lambda_)
+    if (!(l > 0.0)) throw std::runtime_error("PrimaReduction: non-positive reduced pole");
+
+  // Mode gains: g_ij = [V Chat^{-1/2} Q]_{ij} * w_j / lambda_j with
+  // w = Q^T Chat^{-1/2} bhat.
+  const linalg::Matrix m = chalf.multiply(se.eigenvectors);  // q x q
+  std::vector<double> w(q, 0.0);
+  for (std::size_t j = 0; j < q; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < q; ++i) acc += m(i, j) * bhat[i];
+    w[j] = acc;
+  }
+  mode_gain_.assign(q * n_, 0.0);
+  for (std::size_t j = 0; j < q; ++j) {
+    for (NodeId i = 0; i < n_; ++i) {
+      double cij = 0.0;
+      for (std::size_t mm = 0; mm < q; ++mm) cij += v[mm][i] * m(mm, j);
+      mode_gain_[j * n_ + i] = cij * w[j] / lambda_[j];
+    }
+  }
+}
+
+ReducedModel PrimaReduction::at(NodeId node) const {
+  if (node >= n_) throw std::invalid_argument("PrimaReduction::at: node out of range");
+  ReducedModel rm;
+  rm.poles = lambda_;
+  rm.coeffs.resize(lambda_.size());
+  double dc = 0.0;
+  for (std::size_t j = 0; j < lambda_.size(); ++j) {
+    rm.coeffs[j] = mode_gain_[j * n_ + node];
+    dc += rm.coeffs[j];
+  }
+  rm.dc = dc;
+  return rm;
+}
+
+bool PrimaReduction::stable() const {
+  for (double l : lambda_)
+    if (!(l > 0.0)) return false;
+  return true;
+}
+
+}  // namespace rct::core

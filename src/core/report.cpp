@@ -1,0 +1,66 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/bounds.hpp"
+#include "core/elmore.hpp"
+#include "core/penfield_rubinstein.hpp"
+#include "moments/central.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::core {
+
+std::vector<NodeReport> build_report(const RCTree& tree, const ReportOptions& options) {
+  const auto stats = moments::impulse_stats(tree);
+  const PrhBounds prh(tree);
+  std::optional<sim::ExactAnalysis> exact;
+  if (options.with_exact) exact.emplace(tree);
+
+  std::vector<NodeReport> rows;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (options.leaves_only && !tree.is_leaf(i)) continue;
+    NodeReport r;
+    r.name = tree.name(i);
+    r.depth = tree.depth(i);
+    r.elmore = stats[i].mean;
+    r.sigma = stats[i].sigma;
+    r.skewness = stats[i].skewness;
+    r.lower_bound = std::max(r.elmore - r.sigma, 0.0);
+    r.single_pole = -std::log(1.0 - options.fraction) * r.elmore;
+    r.prh_tmin = prh.t_min(i, options.fraction);
+    r.prh_tmax = prh.t_max(i, options.fraction);
+    if (exact) {
+      r.exact_delay = exact->step_delay(i, options.fraction);
+      r.exact_rise = exact->step_rise_time_10_90(i);
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::string format_report(const std::vector<NodeReport>& rows) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-8s %5s %9s %9s %9s %9s %9s %9s %9s %9s\n", "node", "depth",
+                "exact", "elmore", "lower", "ln2*TD", "PRH_tmin", "PRH_tmax", "sigma", "skew");
+  os << buf;
+  auto ns = [](double s) { return s * 1e9; };
+  for (const auto& r : rows) {
+    char exact_col[32];
+    if (r.exact_delay)
+      std::snprintf(exact_col, sizeof(exact_col), "%9.4f", ns(*r.exact_delay));
+    else
+      std::snprintf(exact_col, sizeof(exact_col), "%9s", "-");
+    std::snprintf(buf, sizeof(buf),
+                  "%-8s %5zu %s %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %9.3f\n", r.name.c_str(),
+                  r.depth, exact_col, ns(r.elmore), ns(r.lower_bound), ns(r.single_pole),
+                  ns(r.prh_tmin), ns(r.prh_tmax), ns(r.sigma), r.skewness);
+    os << buf;
+  }
+  os << "(times in ns)\n";
+  return os.str();
+}
+
+}  // namespace rct::core

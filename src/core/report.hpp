@@ -1,0 +1,43 @@
+#pragma once
+// Per-node delay report: every metric the paper's Table I compares, for any
+// tree, in one call — plus a plain-text table renderer.  This is the "STA
+// net report" entry point downstream users call.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::core {
+
+/// All Table-I-style metrics at one node (seconds).
+struct NodeReport {
+  std::string name;
+  std::size_t depth;                  ///< edges from the source
+  double elmore;                      ///< T_D (upper bound)
+  double sigma;                       ///< sqrt(mu2) of h(t)
+  double skewness;                    ///< gamma of h(t) (>= 0 by Lemma 2)
+  double lower_bound;                 ///< max(T_D - sigma, 0)
+  double single_pole;                 ///< ln(2) T_D
+  double prh_tmin;                    ///< Penfield-Rubinstein lower, 50%
+  double prh_tmax;                    ///< Penfield-Rubinstein upper, 50%
+  std::optional<double> exact_delay;  ///< exact 50% step delay, if computed
+  std::optional<double> exact_rise;   ///< exact 10-90% rise time, if computed
+};
+
+/// Options for report generation.
+struct ReportOptions {
+  bool with_exact = true;      ///< run the eigendecomposition (O(N^3))
+  double fraction = 0.5;       ///< threshold fraction for delays/bounds
+  bool leaves_only = false;    ///< restrict rows to leaf nodes
+};
+
+/// Builds the report for every node (or every leaf).
+[[nodiscard]] std::vector<NodeReport> build_report(const RCTree& tree,
+                                                   const ReportOptions& options = {});
+
+/// Renders reports as an aligned text table (times in ns).
+[[nodiscard]] std::string format_report(const std::vector<NodeReport>& rows);
+
+}  // namespace rct::core

@@ -1,0 +1,69 @@
+#include "core/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "moments/path_tracing.hpp"
+
+namespace rct::core {
+namespace {
+
+void check_model(const VariationModel& m) {
+  if (m.res_sigma < 0.0 || m.cap_sigma < 0.0 || m.global_sigma < 0.0)
+    throw std::invalid_argument("variation: sigmas must be >= 0");
+}
+
+}  // namespace
+
+RCTree sample_variation(const RCTree& tree, const VariationModel& model, std::uint64_t seed) {
+  check_model(model);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const double global = std::exp(model.global_sigma * gauss(rng));
+  RCTreeBuilder b;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    const double r = tree.resistance(i) * global * std::exp(model.res_sigma * gauss(rng));
+    const double c = tree.capacitance(i) * global * std::exp(model.cap_sigma * gauss(rng));
+    b.add_node(tree.name(i), tree.parent(i), r, c);
+  }
+  return std::move(b).build();
+}
+
+VariationStats elmore_variation(const RCTree& tree, NodeId node, const VariationModel& model,
+                                std::size_t samples, std::uint64_t seed) {
+  check_model(model);
+  if (node >= tree.size()) throw std::invalid_argument("variation: node out of range");
+  if (samples < 2) throw std::invalid_argument("variation: need >= 2 samples");
+
+  std::vector<double> td;
+  td.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const RCTree perturbed = sample_variation(tree, model, seed + s);
+    td.push_back(moments::elmore_delays(perturbed)[node]);
+  }
+  std::sort(td.begin(), td.end());
+
+  VariationStats out{};
+  out.nominal = moments::elmore_delays(tree)[node];
+  out.samples = samples;
+  double sum = 0.0;
+  for (double v : td) sum += v;
+  out.mean = sum / static_cast<double>(samples);
+  double var = 0.0;
+  for (double v : td) var += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(samples - 1));
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(samples - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    return (lo + 1 < samples) ? td[lo] * (1.0 - frac) + td[lo + 1] * frac : td[lo];
+  };
+  out.q05 = quantile(0.05);
+  out.q50 = quantile(0.50);
+  out.q95 = quantile(0.95);
+  return out;
+}
+
+}  // namespace rct::core

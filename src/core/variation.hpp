@@ -1,0 +1,49 @@
+#pragma once
+// Monte-Carlo process-variation analysis on RC trees.
+//
+// Interconnect R and C vary with metal thickness/width and dielectric
+// spread.  This module samples per-component lognormal variations around
+// the nominal tree, evaluates the Elmore bound (O(N) per sample — the whole
+// point of the metric) and reports delay statistics and quantiles.  Because
+// every sample is itself an RC tree, the paper's Theorem applies sample by
+// sample: the sampled Elmore value upper-bounds that sample's true delay,
+// so the reported quantiles are guaranteed-pessimistic timing numbers.
+
+#include <cstdint>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::core {
+
+/// Variation model: independent lognormal per component.
+struct VariationModel {
+  double res_sigma = 0.1;  ///< relative sigma of ln(R) per resistor
+  double cap_sigma = 0.1;  ///< relative sigma of ln(C) per capacitor
+  /// Optional fully-correlated global factor (die-to-die), same sigma for
+  /// R and C; 0 disables.
+  double global_sigma = 0.0;
+};
+
+/// Statistics of the sampled Elmore delay at one node.
+struct VariationStats {
+  double nominal;  ///< Elmore delay of the unperturbed tree
+  double mean;
+  double stddev;
+  double q05;      ///< 5% quantile
+  double q50;
+  double q95;      ///< 95% quantile (a guaranteed-pessimistic sign-off value)
+  std::size_t samples;
+};
+
+/// Samples `samples` perturbed trees (deterministic in `seed`) and returns
+/// the Elmore-delay statistics at `node`.
+[[nodiscard]] VariationStats elmore_variation(const RCTree& tree, NodeId node,
+                                              const VariationModel& model,
+                                              std::size_t samples, std::uint64_t seed);
+
+/// One sampled tree (for callers wanting their own analyses per sample).
+[[nodiscard]] RCTree sample_variation(const RCTree& tree, const VariationModel& model,
+                                      std::uint64_t seed);
+
+}  // namespace rct::core

@@ -1,0 +1,118 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rct::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* r = a_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& b) const {
+  if (cols_ != b.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix c(rows_, b.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : a_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+LuFactor::LuFactor(Matrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: matrix not square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |a_ik| for i >= k.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("LuFactor: singular matrix");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_piv = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = lu_(i, k) * inv_piv;
+      lu_(i, k) = f;
+      if (f == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= f * lu_(k, j);
+    }
+  }
+}
+
+std::vector<double> LuFactor::solve(std::span<const double> b) const {
+  std::vector<double> x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+void LuFactor::solve_in_place(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LuFactor::solve: size mismatch");
+  // Apply permutation.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  // Forward substitution (unit lower).
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
+    y[ii] = acc / lu_(ii, ii);
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] = y[i];
+}
+
+double LuFactor::determinant() const {
+  double d = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace rct::linalg

@@ -1,0 +1,88 @@
+#pragma once
+// Dense row-major matrix with LU factorization (partial pivoting).
+//
+// This is the small dense-kernel workhorse used by the exact RC-tree
+// simulator (eigendecomposition working storage) and by the MNA assembly
+// for general RC networks.  Sizes in this toolkit are moderate (N up to a
+// few thousand for exact analysis), so a cache-friendly dense kernel is the
+// right tool; the O(N) tree solver in src/sim handles the large-N transient
+// path.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rct::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates an r-by-c matrix, zero-initialized.
+  Matrix(std::size_t r, std::size_t c) : rows_(r), cols_(c), a_(r * c, 0.0) {}
+
+  /// Creates a square n-by-n matrix, zero-initialized.
+  static Matrix square(std::size_t n) { return Matrix(n, n); }
+
+  /// Creates the n-by-n identity.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) { return a_[i * cols_ + j]; }
+  double operator()(std::size_t i, std::size_t j) const { return a_[i * cols_ + j]; }
+
+  /// Row i as a contiguous span.
+  [[nodiscard]] std::span<double> row(std::size_t i) { return {a_.data() + i * cols_, cols_}; }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return {a_.data() + i * cols_, cols_};
+  }
+
+  /// y = A * x.  x.size() must equal cols().
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// C = A * B.
+  [[nodiscard]] Matrix multiply(const Matrix& b) const;
+
+  /// Transpose.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// max |a_ij|.
+  [[nodiscard]] double max_abs() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+///
+/// Throws std::invalid_argument for non-square input and std::runtime_error
+/// for (numerically) singular matrices.
+class LuFactor {
+ public:
+  explicit LuFactor(Matrix a);
+
+  /// Solves A x = b; b.size() must equal n.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves in place.
+  void solve_in_place(std::span<double> b) const;
+
+  /// Determinant of the factored matrix.
+  [[nodiscard]] double determinant() const;
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+}  // namespace rct::linalg

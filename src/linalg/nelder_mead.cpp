@@ -1,0 +1,99 @@
+#include "linalg/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rct::linalg {
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0, const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  // Standard coefficients.
+  constexpr double kReflect = 1.0;
+  constexpr double kExpand = 2.0;
+  constexpr double kContract = 0.5;
+  constexpr double kShrink = 0.5;
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Zero coordinates get a unit-scale perturbation; a relative one would
+    // collapse the simplex and stall at the start point.
+    const double scale = (x0[i] != 0.0) ? std::abs(x0[i]) : 1.0;
+    simplex[i + 1][i] += options.initial_step * scale;
+  }
+
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  int iter = 0;
+  for (; iter < options.max_iter; ++iter) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+    if (std::abs(fv[worst] - fv[best]) <= options.f_tol * (std::abs(fv[best]) + 1e-300)) break;
+
+    // Centroid of all but worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double alpha) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j)
+        p[j] = centroid[j] + alpha * (centroid[j] - simplex[worst][j]);
+      return p;
+    };
+
+    const std::vector<double> refl = blend(kReflect);
+    const double f_refl = f(refl);
+    if (f_refl < fv[order[0]]) {
+      const std::vector<double> exp_p = blend(kExpand);
+      const double f_exp = f(exp_p);
+      if (f_exp < f_refl) {
+        simplex[worst] = exp_p;
+        fv[worst] = f_exp;
+      } else {
+        simplex[worst] = refl;
+        fv[worst] = f_refl;
+      }
+      continue;
+    }
+    if (f_refl < fv[second_worst]) {
+      simplex[worst] = refl;
+      fv[worst] = f_refl;
+      continue;
+    }
+    const std::vector<double> contr = blend(-kContract);
+    const double f_contr = f(contr);
+    if (f_contr < fv[worst]) {
+      simplex[worst] = contr;
+      fv[worst] = f_contr;
+      continue;
+    }
+    // Shrink toward best.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        simplex[i][j] = simplex[best][j] + kShrink * (simplex[i][j] - simplex[best][j]);
+      fv[i] = f(simplex[i]);
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (fv[i] < fv[best]) best = i;
+  return {simplex[best], fv[best], iter};
+}
+
+}  // namespace rct::linalg

@@ -1,0 +1,33 @@
+#pragma once
+// Derivative-free minimization by the Nelder-Mead simplex method.
+//
+// Used by the calibration tool (tools/fit_fig1) to recover the paper's
+// unpublished component values from its published Table I/II metrics, and
+// available to examples for design-space exploration (wire sizing).
+
+#include <functional>
+#include <vector>
+
+namespace rct::linalg {
+
+/// Options for Nelder-Mead.
+struct NelderMeadOptions {
+  int max_iter = 4000;
+  double f_tol = 1e-12;        ///< stop when simplex f-spread is below this
+  double initial_step = 0.25;  ///< relative perturbation for the initial simplex
+};
+
+/// Result of a minimization.
+struct NelderMeadResult {
+  std::vector<double> x;
+  double f;
+  int iterations;
+};
+
+/// Minimizes f starting at x0.  The initial simplex perturbs each coordinate
+/// by initial_step * max(|x0_i|, 1e-12).
+[[nodiscard]] NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f, std::vector<double> x0,
+    const NelderMeadOptions& options = {});
+
+}  // namespace rct::linalg

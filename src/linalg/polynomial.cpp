@@ -1,0 +1,73 @@
+#include "linalg/polynomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rct::linalg {
+
+std::complex<double> polynomial_eval(std::span<const double> coeffs, std::complex<double> x) {
+  std::complex<double> acc = 0.0;
+  for (std::size_t k = coeffs.size(); k-- > 0;) acc = acc * x + coeffs[k];
+  return acc;
+}
+
+std::vector<std::complex<double>> polynomial_roots(std::span<const double> coeffs) {
+  // Strip (numerically) zero leading coefficients.
+  std::size_t deg = coeffs.size();
+  while (deg > 0 && coeffs[deg - 1] == 0.0) --deg;
+  if (deg < 2) throw std::invalid_argument("polynomial_roots: degree must be >= 1");
+  const std::size_t n = deg - 1;  // polynomial degree
+
+  // Normalize to monic.
+  std::vector<std::complex<double>> a(deg);
+  const double lead = coeffs[deg - 1];
+  for (std::size_t k = 0; k < deg; ++k) a[k] = coeffs[k] / lead;
+
+  auto eval_monic = [&](std::complex<double> x) {
+    std::complex<double> acc = 1.0;
+    for (std::size_t k = n; k-- > 0;) acc = acc * x + a[k];
+    return acc;
+  };
+
+  // Cauchy-style radius bound for the initial guesses.
+  double radius = 0.0;
+  for (std::size_t k = 0; k < n; ++k) radius = std::max(radius, std::abs(a[k]));
+  radius = 1.0 + radius;
+
+  // Durand-Kerner start: points on a circle, deliberately non-symmetric angle.
+  std::vector<std::complex<double>> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n) + 0.4;
+    z[i] = std::polar(0.5 * radius + 0.1, ang);
+  }
+
+  constexpr int kMaxIter = 500;
+  for (int iter = 0; iter < kMaxIter; ++iter) {
+    double max_step = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::complex<double> denom = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) denom *= (z[i] - z[j]);
+      }
+      if (denom == std::complex<double>(0.0, 0.0)) {
+        // Perturb coincident iterates.
+        z[i] += std::complex<double>(1e-6 * radius, 1e-6 * radius);
+        denom = 1.0;
+        for (std::size_t j = 0; j < n; ++j)
+          if (j != i) denom *= (z[i] - z[j]);
+      }
+      const std::complex<double> delta = eval_monic(z[i]) / denom;
+      z[i] -= delta;
+      max_step = std::max(max_step, std::abs(delta));
+    }
+    if (max_step < 1e-14 * radius) break;
+  }
+
+  // Snap conjugate-pair imaginary dust to the real axis.
+  for (auto& r : z) {
+    if (std::abs(r.imag()) < 1e-9 * (1.0 + std::abs(r.real()))) r = {r.real(), 0.0};
+  }
+  return z;
+}
+
+}  // namespace rct::linalg

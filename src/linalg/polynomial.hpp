@@ -1,0 +1,27 @@
+#pragma once
+// Real-coefficient polynomial utilities: Horner evaluation and root finding
+// via the Durand-Kerner (Weierstrass) simultaneous iteration.
+//
+// AWE moment matching (core/awe) produces a small characteristic polynomial
+// whose roots are the approximating poles; Durand-Kerner is robust for the
+// low orders (q <= 8) used there.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace rct::linalg {
+
+/// Evaluates sum_k c[k] x^k (constant term first) by Horner's rule.
+[[nodiscard]] std::complex<double> polynomial_eval(std::span<const double> coeffs,
+                                                   std::complex<double> x);
+
+/// All complex roots of the polynomial with real coefficients `coeffs`
+/// (constant term first; leading coefficient must be nonzero).
+///
+/// Throws std::invalid_argument for degree-0 input or zero leading
+/// coefficient.  Iteration is capped; accuracy is ample for the small
+/// well-separated-pole systems produced by AWE.
+[[nodiscard]] std::vector<std::complex<double>> polynomial_roots(std::span<const double> coeffs);
+
+}  // namespace rct::linalg

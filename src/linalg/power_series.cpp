@@ -1,0 +1,55 @@
+#include "linalg/power_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rct::linalg {
+
+PowerSeries& PowerSeries::operator+=(const PowerSeries& o) {
+  if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0.0);
+  for (std::size_t k = 0; k < o.c_.size(); ++k) c_[k] += o.c_[k];
+  return *this;
+}
+
+PowerSeries& PowerSeries::operator-=(const PowerSeries& o) {
+  if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0.0);
+  for (std::size_t k = 0; k < o.c_.size(); ++k) c_[k] -= o.c_[k];
+  return *this;
+}
+
+PowerSeries& PowerSeries::operator*=(double k) {
+  for (double& v : c_) v *= k;
+  return *this;
+}
+
+PowerSeries PowerSeries::multiply(const PowerSeries& o) const {
+  const std::size_t ord = std::min(order(), o.order());
+  PowerSeries r(ord);
+  for (std::size_t i = 0; i <= ord; ++i)
+    for (std::size_t j = 0; i + j <= ord && j < o.c_.size(); ++j) {
+      if (i < c_.size()) r.c_[i + j] += c_[i] * o.c_[j];
+    }
+  return r;
+}
+
+PowerSeries PowerSeries::reciprocal() const {
+  if (c_.empty() || c_[0] == 0.0)
+    throw std::invalid_argument("PowerSeries::reciprocal: zero constant term");
+  const std::size_t ord = order();
+  PowerSeries r(ord);
+  r.c_[0] = 1.0 / c_[0];
+  for (std::size_t k = 1; k <= ord; ++k) {
+    double acc = 0.0;
+    for (std::size_t j = 1; j <= k; ++j) {
+      if (j < c_.size()) acc += c_[j] * r.c_[k - j];
+    }
+    r.c_[k] = -acc / c_[0];
+  }
+  return r;
+}
+
+PowerSeries PowerSeries::divide(const PowerSeries& o) const {
+  return multiply(o.reciprocal());
+}
+
+}  // namespace rct::linalg

@@ -1,0 +1,64 @@
+#pragma once
+// Truncated power series in s with fixed order.
+//
+// Used by the moment engine: driving-point admittance moments of an RC
+// subtree are the coefficients of Y(s) = y1 s + y2 s^2 + ..., and the
+// series/parallel reduction rules of Section II (and the O'Brien-Savarino
+// pi-model of Lemma 2) are ordinary truncated-series arithmetic.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rct::linalg {
+
+/// Polynomial in s truncated at order `order()`: c[0] + c[1] s + ... .
+class PowerSeries {
+ public:
+  PowerSeries() = default;
+
+  /// Zero series with `order + 1` coefficients (degree <= order).
+  explicit PowerSeries(std::size_t order) : c_(order + 1, 0.0) {}
+
+  /// Series from explicit coefficients, constant term first.
+  explicit PowerSeries(std::vector<double> coeffs) : c_(std::move(coeffs)) {}
+
+  [[nodiscard]] std::size_t order() const { return c_.empty() ? 0 : c_.size() - 1; }
+  [[nodiscard]] std::span<const double> coefficients() const { return c_; }
+
+  double& operator[](std::size_t k) { return c_[k]; }
+  double operator[](std::size_t k) const { return c_[k]; }
+
+  PowerSeries& operator+=(const PowerSeries& o);
+  PowerSeries& operator-=(const PowerSeries& o);
+  PowerSeries& operator*=(double k);
+
+  [[nodiscard]] friend PowerSeries operator+(PowerSeries a, const PowerSeries& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend PowerSeries operator-(PowerSeries a, const PowerSeries& b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] friend PowerSeries operator*(PowerSeries a, double k) {
+    a *= k;
+    return a;
+  }
+
+  /// Truncated product; result order = min(order(), o.order()).
+  [[nodiscard]] PowerSeries multiply(const PowerSeries& o) const;
+
+  /// Truncated reciprocal 1/this; requires nonzero constant term.
+  [[nodiscard]] PowerSeries reciprocal() const;
+
+  /// this / o, truncated; requires o has nonzero constant term.
+  [[nodiscard]] PowerSeries divide(const PowerSeries& o) const;
+
+  friend bool operator==(const PowerSeries&, const PowerSeries&) = default;
+
+ private:
+  std::vector<double> c_;
+};
+
+}  // namespace rct::linalg

@@ -1,0 +1,95 @@
+#include "linalg/root_find.hpp"
+
+#include <cmath>
+
+namespace rct::linalg {
+
+std::optional<double> brent_root(const std::function<double(double)>& f, double lo, double hi,
+                                 const RootOptions& opt) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (std::abs(fa) <= opt.f_tol) return a;
+  if (std::abs(fb) <= opt.f_tol) return b;
+  if (fa * fb > 0.0) return std::nullopt;
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  for (int iter = 0; iter < opt.max_iter; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 = 2.0 * 2.3e-16 * std::abs(b) + 0.5 * opt.x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol1 || fb == 0.0) return b;
+
+    if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      const double min1 = 3.0 * xm * q - std::abs(tol1 * q);
+      const double min2 = std::abs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol1) ? d : std::copysign(tol1, xm);
+    fb = f(b);
+    if (std::abs(fb) <= opt.f_tol) return b;
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  return b;  // best effort after max_iter
+}
+
+std::optional<double> bracket_and_solve(const std::function<double(double)>& f, double hi0,
+                                        double hi_cap, const RootOptions& opt) {
+  double lo = 0.0;
+  const double flo = f(lo);
+  if (std::abs(flo) <= opt.f_tol) return lo;
+  double hi = hi0;
+  double fhi = f(hi);
+  while (flo * fhi > 0.0) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > hi_cap) return std::nullopt;
+    fhi = f(hi);
+  }
+  return brent_root(f, lo, hi, opt);
+}
+
+}  // namespace rct::linalg

@@ -1,0 +1,34 @@
+#pragma once
+// Scalar root finding on continuous functions: bracketing bisection and
+// Brent's method.
+//
+// The toolkit's delay measurements are threshold crossings of provably
+// monotone responses, so a guaranteed bracketing method is the right choice;
+// Brent adds superlinear convergence without giving up the bracket.
+
+#include <functional>
+#include <optional>
+
+namespace rct::linalg {
+
+/// Options for scalar root searches.
+struct RootOptions {
+  double x_tol = 1e-15;   ///< absolute tolerance on the root position
+  double f_tol = 1e-13;   ///< |f| below which we accept the point
+  int max_iter = 200;
+};
+
+/// Finds x in [lo, hi] with f(x) = 0 by Brent's method.
+/// Requires f(lo) and f(hi) to have opposite (or zero) signs; returns
+/// std::nullopt if the bracket is invalid.
+[[nodiscard]] std::optional<double> brent_root(const std::function<double(double)>& f, double lo,
+                                               double hi, const RootOptions& opt = {});
+
+/// Expands [0, hi0] geometrically until f changes sign, then runs Brent.
+/// Intended for crossing searches on responses that settle to a known sign.
+/// Returns std::nullopt if no sign change is found before `hi_cap`.
+[[nodiscard]] std::optional<double> bracket_and_solve(const std::function<double(double)>& f,
+                                                      double hi0, double hi_cap,
+                                                      const RootOptions& opt = {});
+
+}  // namespace rct::linalg

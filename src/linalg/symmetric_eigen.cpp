@@ -1,0 +1,171 @@
+#include "linalg/symmetric_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rct::linalg {
+namespace {
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of a real symmetric matrix to tridiagonal form.
+// On exit: d = diagonal, e = subdiagonal (e[0] unused), z = accumulated
+// orthogonal transform (A = Z T Z^T).
+void tridiagonalize(Matrix& z, std::vector<double>& d, std::vector<double>& e) {
+  const std::size_t n = z.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) z(j, k) -= f * e[k] + g * z(i, k);
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t l = i;
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < l; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < l; ++k) g += z(i, k) * z(k, j);
+        for (std::size_t k = 0; k < l; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (std::size_t j = 0; j < l; ++j) z(j, i) = z(i, j) = 0.0;
+  }
+}
+
+// Implicit-shift QL on the tridiagonal (d, e); eigenvectors accumulated in z.
+void ql_implicit(std::vector<double>& d, std::vector<double>& e, Matrix& z) {
+  const std::size_t n = d.size();
+  if (n == 0) return;
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 || std::abs(e[m]) <= 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        if (++iter == 80) throw std::runtime_error("symmetric_eigen: QL failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = hypot2(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t ii = m; ii-- > l;) {
+          double f = s * e[ii];
+          const double b = c * e[ii];
+          r = hypot2(f, g);
+          e[ii + 1] = r;
+          if (r == 0.0) {
+            d[ii + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[ii + 1] - p;
+          r = (d[ii] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[ii + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, ii + 1);
+            z(k, ii + 1) = s * z(k, ii) + c * f;
+            z(k, ii) = c * z(k, ii) - s * f;
+          }
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+EigenResult symmetric_eigen(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("symmetric_eigen: matrix not square");
+  const std::size_t n = a.rows();
+  EigenResult res;
+  res.eigenvectors = a;
+  // Symmetrize from the lower triangle so callers may fill only that half.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) res.eigenvectors(i, j) = res.eigenvectors(j, i);
+
+  if (n == 0) return res;
+  if (n == 1) {
+    res.eigenvalues = {res.eigenvectors(0, 0)};
+    res.eigenvectors(0, 0) = 1.0;
+    return res;
+  }
+
+  std::vector<double> d;
+  std::vector<double> e;
+  tridiagonalize(res.eigenvectors, d, e);
+  ql_implicit(d, e, res.eigenvectors);
+
+  // Sort ascending, permuting eigenvector columns.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) { return d[x] < d[y]; });
+
+  res.eigenvalues.resize(n);
+  Matrix sorted(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    res.eigenvalues[j] = d[idx[j]];
+    for (std::size_t i = 0; i < n; ++i) sorted(i, j) = res.eigenvectors(i, idx[j]);
+  }
+  res.eigenvectors = std::move(sorted);
+  return res;
+}
+
+}  // namespace rct::linalg

@@ -1,0 +1,28 @@
+#pragma once
+// Symmetric eigendecomposition: Householder tridiagonalization followed by
+// implicit-shift QL iteration.
+//
+// The exact RC-tree simulator reduces C v' = -G v + b to a symmetric
+// standard eigenproblem via the congruence C^{-1/2} G C^{-1/2}; this solver
+// provides the eigenvalues (circuit pole magnitudes) and orthonormal
+// eigenvectors used to write the response in closed pole/residue form.
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace rct::linalg {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct EigenResult {
+  std::vector<double> eigenvalues;  ///< ascending order
+  Matrix eigenvectors;              ///< column j is the eigenvector for eigenvalues[j]
+};
+
+/// Decomposes a symmetric matrix.  Only the lower triangle of `a` is read.
+///
+/// Throws std::invalid_argument for non-square input and std::runtime_error
+/// if the QL iteration fails to converge (pathological input).
+[[nodiscard]] EigenResult symmetric_eigen(const Matrix& a);
+
+}  // namespace rct::linalg

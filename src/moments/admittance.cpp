@@ -1,0 +1,59 @@
+#include "moments/admittance.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rct::moments {
+
+using linalg::PowerSeries;
+
+PowerSeries through_series_resistor(const PowerSeries& y, double r) {
+  // Y' = Y / (1 + r Y).
+  PowerSeries denom(y.order());
+  denom[0] = 1.0;
+  denom += y * r;
+  return y.divide(denom);
+}
+
+namespace {
+
+// Admittance looking into every node, computed leaf-to-root in one sweep
+// (children have larger indices than parents), so arbitrarily deep lines
+// are fine.
+std::vector<PowerSeries> all_node_admittances(const RCTree& tree, std::size_t order) {
+  const std::size_t n = tree.size();
+  std::vector<PowerSeries> y(n, PowerSeries(order));
+  for (NodeId i = n; i-- > 0;) {
+    if (order >= 1) y[i][1] += tree.capacitance(i);
+    const NodeId p = tree.parent(i);
+    if (p != kSource) y[p] += through_series_resistor(y[i], tree.resistance(i));
+  }
+  return y;
+}
+
+}  // namespace
+
+PowerSeries node_admittance(const RCTree& tree, NodeId i, std::size_t order) {
+  if (i >= tree.size()) throw std::invalid_argument("node_admittance: node out of range");
+  return all_node_admittances(tree, order)[i];
+}
+
+PowerSeries input_admittance(const RCTree& tree, std::size_t order) {
+  const auto ys = all_node_admittances(tree, order);
+  PowerSeries y(order);
+  for (NodeId root : tree.children_of_source())
+    y += through_series_resistor(ys[root], tree.resistance(root));
+  return y;
+}
+
+PowerSeries transfer_from_admittance(const RCTree& tree, NodeId root, std::size_t order) {
+  if (root >= tree.size() || tree.parent(root) != kSource)
+    throw std::invalid_argument("transfer_from_admittance: node must attach to the source");
+  const PowerSeries y = node_admittance(tree, root, order);
+  PowerSeries denom(order);
+  denom[0] = 1.0;
+  denom += y * tree.resistance(root);
+  return denom.reciprocal();
+}
+
+}  // namespace rct::moments

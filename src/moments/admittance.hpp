@@ -1,0 +1,44 @@
+#pragma once
+// Driving-point admittance moments of RC (sub)trees as truncated power
+// series, computed by recursive series/parallel reduction:
+//
+//   capacitor:     Y_c(s) = c s
+//   parallel:      Y = Y_a + Y_b
+//   series R then Y:  Y' = Y / (1 + R Y)
+//
+// These are the m_k(Y_1) moments of the paper's Lemma 2 / Appendix A, used
+// to synthesize the O'Brien-Savarino pi-model (eq. 26) and to derive the
+// transfer moments at the first node (eq. A3).
+
+#include "linalg/power_series.hpp"
+#include "rctree/rctree.hpp"
+
+namespace rct::moments {
+
+/// Admittance looking *into node i* (the subtree hanging at i, including
+/// c_i, excluding the edge resistance r_i above it), truncated at `order`.
+/// Coefficient [k] is the k-th moment m_k(Y); [0] == 0 for RC trees.
+[[nodiscard]] linalg::PowerSeries node_admittance(const RCTree& tree, NodeId i,
+                                                  std::size_t order);
+
+/// Admittance seen through a series resistor r feeding Y: Y/(1 + rY).
+[[nodiscard]] linalg::PowerSeries through_series_resistor(const linalg::PowerSeries& y, double r);
+
+/// Admittance the ideal source sees (all root edges folded in).
+[[nodiscard]] linalg::PowerSeries input_admittance(const RCTree& tree, std::size_t order);
+
+/// Admittance Y_1(s) of the paper's Fig. 8(a): the tree *beyond the first
+/// resistor of root node `root`* — i.e. node_admittance at `root`.
+/// Present for symmetry with the paper's notation.
+[[nodiscard]] inline linalg::PowerSeries y1_admittance(const RCTree& tree, NodeId root,
+                                                       std::size_t order) {
+  return node_admittance(tree, root, order);
+}
+
+/// Transfer-function moments at node `root` from its admittance series via
+/// eq. (A1): H_1(s) = 1 / (1 + R_1 Y_1(s)), truncated at `order`.
+/// `root` must attach directly to the source.
+[[nodiscard]] linalg::PowerSeries transfer_from_admittance(const RCTree& tree, NodeId root,
+                                                           std::size_t order);
+
+}  // namespace rct::moments

@@ -1,0 +1,43 @@
+#include "moments/central.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "moments/path_tracing.hpp"
+
+namespace rct::moments {
+
+ImpulseStats stats_from_transfer_moments(double m1, double m2, double m3) {
+  ImpulseStats s{};
+  s.mean = -m1;
+  s.mu2 = 2.0 * m2 - m1 * m1;
+  s.mu3 = -6.0 * m3 + 6.0 * m1 * m2 - 2.0 * m1 * m1 * m1;
+  s.sigma = (s.mu2 > 0.0) ? std::sqrt(s.mu2) : 0.0;
+  s.skewness = (s.sigma > 0.0) ? s.mu3 / (s.sigma * s.sigma * s.sigma) : 0.0;
+  return s;
+}
+
+std::vector<ImpulseStats> impulse_stats(const RCTree& tree) {
+  const auto m = transfer_moments(tree, 3);
+  std::vector<ImpulseStats> out(tree.size());
+  for (NodeId i = 0; i < tree.size(); ++i)
+    out[i] = stats_from_transfer_moments(m[1][i], m[2][i], m[3][i]);
+  return out;
+}
+
+double central_from_raw(const std::vector<double>& raw, int n) {
+  if (n < 0 || raw.size() < static_cast<std::size_t>(n) + 1)
+    throw std::invalid_argument("central_from_raw: need moments M_0..M_n");
+  if (std::abs(raw[0] - 1.0) > 1e-9)
+    throw std::invalid_argument("central_from_raw: M_0 must be 1 (normalized density)");
+  const double mean = raw[1];
+  double acc = 0.0;
+  double binom = 1.0;
+  for (int k = 0; k <= n; ++k) {
+    acc += binom * std::pow(-mean, n - k) * raw[k];
+    binom *= static_cast<double>(n - k) / static_cast<double>(k + 1);
+  }
+  return acc;
+}
+
+}  // namespace rct::moments

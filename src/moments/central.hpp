@@ -1,0 +1,37 @@
+#pragma once
+// Central moments, sigma and coefficient of skewness of RC-tree impulse
+// responses, straight from path-traced transfer moments (paper eq. 27 and
+// Definition 5):
+//
+//   mu    = -m1                      (mean = Elmore delay T_D)
+//   mu2   = 2 m2 - m1^2              (variance; sigma = sqrt(mu2))
+//   mu3   = -6 m3 + 6 m1 m2 - 2 m1^3 (third central moment)
+//   gamma = mu3 / mu2^{3/2}          (coefficient of skewness; >= 0 for
+//                                     RC trees by Lemma 2)
+
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::moments {
+
+/// Distribution statistics of the impulse response at one node.
+struct ImpulseStats {
+  double mean;      ///< mu = T_D (Elmore delay)
+  double mu2;       ///< variance
+  double mu3;       ///< third central moment
+  double sigma;     ///< sqrt(mu2); the paper's rise-time metric (Sec. III-B)
+  double skewness;  ///< gamma = mu3 / sigma^3
+};
+
+/// Stats from explicit transfer moments m1, m2, m3 (signed, eq. 8).
+[[nodiscard]] ImpulseStats stats_from_transfer_moments(double m1, double m2, double m3);
+
+/// Per-node impulse-response statistics for the whole tree, O(N).
+[[nodiscard]] std::vector<ImpulseStats> impulse_stats(const RCTree& tree);
+
+/// General central moment mu_n from raw distribution moments M_0..M_n
+/// (M_0 must be 1): mu_n = sum_k C(n,k) (-mean)^{n-k} M_k.
+[[nodiscard]] double central_from_raw(const std::vector<double>& raw_moments, int n);
+
+}  // namespace rct::moments

@@ -1,0 +1,52 @@
+#include "moments/incremental.hpp"
+
+#include <stdexcept>
+
+#include "moments/path_tracing.hpp"
+
+namespace rct::moments {
+
+IncrementalElmore::IncrementalElmore(const RCTree& tree) {
+  const std::size_t n = tree.size();
+  parent_.resize(n);
+  name_.resize(n);
+  res_.resize(n);
+  cap_.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    parent_[i] = tree.parent(i);
+    name_[i] = tree.name(i);
+    res_[i] = tree.resistance(i);
+    cap_[i] = tree.capacitance(i);
+  }
+  ctot_ = subtree_capacitances(tree);
+}
+
+void IncrementalElmore::add_cap(NodeId node, double delta) {
+  if (node >= size()) throw std::invalid_argument("IncrementalElmore: node out of range");
+  if (cap_[node] + delta < 0.0)
+    throw std::invalid_argument("IncrementalElmore: capacitance would go negative");
+  cap_[node] += delta;
+  for (NodeId v = node; v != kSource; v = parent_[v]) ctot_[v] += delta;
+}
+
+void IncrementalElmore::set_resistance(NodeId node, double resistance) {
+  if (node >= size()) throw std::invalid_argument("IncrementalElmore: node out of range");
+  if (!(resistance > 0.0))
+    throw std::invalid_argument("IncrementalElmore: resistance must be positive");
+  res_[node] = resistance;
+}
+
+double IncrementalElmore::elmore(NodeId node) const {
+  if (node >= size()) throw std::invalid_argument("IncrementalElmore: node out of range");
+  double td = 0.0;
+  for (NodeId v = node; v != kSource; v = parent_[v]) td += res_[v] * ctot_[v];
+  return td;
+}
+
+RCTree IncrementalElmore::snapshot() const {
+  RCTreeBuilder b;
+  for (NodeId i = 0; i < size(); ++i) b.add_node(name_[i], parent_[i], res_[i], cap_[i]);
+  return std::move(b).build();
+}
+
+}  // namespace rct::moments

@@ -1,0 +1,55 @@
+#pragma once
+// Incremental Elmore maintenance for ECO-style flows.
+//
+// Optimizers (sizing, buffering, placement) change one component at a time
+// and re-query a handful of sinks.  Recomputing all Elmore delays is O(N)
+// per change; this class maintains subtree capacitances so that
+//
+//   cap changes   cost O(depth)   (update C_tot along the source path)
+//   res changes   cost O(1)
+//   delay query   cost O(depth)   (T_D(i) = sum over path of r_v * Ctot_v)
+//
+// which is the textbook reason the Elmore metric dominates inner-loop
+// optimization.  Results are bit-identical to moments::elmore_delays on the
+// equivalent tree (property-tested).
+
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::moments {
+
+/// Mutable Elmore view over a fixed tree topology.
+class IncrementalElmore {
+ public:
+  explicit IncrementalElmore(const RCTree& tree);
+
+  [[nodiscard]] std::size_t size() const { return res_.size(); }
+
+  /// Adds `delta` farads at `node` (may be negative; the resulting
+  /// capacitance must stay >= 0).  O(depth).
+  void add_cap(NodeId node, double delta);
+
+  /// Replaces the edge resistance above `node`.  O(1).
+  void set_resistance(NodeId node, double resistance);
+
+  [[nodiscard]] double capacitance(NodeId node) const { return cap_[node]; }
+  [[nodiscard]] double resistance(NodeId node) const { return res_[node]; }
+  [[nodiscard]] double subtree_capacitance(NodeId node) const { return ctot_[node]; }
+
+  /// Elmore delay at `node`, O(depth).
+  [[nodiscard]] double elmore(NodeId node) const;
+
+  /// Materializes the current component values as an RCTree (O(N)); used
+  /// for verification and for handing off to the simulators.
+  [[nodiscard]] RCTree snapshot() const;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::string> name_;
+  std::vector<double> res_;
+  std::vector<double> cap_;
+  std::vector<double> ctot_;
+};
+
+}  // namespace rct::moments

@@ -1,0 +1,54 @@
+#pragma once
+// Umbrella header: the whole RC-tree timing toolkit with one include.
+//
+//   #include "rct.hpp"
+//
+// Layering (each header is independently includable):
+//   linalg   -> numeric kernels
+//   rctree   -> circuit model, parsers, generators, transforms
+//   moments  -> O(N) moment engine
+//   sim      -> exact / transient / distributed simulation
+//   core     -> the paper's bounds and metrics
+//   sta      -> gate-level timing built on the bounds
+
+#include "core/awe.hpp"
+#include "core/bounds.hpp"
+#include "core/effective_capacitance.hpp"
+#include "core/elmore.hpp"
+#include "core/generalized_input.hpp"
+#include "core/metrics.hpp"
+#include "core/penfield_rubinstein.hpp"
+#include "core/pi_model.hpp"
+#include "core/prima.hpp"
+#include "core/report.hpp"
+#include "core/sensitivity.hpp"
+#include "core/variation.hpp"
+#include "moments/admittance.hpp"
+#include "moments/central.hpp"
+#include "moments/incremental.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/circuits.hpp"
+#include "rctree/dot_export.hpp"
+#include "rctree/generators.hpp"
+#include "rctree/netlist_parser.hpp"
+#include "rctree/rctree.hpp"
+#include "rctree/routing.hpp"
+#include "rctree/spef.hpp"
+#include "rctree/transform.hpp"
+#include "rctree/units.hpp"
+#include "sim/ac.hpp"
+#include "sim/convolve.hpp"
+#include "sim/distributed.hpp"
+#include "sim/rlc_line.hpp"
+#include "sim/exact.hpp"
+#include "sim/mna.hpp"
+#include "sim/sources.hpp"
+#include "sim/transient.hpp"
+#include "sim/waveform.hpp"
+#include "sim/waveform_io.hpp"
+#include "sta/buffering.hpp"
+#include "sta/design.hpp"
+#include "sta/gate.hpp"
+#include "sta/liberty.hpp"
+#include "sta/nldm.hpp"
+#include "sta/path_timer.hpp"

@@ -1,0 +1,69 @@
+#pragma once
+// Canonical circuits from the paper, plus the published measurement values
+// used by the reproduction benches (Table I / Table II of
+// Gupta-Tutuianu-Pileggi).
+//
+// The paper prints the topology of Fig. 1 (7 nodes, one main branch to C5
+// and a side branch to C7) and the node roles for the 25-node tree of
+// Section IV-B, but NOT the component values.  The values below were
+// calibrated with tools/fit_fig1 (Nelder-Mead on log-parameters) so that the
+// published Table I / Table II metrics are matched as closely as the
+// topology permits; residuals are recorded in EXPERIMENTS.md.
+
+#include <array>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::circuits {
+
+/// Fig. 1: ideal source -R1- n1(C1); chain n1-R2-n2-R3-n3-R4-n4-R5-n5 with
+/// C2..C5; side branch n1-R6-n6-R7-n7 with C6, C7.  Node names n1..n7.
+[[nodiscard]] RCTree fig1();
+
+/// The three observation nodes of Table I, in paper order (C1, C5, C7).
+[[nodiscard]] std::array<NodeId, 3> fig1_observed(const RCTree& t);
+
+/// 25-node RC tree of Section IV-B (Figs. 13-14, Table II): a driver
+/// section, a 17-node main line and two 4-node side branches.  Node "A" is
+/// at the driving point, "B" mid-line, "C" the far leaf.
+[[nodiscard]] RCTree tree25();
+
+/// Observation nodes A, B, C of Table II, in paper order.
+[[nodiscard]] std::array<NodeId, 3> tree25_observed(const RCTree& t);
+
+// ---------------------------------------------------------------------------
+// Published values (for side-by-side comparison in benches / EXPERIMENTS.md).
+// All times in seconds.
+// ---------------------------------------------------------------------------
+
+/// One row of Table I.
+struct Table1Row {
+  const char* node;
+  double actual_delay;
+  double elmore;
+  double lower_bound;   ///< max(mu - sigma, 0)
+  double single_pole;   ///< ln(2) * T_D
+  double prh_tmax;
+  double prh_tmin;
+};
+
+/// Table I as published (nodes C1, C5, C7).
+[[nodiscard]] std::array<Table1Row, 3> table1_published();
+
+/// One row of Table II: 50% delays for rise times 1/5/10 ns and the Elmore
+/// value, as published (nodes A, B, C).
+struct Table2Row {
+  const char* node;
+  double elmore;
+  double delay_1ns;
+  double error_1ns;   ///< relative error (Elmore - delay)/delay, fraction
+  double delay_5ns;
+  double error_5ns;
+  double delay_10ns;
+  double error_10ns;
+};
+
+/// Table II as published.
+[[nodiscard]] std::array<Table2Row, 3> table2_published();
+
+}  // namespace rct::circuits

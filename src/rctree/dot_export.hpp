@@ -1,0 +1,24 @@
+#pragma once
+// Graphviz DOT export of an RC tree, optionally annotated with per-node
+// metrics (Elmore delay, bounds) — handy for debugging parasitics and for
+// documentation figures.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "rctree/rctree.hpp"
+
+namespace rct {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  bool show_values = true;                 ///< print R/C on edges/nodes
+  std::map<NodeId, std::string> annotations;  ///< extra per-node label lines
+  std::string graph_name = "rctree";
+};
+
+/// Renders the tree as a DOT digraph (source node included).
+[[nodiscard]] std::string to_dot(const RCTree& tree, const DotOptions& options = {});
+
+}  // namespace rct

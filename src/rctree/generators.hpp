@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic RC-tree topology generators for tests, property sweeps and
+// benchmarks.  All generators are pure functions of their parameters (random
+// trees are seeded), so every experiment is reproducible.
+
+#include <cstdint>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::gen {
+
+/// Uniform RC line: driver resistance `r_driver`, then `segments` identical
+/// R/C sections.  Node names: n1..n<segments+?>; the driver node is "n1".
+/// segments >= 1.
+[[nodiscard]] RCTree line(std::size_t segments, double r_driver, double c_driver,
+                          double r_segment, double c_segment);
+
+/// Balanced tree: a driver section followed by `depth` levels of uniform
+/// `fanout`-way branching; every edge is one R/C section.
+[[nodiscard]] RCTree balanced(std::size_t depth, std::size_t fanout, double r_driver,
+                              double c_driver, double r_segment, double c_segment);
+
+/// H-tree clock distribution model with `levels` binary splits.  Wire length
+/// halves per level, so each level's segment has half the previous level's R
+/// and C.  Sinks at the 2^levels leaves carry `c_sink`.
+[[nodiscard]] RCTree htree(std::size_t levels, double r_level0, double c_level0, double c_sink);
+
+/// Ranges for random_tree component values (log-uniform sampling).
+struct RandomTreeOptions {
+  double r_min = 10.0;     ///< ohms
+  double r_max = 1000.0;   ///< ohms
+  double c_min = 5e-15;    ///< farads
+  double c_max = 500e-15;  ///< farads
+  /// Bias of attachment point: 0 -> attach to most recent node (line-like),
+  /// 1 -> attach uniformly at random (bushy).  In [0,1].
+  double bushiness = 1.0;
+};
+
+/// Seeded random RC tree with `nodes` nodes.  Same (nodes, seed, options)
+/// always yields the same tree.
+[[nodiscard]] RCTree random_tree(std::size_t nodes, std::uint64_t seed,
+                                 const RandomTreeOptions& options = {});
+
+/// Star: a driver section feeding `arms` single-section branches.
+[[nodiscard]] RCTree star(std::size_t arms, double r_driver, double c_driver, double r_arm,
+                          double c_arm);
+
+}  // namespace rct::gen

@@ -1,0 +1,66 @@
+#include "rctree/graph_builder.hpp"
+
+namespace rct::detail {
+
+BuiltTree build_tree_from_elements(const std::vector<ResistorEdge>& resistors,
+                                   std::map<std::string, double> cap_at,
+                                   const std::string& input_node) {
+  if (resistors.empty()) throw GraphBuildError("no resistors", 0);
+
+  std::map<std::string, std::vector<std::size_t>> adj;
+  for (std::size_t i = 0; i < resistors.size(); ++i) {
+    adj[resistors[i].a].push_back(i);
+    adj[resistors[i].b].push_back(i);
+  }
+  if (!adj.contains(input_node))
+    throw GraphBuildError("input node '" + input_node + "' touches no resistor", 0);
+
+  BuiltTree out;
+  if (const auto it = cap_at.find(input_node); it != cap_at.end()) {
+    out.warnings.push_back("capacitor on input node '" + input_node +
+                           "' ignored (node is clamped by the ideal source)");
+    cap_at.erase(it);
+  }
+
+  RCTreeBuilder builder;
+  std::map<std::string, NodeId> id_of;
+  std::vector<char> used(resistors.size(), 0);
+  std::vector<std::string> frontier{input_node};
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& u : frontier) {
+      for (std::size_t ri : adj[u]) {
+        if (used[ri]) continue;
+        used[ri] = 1;
+        const ResistorEdge& r = resistors[ri];
+        const std::string& v = (r.a == u) ? r.b : r.a;
+        if (id_of.contains(v) || v == input_node)
+          throw GraphBuildError("resistor closes a loop at node '" + v + "' (not a tree)",
+                                r.tag);
+        const NodeId parent = (u == input_node) ? kSource : id_of.at(u);
+        double cap = 0.0;
+        if (const auto it = cap_at.find(v); it != cap_at.end()) {
+          cap = it->second;
+          cap_at.erase(it);
+        } else {
+          out.warnings.push_back("node '" + v + "' has no capacitor; using 0F");
+        }
+        id_of[v] = builder.add_node(v, parent, r.value, cap);
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  for (std::size_t i = 0; i < resistors.size(); ++i)
+    if (!used[i])
+      throw GraphBuildError("resistor is disconnected from the input node", resistors[i].tag);
+  if (!cap_at.empty())
+    throw GraphBuildError(
+        "capacitor at node '" + cap_at.begin()->first + "' is not connected to the tree", 0);
+
+  out.tree = std::move(builder).build();
+  return out;
+}
+
+}  // namespace rct::detail

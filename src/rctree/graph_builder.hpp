@@ -1,0 +1,47 @@
+#pragma once
+// Shared element-graph -> RCTree construction used by both netlist and SPEF
+// parsers: BFS from the driving node over resistor edges, consuming each
+// resistor once, validating tree-ness (no loops, nothing disconnected, all
+// capacitors grounded on tree nodes).
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::detail {
+
+/// A two-terminal resistor between named nodes.  `tag` is an opaque caller
+/// token (source line number) echoed in errors.
+struct ResistorEdge {
+  std::string a;
+  std::string b;
+  double value;
+  std::size_t tag;
+};
+
+/// Raised when the element graph is not a tree rooted at the input node.
+/// `tag` is the offending resistor's tag, or 0 for global problems.
+struct GraphBuildError : std::runtime_error {
+  GraphBuildError(const std::string& msg, std::size_t tag_in)
+      : std::runtime_error(msg), tag(tag_in) {}
+  std::size_t tag;
+};
+
+/// Result of tree construction.
+struct BuiltTree {
+  RCTree tree;
+  std::vector<std::string> warnings;  ///< capless nodes, ignored input cap
+};
+
+/// Builds the RC tree rooted at `input_node`.  `cap_at` maps node name ->
+/// total grounded capacitance (consumed; a cap on the input node is dropped
+/// with a warning; leftover caps on unknown nodes are an error).
+[[nodiscard]] BuiltTree build_tree_from_elements(const std::vector<ResistorEdge>& resistors,
+                                                 std::map<std::string, double> cap_at,
+                                                 const std::string& input_node);
+
+}  // namespace rct::detail

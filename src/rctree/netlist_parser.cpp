@@ -1,0 +1,157 @@
+#include "rctree/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "rctree/graph_builder.hpp"
+#include "rctree/units.hpp"
+
+namespace rct {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool is_ground(std::string_view n) {
+  const std::string low = to_lower(n);
+  return low == "0" || low == "gnd" || low == "vss";
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> toks;
+  std::istringstream is{std::string(line)};
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw NetlistError("netlist line " + std::to_string(line_no) + ": " + msg);
+}
+
+struct Resistor {
+  std::string a;
+  std::string b;
+  double value;
+  std::size_t line;
+};
+
+struct Capacitor {
+  std::string node;
+  double value;
+  std::size_t line;
+};
+
+}  // namespace
+
+ParsedNetlist parse_netlist(std::string_view text) {
+  std::vector<Resistor> resistors;
+  std::vector<Capacitor> capacitors;
+  std::string input_node;
+  std::vector<std::string> probe_names;
+  ParsedNetlist out;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                                          : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Strip comments: full-line '*' or trailing ';'.
+    if (!line.empty() && line.front() == '*') continue;
+    if (const auto semi = line.find(';'); semi != std::string_view::npos)
+      line = line.substr(0, semi);
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    const std::string head = to_lower(toks[0]);
+    if (head == ".end") break;
+    if (head == ".title") {
+      std::string title;
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        if (i > 1) title += ' ';
+        title += toks[i];
+      }
+      out.title = title;
+      continue;
+    }
+    if (head == ".input") {
+      if (toks.size() != 2) fail(line_no, ".input requires exactly one node");
+      if (!input_node.empty()) fail(line_no, "duplicate .input directive");
+      input_node = toks[1];
+      continue;
+    }
+    if (head == ".probe") {
+      if (toks.size() != 2) fail(line_no, ".probe requires exactly one node");
+      probe_names.push_back(toks[1]);
+      continue;
+    }
+    if (head[0] == '.') fail(line_no, "unknown directive '" + toks[0] + "'");
+
+    if (head[0] == 'r') {
+      if (toks.size() != 4) fail(line_no, "resistor requires: Rname nodeA nodeB value");
+      const auto v = parse_engineering(toks[3]);
+      if (!v || *v <= 0.0) fail(line_no, "bad resistor value '" + toks[3] + "'");
+      if (is_ground(toks[1]) || is_ground(toks[2]))
+        fail(line_no, "RC trees admit no resistors to ground");
+      if (toks[1] == toks[2]) fail(line_no, "resistor shorts a node to itself");
+      resistors.push_back({toks[1], toks[2], *v, line_no});
+      continue;
+    }
+    if (head[0] == 'c') {
+      if (toks.size() != 4) fail(line_no, "capacitor requires: Cname node 0 value");
+      const auto v = parse_engineering(toks[3]);
+      if (!v || *v < 0.0) fail(line_no, "bad capacitor value '" + toks[3] + "'");
+      const bool g1 = is_ground(toks[1]);
+      const bool g2 = is_ground(toks[2]);
+      if (g1 == g2) fail(line_no, "capacitor must connect a node to ground");
+      capacitors.push_back({g1 ? toks[2] : toks[1], *v, line_no});
+      continue;
+    }
+    fail(line_no, "unrecognized statement '" + toks[0] + "'");
+  }
+
+  if (input_node.empty()) throw NetlistError("netlist: missing .input directive");
+
+  std::vector<detail::ResistorEdge> edges;
+  edges.reserve(resistors.size());
+  for (const Resistor& r : resistors) edges.push_back({r.a, r.b, r.value, r.line});
+  std::map<std::string, double> cap_at;
+  for (const auto& c : capacitors) cap_at[c.node] += c.value;
+
+  detail::BuiltTree built;
+  try {
+    built = detail::build_tree_from_elements(edges, std::move(cap_at), input_node);
+  } catch (const detail::GraphBuildError& e) {
+    if (e.tag != 0) fail(e.tag, e.what());
+    throw NetlistError(std::string("netlist: ") + e.what());
+  }
+  out.tree = std::move(built.tree);
+  for (std::string& w : built.warnings) out.warnings.push_back(std::move(w));
+  for (const std::string& p : probe_names) {
+    const auto id = out.tree.find(p);
+    if (!id) throw NetlistError("netlist: .probe node '" + p + "' does not exist");
+    out.probes.push_back(*id);
+  }
+  return out;
+}
+
+ParsedNetlist parse_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw NetlistError("netlist: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_netlist(ss.str());
+}
+
+}  // namespace rct

@@ -1,0 +1,47 @@
+#pragma once
+// SPICE-deck-like netlist parser for RC trees.
+//
+// Grammar (one statement per line; '*' starts a comment; blank lines ok):
+//
+//   .title <free text>          optional
+//   .input <node>               required: the node driven by the ideal source
+//   .probe <node>               optional, repeatable: outputs of interest
+//   R<id> <nodeA> <nodeB> <val> resistor (val accepts SPICE suffixes)
+//   C<id> <node>  0      <val>  grounded capacitor ('0' or 'gnd' is ground)
+//   .end                        optional
+//
+// The element graph must form a tree rooted at the .input node: exactly one
+// resistive path from the source to every node, no resistors to ground, no
+// floating capacitors.  Parallel capacitors at a node are summed (SPICE
+// semantics); a capacitor on the input node is ignored with a warning (an
+// ideal source clamps that node).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct {
+
+/// Result of parsing a netlist deck.
+struct ParsedNetlist {
+  std::string title;
+  RCTree tree;
+  std::vector<NodeId> probes;         ///< ids of .probe nodes
+  std::vector<std::string> warnings;  ///< non-fatal issues (ignored input cap, capless nodes)
+};
+
+/// Error thrown on malformed decks; message includes the 1-based line number.
+struct NetlistError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a deck from text.  Throws NetlistError on malformed input.
+[[nodiscard]] ParsedNetlist parse_netlist(std::string_view text);
+
+/// Parses a deck from a file.  Throws NetlistError (also for I/O failure).
+[[nodiscard]] ParsedNetlist parse_netlist_file(const std::string& path);
+
+}  // namespace rct

@@ -1,0 +1,112 @@
+#include "rctree/routing.hpp"
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace rct::route {
+namespace {
+
+// A point of the routed geometry a later connection may attach to.
+struct Attach {
+  double x;
+  double y;
+  NodeId node;
+  std::string name;
+};
+
+// Expands a straight run of `length` um into RC segments hanging under
+// `from`; returns the far node.  Zero-length runs still add one tiny
+// resistor so tree invariants (positive edge resistance) hold.
+NodeId add_run(RCTreeBuilder& b, NodeId from, double length, const RouteOptions& opt,
+               std::size_t& counter, const std::string& end_name, double end_cap) {
+  const double min_res = 1e-6;
+  if (length <= 1e-9) {
+    return b.add_node(end_name, from, min_res, end_cap);
+  }
+  const auto segs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(length * static_cast<double>(opt.segments_per_100um) / 100.0)));
+  const double r_seg = std::max(opt.wire.res_per_length * length / static_cast<double>(segs),
+                                min_res);
+  const double c_seg = opt.wire.cap_per_length * length / static_cast<double>(segs);
+  NodeId prev = from;
+  for (std::size_t s = 1; s < segs; ++s)
+    prev = b.add_node("w" + std::to_string(counter++), prev, r_seg, c_seg);
+  return b.add_node(end_name, prev, r_seg, c_seg + end_cap);
+}
+
+}  // namespace
+
+RoutedNet route_net(const Pin& driver, const std::vector<Pin>& sinks,
+                    const RouteOptions& options) {
+  if (sinks.empty()) throw std::invalid_argument("route_net: no sinks");
+  if (!(options.driver_resistance > 0.0) || !(options.wire.res_per_length > 0.0) ||
+      options.wire.cap_per_length < 0.0 || options.segments_per_100um < 1)
+    throw std::invalid_argument("route_net: bad options");
+  {
+    std::set<std::string> names{driver.name};
+    for (const Pin& s : sinks)
+      if (!names.insert(s.name).second)
+        throw std::invalid_argument("route_net: duplicate pin name '" + s.name + "'");
+  }
+
+  RoutedNet out;
+  RCTreeBuilder b;
+  std::size_t counter = 0;
+  std::size_t steiner_counter = 0;
+
+  const NodeId root = b.add_node(driver.name, kSource, options.driver_resistance, 0.0);
+  std::vector<Attach> points{{driver.x, driver.y, root, driver.name}};
+
+  std::vector<char> routed(sinks.size(), 0);
+  out.sink_nodes.assign(sinks.size(), 0);
+
+  for (std::size_t round = 0; round < sinks.size(); ++round) {
+    // Prim step: the unrouted sink closest (L1) to any attachment point.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_sink = 0;
+    std::size_t best_point = 0;
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+      if (routed[s]) continue;
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        const double d =
+            std::abs(sinks[s].x - points[p].x) + std::abs(sinks[s].y - points[p].y);
+        if (d < best) {
+          best = d;
+          best_sink = s;
+          best_point = p;
+        }
+      }
+    }
+
+    const Pin& sink = sinks[best_sink];
+    const Attach at = points[best_point];
+    const double dx = std::abs(sink.x - at.x);
+    const double dy = std::abs(sink.y - at.y);
+
+    NodeId cursor = at.node;
+    if (dx > 1e-9 && dy > 1e-9) {
+      // L-shape: horizontal first; the corner becomes a shareable Steiner
+      // candidate.
+      const std::string corner_name = "steiner_" + std::to_string(steiner_counter++);
+      cursor = add_run(b, cursor, dx, options, counter, corner_name, 0.0);
+      if (options.steiner) points.push_back({sink.x, at.y, cursor, corner_name});
+      cursor = add_run(b, cursor, dy, options, counter, sink.name, sink.load_cap);
+    } else {
+      cursor = add_run(b, cursor, dx + dy, options, counter, sink.name, sink.load_cap);
+    }
+
+    routed[best_sink] = 1;
+    out.sink_nodes[best_sink] = cursor;
+    points.push_back({sink.x, sink.y, cursor, sink.name});
+    out.edges.push_back({at.name, sink.name, best});
+    out.total_wirelength += best;
+  }
+
+  out.tree = std::move(b).build();
+  return out;
+}
+
+}  // namespace rct::route

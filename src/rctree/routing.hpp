@@ -1,0 +1,65 @@
+#pragma once
+// From pin geometry to an RC tree — the paper's motivating use case:
+// "It is used during logic synthesis to estimate wiring delays for
+// approximate Steiner or spanning tree routes."
+//
+// Given a driver pin and sink pins in the plane, build a rectilinear
+// spanning tree (Prim, L1 metric, optionally allowing connections to
+// points along existing edges — a cheap Steiner refinement), route each
+// connection as an L-shape, and expand every wire into per-unit-length RC
+// segments.  The result is an ordinary RCTree, so the whole bound/metric
+// machinery applies to candidate routes during placement.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+#include "rctree/transform.hpp"
+
+namespace rct::route {
+
+/// A pin in layout coordinates (microns).
+struct Pin {
+  std::string name;
+  double x;
+  double y;
+  double load_cap = 0.0;  ///< receiver input capacitance (0 for the driver)
+};
+
+/// Routing configuration.
+struct RouteOptions {
+  WireParams wire{0.4, 0.18e-15};  ///< per-um resistance/capacitance
+  double driver_resistance = 500.0;
+  std::size_t segments_per_100um = 2;  ///< RC discretization density
+  /// Allow attaching a new pin to the closest point of an already-routed
+  /// L-shape (Steiner-like sharing) instead of only to pin locations.
+  bool steiner = true;
+};
+
+/// One routed connection (for reporting / display).
+struct RoutedEdge {
+  std::string from;   ///< existing tree point (pin name or "steiner_k")
+  std::string to;     ///< newly attached pin
+  double length;      ///< rectilinear length (um)
+};
+
+/// A routed net: the RC tree plus geometry metadata.
+struct RoutedNet {
+  RCTree tree;                     ///< driver resistance at the root
+  std::vector<NodeId> sink_nodes;  ///< tree ids of the sink pins, input order
+  std::vector<RoutedEdge> edges;
+  double total_wirelength = 0.0;   ///< um
+};
+
+/// Routes `sinks` from `driver`.  Throws std::invalid_argument on empty
+/// sinks, duplicate names, or non-positive parameters.
+[[nodiscard]] RoutedNet route_net(const Pin& driver, const std::vector<Pin>& sinks,
+                                  const RouteOptions& options = {});
+
+/// Total rectilinear (L1) distance between two pins.
+[[nodiscard]] inline double manhattan(const Pin& a, const Pin& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+}  // namespace rct::route

@@ -1,0 +1,247 @@
+#include "rctree/spef.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "rctree/graph_builder.hpp"
+
+namespace rct {
+namespace {
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> toks;
+  std::istringstream is{std::string(line)};
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw SpefError("spef line " + std::to_string(line_no) + ": " + msg);
+}
+
+double unit_scale(std::size_t line_no, const std::string& unit) {
+  static const std::map<std::string, double> kUnits = {
+      {"S", 1.0},    {"MS", 1e-3},  {"US", 1e-6},  {"NS", 1e-9},  {"PS", 1e-12},
+      {"F", 1.0},    {"UF", 1e-6},  {"NF", 1e-9},  {"PF", 1e-12}, {"FF", 1e-15},
+      {"OHM", 1.0},  {"KOHM", 1e3}, {"MOHM", 1e6},
+  };
+  const auto it = kUnits.find(to_upper(unit));
+  if (it == kUnits.end()) fail(line_no, "unknown unit '" + unit + "'");
+  return it->second;
+}
+
+double parse_number(std::size_t line_no, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') fail(line_no, "bad number '" + text + "'");
+  return v;
+}
+
+enum class Section { kNone, kConn, kCap, kRes };
+
+}  // namespace
+
+SpefFile parse_spef(std::string_view text) {
+  SpefFile file;
+  std::vector<detail::ResistorEdge> edges;
+  std::map<std::string, double> caps;
+  std::string net_name;
+  std::string driver;
+  std::vector<std::string> load_names;
+  Section section = Section::kNone;
+  bool in_net = false;
+
+  auto finish_net = [&](std::size_t line_no) {
+    if (!in_net) return;
+    if (driver.empty()) fail(line_no, "net '" + net_name + "' has no *P driving port");
+    SpefNet net;
+    net.name = net_name;
+    net.driver = driver;
+    try {
+      auto built = detail::build_tree_from_elements(edges, std::move(caps), driver);
+      net.tree = std::move(built.tree);
+    } catch (const detail::GraphBuildError& e) {
+      fail(e.tag ? e.tag : line_no, "net '" + net_name + "': " + e.what());
+    }
+    for (const std::string& l : load_names) {
+      const auto id = net.tree.find(l);
+      if (!id) fail(line_no, "net '" + net_name + "': load pin '" + l + "' not in parasitics");
+      net.loads.push_back(*id);
+    }
+    file.nets.push_back(std::move(net));
+    edges.clear();
+    caps.clear();
+    load_names.clear();
+    driver.clear();
+    in_net = false;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (const auto comment = line.find("//"); comment != std::string_view::npos)
+      line = line.substr(0, comment);
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    const std::string head = to_upper(toks[0]);
+    if (head == "*SPEF" || head == "*DATE" || head == "*VENDOR" || head == "*PROGRAM" ||
+        head == "*VERSION" || head == "*DESIGN_FLOW" || head == "*DIVIDER" ||
+        head == "*DELIMITER" || head == "*BUS_DELIMITER" || head == "*L_UNIT") {
+      continue;  // opaque header metadata
+    }
+    if (head == "*DESIGN") {
+      if (toks.size() >= 2) {
+        file.design = toks[1];
+        file.design.erase(std::remove(file.design.begin(), file.design.end(), '"'),
+                          file.design.end());
+      }
+      continue;
+    }
+    if (head == "*T_UNIT" || head == "*C_UNIT" || head == "*R_UNIT") {
+      if (toks.size() != 3) fail(line_no, head + " requires: value unit");
+      const double scale = parse_number(line_no, toks[1]) * unit_scale(line_no, toks[2]);
+      if (head == "*T_UNIT") file.time_unit = scale;
+      if (head == "*C_UNIT") file.cap_unit = scale;
+      if (head == "*R_UNIT") file.res_unit = scale;
+      continue;
+    }
+    if (head == "*D_NET") {
+      finish_net(line_no);
+      if (toks.size() < 2) fail(line_no, "*D_NET requires a net name");
+      net_name = toks[1];
+      in_net = true;
+      section = Section::kNone;
+      continue;
+    }
+    if (head == "*CONN") {
+      section = Section::kConn;
+      continue;
+    }
+    if (head == "*CAP") {
+      section = Section::kCap;
+      continue;
+    }
+    if (head == "*RES") {
+      section = Section::kRes;
+      continue;
+    }
+    if (head == "*END") {
+      finish_net(line_no);
+      section = Section::kNone;
+      continue;
+    }
+    if (head == "*INDUC") fail(line_no, "*INDUC sections are not supported (RC trees only)");
+
+    if (!in_net) fail(line_no, "unexpected statement '" + toks[0] + "' outside *D_NET");
+    switch (section) {
+      case Section::kConn: {
+        if (head == "*P") {
+          if (toks.size() < 2) fail(line_no, "*P requires a port name");
+          if (!driver.empty()) fail(line_no, "multiple *P driving ports on one net");
+          driver = toks[1];
+        } else if (head == "*I") {
+          if (toks.size() < 2) fail(line_no, "*I requires a pin name");
+          load_names.push_back(toks[1]);
+        } else {
+          fail(line_no, "unsupported *CONN entry '" + toks[0] + "'");
+        }
+        break;
+      }
+      case Section::kCap: {
+        if (toks.size() == 3) {
+          caps[toks[1]] += parse_number(line_no, toks[2]) * file.cap_unit;
+        } else if (toks.size() == 4) {
+          fail(line_no, "coupling capacitors are not supported (RC trees only)");
+        } else {
+          fail(line_no, "*CAP entry requires: index node value");
+        }
+        break;
+      }
+      case Section::kRes: {
+        if (toks.size() != 4) fail(line_no, "*RES entry requires: index nodeA nodeB value");
+        edges.push_back(
+            {toks[1], toks[2], parse_number(line_no, toks[3]) * file.res_unit, line_no});
+        break;
+      }
+      case Section::kNone:
+        fail(line_no, "statement before any *CONN/*CAP/*RES section");
+    }
+  }
+  finish_net(line_no);
+  if (file.nets.empty()) throw SpefError("spef: no *D_NET sections found");
+  return file;
+}
+
+SpefFile parse_spef_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SpefError("spef: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_spef(ss.str());
+}
+
+std::string write_spef(const SpefFile& file) {
+  std::ostringstream os;
+  char buf[256];
+  os << "*SPEF \"IEEE 1481-1998\"\n";
+  os << "*DESIGN \"" << (file.design.empty() ? "rct" : file.design) << "\"\n";
+  os << "*T_UNIT 1 NS\n*C_UNIT 1 PF\n*R_UNIT 1 OHM\n\n";
+  for (const SpefNet& net : file.nets) {
+    const RCTree& t = net.tree;
+    std::snprintf(buf, sizeof(buf), "*D_NET %s %.6g\n", net.name.c_str(),
+                  t.total_capacitance() / 1e-12);
+    os << buf;
+    os << "*CONN\n*P " << net.driver << " I\n";
+    for (NodeId l : net.loads) os << "*I " << t.name(l) << " O\n";
+    os << "*CAP\n";
+    std::size_t idx = 1;
+    for (NodeId i = 0; i < t.size(); ++i) {
+      if (t.capacitance(i) == 0.0) continue;
+      std::snprintf(buf, sizeof(buf), "%zu %s %.6g\n", idx++, t.name(i).c_str(),
+                    t.capacitance(i) / 1e-12);
+      os << buf;
+    }
+    os << "*RES\n";
+    idx = 1;
+    for (NodeId i = 0; i < t.size(); ++i) {
+      const std::string up = (t.parent(i) == kSource) ? net.driver : t.name(t.parent(i));
+      std::snprintf(buf, sizeof(buf), "%zu %s %s %.6g\n", idx++, up.c_str(),
+                    t.name(i).c_str(), t.resistance(i));
+      os << buf;
+    }
+    os << "*END\n\n";
+  }
+  return os.str();
+}
+
+SpefFile spef_from_tree(const RCTree& tree, std::string net_name, std::string design) {
+  SpefFile f;
+  f.design = std::move(design);
+  SpefNet net;
+  net.name = std::move(net_name);
+  net.tree = tree;
+  net.driver = "drv";
+  for (NodeId l : tree.leaves()) net.loads.push_back(l);
+  f.nets.push_back(std::move(net));
+  return f;
+}
+
+}  // namespace rct

@@ -1,0 +1,70 @@
+#pragma once
+// SPEF-lite: reader/writer for a practical subset of the IEEE 1481 Standard
+// Parasitic Exchange Format — the format production parasitic extractors
+// emit and production timers consume.  Supporting it makes the toolkit a
+// drop-in analysis backend for real extracted nets.
+//
+// Supported subset (one *D_NET per net):
+//
+//   *SPEF "IEEE 1481-1998"      (header lines up to the first *D_NET kept
+//   *DESIGN "name"               as opaque metadata)
+//   *T_UNIT 1 NS  *C_UNIT 1 PF  *R_UNIT 1 OHM
+//   *D_NET netname total_cap
+//   *CONN
+//   *P port_name I|O            (the driving port is the tree source)
+//   *I pin_name I|O
+//   *CAP
+//   idx node cap
+//   *RES
+//   idx nodeA nodeB res
+//   *END
+//
+// Unsupported constructs (coupling caps `node1 node2 cap` inside *CAP,
+// *INDUC, name maps) raise SpefError with the line number.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct {
+
+/// Error raised on malformed or unsupported SPEF text.
+struct SpefError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One parasitic net parsed from SPEF.
+struct SpefNet {
+  std::string name;
+  RCTree tree;
+  std::string driver;             ///< node name of the driving port
+  std::vector<NodeId> loads;      ///< ids of *I load pins
+};
+
+/// A parsed SPEF file.
+struct SpefFile {
+  std::string design;
+  double time_unit = 1e-9;        ///< seconds per SPEF time unit
+  double cap_unit = 1e-12;        ///< farads per SPEF cap unit
+  double res_unit = 1.0;          ///< ohms per SPEF res unit
+  std::vector<SpefNet> nets;
+};
+
+/// Parses SPEF text.  Throws SpefError with a 1-based line number on
+/// malformed input.
+[[nodiscard]] SpefFile parse_spef(std::string_view text);
+
+/// Parses a SPEF file from disk.
+[[nodiscard]] SpefFile parse_spef_file(const std::string& path);
+
+/// Serializes nets back to SPEF-lite (units: NS / PF / OHM).
+[[nodiscard]] std::string write_spef(const SpefFile& file);
+
+/// Convenience: wraps one RCTree as a single-net SpefFile.
+[[nodiscard]] SpefFile spef_from_tree(const RCTree& tree, std::string net_name,
+                                      std::string design = "rct");
+
+}  // namespace rct

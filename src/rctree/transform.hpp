@@ -1,0 +1,47 @@
+#pragma once
+// Structural transformations on RC trees:
+//
+//  * merge_series   — collapse capless degree-1 interior nodes (series
+//                     resistors merge; Elmore-family metrics are preserved
+//                     exactly because no capacitance moves)
+//  * prune_subtree  — drop a subtree, optionally lumping its total
+//                     capacitance at the attachment point (the standard
+//                     "lumped load" approximation)
+//  * add_cap        — return a copy with extra capacitance at a node
+//  * segmented wire — build an N-section wire from physical length and
+//                     per-unit-length R/C (the pi-ladder discretization of
+//                     a distributed RC line)
+
+#include <string>
+
+#include "rctree/rctree.hpp"
+
+namespace rct {
+
+/// Collapses every zero-capacitance node that has exactly one child by
+/// summing its edge resistance into the child's.  Node names of collapsed
+/// nodes disappear.  Repeats until a fixed point.
+[[nodiscard]] RCTree merge_series(const RCTree& tree);
+
+/// Returns a copy without the subtree rooted at `node`.  When `lump` is
+/// true the subtree's total capacitance is added at the parent (kSource
+/// parents are an error: the root subtree cannot be pruned).
+[[nodiscard]] RCTree prune_subtree(const RCTree& tree, NodeId node, bool lump);
+
+/// Copy with `extra` farads added at `node`.
+[[nodiscard]] RCTree add_cap(const RCTree& tree, NodeId node, double extra);
+
+/// Physical wire parameters (per-unit-length), e.g. ohm/um and F/um.
+struct WireParams {
+  double res_per_length;
+  double cap_per_length;
+};
+
+/// Builds an N-section ladder for a wire of `length` units driven through
+/// `driver_resistance`, with `load_cap` at the far end.  Node names
+/// "w1".."wN"; more sections converge to the distributed-line response.
+[[nodiscard]] RCTree segmented_wire(double length, const WireParams& params,
+                                    std::size_t sections, double driver_resistance,
+                                    double load_cap);
+
+}  // namespace rct

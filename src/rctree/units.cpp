@@ -1,0 +1,79 @@
+#include "rctree/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rct {
+
+std::optional<double> parse_engineering(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string s(text);
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double base = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  if (!std::isfinite(base)) return std::nullopt;
+
+  std::string_view rest(end);
+  double mult = 1.0;
+  if (!rest.empty()) {
+    // "meg" must be checked before "m".
+    auto lower = [](char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); };
+    std::string low;
+    low.reserve(rest.size());
+    for (char c : rest) low.push_back(lower(c));
+    if (low.rfind("meg", 0) == 0) {
+      mult = 1e6;
+    } else {
+      switch (low[0]) {
+        case 'f': mult = 1e-15; break;
+        case 'p': mult = 1e-12; break;
+        case 'n': mult = 1e-9; break;
+        case 'u': mult = 1e-6; break;
+        case 'm': mult = 1e-3; break;
+        case 'k': mult = 1e3; break;
+        case 'g': mult = 1e9; break;
+        case 't': mult = 1e12; break;
+        default:
+          // Bare unit letters like "F" / "ohm": accept as multiplier 1 only
+          // if alphabetic; otherwise malformed.
+          if (!std::isalpha(static_cast<unsigned char>(low[0]))) return std::nullopt;
+          mult = 1.0;
+          break;
+      }
+    }
+  }
+  return base * mult;
+}
+
+std::string format_engineering(double value, std::string_view unit) {
+  struct Scale {
+    double mult;
+    const char* suffix;
+  };
+  static constexpr Scale kScales[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},   {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  char buf[64];
+  if (value == 0.0) {
+    std::snprintf(buf, sizeof(buf), "0%.*s", static_cast<int>(unit.size()), unit.data());
+    return buf;
+  }
+  const double mag = std::abs(value);
+  for (const auto& s : kScales) {
+    if (mag >= s.mult * 0.9999995) {
+      std::snprintf(buf, sizeof(buf), "%.4g%s%.*s", value / s.mult, s.suffix,
+                    static_cast<int>(unit.size()), unit.data());
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%.4g%.*s", value, static_cast<int>(unit.size()), unit.data());
+  return buf;
+}
+
+std::string format_time(double seconds) { return format_engineering(seconds, "s"); }
+
+}  // namespace rct

@@ -1,0 +1,26 @@
+#pragma once
+// Engineering-notation value parsing and formatting (SPICE conventions).
+//
+// Accepts the usual SPICE suffixes, case-insensitive:
+//   f(emto) p(ico) n(ano) u(micro) m(illi) k(ilo) meg(a) g(iga) t(era)
+// Trailing unit letters after the suffix (e.g. "100pF", "1kohm") are
+// ignored, as in SPICE.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rct {
+
+/// Parses "2.5p", "1meg", "100", "3.3nF" ... Returns nullopt on malformed
+/// input (empty, no leading number, NaN/Inf).
+[[nodiscard]] std::optional<double> parse_engineering(std::string_view text);
+
+/// Formats a value with an engineering suffix and the given unit, e.g.
+/// format_engineering(2.5e-12, "F") == "2.5pF".  Uses 4 significant digits.
+[[nodiscard]] std::string format_engineering(double value, std::string_view unit = "");
+
+/// Convenience: format seconds as e.g. "0.919ns".
+[[nodiscard]] std::string format_time(double seconds);
+
+}  // namespace rct

@@ -1,0 +1,52 @@
+#pragma once
+// Frequency-domain view of an RC tree from its pole/residue decomposition:
+//
+//   H_i(s) = sum_j a_ij lambda_j / (s + lambda_j)
+//
+// Provides |H(j w)|, phase, -3 dB bandwidth, and Bode sampling.  Useful for
+// validating the time-domain metrics (bandwidth correlates with 1/T_D) and
+// for users who think of interconnect as a low-pass filter.
+
+#include <complex>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::sim {
+
+/// Frequency response at one or all nodes of a decomposed RC tree.
+class AcAnalysis {
+ public:
+  /// Borrows `exact` (must outlive this object).
+  explicit AcAnalysis(const ExactAnalysis& exact) : exact_(&exact) {}
+
+  /// Complex transfer function H(j*2*pi*f) at `node`.
+  [[nodiscard]] std::complex<double> transfer(NodeId node, double freq_hz) const;
+
+  /// Magnitude |H| at `node` (1 at DC for RC trees).
+  [[nodiscard]] double magnitude(NodeId node, double freq_hz) const;
+
+  /// Phase in radians (0 at DC, negative thereafter).
+  [[nodiscard]] double phase(NodeId node, double freq_hz) const;
+
+  /// -3 dB bandwidth: the frequency where |H| = 1/sqrt(2).  RC-tree
+  /// magnitude responses are monotone decreasing, so this is unique.
+  [[nodiscard]] double bandwidth_3db(NodeId node) const;
+
+  /// One Bode sample.
+  struct BodePoint {
+    double freq_hz;
+    double magnitude_db;
+    double phase_deg;
+  };
+
+  /// Log-spaced Bode sweep over [f_lo, f_hi].
+  [[nodiscard]] std::vector<BodePoint> bode(NodeId node, double f_lo, double f_hi,
+                                            std::size_t points) const;
+
+ private:
+  const ExactAnalysis* exact_;
+};
+
+}  // namespace rct::sim

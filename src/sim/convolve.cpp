@@ -1,0 +1,62 @@
+#include "sim/convolve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rct::sim {
+namespace {
+
+double grid_step(const Waveform& w, const char* who) {
+  if (w.size() < 2) throw std::invalid_argument(std::string(who) + ": need >= 2 samples");
+  const double dt = w.time(1) - w.time(0);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    const double d = w.time(i) - w.time(i - 1);
+    if (std::abs(d - dt) > 1e-9 * dt)
+      throw std::invalid_argument(std::string(who) + ": grid must be uniform");
+  }
+  if (std::abs(w.time(0)) > 1e-12 * dt)
+    throw std::invalid_argument(std::string(who) + ": grid must start at 0");
+  return dt;
+}
+
+}  // namespace
+
+Waveform convolve_response(const Waveform& impulse, const Source& input) {
+  const double dt = grid_step(impulse, "convolve_response");
+  const std::size_t n = impulse.size();
+  std::vector<double> y(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = impulse.time(k);
+    double acc = 0.0;
+    for (std::size_t j = 0; j <= k; ++j) {
+      const double w = (j == 0 || j == k) ? 0.5 : 1.0;  // trapezoid weights
+      acc += w * impulse.value(j) * input.value(t - impulse.time(j));
+    }
+    y[k] = acc * dt;
+  }
+  return {impulse.times(), std::move(y)};
+}
+
+Waveform convolve_densities(const Waveform& f, const Waveform& g) {
+  const double dtf = grid_step(f, "convolve_densities(f)");
+  const double dtg = grid_step(g, "convolve_densities(g)");
+  if (std::abs(dtf - dtg) > 1e-9 * dtf)
+    throw std::invalid_argument("convolve_densities: grids must share the step");
+  const std::size_t n = f.size();
+  const std::size_t m = g.size();
+  std::vector<double> t(n + m - 1);
+  std::vector<double> y(n + m - 1, 0.0);
+  for (std::size_t k = 0; k < t.size(); ++k) t[k] = dtf * static_cast<double>(k);
+  // Trapezoid-consistent discrete convolution: halve endpoint samples so
+  // the result's mass equals the product of the trapezoid masses.
+  auto wf = [n](std::size_t i) { return (i == 0 || i + 1 == n) ? 0.5 : 1.0; };
+  auto wg = [m](std::size_t j) { return (j == 0 || j + 1 == m) ? 0.5 : 1.0; };
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fi = wf(i) * f.value(i);
+    if (fi == 0.0) continue;
+    for (std::size_t j = 0; j < m; ++j) y[i + j] += fi * wg(j) * g.value(j) * dtf;
+  }
+  return {std::move(t), std::move(y)};
+}
+
+}  // namespace rct::sim

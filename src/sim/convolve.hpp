@@ -1,0 +1,22 @@
+#pragma once
+// Numeric convolution on uniform sample grids.
+//
+// Used by the property tests for the paper's Appendix B facts (central
+// moments add under convolution of densities) and as an independent route
+// to general-input responses: v_o = h * v_i.
+
+#include "sim/sources.hpp"
+#include "sim/waveform.hpp"
+
+namespace rct::sim {
+
+/// Convolves a sampled impulse response (uniform grid starting at 0) with a
+/// source waveform: y(t_k) = int h(tau) vin(t_k - tau) dtau, trapezoidal.
+/// The result shares the impulse response's time base.
+[[nodiscard]] Waveform convolve_response(const Waveform& impulse, const Source& input);
+
+/// Convolves two densities sampled on uniform grids with the same step
+/// (both starting at 0).  Result length is len(f) + len(g) - 1.
+[[nodiscard]] Waveform convolve_densities(const Waveform& f, const Waveform& g);
+
+}  // namespace rct::sim

@@ -1,0 +1,65 @@
+#pragma once
+// Exact analysis of a uniform distributed RC line (the URC of
+// Protonotarios-Wing [20], the paper's source for the unimodality
+// machinery).
+//
+// A line with total resistance R and capacitance C, driven through a source
+// resistance R_d and open at the far end, has the far-end transfer function
+//
+//   H(s) = 1 / (cosh(theta) + k * theta * sinh(theta)),
+//   theta = sqrt(s R C),  k = R_d / R.
+//
+// All poles are real and negative: s_n = -beta_n^2 / (R C) where beta_n are
+// the roots of  cos(beta) = k * beta * sin(beta).  The step response is the
+// classical eigenfunction series
+//
+//   v(t) = 1 - sum_n  a_n exp(s_n t),
+//   a_n  = 2 sin(beta_n) / (beta_n + sin(beta_n) cos(beta_n) (1 + ... ))
+//
+// computed here from the residues of H(s)/s.  This module is the
+// convergence target for rctree/transform.hpp's segmented_wire ladders and
+// the ground truth for distributed-line Elmore accuracy studies.
+
+#include <cstddef>
+#include <vector>
+
+namespace rct::sim {
+
+/// Exact far-end response of a driven, open-ended uniform RC line.
+class DistributedLine {
+ public:
+  /// total_res/total_cap: the line's total R (ohms) and C (farads);
+  /// driver_resistance >= 0 ohms.  `modes` controls series truncation
+  /// (default ample for 1e-10 accuracy at t > 1e-4 RC).
+  DistributedLine(double total_res, double total_cap, double driver_resistance,
+                  std::size_t modes = 64);
+
+  /// Elmore delay of the far end (exact first moment):
+  ///   T_D = R_d C + R C / 2.
+  [[nodiscard]] double elmore_delay() const;
+
+  /// Second central moment of the far-end impulse response (exact):
+  /// derived from the series expansion of H(s).
+  [[nodiscard]] double mu2() const;
+
+  /// Far-end unit-step response at time t.
+  [[nodiscard]] double step_response(double t) const;
+
+  /// Far-end impulse response at time t (t > 0).
+  [[nodiscard]] double impulse_response(double t) const;
+
+  /// Exact threshold-crossing delay of the step response.
+  [[nodiscard]] double step_delay(double fraction = 0.5) const;
+
+  /// Pole magnitudes beta_n^2/(RC), ascending.
+  [[nodiscard]] const std::vector<double>& poles() const { return lambda_; }
+
+ private:
+  double rc_;   // R*C
+  double k_;    // Rd / R
+  double rd_c_; // Rd * C
+  std::vector<double> lambda_;  // pole magnitudes
+  std::vector<double> coeff_;   // step-response series coefficients a_n
+};
+
+}  // namespace rct::sim

@@ -1,0 +1,183 @@
+#include "sim/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/root_find.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "sim/mna.hpp"
+
+namespace rct::sim {
+namespace {
+
+// -expm1(-x) = 1 - e^{-x}, accurate for small x.
+double one_minus_exp(double x) { return -std::expm1(-x); }
+
+}  // namespace
+
+ExactAnalysis::ExactAnalysis(const RCTree& tree) {
+  const std::size_t n = tree.size();
+  Mna m = assemble_mna(tree);
+
+  // Capacitance floor for zero-cap nodes (see header).
+  double cmax = 0.0;
+  for (double c : m.capacitance) cmax = std::max(cmax, c);
+  if (cmax <= 0.0) throw std::invalid_argument("ExactAnalysis: tree has no capacitance");
+  const double floor_c = 1e-9 * cmax;
+  for (double& c : m.capacitance) c = std::max(c, floor_c);
+
+  // Symmetrize: A = C^{-1/2} G C^{-1/2}.
+  std::vector<double> inv_sqrt_c(n);
+  for (std::size_t i = 0; i < n; ++i) inv_sqrt_c[i] = 1.0 / std::sqrt(m.capacitance[i]);
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      a(i, j) = m.conductance(i, j) * inv_sqrt_c[i] * inv_sqrt_c[j];
+
+  auto eig = linalg::symmetric_eigen(a);
+  lambda_ = std::move(eig.eigenvalues);
+  for (double l : lambda_)
+    if (!(l > 0.0)) throw std::runtime_error("ExactAnalysis: non-positive pole (bad tree?)");
+
+  // w = Q^T C^{-1/2} b ;  a_ij = inv_sqrt_c_i * Q_ij * w_j / lambda_j.
+  std::vector<double> w(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      acc += eig.eigenvectors(i, j) * inv_sqrt_c[i] * m.injection[i];
+    w[j] = acc;
+  }
+  coeff_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      coeff_[i * n + j] = inv_sqrt_c[i] * eig.eigenvectors(i, j) * w[j] / lambda_[j];
+}
+
+std::vector<double> ExactAnalysis::step_coefficients(NodeId node) const {
+  return {row(node), row(node) + size()};
+}
+
+double ExactAnalysis::step_response(NodeId node, double t) const {
+  if (t <= 0.0) return 0.0;
+  const double* a = row(node);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < size(); ++j) acc += a[j] * std::exp(-lambda_[j] * t);
+  return 1.0 - acc;
+}
+
+double ExactAnalysis::impulse_response(NodeId node, double t) const {
+  if (t < 0.0) return 0.0;
+  const double* a = row(node);
+  double acc = 0.0;
+  for (std::size_t j = 0; j < size(); ++j) acc += a[j] * lambda_[j] * std::exp(-lambda_[j] * t);
+  return acc;
+}
+
+double ExactAnalysis::step_response_integral(NodeId node, double t) const {
+  if (t <= 0.0) return 0.0;
+  const double* a = row(node);
+  double acc = t;
+  for (std::size_t j = 0; j < size(); ++j)
+    acc -= a[j] / lambda_[j] * one_minus_exp(lambda_[j] * t);
+  return acc;
+}
+
+double ExactAnalysis::ramp_response(NodeId node, double t, double rise_time) const {
+  if (!(rise_time > 0.0)) throw std::invalid_argument("ramp_response: rise_time must be > 0");
+  const double upper = step_response_integral(node, t);
+  const double lower = step_response_integral(node, t - rise_time);
+  return (upper - lower) / rise_time;
+}
+
+double ExactAnalysis::response(NodeId node, const Source& input, double t) const {
+  if (input.is_step()) return step_response(node, t);
+  if (const auto* ramp = dynamic_cast<const SaturatedRampSource*>(&input))
+    return ramp_response(node, t, ramp->rise_time());
+  if (t <= 0.0) return 0.0;
+  // v_o(t) = int_0^min(t, settle) v_i'(tau) s(t - tau) dtau  (+ tail where the
+  // source has settled to 1, folded in because value() == 1 there and
+  // derivative == 0).  Composite Simpson over the active span.
+  const double hi = std::min(t, input.settle_time());
+  if (hi <= 0.0) return step_response(node, t);  // source already settled at 0+
+  const std::size_t panels = 1 << 13;
+  const double h = hi / static_cast<double>(panels);
+  auto f = [&](double tau) { return input.derivative(tau) * step_response(node, t - tau); };
+  double acc = f(0.0) + f(hi);
+  for (std::size_t k = 1; k < panels; ++k) acc += (k % 2 ? 4.0 : 2.0) * f(h * static_cast<double>(k));
+  double integral = acc * h / 3.0;
+  // If the source settled before t, the remaining input mass is exactly the
+  // derivative integral = 1 over [0, hi]; nothing further to add — the step
+  // convolution above already accounts for all of v'.
+  return integral;
+}
+
+double ExactAnalysis::step_delay(NodeId node, double fraction) const {
+  if (!(fraction > 0.0 && fraction < 1.0))
+    throw std::invalid_argument("step_delay: fraction must be in (0,1)");
+  const double tau = dominant_time_constant();
+  auto f = [&](double t) { return step_response(node, t) - fraction; };
+  linalg::RootOptions opt;
+  opt.x_tol = 1e-12 * tau;  // scale-aware: circuits live at ps..us scales
+  const auto root = linalg::bracket_and_solve(f, tau, 1e6 * tau, opt);
+  if (!root) throw std::runtime_error("step_delay: crossing not found");
+  return *root;
+}
+
+double ExactAnalysis::response_crossing(NodeId node, const Source& input,
+                                        double fraction) const {
+  if (input.is_step()) return step_delay(node, fraction);
+  if (!(fraction > 0.0 && fraction < 1.0))
+    throw std::invalid_argument("response_crossing: fraction must be in (0,1)");
+  const double tau = dominant_time_constant() + input.settle_time();
+  auto f = [&](double t) { return response(node, input, t) - fraction; };
+  linalg::RootOptions opt;
+  opt.x_tol = 1e-12 * tau;
+  const auto root = linalg::bracket_and_solve(f, tau, 1e6 * tau, opt);
+  if (!root) throw std::runtime_error("response_crossing: crossing not found");
+  return *root;
+}
+
+double ExactAnalysis::delay_50_50(NodeId node, const Source& input) const {
+  return response_crossing(node, input, 0.5) - input.crossing_time(0.5);
+}
+
+double ExactAnalysis::step_rise_time_10_90(NodeId node) const {
+  return step_delay(node, 0.9) - step_delay(node, 0.1);
+}
+
+Waveform ExactAnalysis::step_waveform(NodeId node, const std::vector<double>& grid) const {
+  std::vector<double> v(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) v[i] = step_response(node, grid[i]);
+  return {grid, std::move(v)};
+}
+
+Waveform ExactAnalysis::impulse_waveform(NodeId node, const std::vector<double>& grid) const {
+  std::vector<double> v(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) v[i] = impulse_response(node, grid[i]);
+  return {grid, std::move(v)};
+}
+
+Waveform ExactAnalysis::response_waveform(NodeId node, const Source& input,
+                                          const std::vector<double>& grid) const {
+  std::vector<double> v(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) v[i] = response(node, input, grid[i]);
+  return {grid, std::move(v)};
+}
+
+std::vector<double> ExactAnalysis::suggested_grid(std::size_t samples, double source_settle,
+                                                  double pad) const {
+  return uniform_grid(pad * (dominant_time_constant() + source_settle), samples);
+}
+
+double ExactAnalysis::distribution_moment(NodeId node, int q) const {
+  if (q < 0) throw std::invalid_argument("distribution_moment: q must be >= 0");
+  const double* a = row(node);
+  double fact = 1.0;
+  for (int k = 2; k <= q; ++k) fact *= k;
+  double acc = 0.0;
+  for (std::size_t j = 0; j < size(); ++j) acc += a[j] / std::pow(lambda_[j], q);
+  return fact * acc;
+}
+
+}  // namespace rct::sim

@@ -1,0 +1,178 @@
+#include "sim/sources.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "rctree/units.hpp"
+
+namespace rct::sim {
+
+SaturatedRampSource::SaturatedRampSource(double rise_time) : tr_(rise_time) {
+  if (!(tr_ > 0.0)) throw std::invalid_argument("SaturatedRampSource: rise_time must be > 0");
+}
+
+double SaturatedRampSource::value(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= tr_) return 1.0;
+  return t / tr_;
+}
+
+double SaturatedRampSource::derivative(double t) const {
+  // Endpoint-inclusive (measure-zero choice) so quadrature over [0, tr]
+  // integrates the box exactly.
+  return (t >= 0.0 && t <= tr_) ? 1.0 / tr_ : 0.0;
+}
+
+DerivativeStats SaturatedRampSource::derivative_stats() const {
+  // v' is a unit box on [0, tr]: mean tr/2, variance tr^2/12, symmetric.
+  return {0.5 * tr_, tr_ * tr_ / 12.0, 0.0};
+}
+
+std::string SaturatedRampSource::describe() const {
+  return "saturated ramp, tr=" + format_time(tr_);
+}
+
+RaisedCosineSource::RaisedCosineSource(double rise_time) : tr_(rise_time) {
+  if (!(tr_ > 0.0)) throw std::invalid_argument("RaisedCosineSource: rise_time must be > 0");
+}
+
+double RaisedCosineSource::value(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= tr_) return 1.0;
+  return 0.5 * (1.0 - std::cos(M_PI * t / tr_));
+}
+
+double RaisedCosineSource::derivative(double t) const {
+  if (t <= 0.0 || t >= tr_) return 0.0;
+  return 0.5 * M_PI / tr_ * std::sin(M_PI * t / tr_);
+}
+
+double RaisedCosineSource::crossing_time(double level) const {
+  if (level <= 0.0) return 0.0;
+  if (level >= 1.0) return tr_;
+  return tr_ / M_PI * std::acos(1.0 - 2.0 * level);
+}
+
+DerivativeStats RaisedCosineSource::derivative_stats() const {
+  // v'(t) = (pi / 2 tr) sin(pi t / tr) on [0, tr]: symmetric about tr/2 with
+  // variance tr^2 (pi^2 - 8) / (4 pi^2).
+  const double var = tr_ * tr_ * (M_PI * M_PI - 8.0) / (4.0 * M_PI * M_PI);
+  return {0.5 * tr_, var, 0.0};
+}
+
+std::string RaisedCosineSource::describe() const {
+  return "raised-cosine ramp, tr=" + format_time(tr_);
+}
+
+ExponentialSource::ExponentialSource(double tau) : tau_(tau) {
+  if (!(tau_ > 0.0)) throw std::invalid_argument("ExponentialSource: tau must be > 0");
+}
+
+double ExponentialSource::value(double t) const {
+  return t <= 0.0 ? 0.0 : 1.0 - std::exp(-t / tau_);
+}
+
+double ExponentialSource::derivative(double t) const {
+  return t < 0.0 ? 0.0 : std::exp(-t / tau_) / tau_;
+}
+
+double ExponentialSource::crossing_time(double level) const {
+  if (level <= 0.0) return 0.0;
+  if (level >= 1.0) throw std::invalid_argument("ExponentialSource: level must be < 1");
+  return -tau_ * std::log(1.0 - level);
+}
+
+DerivativeStats ExponentialSource::derivative_stats() const {
+  // v' is an exponential density: mean tau, mu2 = tau^2, mu3 = 2 tau^3.
+  return {tau_, tau_ * tau_, 2.0 * tau_ * tau_ * tau_};
+}
+
+double ExponentialSource::settle_time() const { return 40.0 * tau_; }
+
+std::string ExponentialSource::describe() const {
+  return "exponential, tau=" + format_time(tau_);
+}
+
+PwlSource::PwlSource(std::vector<Point> points) : pts_(std::move(points)) {
+  if (pts_.size() < 2) throw std::invalid_argument("PwlSource: need >= 2 points");
+  if (pts_.front().v != 0.0 || pts_.back().v != 1.0)
+    throw std::invalid_argument("PwlSource: transition must go 0 -> 1");
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (!(pts_[i].t > pts_[i - 1].t))
+      throw std::invalid_argument("PwlSource: times must be strictly increasing");
+    if (pts_[i].v < pts_[i - 1].v)
+      throw std::invalid_argument("PwlSource: values must be non-decreasing");
+  }
+}
+
+double PwlSource::value(double t) const {
+  if (t <= pts_.front().t) return 0.0;
+  if (t >= pts_.back().t) return 1.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (t <= pts_[i].t) {
+      const double f = (t - pts_[i - 1].t) / (pts_[i].t - pts_[i - 1].t);
+      return pts_[i - 1].v + f * (pts_[i].v - pts_[i - 1].v);
+    }
+  }
+  return 1.0;
+}
+
+double PwlSource::derivative(double t) const {
+  if (t < pts_.front().t || t > pts_.back().t) return 0.0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (t <= pts_[i].t)
+      return (pts_[i].v - pts_[i - 1].v) / (pts_[i].t - pts_[i - 1].t);
+  }
+  return 0.0;
+}
+
+double PwlSource::crossing_time(double level) const {
+  if (level <= 0.0) return pts_.front().t;
+  if (level >= 1.0) return pts_.back().t;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].v >= level && pts_[i - 1].v < level) {
+      const double f = (level - pts_[i - 1].v) / (pts_[i].v - pts_[i - 1].v);
+      return pts_[i - 1].t + f * (pts_[i].t - pts_[i - 1].t);
+    }
+  }
+  return pts_.back().t;
+}
+
+DerivativeStats PwlSource::derivative_stats() const {
+  // v' is piecewise constant; all moments are closed-form per segment.
+  auto raw = [&](int k) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < pts_.size(); ++i) {
+      const double slope = (pts_[i].v - pts_[i - 1].v) / (pts_[i].t - pts_[i - 1].t);
+      acc += slope *
+             (std::pow(pts_[i].t, k + 1) - std::pow(pts_[i - 1].t, k + 1)) /
+             static_cast<double>(k + 1);
+    }
+    return acc;
+  };
+  const double m1 = raw(1);
+  const double m2 = raw(2);
+  const double m3 = raw(3);
+  return {m1, m2 - m1 * m1, m3 - 3.0 * m1 * m2 + 2.0 * m1 * m1 * m1};
+}
+
+bool PwlSource::derivative_unimodal() const {
+  // Slopes must rise to a peak then fall.
+  std::vector<double> slopes;
+  slopes.reserve(pts_.size() - 1);
+  for (std::size_t i = 1; i < pts_.size(); ++i)
+    slopes.push_back((pts_[i].v - pts_[i - 1].v) / (pts_[i].t - pts_[i - 1].t));
+  std::size_t i = 1;
+  while (i < slopes.size() && slopes[i] >= slopes[i - 1]) ++i;
+  while (i < slopes.size() && slopes[i] <= slopes[i - 1]) ++i;
+  return i == slopes.size();
+}
+
+std::string PwlSource::describe() const {
+  std::ostringstream os;
+  os << "pwl[" << pts_.size() << " pts, " << format_time(pts_.back().t - pts_.front().t) << "]";
+  return os.str();
+}
+
+}  // namespace rct::sim

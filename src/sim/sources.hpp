@@ -1,0 +1,141 @@
+#pragma once
+// Input voltage sources for the generalized-input-signal experiments of
+// Section IV.  Each source is a monotone 0 -> 1V transition and reports the
+// analytic statistics of its *derivative* (the quantities Corollaries 2-3
+// reason about): mean, central moments mu2/mu3, and the 50% crossing time.
+//
+// A step has an impulse derivative (mu2 = mu3 = 0); a saturated ramp has a
+// symmetric box derivative (mu3 = 0, mu2 = tr^2/12); the raised-cosine ramp
+// is a smooth symmetric transition; the exponential source has a positively
+// skewed derivative; PWL covers arbitrary piecewise-linear transitions.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rct::sim {
+
+/// Statistics of the source derivative, viewed as a density (paper Sec. IV).
+struct DerivativeStats {
+  double mean;  ///< first moment of v'(t)
+  double mu2;   ///< second central moment
+  double mu3;   ///< third central moment
+};
+
+/// A monotone 0->1 input transition.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Source voltage at time t (0 for t < 0; approaches 1 as t -> inf).
+  [[nodiscard]] virtual double value(double t) const = 0;
+
+  /// Pointwise derivative v'(t).  For the ideal step (impulse derivative)
+  /// this returns 0 and callers must special-case is_step().
+  [[nodiscard]] virtual double derivative(double t) const = 0;
+
+  /// True for the ideal step (whose derivative is an impulse).
+  [[nodiscard]] virtual bool is_step() const { return false; }
+
+  /// Time at which the source crosses `level` in (0, 1).
+  [[nodiscard]] virtual double crossing_time(double level) const = 0;
+
+  /// Analytic statistics of v'(t).
+  [[nodiscard]] virtual DerivativeStats derivative_stats() const = 0;
+
+  /// True when v'(t) is unimodal (hypothesis of Corollary 2).
+  [[nodiscard]] virtual bool derivative_unimodal() const = 0;
+
+  /// Earliest time after which the source has (numerically) settled to 1.
+  [[nodiscard]] virtual double settle_time() const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Ideal unit step at t = 0.
+class StepSource final : public Source {
+ public:
+  [[nodiscard]] double value(double t) const override { return t >= 0.0 ? 1.0 : 0.0; }
+  [[nodiscard]] double derivative(double) const override { return 0.0; }
+  [[nodiscard]] bool is_step() const override { return true; }
+  [[nodiscard]] double crossing_time(double) const override { return 0.0; }
+  [[nodiscard]] DerivativeStats derivative_stats() const override { return {0.0, 0.0, 0.0}; }
+  [[nodiscard]] bool derivative_unimodal() const override { return true; }
+  [[nodiscard]] double settle_time() const override { return 0.0; }
+  [[nodiscard]] std::string describe() const override { return "step"; }
+};
+
+/// Saturated ramp: linear 0->1 over [0, rise_time].
+class SaturatedRampSource final : public Source {
+ public:
+  explicit SaturatedRampSource(double rise_time);
+  [[nodiscard]] double value(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double crossing_time(double level) const override { return level * tr_; }
+  [[nodiscard]] DerivativeStats derivative_stats() const override;
+  [[nodiscard]] bool derivative_unimodal() const override { return true; }
+  [[nodiscard]] double settle_time() const override { return tr_; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] double rise_time() const { return tr_; }
+
+ private:
+  double tr_;
+};
+
+/// Raised-cosine ramp: v(t) = (1 - cos(pi t / rise_time)) / 2 on [0, tr].
+/// Smooth, with a symmetric unimodal derivative.
+class RaisedCosineSource final : public Source {
+ public:
+  explicit RaisedCosineSource(double rise_time);
+  [[nodiscard]] double value(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double crossing_time(double level) const override;
+  [[nodiscard]] DerivativeStats derivative_stats() const override;
+  [[nodiscard]] bool derivative_unimodal() const override { return true; }
+  [[nodiscard]] double settle_time() const override { return tr_; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double tr_;
+};
+
+/// Exponential source: v(t) = 1 - exp(-t/tau).  Positively skewed,
+/// monotone-decreasing (hence unimodal) derivative.
+class ExponentialSource final : public Source {
+ public:
+  explicit ExponentialSource(double tau);
+  [[nodiscard]] double value(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double crossing_time(double level) const override;
+  [[nodiscard]] DerivativeStats derivative_stats() const override;
+  [[nodiscard]] bool derivative_unimodal() const override { return true; }
+  [[nodiscard]] double settle_time() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double tau_;
+};
+
+/// Piecewise-linear monotone source.  Points must start at (t0, 0), end at
+/// (tn, 1), with non-decreasing times and values.  The derivative is
+/// piecewise constant; its moments are computed in closed form.
+class PwlSource final : public Source {
+ public:
+  struct Point {
+    double t;
+    double v;
+  };
+  explicit PwlSource(std::vector<Point> points);
+  [[nodiscard]] double value(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+  [[nodiscard]] double crossing_time(double level) const override;
+  [[nodiscard]] DerivativeStats derivative_stats() const override;
+  [[nodiscard]] bool derivative_unimodal() const override;
+  [[nodiscard]] double settle_time() const override { return pts_.back().t; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<Point> pts_;
+};
+
+}  // namespace rct::sim

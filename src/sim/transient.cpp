@@ -1,0 +1,79 @@
+#include "sim/transient.hpp"
+
+#include <stdexcept>
+
+#include "sim/tree_solver.hpp"
+
+namespace rct::sim {
+
+TransientResult simulate(const RCTree& tree, const Source& input,
+                         const std::vector<NodeId>& probes, const TransientOptions& options) {
+  if (!(options.t_end > 0.0)) throw std::invalid_argument("simulate: t_end must be > 0");
+  if (options.steps < 1) throw std::invalid_argument("simulate: steps must be >= 1");
+  for (NodeId p : probes)
+    if (p >= tree.size()) throw std::invalid_argument("simulate: probe id out of range");
+
+  const std::size_t n = tree.size();
+  const double h = options.t_end / static_cast<double>(options.steps);
+  const double a = (options.method == Method::kBackwardEuler) ? 1.0 / h : 2.0 / h;
+  const TreeSystem system(tree, a);
+
+  // Per-node constants for the companion-model right-hand side.
+  std::vector<double> cap(n);
+  std::vector<double> b(n, 0.0);  // injection conductances toward the source
+  for (NodeId i = 0; i < n; ++i) {
+    cap[i] = tree.capacitance(i);
+    if (tree.parent(i) == kSource) b[i] = 1.0 / tree.resistance(i);
+  }
+  // For trapezoidal we need G*v at the previous step; assemble it on the fly
+  // from the tree (O(N)).
+  auto apply_g = [&](const std::vector<double>& v, double vin, std::vector<double>& out) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (NodeId i = 0; i < n; ++i) {
+      const double g = 1.0 / tree.resistance(i);
+      const NodeId p = tree.parent(i);
+      const double vp = (p == kSource) ? vin : v[p];
+      const double current = g * (v[i] - vp);  // current flowing i -> parent
+      out[i] += current;
+      if (p != kSource) out[p] -= current;
+    }
+  };
+
+  TransientResult res;
+  res.time.resize(options.steps + 1);
+  res.values.assign(probes.size(), std::vector<double>(options.steps + 1, 0.0));
+
+  std::vector<double> v(n, 0.0);
+  std::vector<double> rhs(n);
+  std::vector<double> gv(n);
+  res.time[0] = 0.0;
+  // Initial condition: the circuit is relaxed (sources are 0 for t < 0), so
+  // every node starts at 0 — NOT input.value(0), which is already 1 for an
+  // ideal step at t = 0+.
+  for (std::size_t pi = 0; pi < probes.size(); ++pi) res.values[pi][0] = 0.0;
+
+  // For trapezoidal companions the t=0 source value is the post-transition
+  // one (vin(0+)); backward Euler never reads it.
+  double vin_prev = input.value(0.0);
+  for (std::size_t k = 1; k <= options.steps; ++k) {
+    const double t = h * static_cast<double>(k);
+    const double vin = input.value(t);
+    if (options.method == Method::kBackwardEuler) {
+      // (G + C/h) v_new = C/h v_old + b vin
+      for (NodeId i = 0; i < n; ++i) rhs[i] = cap[i] / h * v[i] + b[i] * vin;
+    } else {
+      // (G + 2C/h) v_new = 2C/h v_old - G v_old + b (vin + vin_prev)
+      apply_g(v, vin_prev, gv);
+      for (NodeId i = 0; i < n; ++i)
+        rhs[i] = 2.0 * cap[i] / h * v[i] - gv[i] + b[i] * vin;
+    }
+    system.solve_in_place(rhs);
+    v.swap(rhs);
+    res.time[k] = t;
+    for (std::size_t pi = 0; pi < probes.size(); ++pi) res.values[pi][k] = v[probes[pi]];
+    vin_prev = vin;
+  }
+  return res;
+}
+
+}  // namespace rct::sim

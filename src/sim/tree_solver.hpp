@@ -1,0 +1,37 @@
+#pragma once
+// O(N) direct solver for "tree + diagonal" SPD systems.
+//
+// Every transient time step solves (G + a C) x = rhs where G is the RC
+// tree's conductance matrix.  Because the sparsity graph is the tree itself,
+// Cholesky elimination in reverse topological (leaf-to-root) order produces
+// zero fill-in, so factorization and each solve are exactly O(N).
+
+#include <vector>
+
+#include "rctree/rctree.hpp"
+
+namespace rct::sim {
+
+/// Factored SPD system (G + a*C) over an RC tree's node set.
+class TreeSystem {
+ public:
+  /// Builds and factors (G + a*C) for the tree.  `a` >= 0 (a = 0 factors G
+  /// itself, which is SPD thanks to the source connection).
+  TreeSystem(const RCTree& tree, double a);
+
+  /// Solves (G + a C) x = rhs in place.  rhs.size() == tree size.
+  void solve_in_place(std::vector<double>& rhs) const;
+
+  /// Convenience: returns the solution.
+  [[nodiscard]] std::vector<double> solve(std::vector<double> rhs) const;
+
+  [[nodiscard]] std::size_t size() const { return diag_.size(); }
+
+ private:
+  // Tree structure (parents precede children by RCTree invariant).
+  std::vector<NodeId> parent_;
+  std::vector<double> edge_g_;  ///< conductance of edge to parent (off-diagonal -g)
+  std::vector<double> diag_;    ///< eliminated diagonal D of the LDL^T factor
+};
+
+}  // namespace rct::sim

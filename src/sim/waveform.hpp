@@ -1,0 +1,88 @@
+#pragma once
+// Sampled waveform: a (t, v) series with the measurement operations the
+// paper's experiments need — threshold crossings, monotonicity and
+// unimodality checks, and distribution statistics (mean/median/mode/central
+// moments) when the samples are interpreted as a density, as the paper does
+// for impulse responses.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace rct::sim {
+
+/// A sampled waveform.  Time samples are strictly increasing.
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Takes ownership of sample arrays.  Throws std::invalid_argument if the
+  /// sizes differ, are empty, or times are not strictly increasing.
+  Waveform(std::vector<double> t, std::vector<double> v);
+
+  [[nodiscard]] std::size_t size() const { return t_.size(); }
+  [[nodiscard]] const std::vector<double>& times() const { return t_; }
+  [[nodiscard]] const std::vector<double>& values() const { return v_; }
+  [[nodiscard]] double time(std::size_t i) const { return t_[i]; }
+  [[nodiscard]] double value(std::size_t i) const { return v_[i]; }
+  [[nodiscard]] double t_begin() const { return t_.front(); }
+  [[nodiscard]] double t_end() const { return t_.back(); }
+
+  /// Linear interpolation; clamps outside the sampled range.
+  [[nodiscard]] double value_at(double t) const;
+
+  /// First time the waveform crosses `level` going upward (linear
+  /// interpolation between samples); nullopt if it never does.
+  [[nodiscard]] std::optional<double> first_rise_crossing(double level) const;
+
+  /// Last time the waveform crosses `level` in either direction.
+  [[nodiscard]] std::optional<double> last_crossing(double level) const;
+
+  /// 10%-90% rise time w.r.t. final value `v_final`; nullopt if either
+  /// threshold is never reached.
+  [[nodiscard]] std::optional<double> rise_time_10_90(double v_final) const;
+
+  /// True if non-decreasing within absolute slack `tol`.
+  [[nodiscard]] bool is_monotone_nondecreasing(double tol = 0.0) const;
+
+  /// True if the samples rise to a single peak then fall (within slack
+  /// `tol`), i.e. the sampled function is unimodal in the sense of the
+  /// paper's Definition 4.
+  [[nodiscard]] bool is_unimodal(double tol = 0.0) const;
+
+  /// Index of the maximum sample.
+  [[nodiscard]] std::size_t argmax() const;
+
+  /// Trapezoidal integral over the full span.
+  [[nodiscard]] double integrate() const;
+
+  /// Running trapezoidal integral (same time base, starts at 0).
+  [[nodiscard]] Waveform integral() const;
+
+  /// Central-difference derivative (same time base).
+  [[nodiscard]] Waveform derivative() const;
+
+  // --- density-view statistics (waveform treated as unnormalized density) --
+
+  /// n-th raw moment  ∫ t^n v(t) dt / ∫ v(t) dt  (trapezoidal).
+  [[nodiscard]] double density_moment(int n) const;
+  /// Mean of the density view.
+  [[nodiscard]] double density_mean() const { return density_moment(1); }
+  /// n-th central moment of the density view.
+  [[nodiscard]] double density_central_moment(int n) const;
+  /// Median of the density view (time splitting the area in half).
+  [[nodiscard]] double density_median() const;
+  /// Mode of the density view (time of maximum sample).
+  [[nodiscard]] double density_mode() const { return t_[argmax()]; }
+  /// Coefficient of skewness mu3 / mu2^{3/2} of the density view.
+  [[nodiscard]] double density_skewness() const;
+
+ private:
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+/// Uniform time grid [0, t_end] with `samples` points (samples >= 2).
+[[nodiscard]] std::vector<double> uniform_grid(double t_end, std::size_t samples);
+
+}  // namespace rct::sim

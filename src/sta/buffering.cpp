@@ -1,0 +1,215 @@
+#include "sta/buffering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace rct::sta {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A DP candidate: downstream cap C, required time Q at the current point,
+// and the insertions that produced it.
+struct Option {
+  double cap;
+  double q;
+  std::vector<BufferInsertion> insertions;
+};
+
+// Keep only non-dominated options: sort by cap ascending and require q to
+// strictly decrease (an option with both larger cap and smaller-or-equal q
+// is useless).
+void prune(std::vector<Option>& opts) {
+  std::sort(opts.begin(), opts.end(), [](const Option& a, const Option& b) {
+    if (a.cap != b.cap) return a.cap < b.cap;
+    return a.q > b.q;
+  });
+  std::vector<Option> kept;
+  double best_q = -kInf;
+  for (auto& o : opts) {
+    if (o.q > best_q) {
+      best_q = o.q;
+      kept.push_back(std::move(o));
+    }
+  }
+  opts = std::move(kept);
+}
+
+// Cross-product merge of two branch option sets at a junction.
+std::vector<Option> merge(const std::vector<Option>& a, const std::vector<Option>& b) {
+  std::vector<Option> out;
+  out.reserve(a.size() * b.size());
+  for (const Option& x : a) {
+    for (const Option& y : b) {
+      Option m;
+      m.cap = x.cap + y.cap;
+      m.q = std::min(x.q, y.q);
+      m.insertions = x.insertions;
+      m.insertions.insert(m.insertions.end(), y.insertions.begin(), y.insertions.end());
+      out.push_back(std::move(m));
+    }
+  }
+  prune(out);
+  return out;
+}
+
+}  // namespace
+
+BufferingResult van_ginneken(const BufferingProblem& problem) {
+  const RCTree& t = problem.wire;
+  if (problem.required.empty())
+    throw std::invalid_argument("van_ginneken: no required times given");
+  for (const auto& [node, rat] : problem.required) {
+    (void)rat;
+    if (node >= t.size())
+      throw std::invalid_argument("van_ginneken: required time on non-existent node");
+  }
+  std::vector<char> legal(t.size(), problem.legal_positions.empty() ? 1 : 0);
+  for (NodeId v : problem.legal_positions) {
+    if (v >= t.size())
+      throw std::invalid_argument("van_ginneken: legal position out of range");
+    legal[v] = 1;
+  }
+
+  const std::size_t n = t.size();
+  // opts[i]: candidates at the TOP of edge r_i (seen from i's parent),
+  // filled in reverse index order so children are ready before parents.
+  std::vector<std::vector<Option>> opts(n);
+
+  auto dp_at = [&](NodeId i, bool with_buffers) {
+    // 1. Base: the node's own cap and RAT (inf for non-sinks).
+    Option base;
+    base.cap = t.capacitance(i);
+    const auto it = problem.required.find(i);
+    base.q = (it != problem.required.end()) ? it->second : kInf;
+    std::vector<Option> cur{base};
+
+    // 2. Fold in children (already pushed through their edges).
+    for (NodeId ch : t.children(i)) cur = merge(cur, opts[ch]);
+
+    // 3. Optional buffer right here (between the edge above and the node).
+    if (with_buffers && legal[i]) {
+      std::vector<Option> buffered;
+      for (const Gate& buf : problem.buffers) {
+        // Best unbuffered option for this buffer: maximize q - Rb*C.
+        const Option* best = nullptr;
+        double best_q = -kInf;
+        for (const Option& o : cur) {
+          const double q2 = o.q - buf.intrinsic_delay - buf.drive_resistance * o.cap;
+          if (q2 > best_q) {
+            best_q = q2;
+            best = &o;
+          }
+        }
+        if (best != nullptr && best_q > -kInf) {
+          Option b;
+          b.cap = buf.input_capacitance;
+          b.q = best_q;
+          b.insertions = best->insertions;
+          b.insertions.push_back({t.name(i), buf.name});
+          buffered.push_back(std::move(b));
+        }
+      }
+      cur.insert(cur.end(), std::make_move_iterator(buffered.begin()),
+                 std::make_move_iterator(buffered.end()));
+      prune(cur);
+    }
+
+    // 4. Push through the edge: wire delay r_i * C hits every sink below.
+    for (Option& o : cur) o.q -= t.resistance(i) * o.cap;
+    prune(cur);
+    opts[i] = std::move(cur);
+  };
+
+  auto run = [&](bool with_buffers) {
+    for (NodeId i = n; i-- > 0;) dp_at(i, with_buffers);
+    // Combine the root branches at the source, then charge the driver.
+    std::vector<Option> all{Option{0.0, kInf, {}}};
+    for (NodeId r : t.children_of_source()) all = merge(all, opts[r]);
+    double best = -kInf;
+    const Option* winner = nullptr;
+    for (const Option& o : all) {
+      const double slack =
+          o.q - problem.driver.intrinsic_delay - problem.driver.drive_resistance * o.cap;
+      if (slack > best) {
+        best = slack;
+        winner = &o;
+      }
+    }
+    struct RunResult {
+      double slack;
+      std::vector<BufferInsertion> ins;
+      std::size_t kept;
+    };
+    return RunResult{best, winner ? winner->insertions : std::vector<BufferInsertion>{},
+                     all.size()};
+  };
+
+  const auto unbuffered = run(false);
+  const auto buffered = problem.buffers.empty() ? unbuffered : run(true);
+
+  BufferingResult res;
+  res.unbuffered_slack = unbuffered.slack;
+  res.slack = buffered.slack;
+  res.insertions = buffered.ins;
+  res.candidates_kept = buffered.kept;
+  return res;
+}
+
+double evaluate_buffering(const BufferingProblem& problem,
+                          const std::vector<BufferInsertion>& insertions) {
+  const RCTree& t = problem.wire;
+  if (problem.required.empty())
+    throw std::invalid_argument("evaluate_buffering: no required times given");
+  // Resolve insertions to (node -> gate).
+  std::vector<const Gate*> buf_at(t.size(), nullptr);
+  for (const BufferInsertion& ins : insertions) {
+    const auto id = t.find(ins.node);
+    if (!id) throw std::invalid_argument("evaluate_buffering: unknown node '" + ins.node + "'");
+    const Gate* gate = nullptr;
+    for (const Gate& g : problem.buffers)
+      if (g.name == ins.gate) gate = &g;
+    if (gate == nullptr)
+      throw std::invalid_argument("evaluate_buffering: unknown buffer '" + ins.gate + "'");
+    buf_at[*id] = gate;
+  }
+
+  // Region-aware downstream caps: a buffered node contributes only its
+  // buffer's input capacitance to the region above it.
+  std::vector<double> ctot(t.size(), 0.0);
+  for (NodeId i = t.size(); i-- > 0;) {
+    ctot[i] += t.capacitance(i);
+    for (NodeId ch : t.children(i))
+      ctot[i] += buf_at[ch] ? buf_at[ch]->input_capacitance : ctot[ch];
+  }
+  double root_cap = 0.0;
+  for (NodeId r : t.children_of_source())
+    root_cap += buf_at[r] ? buf_at[r]->input_capacitance : ctot[r];
+
+  // Per-region Elmore arrival propagation; crossing into a buffered node
+  // pays the wire delay for its input pin plus the buffer stage delay.
+  std::vector<double> arrive(t.size(), 0.0);
+  const double launch =
+      problem.driver.intrinsic_delay + problem.driver.drive_resistance * root_cap;
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const NodeId p = t.parent(i);
+    const double at_parent = (p == kSource) ? launch : arrive[p];
+    if (buf_at[i]) {
+      const Gate& buf = *buf_at[i];
+      arrive[i] = at_parent + t.resistance(i) * buf.input_capacitance +
+                  buf.intrinsic_delay + buf.drive_resistance * ctot[i];
+    } else {
+      arrive[i] = at_parent + t.resistance(i) * ctot[i];
+    }
+  }
+  double slack = kInf;
+  for (const auto& [node, q] : problem.required) {
+    if (node >= t.size())
+      throw std::invalid_argument("evaluate_buffering: required node out of range");
+    slack = std::min(slack, q - arrive[node]);
+  }
+  return slack;
+}
+
+}  // namespace rct::sta

@@ -1,0 +1,61 @@
+#pragma once
+// Van Ginneken buffer insertion — the canonical synthesis application of
+// the Elmore metric (the paper's intro: "used during logic synthesis to
+// estimate wiring delays").
+//
+// Given a wire RC tree, required arrival times at its sinks, a driving gate
+// and a buffer library, choose buffer locations maximizing the worst slack
+// at the driver, using the classic bottom-up dynamic program over
+// non-dominated (downstream capacitance, required time) pairs.  Delays are
+// Elmore delays, so every reported slack is a guaranteed (conservative)
+// slack by the paper's Theorem.
+//
+// Buffer convention: a buffer inserted "at node v" sits between the edge
+// above v and v itself — its input capacitance is what the upstream region
+// sees; its output drives v's capacitance and v's entire subtree.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+#include "sta/gate.hpp"
+
+namespace rct::sta {
+
+/// Problem statement for buffer insertion on one net.
+struct BufferingProblem {
+  RCTree wire;                          ///< wire-only RC tree
+  std::map<NodeId, double> required;    ///< RAT (s) at sink nodes
+  Gate driver;                          ///< gate driving the net root
+  std::vector<Gate> buffers;            ///< candidate buffer cells (may be empty)
+  /// Nodes where insertion is legal; empty = everywhere.
+  std::vector<NodeId> legal_positions;
+};
+
+/// One chosen insertion.
+struct BufferInsertion {
+  std::string node;  ///< wire node name
+  std::string gate;  ///< buffer cell name
+};
+
+/// Result of the optimization.
+struct BufferingResult {
+  double slack;                              ///< best achievable worst slack (s)
+  double unbuffered_slack;                   ///< worst slack with no buffers (s)
+  std::vector<BufferInsertion> insertions;   ///< chosen buffers (may be empty)
+  std::size_t candidates_kept;               ///< surviving DP options at the root
+};
+
+/// Runs the dynamic program.  Throws std::invalid_argument if `required`
+/// is empty or names non-existent nodes.
+[[nodiscard]] BufferingResult van_ginneken(const BufferingProblem& problem);
+
+/// Independently evaluates the worst slack of a *given* buffer placement by
+/// region-wise Elmore arrival propagation (same convention as the DP).
+/// Used to audit DP results and to compare hand placements.  Throws
+/// std::invalid_argument for unknown nodes or buffer cell names.
+[[nodiscard]] double evaluate_buffering(const BufferingProblem& problem,
+                                        const std::vector<BufferInsertion>& insertions);
+
+}  // namespace rct::sta

@@ -1,0 +1,147 @@
+#include "sta/design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "moments/central.hpp"
+#include "sta/path_timer.hpp"
+
+namespace rct::sta {
+
+void Design::add_instance(const std::string& name, const std::string& gate_type) {
+  if (instance_index_.contains(name))
+    throw std::invalid_argument("Design: duplicate instance '" + name + "'");
+  std::size_t gi = library_.size();
+  for (std::size_t i = 0; i < library_.size(); ++i)
+    if (library_[i].name == gate_type) gi = i;
+  if (gi == library_.size())
+    throw std::invalid_argument("Design: unknown gate type '" + gate_type + "'");
+  instance_index_[name] = instances_.size();
+  instances_.push_back({name, gi});
+}
+
+void Design::add_net(const std::string& driver, RCTree wire, std::vector<NetPin> pins) {
+  for (const NetPin& p : pins) {
+    if (!instance_index_.contains(p.instance))
+      throw std::invalid_argument("Design: net pin references unknown instance '" + p.instance +
+                                  "'");
+    if (!wire.find(p.wire_node))
+      throw std::invalid_argument("Design: net pin references unknown wire node '" +
+                                  p.wire_node + "'");
+  }
+  nets_.push_back({driver, std::move(wire), std::move(pins)});
+}
+
+void Design::add_primary_input(const std::string& name, double drive_resistance) {
+  if (!(drive_resistance > 0.0))
+    throw std::invalid_argument("Design: primary input needs positive drive resistance");
+  primary_inputs_.push_back({name, drive_resistance});
+}
+
+Design::Report Design::analyze(double clock_period) const {
+  if (!(clock_period > 0.0)) throw std::invalid_argument("Design: clock period must be > 0");
+
+  // Arrival windows at each instance *input*; flops and primary inputs
+  // re-launch at 0.
+  struct Window {
+    double upper = 0.0;
+    double lower = 0.0;
+    bool known = false;
+  };
+  std::map<std::string, Window> at_input;  // instance -> data arrival window
+
+  // An instance's arrival is final only after ALL nets feeding it are done;
+  // otherwise a multi-fanin gate could launch downstream with a partial
+  // (too-early) window.
+  std::map<std::string, std::size_t> fanin_total;
+  std::map<std::string, std::size_t> fanin_done;
+  for (const Net& net : nets_)
+    for (const NetPin& p : net.pins) ++fanin_total[p.instance];
+
+  auto driver_launch = [&](const std::string& name, double& res, Window& w) -> bool {
+    // Primary input?
+    for (const auto& pi : primary_inputs_) {
+      if (pi.name == name) {
+        res = pi.drive_resistance;
+        w = {0.0, 0.0, true};
+        return true;
+      }
+    }
+    const auto it = instance_index_.find(name);
+    if (it == instance_index_.end())
+      throw std::invalid_argument("Design: net driven by unknown '" + name + "'");
+    const Instance& inst = instances_[it->second];
+    res = gate_of(inst).drive_resistance;
+    if (is_flop(inst)) {
+      // Flop output launches a fresh path at clk edge (t = 0) + clk->q.
+      w = {gate_of(inst).intrinsic_delay, gate_of(inst).intrinsic_delay, true};
+      return true;
+    }
+    const auto win = at_input.find(name);
+    if (win == at_input.end() || !win->second.known) return false;  // not ready yet
+    if (fanin_done[name] < fanin_total[name]) return false;         // partial window
+    w = {win->second.upper + gate_of(inst).intrinsic_delay,
+         win->second.lower + gate_of(inst).intrinsic_delay, true};
+    return true;
+  };
+
+  // Relaxation over nets until a fixed point (simple worklist; a
+  // combinational loop never converges and is detected by pass count).
+  std::vector<char> done(nets_.size(), 0);
+  std::size_t remaining = nets_.size();
+  for (std::size_t pass = 0; remaining > 0; ++pass) {
+    if (pass > nets_.size() + 1)
+      throw std::invalid_argument("Design: combinational loop (or missing driver arrival)");
+    for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+      if (done[ni]) continue;
+      const Net& net = nets_[ni];
+      double res = 0.0;
+      Window launch;
+      if (!driver_launch(net.driver, res, launch)) continue;
+
+      // Build the loaded net once; per-pin metrics by sink node.
+      std::vector<SinkLoad> loads;
+      for (const NetPin& p : net.pins) {
+        const Instance& rx = instances_[instance_index_.at(p.instance)];
+        loads.push_back({net.wire.at(p.wire_node), gate_of(rx).input_capacitance});
+      }
+      const RCTree loaded = load_net(net.wire, res, loads);
+      const auto stats = moments::impulse_stats(loaded);
+      for (const NetPin& p : net.pins) {
+        const NodeId sink = loaded.at(p.wire_node);
+        Window& w = at_input[p.instance];
+        const double up = launch.upper + stats[sink].mean;
+        const double lo =
+            launch.lower + std::max(stats[sink].mean - stats[sink].sigma, 0.0);
+        w.upper = w.known ? std::max(w.upper, up) : up;
+        w.lower = w.known ? std::min(w.lower, lo) : lo;
+        w.known = true;
+        ++fanin_done[p.instance];
+      }
+      done[ni] = 1;
+      --remaining;
+    }
+  }
+
+  Report report;
+  for (const Instance& inst : instances_) {
+    const auto it = at_input.find(inst.name);
+    if (it == at_input.end()) continue;  // unconnected input
+    report.arrivals.push_back({inst.name, it->second.upper, it->second.lower});
+    report.worst_arrival_upper = std::max(report.worst_arrival_upper, it->second.upper);
+    if (is_flop(inst)) {
+      report.endpoints.push_back({inst.name, it->second.upper,
+                                  clock_period - it->second.upper,
+                                  it->second.lower - gate_of(inst).hold_time});
+    }
+  }
+  std::sort(report.endpoints.begin(), report.endpoints.end(),
+            [](const EndpointSlack& a, const EndpointSlack& b) {
+              return a.setup_slack < b.setup_slack;
+            });
+  report.worst_slack =
+      report.endpoints.empty() ? clock_period : report.endpoints.front().setup_slack;
+  return report;
+}
+
+}  // namespace rct::sta

@@ -1,0 +1,110 @@
+#pragma once
+// Design-level STA on a gate/net graph, using the paper's bounds as the
+// delay model.
+//
+// A Design is a DAG of gate instances connected by RC-tree nets.  Arrival
+// *windows* propagate forward in topological order:
+//
+//   upper arrival = launch + sum(intrinsic + T_D)            — guaranteed
+//   lower arrival = launch + sum(intrinsic + max(T_D - s,0)) — guaranteed
+//
+// so every reported endpoint slack is safe: a path that passes with the
+// upper-bound arrival passes in reality (Theorem), and hold checks done
+// with the lower bound are equally safe (Corollary 1).  Flops ("dff*"
+// gates) are path endpoints and new launch points; primary inputs launch
+// at t = 0.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+#include "sta/gate.hpp"
+
+namespace rct::sta {
+
+/// A pin connection on a net: which wire node feeds which instance input.
+struct NetPin {
+  std::string wire_node;  ///< node name inside the net's RC tree
+  std::string instance;   ///< receiving instance name
+};
+
+/// A gate/net design under construction.
+class Design {
+ public:
+  explicit Design(std::vector<Gate> library) : library_(std::move(library)) {}
+
+  /// Adds a gate instance.  Gate type must exist in the library.
+  void add_instance(const std::string& name, const std::string& gate_type);
+
+  /// Adds a net: `driver` is an instance name or a primary-input name
+  /// declared with add_primary_input.  `wire` is the wire-only RC tree; the
+  /// driver's resistance is added by the timer.  Each pin maps a wire node
+  /// to a receiving instance.
+  void add_net(const std::string& driver, RCTree wire, std::vector<NetPin> pins);
+
+  /// Declares a primary input (launches at t = 0 through a given drive
+  /// resistance).
+  void add_primary_input(const std::string& name, double drive_resistance);
+
+  [[nodiscard]] const std::vector<Gate>& library() const { return library_; }
+
+  /// Timing result for one instance input pin (a "timing arc endpoint").
+  struct Arrival {
+    std::string instance;
+    double upper;  ///< guaranteed-latest arrival (Elmore bound)
+    double lower;  ///< guaranteed-earliest arrival (mu - sigma bound)
+  };
+
+  /// Endpoint slack row (flop data pins).
+  struct EndpointSlack {
+    std::string instance;
+    double arrival_upper;
+    double setup_slack;  ///< clock_period - arrival_upper (safe sign-off)
+    double hold_slack;   ///< arrival_lower - hold_time (safe: lower bound
+                         ///< can only under-state the true earliest arrival)
+  };
+
+  /// Full-design report.
+  struct Report {
+    std::vector<Arrival> arrivals;          ///< per instance, topological order
+    std::vector<EndpointSlack> endpoints;   ///< flops, worst first
+    double worst_arrival_upper = 0.0;
+    double worst_slack = 0.0;
+  };
+
+  /// Propagates arrival windows and returns the report.  Throws
+  /// std::invalid_argument on dangling references or combinational loops.
+  [[nodiscard]] Report analyze(double clock_period) const;
+
+ private:
+  struct Instance {
+    std::string name;
+    std::size_t gate_index;
+  };
+  struct Net {
+    std::string driver;  // instance or primary input
+    RCTree wire;
+    std::vector<NetPin> pins;
+  };
+  struct PrimaryInput {
+    std::string name;
+    double drive_resistance;
+  };
+
+  [[nodiscard]] const Gate& gate_of(const Instance& inst) const {
+    return library_[inst.gate_index];
+  }
+  [[nodiscard]] bool is_flop(const Instance& inst) const {
+    return gate_of(inst).name.rfind("dff", 0) == 0;
+  }
+
+  std::vector<Gate> library_;
+  std::vector<Instance> instances_;
+  std::map<std::string, std::size_t> instance_index_;
+  std::vector<Net> nets_;
+  std::vector<PrimaryInput> primary_inputs_;
+};
+
+}  // namespace rct::sta

@@ -1,0 +1,24 @@
+#include "sta/gate.hpp"
+
+#include <stdexcept>
+
+namespace rct::sta {
+
+std::vector<Gate> builtin_library() {
+  return {
+      {"inv_x1", 8e-15, 2400.0, 35e-12},
+      {"inv_x4", 32e-15, 600.0, 30e-12},
+      {"buf_x2", 16e-15, 1200.0, 55e-12},
+      {"nand2_x1", 10e-15, 2900.0, 45e-12},
+      {"nor2_x1", 10e-15, 3400.0, 50e-12},
+      {"dff_x1", 9e-15, 2600.0, 120e-12, 30e-12},
+  };
+}
+
+const Gate& find_gate(const std::vector<Gate>& library, const std::string& name) {
+  for (const Gate& g : library)
+    if (g.name == name) return g;
+  throw std::out_of_range("find_gate: no gate named '" + name + "'");
+}
+
+}  // namespace rct::sta

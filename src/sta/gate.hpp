@@ -1,0 +1,31 @@
+#pragma once
+// Minimal linearized gate model for the STA-lite layer, in the style the
+// paper's Section II-A describes ("the nonlinear driver ... is linearized"):
+// a gate is an intrinsic delay plus a drive resistance that becomes the root
+// resistance of the RC net it drives, and an input capacitance that loads
+// the net feeding it.
+
+#include <string>
+#include <vector>
+
+namespace rct::sta {
+
+/// Linearized gate: drive side + load side.
+struct Gate {
+  std::string name;
+  double input_capacitance;  ///< farads, loads the upstream net's sink node
+  double drive_resistance;   ///< ohms, becomes the driven net's root resistance
+  double intrinsic_delay;    ///< seconds, added per stage
+  double hold_time = 0.0;    ///< seconds, data must be stable this long after
+                             ///< the clock edge (sequential cells only)
+};
+
+/// A small builtin cell library (scaled roughly like a 0.5um CMOS family,
+/// the technology generation of the paper).  Names: inv_x1, inv_x4, buf_x2,
+/// nand2_x1, nor2_x1, dff_x1.
+[[nodiscard]] std::vector<Gate> builtin_library();
+
+/// Looks a gate up by name in `library`; throws std::out_of_range if absent.
+[[nodiscard]] const Gate& find_gate(const std::vector<Gate>& library, const std::string& name);
+
+}  // namespace rct::sta

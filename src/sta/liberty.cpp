@@ -1,0 +1,368 @@
+#include "sta/liberty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rct::sta {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kString, kNumber, kPunct, kEnd } kind;
+  std::string text;
+  std::size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    if (pos_ >= text_.size()) return {Token::Kind::kEnd, "", line_};
+    const char c = text_[pos_];
+    if (c == '"') return lex_string();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_ident();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' || c == '.')
+      return lex_number();
+    ++pos_;
+    return {Token::Kind::kPunct, std::string(1, c), line_};
+  }
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        const std::size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string_view::npos) {
+          pos_ = text_.size();
+        } else {
+          for (std::size_t i = pos_; i < end; ++i)
+            if (text_[i] == '\n') ++line_;
+          pos_ = end + 2;
+        }
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        const std::size_t end = text_.find('\n', pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end;
+      } else if (c == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;  // line continuation
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_string() {
+    const std::size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      out.push_back(text_[pos_++]);
+    }
+    if (pos_ < text_.size()) ++pos_;  // closing quote
+    return {Token::Kind::kString, std::move(out), start_line};
+  }
+
+  Token lex_ident() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+      ++pos_;
+    return {Token::Kind::kIdent, std::string(text_.substr(start, pos_ - start)), line_};
+  }
+
+  Token lex_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    return {Token::Kind::kNumber, std::string(text_.substr(start, pos_ - start)), line_};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw LibertyError("liberty line " + std::to_string(line) + ": " + msg);
+}
+
+// ---------------------------------------------------------------------------
+// Generic group AST: name (args) { attributes and subgroups }
+// ---------------------------------------------------------------------------
+
+struct Group {
+  std::string name;
+  std::vector<std::string> args;
+  std::multimap<std::string, std::string> attrs;        // simple attributes
+  std::multimap<std::string, std::vector<std::string>>  // complex attributes
+      complex;
+  std::vector<Group> groups;
+  std::size_t line = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) { advance(); }
+
+  Group parse_top() {
+    Group g = parse_group_header();
+    if (g.name != "library") fail(g.line, "expected top-level 'library' group");
+    parse_group_body(g);
+    return g;
+  }
+
+ private:
+  void advance() { cur_ = lex_.next(); }
+
+  void expect_punct(const char* p) {
+    if (cur_.kind != Token::Kind::kPunct || cur_.text != p)
+      fail(cur_.line, std::string("expected '") + p + "', got '" + cur_.text + "'");
+    advance();
+  }
+
+  Group parse_group_header() {
+    if (cur_.kind != Token::Kind::kIdent) fail(cur_.line, "expected group name");
+    Group g;
+    g.name = cur_.text;
+    g.line = cur_.line;
+    advance();
+    expect_punct("(");
+    while (!(cur_.kind == Token::Kind::kPunct && cur_.text == ")")) {
+      if (cur_.kind == Token::Kind::kEnd) fail(cur_.line, "unterminated group arguments");
+      if (!(cur_.kind == Token::Kind::kPunct && cur_.text == ",")) g.args.push_back(cur_.text);
+      advance();
+    }
+    advance();  // ')'
+    return g;
+  }
+
+  void parse_group_body(Group& g) {
+    expect_punct("{");
+    while (true) {
+      if (cur_.kind == Token::Kind::kEnd) fail(cur_.line, "unterminated group");
+      if (cur_.kind == Token::Kind::kPunct && cur_.text == "}") {
+        advance();
+        if (cur_.kind == Token::Kind::kPunct && cur_.text == ";") advance();
+        return;
+      }
+      if (cur_.kind != Token::Kind::kIdent) fail(cur_.line, "expected statement");
+      const std::string name = cur_.text;
+      const std::size_t line = cur_.line;
+      advance();
+      if (cur_.kind == Token::Kind::kPunct && cur_.text == ":") {
+        advance();
+        std::string value;
+        while (!(cur_.kind == Token::Kind::kPunct && cur_.text == ";")) {
+          if (cur_.kind == Token::Kind::kEnd) fail(line, "unterminated attribute");
+          if (!value.empty()) value += ' ';
+          value += cur_.text;
+          advance();
+        }
+        advance();  // ';'
+        g.attrs.emplace(name, std::move(value));
+      } else if (cur_.kind == Token::Kind::kPunct && cur_.text == "(") {
+        // Complex attribute or subgroup — disambiguated by what follows ')'.
+        std::vector<std::string> args;
+        advance();
+        while (!(cur_.kind == Token::Kind::kPunct && cur_.text == ")")) {
+          if (cur_.kind == Token::Kind::kEnd) fail(line, "unterminated arguments");
+          if (!(cur_.kind == Token::Kind::kPunct && cur_.text == ",")) args.push_back(cur_.text);
+          advance();
+        }
+        advance();  // ')'
+        if (cur_.kind == Token::Kind::kPunct && cur_.text == "{") {
+          Group sub;
+          sub.name = name;
+          sub.args = std::move(args);
+          sub.line = line;
+          parse_group_body(sub);
+          g.groups.push_back(std::move(sub));
+        } else {
+          if (cur_.kind == Token::Kind::kPunct && cur_.text == ";") advance();
+          g.complex.emplace(name, std::move(args));
+        }
+      } else {
+        fail(line, "expected ':' or '(' after '" + name + "'");
+      }
+    }
+  }
+
+  Lexer lex_;
+  Token cur_{Token::Kind::kEnd, "", 0};
+};
+
+// ---------------------------------------------------------------------------
+// Interpretation
+// ---------------------------------------------------------------------------
+
+std::vector<double> parse_number_list(const std::string& csv, std::size_t line) {
+  std::vector<double> out;
+  std::istringstream is(csv);
+  std::string cell;
+  while (std::getline(is, cell, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str()) fail(line, "bad number '" + cell + "'");
+    out.push_back(v);
+  }
+  if (out.empty()) fail(line, "empty number list");
+  return out;
+}
+
+std::optional<DelayTable> parse_table(const Group& g, double slew_scale, double value_scale,
+                                      double load_scale) {
+  const auto i1 = g.complex.find("index_1");
+  const auto i2 = g.complex.find("index_2");
+  const auto vals = g.complex.find("values");
+  if (i1 == g.complex.end() || i2 == g.complex.end() || vals == g.complex.end())
+    fail(g.line, "table group missing index_1/index_2/values");
+  if (i1->second.size() != 1 || i2->second.size() != 1)
+    fail(g.line, "index_1/index_2 expect one quoted list each");
+  auto slews = parse_number_list(i1->second[0], g.line);
+  auto loads = parse_number_list(i2->second[0], g.line);
+  for (double& s : slews) s *= slew_scale;
+  for (double& l : loads) l *= load_scale;
+  std::vector<double> values;
+  for (const std::string& row : vals->second) {
+    const auto nums = parse_number_list(row, g.line);
+    if (nums.size() != loads.size()) fail(g.line, "values row width != index_2 size");
+    for (double v : nums) values.push_back(v * value_scale);
+  }
+  if (values.size() != slews.size() * loads.size())
+    fail(g.line, "values row count != index_1 size");
+  return DelayTable(std::move(slews), std::move(loads), std::move(values));
+}
+
+double parse_time_unit(const Group& lib) {
+  const auto it = lib.attrs.find("time_unit");
+  if (it == lib.attrs.end()) return 1e-9;
+  const std::string& u = it->second;
+  if (u.find("ps") != std::string::npos) return 1e-12;
+  if (u.find("ns") != std::string::npos) return 1e-9;
+  if (u.find("us") != std::string::npos) return 1e-6;
+  fail(lib.line, "unsupported time_unit '" + u + "'");
+}
+
+double parse_cap_unit(const Group& lib) {
+  const auto it = lib.complex.find("capacitive_load_unit");
+  if (it == lib.complex.end()) return 1e-12;
+  if (it->second.size() != 2) fail(lib.line, "capacitive_load_unit expects (value, unit)");
+  const double mult = std::strtod(it->second[0].c_str(), nullptr);
+  std::string unit = it->second[1];
+  std::transform(unit.begin(), unit.end(), unit.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (unit == "pf") return mult * 1e-12;
+  if (unit == "ff") return mult * 1e-15;
+  fail(lib.line, "unsupported capacitive_load_unit '" + it->second[1] + "'");
+}
+
+}  // namespace
+
+const LibertyCell& LibertyLibrary::cell(const std::string& cell_name) const {
+  for (const LibertyCell& c : cells)
+    if (c.name == cell_name) return c;
+  throw LibertyError("liberty: no cell named '" + cell_name + "'");
+}
+
+LibertyLibrary parse_liberty(std::string_view text) {
+  Parser parser(text);
+  const Group lib = parser.parse_top();
+
+  LibertyLibrary out;
+  out.name = lib.args.empty() ? "" : lib.args[0];
+  out.time_unit = parse_time_unit(lib);
+  out.cap_unit = parse_cap_unit(lib);
+
+  for (const Group& cell : lib.groups) {
+    if (cell.name != "cell") continue;
+    LibertyCell lc;
+    lc.name = cell.args.empty() ? "" : cell.args[0];
+    if (lc.name.empty()) fail(cell.line, "cell without a name");
+    for (const Group& pin : cell.groups) {
+      if (pin.name != "pin") continue;
+      const std::string pin_name = pin.args.empty() ? "" : pin.args[0];
+      if (const auto cap = pin.attrs.find("capacitance"); cap != pin.attrs.end())
+        lc.input_caps[pin_name] = std::strtod(cap->second.c_str(), nullptr) * out.cap_unit;
+      for (const Group& timing : pin.groups) {
+        if (timing.name != "timing") continue;
+        LibertyArc arc;
+        if (const auto rp = timing.attrs.find("related_pin"); rp != timing.attrs.end())
+          arc.related_pin = rp->second;
+        for (const Group& table : timing.groups) {
+          if (table.name == "cell_rise")
+            arc.cell_rise = parse_table(table, out.time_unit, out.time_unit, out.cap_unit);
+          else if (table.name == "rise_transition")
+            arc.rise_transition =
+                parse_table(table, out.time_unit, out.time_unit, out.cap_unit);
+        }
+        lc.arcs.push_back(std::move(arc));
+      }
+    }
+    out.cells.push_back(std::move(lc));
+  }
+  if (out.cells.empty()) throw LibertyError("liberty: library has no cells");
+  return out;
+}
+
+LibertyLibrary parse_liberty_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw LibertyError("liberty: cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_liberty(ss.str());
+}
+
+Gate linearize(const LibertyCell& cell) {
+  const LibertyArc* arc = nullptr;
+  for (const LibertyArc& a : cell.arcs)
+    if (a.cell_rise) arc = &a;
+  if (arc == nullptr) throw LibertyError("linearize: cell '" + cell.name + "' has no cell_rise");
+
+  const DelayTable& t = *arc->cell_rise;
+  const double s0 = t.slew_axis().front();
+  const double l0 = t.load_axis().front();
+  const double l1 = t.load_axis().back();
+  const double d0 = t.lookup(s0, l0);
+  const double d1 = t.lookup(s0, l1);
+  // ln2 * R * C fit: slope of delay vs load is ln2 * Rdrv.
+  const double rdrv = (d1 - d0) / ((l1 - l0) * std::log(2.0));
+
+  Gate g;
+  g.name = cell.name;
+  g.drive_resistance = std::max(rdrv, 1.0);
+  g.intrinsic_delay = std::max(d0 - std::log(2.0) * g.drive_resistance * l0, 0.0);
+  double cin = 0.0;
+  for (const auto& [pin, cap] : cell.input_caps) {
+    (void)pin;
+    cin = std::max(cin, cap);
+  }
+  g.input_capacitance = cin;
+  return g;
+}
+
+}  // namespace rct::sta

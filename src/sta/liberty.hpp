@@ -1,0 +1,85 @@
+#pragma once
+// Liberty-lite: parser for the subset of the Synopsys Liberty (.lib) format
+// that carries what a timer needs — pin capacitances and NLDM delay/slew
+// tables — so characterized foundry data can drive the toolkit directly.
+//
+// Supported grammar (a strict subset; unknown attributes are ignored,
+// unknown *groups* are skipped recursively):
+//
+//   library (name) {
+//     time_unit : "1ns" ;
+//     capacitive_load_unit (1, pf) ;
+//     cell (inv_x1) {
+//       pin (A) { direction : input ; capacitance : 0.008 ; }
+//       pin (Z) {
+//         direction : output ;
+//         timing () {
+//           related_pin : "A" ;
+//           cell_rise (tmpl) {
+//             index_1 ("0.01, 0.1");        /* input slew, time units  */
+//             index_2 ("0.005, 0.02");      /* load, cap units         */
+//             values ("0.02, 0.03", "0.04, 0.05");
+//           }
+//           rise_transition (tmpl) { ...same shape... }
+//         }
+//       }
+//     }
+//   }
+//
+// Comments (/* */ and //) are stripped.  Errors carry 1-based line numbers.
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sta/gate.hpp"
+#include "sta/nldm.hpp"
+
+namespace rct::sta {
+
+/// Error raised on malformed or unsupported Liberty text.
+struct LibertyError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One timing arc of an output pin.
+struct LibertyArc {
+  std::string related_pin;
+  std::optional<DelayTable> cell_rise;        ///< seconds
+  std::optional<DelayTable> rise_transition;  ///< seconds
+};
+
+/// One parsed cell.
+struct LibertyCell {
+  std::string name;
+  std::map<std::string, double> input_caps;  ///< farads, by pin name
+  std::vector<LibertyArc> arcs;
+};
+
+/// A parsed library.
+struct LibertyLibrary {
+  std::string name;
+  double time_unit = 1e-9;  ///< seconds per Liberty time unit
+  double cap_unit = 1e-12;  ///< farads per Liberty cap unit
+  std::vector<LibertyCell> cells;
+
+  [[nodiscard]] const LibertyCell& cell(const std::string& cell_name) const;
+};
+
+/// Parses Liberty text.  Throws LibertyError on malformed input.
+[[nodiscard]] LibertyLibrary parse_liberty(std::string_view text);
+
+/// Parses a .lib file from disk.
+[[nodiscard]] LibertyLibrary parse_liberty_file(const std::string& path);
+
+/// Derives a linearized Gate from a Liberty cell for the bound-based flows:
+/// input cap = max pin cap; drive resistance = d(delay)/d(load) slope of the
+/// first arc's cell_rise at the smallest characterized slew; intrinsic =
+/// extrapolated zero-load delay.  Throws LibertyError if the cell has no
+/// cell_rise table.
+[[nodiscard]] Gate linearize(const LibertyCell& cell);
+
+}  // namespace rct::sta

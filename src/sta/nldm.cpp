@@ -1,0 +1,115 @@
+#include "sta/nldm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/effective_capacitance.hpp"
+#include "linalg/root_find.hpp"
+#include "moments/path_tracing.hpp"
+
+namespace rct::sta {
+namespace {
+
+// Single-RC saturated-ramp response crossing: the gate's linearized output
+// into a lumped load.  y(t) = (S(t) - S(t - tr)) / tr with
+// S(t) = t - tau (1 - e^{-t/tau}).
+double rc_ramp_crossing(double tau, double tr, double fraction) {
+  auto s_int = [&](double t) {
+    if (t <= 0.0) return 0.0;
+    return t - tau * (-std::expm1(-t / tau));
+  };
+  auto y = [&](double t) { return (s_int(t) - s_int(t - tr)) / tr; };
+  linalg::RootOptions opt;
+  opt.x_tol = 1e-12 * (tau + tr);
+  const auto root = linalg::bracket_and_solve(
+      [&](double t) { return y(t) - fraction; }, tau + tr, 1e7 * (tau + tr), opt);
+  if (!root) throw std::runtime_error("characterize: crossing not found");
+  return *root;
+}
+
+void check_axis(const std::vector<double>& axis, const char* who) {
+  if (axis.empty()) throw std::invalid_argument(std::string(who) + ": empty axis");
+  for (std::size_t i = 1; i < axis.size(); ++i)
+    if (!(axis[i] > axis[i - 1]))
+      throw std::invalid_argument(std::string(who) + ": axis must be strictly increasing");
+}
+
+}  // namespace
+
+DelayTable::DelayTable(std::vector<double> slew_axis, std::vector<double> load_axis,
+                       std::vector<double> values)
+    : slews_(std::move(slew_axis)), loads_(std::move(load_axis)), values_(std::move(values)) {
+  check_axis(slews_, "DelayTable(slew)");
+  check_axis(loads_, "DelayTable(load)");
+  if (values_.size() != slews_.size() * loads_.size())
+    throw std::invalid_argument("DelayTable: values size mismatch");
+}
+
+double DelayTable::lookup(double slew, double load) const {
+  auto bracket = [](const std::vector<double>& axis, double x, std::size_t& lo, double& frac) {
+    if (x <= axis.front()) {
+      lo = 0;
+      frac = 0.0;
+      return;
+    }
+    if (x >= axis.back()) {
+      lo = axis.size() >= 2 ? axis.size() - 2 : 0;
+      frac = axis.size() >= 2 ? 1.0 : 0.0;
+      return;
+    }
+    const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+    lo = static_cast<std::size_t>(it - axis.begin()) - 1;
+    frac = (x - axis[lo]) / (axis[lo + 1] - axis[lo]);
+  };
+  std::size_t si = 0;
+  std::size_t li = 0;
+  double sf = 0.0;
+  double lf = 0.0;
+  bracket(slews_, slew, si, sf);
+  bracket(loads_, load, li, lf);
+  const std::size_t cols = loads_.size();
+  auto at = [&](std::size_t s, std::size_t l) { return values_[s * cols + l]; };
+  const std::size_t s1 = std::min(si + 1, slews_.size() - 1);
+  const std::size_t l1 = std::min(li + 1, loads_.size() - 1);
+  const double a = at(si, li) * (1.0 - lf) + at(si, l1) * lf;
+  const double b = at(s1, li) * (1.0 - lf) + at(s1, l1) * lf;
+  return a * (1.0 - sf) + b * sf;
+}
+
+CharacterizedGate characterize(const Gate& gate, const std::vector<double>& slew_axis,
+                               const std::vector<double>& load_axis) {
+  check_axis(slew_axis, "characterize(slew)");
+  check_axis(load_axis, "characterize(load)");
+  std::vector<double> delays;
+  std::vector<double> slews_out;
+  delays.reserve(slew_axis.size() * load_axis.size());
+  slews_out.reserve(delays.capacity());
+  for (double tr : slew_axis) {
+    for (double cl : load_axis) {
+      const double tau = gate.drive_resistance * cl;
+      const double t50 = rc_ramp_crossing(tau, tr, 0.5);
+      delays.push_back(gate.intrinsic_delay + t50 - 0.5 * tr);
+      slews_out.push_back(rc_ramp_crossing(tau, tr, 0.9) - rc_ramp_crossing(tau, tr, 0.1));
+    }
+  }
+  return {gate, DelayTable(slew_axis, load_axis, std::move(delays)),
+          DelayTable(slew_axis, load_axis, std::move(slews_out))};
+}
+
+TableStageResult table_stage_delay(const CharacterizedGate& cg, const RCTree& loaded_net,
+                                   NodeId sink, double input_slew) {
+  if (sink >= loaded_net.size())
+    throw std::invalid_argument("table_stage_delay: sink out of range");
+  const auto ceff = core::effective_capacitance(loaded_net, cg.gate.drive_resistance);
+  TableStageResult out{};
+  out.ceff = ceff.ceff;
+  const double gate_delay = cg.delay.lookup(input_slew, ceff.ceff);
+  // Wire delay from the gate output (net root, ideal-source view) to sink.
+  const double wire = moments::elmore_delays(loaded_net)[sink];
+  out.delay = gate_delay + wire;
+  out.out_slew = cg.out_slew.lookup(input_slew, ceff.ceff);
+  return out;
+}
+
+}  // namespace rct::sta

@@ -1,0 +1,76 @@
+#pragma once
+// NLDM-style gate characterization and table-driven stage timing.
+//
+// Production timers do not bound gate delays; they look them up in
+// characterized tables indexed by (input slew, output load) and reduce the
+// RC load to an effective capacitance first.  This module closes the loop
+// for the toolkit:
+//
+//   * characterize(): builds delay / output-slew tables for a linearized
+//     gate by sweeping saturated-ramp inputs into lumped loads, using the
+//     closed-form single-RC ramp response (our exact engine's math).
+//   * DelayTable: bilinear interpolation with clamped extrapolation —
+//     the standard NLDM lookup.
+//   * table_stage_delay(): Ceff-reduce the RC load, look the delay up, and
+//     add the wire delay from the driving point to the sink.
+//
+// Tests compare this "industry-style" estimate against the paper's
+// guaranteed bounds and the exact simulator: tables are accurate but carry
+// no guarantee; the bounds are loose but sound.  Both views matter.
+
+#include <vector>
+
+#include "rctree/rctree.hpp"
+#include "sta/gate.hpp"
+
+namespace rct::sta {
+
+/// A 2D lookup table over (input slew, load capacitance).
+class DelayTable {
+ public:
+  /// Axes must be strictly increasing; values is row-major
+  /// [slew_index][load_index].
+  DelayTable(std::vector<double> slew_axis, std::vector<double> load_axis,
+             std::vector<double> values);
+
+  /// Bilinear interpolation; indices outside the grid are clamped to the
+  /// edge (standard NLDM extrapolation policy).
+  [[nodiscard]] double lookup(double slew, double load) const;
+
+  [[nodiscard]] const std::vector<double>& slew_axis() const { return slews_; }
+  [[nodiscard]] const std::vector<double>& load_axis() const { return loads_; }
+
+ private:
+  std::vector<double> slews_;
+  std::vector<double> loads_;
+  std::vector<double> values_;
+};
+
+/// Characterized view of one gate: 50% delay and 10-90 output slew tables.
+struct CharacterizedGate {
+  Gate gate;
+  DelayTable delay;
+  DelayTable out_slew;
+};
+
+/// Characterizes `gate` over the given axes by analytic simulation of the
+/// linearized gate (drive resistance into a lumped load, saturated-ramp
+/// input).  Axes must be non-empty and increasing.
+[[nodiscard]] CharacterizedGate characterize(const Gate& gate,
+                                             const std::vector<double>& slew_axis,
+                                             const std::vector<double>& load_axis);
+
+/// Industry-style stage delay: Ceff-reduce the loaded net, look up the gate
+/// delay at (input_slew, Ceff), then add the wire delay from driving point
+/// to `sink` (difference of Elmore delays).  Returns the stage delay and
+/// the table-estimated output slew.
+struct TableStageResult {
+  double delay;
+  double out_slew;
+  double ceff;
+};
+[[nodiscard]] TableStageResult table_stage_delay(const CharacterizedGate& cg,
+                                                 const RCTree& loaded_net, NodeId sink,
+                                                 double input_slew);
+
+}  // namespace rct::sta

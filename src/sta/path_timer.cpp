@@ -1,0 +1,94 @@
+#include "sta/path_timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "moments/central.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::sta {
+
+RCTree load_net(const RCTree& wire, double driver_resistance, const std::vector<SinkLoad>& loads) {
+  if (!(driver_resistance > 0.0))
+    throw std::invalid_argument("load_net: driver resistance must be > 0");
+  std::vector<double> caps(wire.size());
+  for (NodeId i = 0; i < wire.size(); ++i) caps[i] = wire.capacitance(i);
+  for (const SinkLoad& l : loads) {
+    if (l.node >= wire.size()) throw std::invalid_argument("load_net: sink node out of range");
+    caps[l.node] += l.capacitance;
+  }
+
+  RCTreeBuilder b;
+  const NodeId drv = b.add_node("drv", kSource, driver_resistance, 0.0);
+  for (NodeId i = 0; i < wire.size(); ++i) {
+    const NodeId p = wire.parent(i);
+    b.add_node(wire.name(i), p == kSource ? drv : p + 1, wire.resistance(i), caps[i]);
+  }
+  return std::move(b).build();
+}
+
+PathTiming time_path(const std::vector<Stage>& path, double input_sigma, bool with_exact) {
+  PathTiming out;
+  double sigma_acc_sq = input_sigma * input_sigma;
+  double exact_acc = 0.0;
+
+  for (const Stage& stage : path) {
+    std::vector<SinkLoad> loads = stage.extra_loads;
+    const NodeId sink_in_wire = stage.wire.at(stage.sink);
+    if (stage.sink_load > 0.0) loads.push_back({sink_in_wire, stage.sink_load});
+    const RCTree net = load_net(stage.wire, stage.driver.drive_resistance, loads);
+    const NodeId sink = net.at(stage.sink);
+
+    const auto stats = moments::impulse_stats(net)[sink];
+    StageTiming st;
+    st.gate = stage.driver.name;
+    st.sink = stage.sink;
+    st.delay_upper = stage.driver.intrinsic_delay + stats.mean;
+    st.delay_lower = stage.driver.intrinsic_delay + std::max(stats.mean - stats.sigma, 0.0);
+    sigma_acc_sq += stats.mu2;
+    st.slew_sigma = std::sqrt(sigma_acc_sq);
+    if (with_exact) {
+      const sim::ExactAnalysis exact(net);
+      st.delay_exact = stage.driver.intrinsic_delay + exact.step_delay(sink);
+      exact_acc += *st.delay_exact;
+    }
+    out.path_upper += st.delay_upper;
+    out.path_lower += st.delay_lower;
+    out.stages.push_back(std::move(st));
+  }
+  if (with_exact) out.path_exact = exact_acc;
+  return out;
+}
+
+std::string format_path_timing(const PathTiming& timing) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-10s %-10s %12s %12s %12s %12s\n", "gate", "sink",
+                "lower(ps)", "upper(ps)", "exact(ps)", "slew sigma");
+  os << buf;
+  auto ps = [](double s) { return s * 1e12; };
+  for (const auto& st : timing.stages) {
+    char exact_col[32];
+    if (st.delay_exact)
+      std::snprintf(exact_col, sizeof(exact_col), "%12.2f", ps(*st.delay_exact));
+    else
+      std::snprintf(exact_col, sizeof(exact_col), "%12s", "-");
+    std::snprintf(buf, sizeof(buf), "%-10s %-10s %12.2f %12.2f %s %12.2f\n", st.gate.c_str(),
+                  st.sink.c_str(), ps(st.delay_lower), ps(st.delay_upper), exact_col,
+                  ps(st.slew_sigma));
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "path: lower %.2fps  upper %.2fps", ps(timing.path_lower),
+                ps(timing.path_upper));
+  os << buf;
+  if (timing.path_exact) {
+    std::snprintf(buf, sizeof(buf), "  exact %.2fps", ps(*timing.path_exact));
+    os << buf;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rct::sta

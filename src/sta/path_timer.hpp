@@ -1,0 +1,74 @@
+#pragma once
+// STA-lite: bound-based timing of a gate/interconnect path.
+//
+// A path is a chain of stages; each stage is a driving gate, the RC wire
+// tree it drives, and the sink pin the next stage hangs on.  Per stage the
+// timer forms the *loaded net* (driver resistance as a new root section,
+// receiver input capacitances added at sink pins) and applies the paper's
+// machinery:
+//
+//   stage delay upper bound = intrinsic + T_D(sink)          (Theorem)
+//   stage delay lower bound = intrinsic + max(T_D - sigma,0) (Corollary 1)
+//   slew propagation:  sigma_out^2 = sigma_net^2 + sigma_in^2
+//                      (central moments add under convolution, Appendix B)
+//
+// Path bounds are the stage sums; an optional exact mode (eigensolver per
+// stage net) reports the true 50% stage delays for bound-tightness audits.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rctree/rctree.hpp"
+#include "sta/gate.hpp"
+
+namespace rct::sta {
+
+/// Extra capacitive load attached to a wire node (a receiver pin).
+struct SinkLoad {
+  NodeId node;
+  double capacitance;
+};
+
+/// Rebuilds `wire` with a driver root section (resistance `driver_resistance`,
+/// zero cap, node name "drv") and `loads` added to node capacitances.
+[[nodiscard]] RCTree load_net(const RCTree& wire, double driver_resistance,
+                              const std::vector<SinkLoad>& loads);
+
+/// One stage of a path.
+struct Stage {
+  Gate driver;               ///< gate launching into the wire
+  RCTree wire;               ///< wire-only RC tree (no driver resistance)
+  std::string sink;          ///< wire node the next stage's input pin sits on
+  std::vector<SinkLoad> extra_loads;  ///< other receiver pins on this net
+  double sink_load = 0.0;    ///< input cap of the next stage's gate (farads)
+};
+
+/// Timing results for one stage.
+struct StageTiming {
+  std::string gate;
+  std::string sink;
+  double delay_upper;   ///< intrinsic + T_D
+  double delay_lower;   ///< intrinsic + max(T_D - sigma, 0)
+  double slew_sigma;    ///< accumulated sigma after this stage
+  std::optional<double> delay_exact;  ///< intrinsic + exact 50% delay
+};
+
+/// Whole-path timing.
+struct PathTiming {
+  std::vector<StageTiming> stages;
+  double path_upper = 0.0;
+  double path_lower = 0.0;
+  std::optional<double> path_exact;
+};
+
+/// Times a path.  `input_sigma` is the sigma of the primary input's
+/// derivative (0 for an ideal step).  With `with_exact`, each stage net is
+/// also solved exactly.
+[[nodiscard]] PathTiming time_path(const std::vector<Stage>& path, double input_sigma = 0.0,
+                                   bool with_exact = false);
+
+/// Aligned text rendering of a PathTiming (times in ps).
+[[nodiscard]] std::string format_path_timing(const PathTiming& timing);
+
+}  // namespace rct::sta

@@ -1,0 +1,36 @@
+* one bit of a 64-bit bus: long route, two receiver branches
+.title bus_bit
+.input drv
+Rd drv b0 620
+Cd b0 0 9f
+Rw1 b0 b1 210
+Cw1 b1 0 31f
+Rw2 b1 b2 210
+Cw2 b2 0 31f
+Rw3 b2 b3 210
+Cw3 b3 0 31f
+Rw4 b3 b4 210
+Cw4 b4 0 31f
+Rw5 b4 b5 210
+Cw5 b5 0 31f
+Rw6 b5 b6 210
+Cw6 b6 0 31f
+Rw7 b6 b7 210
+Cw7 b7 0 31f
+Rw8 b7 b8 210
+Cw8 b8 0 31f
+Rw9 b8 b9 210
+Cw9 b9 0 31f
+Rw10 b9 b10 210
+Cw10 b10 0 31f
+Rw11 b10 b11 210
+Cw11 b11 0 31f
+Rw12 b11 b12 210
+Cw12 b12 0 31f
+Rbr1 b6 rx1 330
+Cbr1 rx1 0 24f
+Rbr2 b12 rx2 280
+Cbr2 rx2 0 26f
+.probe rx1
+.probe rx2
+.end

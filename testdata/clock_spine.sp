@@ -1,0 +1,50 @@
+* clock spine: 3-level spine with per-tap stubs
+.title clock_spine
+.input clkroot
+Rsp1 clkroot sp1 85
+Csp1 sp1 0 42f
+Rsp2 sp1 sp2 85
+Csp2 sp2 0 42f
+Rta2 sp2 tap2a 140
+Cta2 tap2a 0 18f
+Rtb2 tap2a tap2b 160
+Ctb2 tap2b 0 55f
+.probe tap2b
+Rsp3 sp2 sp3 85
+Csp3 sp3 0 42f
+Rsp4 sp3 sp4 85
+Csp4 sp4 0 42f
+Rta4 sp4 tap4a 140
+Cta4 tap4a 0 18f
+Rtb4 tap4a tap4b 160
+Ctb4 tap4b 0 55f
+.probe tap4b
+Rsp5 sp4 sp5 85
+Csp5 sp5 0 42f
+Rsp6 sp5 sp6 85
+Csp6 sp6 0 42f
+Rta6 sp6 tap6a 140
+Cta6 tap6a 0 18f
+Rtb6 tap6a tap6b 160
+Ctb6 tap6b 0 55f
+.probe tap6b
+Rsp7 sp6 sp7 85
+Csp7 sp7 0 42f
+Rsp8 sp7 sp8 85
+Csp8 sp8 0 42f
+Rta8 sp8 tap8a 140
+Cta8 tap8a 0 18f
+Rtb8 tap8a tap8b 160
+Ctb8 tap8b 0 55f
+.probe tap8b
+Rsp9 sp8 sp9 85
+Csp9 sp9 0 42f
+Rsp10 sp9 sp10 85
+Csp10 sp10 0 42f
+Rta10 sp10 tap10a 140
+Cta10 tap10a 0 18f
+Rtb10 tap10a tap10b 160
+Ctb10 tap10b 0 55f
+.probe tap10b
+.probe sp10
+.end

@@ -1,0 +1,91 @@
+#include "sim/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::sim {
+namespace {
+
+TEST(Ac, SingleRcClosedForm) {
+  // H(jw) = 1/(1 + jw tau): |H| = 1/sqrt(1 + (w tau)^2), -3dB at w = 1/tau.
+  const double tau = 1e-9;
+  const ExactAnalysis e(testing::single_rc(1000.0, 1e-12));
+  const AcAnalysis ac(e);
+  EXPECT_NEAR(ac.magnitude(0, 0.0), 1.0, 1e-9);
+  const double f1 = 1.0 / (2.0 * M_PI * tau);
+  EXPECT_NEAR(ac.magnitude(0, f1), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(ac.phase(0, f1), -M_PI / 4.0, 1e-6);
+  EXPECT_NEAR(ac.bandwidth_3db(0), f1, 1e-6 * f1);
+}
+
+TEST(Ac, DcGainOneEverywhere) {
+  const RCTree t = gen::random_tree(25, 5);
+  const ExactAnalysis e(t);
+  const AcAnalysis ac(e);
+  for (NodeId i = 0; i < t.size(); ++i) EXPECT_NEAR(ac.magnitude(i, 0.0), 1.0, 1e-9);
+}
+
+TEST(Ac, MagnitudeMonotoneDecreasing) {
+  const RCTree t = gen::random_tree(20, 8);
+  const ExactAnalysis e(t);
+  const AcAnalysis ac(e);
+  const NodeId leaf = t.size() - 1;
+  double prev = 1.0;
+  const double f0 = e.poles().front() / (2.0 * M_PI);
+  for (double mult : {0.1, 0.3, 1.0, 3.0, 10.0, 100.0}) {
+    const double m = ac.magnitude(leaf, mult * f0);
+    EXPECT_LT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Ac, BandwidthInverselyTracksElmore) {
+  // A classic rule of thumb the toolkit makes checkable: BW * T_D is
+  // roughly constant (within a small factor) across nodes and trees.
+  double lo = 1e300;
+  double hi = 0.0;
+  for (std::uint64_t seed : {3u, 7u, 11u}) {
+    const RCTree t = gen::random_tree(20, seed);
+    const ExactAnalysis e(t);
+    const AcAnalysis ac(e);
+    const auto td = moments::elmore_delays(t);
+    const NodeId leaf = t.size() - 1;
+    const double prod = ac.bandwidth_3db(leaf) * td[leaf];
+    lo = std::min(lo, prod);
+    hi = std::max(hi, prod);
+  }
+  // For a single pole the product is ln-free: f_bw * T_D = 1/(2 pi) ~ 0.159.
+  EXPECT_GT(lo, 0.05);
+  EXPECT_LT(hi, 0.5);
+}
+
+TEST(Ac, BodeSweepShapes) {
+  const RCTree t = testing::two_rc();
+  const ExactAnalysis e(t);
+  const AcAnalysis ac(e);
+  const double f0 = e.poles().front() / (2.0 * M_PI);
+  const auto pts = ac.bode(1, 0.01 * f0, 100.0 * f0, 20);
+  ASSERT_EQ(pts.size(), 20u);
+  EXPECT_NEAR(pts.front().magnitude_db, 0.0, 0.1);   // flat at DC
+  EXPECT_LT(pts.back().magnitude_db, -20.0);          // well into rolloff
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LT(pts[i].magnitude_db, pts[i - 1].magnitude_db + 1e-9);
+    EXPECT_GT(pts[i].freq_hz, pts[i - 1].freq_hz);
+  }
+}
+
+TEST(Ac, BodeValidation) {
+  const ExactAnalysis e(testing::single_rc());
+  const AcAnalysis ac(e);
+  EXPECT_THROW((void)ac.bode(0, 0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)ac.bode(0, 2.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)ac.bode(0, 1.0, 2.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rct::sim

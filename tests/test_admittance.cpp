@@ -1,0 +1,111 @@
+#include "moments/admittance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::moments {
+namespace {
+
+using linalg::PowerSeries;
+using rct::testing::ExpectRel;
+
+TEST(SeriesResistor, ClosedFormForPureCapacitor) {
+  // Y = cs through r: cs/(1 + rcs) = cs - rc^2 s^2 + r^2 c^3 s^3 - ...
+  const double c = 1e-12;
+  const double r = 1000.0;
+  PowerSeries y(4);
+  y[1] = c;
+  const PowerSeries out = through_series_resistor(y, r);
+  EXPECT_NEAR(out[0], 0.0, 1e-30);
+  ExpectRel(out[1], c, 1e-14);
+  ExpectRel(out[2], -r * c * c, 1e-14);
+  ExpectRel(out[3], r * r * c * c * c, 1e-14);
+  ExpectRel(out[4], -r * r * r * c * c * c * c, 1e-14);
+}
+
+TEST(NodeAdmittance, LeafIsJustItsCapacitor) {
+  const RCTree t = testing::small_tree();
+  const PowerSeries y = node_admittance(t, t.at("c"), 3);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.5e-12);
+  EXPECT_DOUBLE_EQ(y[2], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(NodeAdmittance, FirstMomentIsSubtreeCapacitance) {
+  // m1(Y at node i) = total downstream capacitance, for any tree.
+  const RCTree t = gen::random_tree(60, 6);
+  const auto ctot = subtree_capacitances(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const PowerSeries y = node_admittance(t, i, 2);
+    ExpectRel(y[1], ctot[i], 1e-12);
+  }
+}
+
+TEST(InputAdmittance, MomentSignsAlternate) {
+  const RCTree t = gen::random_tree(40, 9);
+  const PowerSeries y = input_admittance(t, 5);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  for (std::size_t k = 1; k <= 5; ++k) {
+    if (k % 2)
+      EXPECT_GT(y[k], 0.0) << k;
+    else
+      EXPECT_LT(y[k], 0.0) << k;
+  }
+}
+
+TEST(InputAdmittance, SecondMomentClosedFormForSingleRc) {
+  // Y_in(s) = cs/(1+rcs): moments c, -rc^2, r^2c^3 ...
+  const double r = 500.0;
+  const double c = 2e-12;
+  const PowerSeries y = input_admittance(testing::single_rc(r, c), 3);
+  ExpectRel(y[1], c, 1e-14);
+  ExpectRel(y[2], -r * c * c, 1e-14);
+  ExpectRel(y[3], r * r * c * c * c, 1e-14);
+}
+
+TEST(TransferFromAdmittance, MatchesPathTracingAtRoot) {
+  // eq. (A1)/(A3): H_1 from Y_1 must equal path-traced transfer moments at
+  // the root node — for any tree.
+  for (std::uint64_t seed : {3u, 13u, 23u}) {
+    const RCTree t = gen::random_tree(35, seed);
+    const NodeId root = t.children_of_source()[0];
+    const PowerSeries h = transfer_from_admittance(t, root, 4);
+    const auto m = transfer_moments(t, 4);
+    for (std::size_t k = 0; k <= 4; ++k) {
+      const double scale = std::abs(m[k][root]) + 1e-300;
+      EXPECT_NEAR(h[k] / scale, m[k][root] / scale, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(TransferFromAdmittance, RejectsNonRootNode) {
+  const RCTree t = testing::small_tree();
+  EXPECT_THROW((void)transfer_from_admittance(t, t.at("b"), 3), std::invalid_argument);
+}
+
+TEST(NodeAdmittance, OutOfRangeThrows) {
+  const RCTree t = testing::single_rc();
+  EXPECT_THROW((void)node_admittance(t, 5, 3), std::invalid_argument);
+}
+
+TEST(InputAdmittance, ParallelRootsAdd) {
+  // Two root branches: admittance moments are the sum of each branch's.
+  RCTreeBuilder b;
+  b.add_node("r1", kSource, 100.0, 1e-12);
+  b.add_node("r2", kSource, 300.0, 2e-12);
+  const RCTree both = std::move(b).build();
+
+  const PowerSeries ya = input_admittance(testing::single_rc(100.0, 1e-12), 3);
+  const PowerSeries yb = input_admittance(testing::single_rc(300.0, 2e-12), 3);
+  const PowerSeries y = input_admittance(both, 3);
+  for (std::size_t k = 0; k <= 3; ++k) EXPECT_NEAR(y[k], ya[k] + yb[k], 1e-12 * std::abs(y[k]));
+}
+
+}  // namespace
+}  // namespace rct::moments

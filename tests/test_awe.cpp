@@ -1,0 +1,130 @@
+#include "core/awe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/elmore.hpp"
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::core {
+namespace {
+
+TEST(Awe, OrderOneIsDominantPoleElmoreModel) {
+  // q = 1 must reproduce v(t) = 1 - e^{-t/T_D}: delay = ln 2 * T_D.
+  const RCTree t = testing::small_tree();
+  const NodeId n = t.at("c");
+  const AweApproximation awe(t, n, 1);
+  ASSERT_EQ(awe.order(), 1u);
+  EXPECT_TRUE(awe.stable());
+  const double td = elmore_delay(t, n);
+  EXPECT_NEAR(awe.poles()[0].real(), 1.0 / td, 1e-9 / td);
+  EXPECT_NEAR(awe.delay(), std::log(2.0) * td, 1e-6 * td);
+}
+
+TEST(Awe, FullOrderRecoversExactPoles) {
+  // q = N on an N-node tree: the fitted poles are the circuit poles.
+  const RCTree t = testing::two_rc();
+  const sim::ExactAnalysis e(t);
+  const AweApproximation awe(t, 1, 2);
+  ASSERT_TRUE(awe.stable());
+  std::vector<double> got{awe.poles()[0].real(), awe.poles()[1].real()};
+  std::sort(got.begin(), got.end());
+  EXPECT_NEAR(got[0], e.poles()[0], 1e-6 * e.poles()[0]);
+  EXPECT_NEAR(got[1], e.poles()[1], 1e-6 * e.poles()[1]);
+}
+
+TEST(Awe, FullOrderMatchesExactWaveform) {
+  const RCTree t = testing::small_tree();
+  const sim::ExactAnalysis e(t);
+  const NodeId n = t.at("d");
+  const AweApproximation awe(t, n, 4);
+  const double tau = e.dominant_time_constant();
+  for (double x : {0.2, 0.7, 1.5, 4.0}) {
+    EXPECT_NEAR(awe.step_response(x * tau), e.step_response(n, x * tau), 1e-6);
+    EXPECT_NEAR(awe.impulse_response(x * tau) * tau, e.impulse_response(n, x * tau) * tau,
+                1e-5);
+  }
+}
+
+TEST(Awe, AccuracyImprovesWithOrder) {
+  const RCTree t = circuits::tree25();
+  const sim::ExactAnalysis e(t);
+  const NodeId n = t.at("C");
+  const double exact = e.step_delay(n);
+  double prev_err = 1e300;
+  for (std::size_t q : {1u, 2u, 3u}) {
+    const AweApproximation awe(t, n, q);
+    if (!awe.stable()) continue;  // low-order AWE can go unstable; skip
+    const double err = std::abs(awe.delay() - exact);
+    EXPECT_LT(err, prev_err * 1.05) << "q=" << q;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.02 * exact);
+}
+
+TEST(TwoPole, BeatsSinglePoleOnPaperCircuit) {
+  const RCTree t = circuits::fig1();
+  const sim::ExactAnalysis e(t);
+  for (NodeId n : circuits::fig1_observed(t)) {
+    const double exact = e.step_delay(n);
+    const double one_pole = single_pole_delay(elmore_delay(t, n));
+    const double two_pole = two_pole_delay(t, n);
+    EXPECT_LE(std::abs(two_pole - exact), std::abs(one_pole - exact) + 1e-12)
+        << t.name(n);
+  }
+}
+
+TEST(Awe, DelayValidation) {
+  const RCTree t = testing::small_tree();
+  const AweApproximation awe(t, t.at("c"), 2);
+  EXPECT_THROW((void)awe.delay(0.0), std::invalid_argument);
+  EXPECT_THROW((void)awe.delay(1.0), std::invalid_argument);
+}
+
+TEST(Awe, OrderValidation) {
+  const RCTree t = testing::small_tree();
+  EXPECT_THROW(AweApproximation(t, 0, 0), std::invalid_argument);
+  EXPECT_THROW(AweApproximation(std::vector<double>{1.0}, 1), std::invalid_argument);
+}
+
+TEST(Awe, FromExplicitMoments) {
+  // Single-pole system given by explicit moments of 1/(1+s tau).
+  const double tau = 1e-9;
+  const AweApproximation awe(std::vector<double>{1.0, -tau}, 1);
+  EXPECT_TRUE(awe.stable());
+  EXPECT_NEAR(awe.poles()[0].real(), 1.0 / tau, 1e-6 / tau);
+}
+
+TEST(Awe, DcGainPreserved) {
+  // Step response must settle at 1 (moment m0 = 1 is matched).
+  const RCTree t = gen::random_tree(20, 55);
+  const AweApproximation awe(t, t.size() - 1, 3);
+  if (awe.stable()) {
+    const double tau = 1.0 / awe.poles()[0].real();
+    EXPECT_NEAR(awe.step_response(60.0 * std::abs(tau)), 1.0, 1e-6);
+  }
+}
+
+class AweBoundCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AweBoundCheck, StableFitsConvergeTowardExactDelay) {
+  const RCTree t = gen::random_tree(15, GetParam());
+  const sim::ExactAnalysis e(t);
+  const NodeId n = t.size() - 1;
+  const double exact = e.step_delay(n);
+  const AweApproximation awe(t, n, 4);
+  if (!awe.stable()) GTEST_SKIP() << "unstable AWE fit (known failure mode)";
+  // Moment matching emphasizes low frequency; ~10% error at the 50% point
+  // is within normal AWE(4) behaviour on awkward pole spreads.
+  EXPECT_NEAR(awe.delay(), exact, 0.12 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AweBoundCheck, ::testing::Values(3, 6, 9, 12, 15));
+
+}  // namespace
+}  // namespace rct::core

@@ -1,0 +1,133 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/elmore.hpp"
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::core {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(ElmoreApi, MatchesMomentsEngine) {
+  const RCTree t = testing::small_tree();
+  EXPECT_DOUBLE_EQ(elmore_delay(t, t.at("c")), elmore_delays(t)[t.at("c")]);
+}
+
+TEST(SinglePole, LnTwoScaling) {
+  EXPECT_NEAR(single_pole_delay(1e-9), std::log(2.0) * 1e-9, 1e-20);
+  EXPECT_NEAR(single_pole_delay(1e-9, 0.9), std::log(10.0) * 1e-9, 1e-18);
+}
+
+TEST(DelayBounds, SingleRcValues) {
+  // T_D = sigma = tau: lower bound collapses to 0, upper = tau.
+  const auto b = delay_bounds_at(testing::single_rc(1000.0, 1e-12), 0);
+  EXPECT_NEAR(b.elmore, 1e-9, 1e-20);
+  EXPECT_NEAR(b.sigma, 1e-9, 1e-18);
+  EXPECT_NEAR(b.lower, 0.0, 1e-18);
+  EXPECT_DOUBLE_EQ(b.upper, b.elmore);
+}
+
+TEST(DelayBounds, TheoremHoldsOnPaperCircuit) {
+  const RCTree t = circuits::fig1();
+  const sim::ExactAnalysis e(t);
+  const auto bounds = delay_bounds(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const double exact = e.step_delay(i);
+    EXPECT_LE(exact, bounds[i].upper * (1 + 1e-9)) << t.name(i);
+    EXPECT_GE(exact, bounds[i].lower * (1 - 1e-9)) << t.name(i);
+  }
+}
+
+TEST(GeneralizedBounds, StepReducesToStepBounds) {
+  const RCTree t = testing::small_tree();
+  const sim::StepSource step;
+  const auto g = generalized_bounds(t, t.at("c"), step);
+  const auto b = delay_bounds_at(t, t.at("c"));
+  EXPECT_NEAR(g.out_mean, b.elmore, 1e-20);
+  EXPECT_NEAR(g.out_sigma, b.sigma, 1e-18);
+  EXPECT_NEAR(g.crossing_lower, b.lower, 1e-18);
+  EXPECT_NEAR(g.delay_upper, b.elmore, 1e-20);
+}
+
+TEST(GeneralizedBounds, RampKeepsDelayUpperAtElmore) {
+  // Symmetric input derivative: mean(v_i') = t_in,50, so the 50-50 delay
+  // upper bound is exactly T_D regardless of rise time.
+  const RCTree t = testing::small_tree();
+  const double td = elmore_delay(t, t.at("c"));
+  for (double tr : {1e-10, 1e-9, 1e-8}) {
+    const sim::SaturatedRampSource ramp(tr);
+    const auto g = generalized_bounds(t, t.at("c"), ramp);
+    EXPECT_NEAR(g.delay_upper, td, 1e-12 * td);
+    EXPECT_NEAR(g.out_mean, td + 0.5 * tr, 1e-12 * g.out_mean);
+  }
+}
+
+TEST(GeneralizedBounds, SkewnessDecaysWithRiseTime) {
+  // Corollary 3 mechanism: gamma(v_o') -> 0 as t_r grows.
+  const RCTree t = testing::small_tree();
+  double prev = 1e9;
+  for (double tr : {1e-10, 1e-9, 1e-8, 1e-7}) {
+    const sim::SaturatedRampSource ramp(tr);
+    const auto g = generalized_bounds(t, t.at("c"), ramp);
+    EXPECT_LT(g.out_skewness, prev);
+    prev = g.out_skewness;
+  }
+  EXPECT_LT(prev, 1e-2);
+}
+
+TEST(GeneralizedBounds, ExponentialInputAddsItsSkew) {
+  const RCTree t = testing::small_tree();
+  const double tau = 1e-9;
+  const sim::ExponentialSource expo(tau);
+  const auto g = generalized_bounds(t, t.at("c"), expo);
+  const auto stats = moments::impulse_stats(t)[t.at("c")];
+  EXPECT_NEAR(g.out_mean, stats.mean + tau, 1e-12 * g.out_mean);
+  EXPECT_NEAR(g.out_mu3, stats.mu3 + 2 * tau * tau * tau, 1e-12 * g.out_mu3);
+}
+
+TEST(GeneralizedBounds, CrossingBoundsContainExactCrossing) {
+  const RCTree t = circuits::fig1();
+  const sim::ExactAnalysis e(t);
+  const auto obs = circuits::fig1_observed(t);
+  for (NodeId node : obs) {
+    for (double tr : {0.2e-9, 1e-9, 5e-9}) {
+      const sim::SaturatedRampSource ramp(tr);
+      const double cross = e.response_crossing(node, ramp, 0.5);
+      const auto g = generalized_bounds(t, node, ramp);
+      EXPECT_LE(cross, g.crossing_upper * (1 + 1e-9));
+      EXPECT_GE(cross, g.crossing_lower * (1 - 1e-9));
+    }
+  }
+}
+
+TEST(RiseTimeEstimate, TracksExactRiseTimeWithinFactor) {
+  // sigma is proportional to (not equal to) the 10-90 rise time at *output*
+  // nodes (eq. 38).  At the driving point the step edge is far faster than
+  // sigma suggests, so the proportionality claim is checked at B, C and the
+  // leaves, not at A.
+  const RCTree t = circuits::tree25();
+  const sim::ExactAnalysis e(t);
+  std::vector<NodeId> nodes = t.leaves();
+  nodes.push_back(t.at("B"));
+  double lo = 1e300;
+  double hi = 0.0;
+  for (NodeId node : nodes) {
+    const double ratio = e.step_rise_time_10_90(node) / rise_time_estimate(t, node);
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  // Single-pole responses give ~2.2, diffusive deep nodes ~2.6.
+  EXPECT_GT(lo, 1.0);
+  EXPECT_LT(hi, 4.0);
+  EXPECT_LT(hi / lo, 2.5);
+}
+
+}  // namespace
+}  // namespace rct::core

@@ -1,0 +1,99 @@
+#include "moments/central.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::moments {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(StatsFromTransferMoments, SingleRcClosedForm) {
+  // h(t) = (1/tau) e^{-t/tau}: mean tau, mu2 tau^2, mu3 2 tau^3, skew 2.
+  const double tau = 1e-9;
+  const auto s = stats_from_transfer_moments(-tau, tau * tau, -tau * tau * tau);
+  EXPECT_NEAR(s.mean, tau, 1e-18);
+  EXPECT_NEAR(s.mu2, tau * tau, 1e-27);
+  EXPECT_NEAR(s.mu3, 2.0 * tau * tau * tau, 1e-36);
+  EXPECT_NEAR(s.sigma, tau, 1e-18);
+  EXPECT_NEAR(s.skewness, 2.0, 1e-9);
+}
+
+TEST(ImpulseStats, MatchExactDistributionMoments) {
+  const RCTree t = gen::random_tree(25, 77);
+  const auto stats = impulse_stats(t);
+  const sim::ExactAnalysis e(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const double m1 = e.distribution_moment(i, 1);
+    const double m2 = e.distribution_moment(i, 2);
+    const double m3 = e.distribution_moment(i, 3);
+    ExpectRel(stats[i].mean, m1, 1e-6);
+    ExpectRel(stats[i].mu2, m2 - m1 * m1, 1e-6);
+    ExpectRel(stats[i].mu3, m3 - 3 * m1 * m2 + 2 * m1 * m1 * m1, 1e-5);
+  }
+}
+
+TEST(ImpulseStats, MatchNumericWaveformStatistics) {
+  // Cross-check the closed-form central moments against trapezoid
+  // integration of the actual impulse response waveform.
+  const RCTree t = testing::small_tree();
+  const auto stats = impulse_stats(t);
+  const sim::ExactAnalysis e(t);
+  const auto grid = e.suggested_grid(20000, 0.0, 30.0);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const auto h = e.impulse_waveform(i, grid);
+    ExpectRel(h.density_mean(), stats[i].mean, 1e-3);
+    ExpectRel(h.density_central_moment(2), stats[i].mu2, 1e-2);
+    ExpectRel(h.density_central_moment(3), stats[i].mu3, 5e-2);
+  }
+}
+
+TEST(ImpulseStats, Lemma2SkewnessNonNegative) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const RCTree t = gen::random_tree(40, seed);
+    for (const auto& s : impulse_stats(t)) {
+      EXPECT_GE(s.mu2, 0.0);
+      EXPECT_GE(s.mu3, -1e-12 * std::abs(s.mu3));
+      EXPECT_GE(s.skewness, 0.0);
+    }
+  }
+}
+
+TEST(ImpulseStats, SigmaPositiveOnRealTrees) {
+  const RCTree t = gen::random_tree(30, 2);
+  for (const auto& s : impulse_stats(t)) EXPECT_GT(s.sigma, 0.0);
+}
+
+TEST(CentralFromRaw, MatchesKnownGamma) {
+  // gamma(2) density: raw M = {1, 2, 6, 24}; mu2 = 2, mu3 = 4.
+  const std::vector<double> raw{1.0, 2.0, 6.0, 24.0};
+  EXPECT_NEAR(central_from_raw(raw, 2), 2.0, 1e-12);
+  EXPECT_NEAR(central_from_raw(raw, 3), 4.0, 1e-12);
+}
+
+TEST(CentralFromRaw, Validation) {
+  EXPECT_THROW((void)central_from_raw({1.0}, 2), std::invalid_argument);
+  EXPECT_THROW((void)central_from_raw({2.0, 1.0, 1.0}, 2), std::invalid_argument);
+}
+
+TEST(ImpulseStats, SkewConvergesDownstream) {
+  // Section IV-B observation: skewness decreases toward the leaves of a
+  // line (responses become more symmetric away from the driving point).
+  const RCTree t = gen::line(30, 50.0, 10e-15, 100.0, 50e-15);
+  const auto stats = impulse_stats(t);
+  EXPECT_GT(stats.front().skewness, stats.back().skewness);
+  // And mu2, mu3 increase monotonically along the path (they add per stage).
+  for (NodeId i = 1; i < t.size(); ++i) {
+    EXPECT_GE(stats[i].mu2, stats[i - 1].mu2);
+    EXPECT_GE(stats[i].mu3, stats[i - 1].mu3);
+  }
+}
+
+}  // namespace
+}  // namespace rct::moments

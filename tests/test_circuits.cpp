@@ -1,0 +1,75 @@
+#include "rctree/circuits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+
+namespace rct::circuits {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(Fig1, Topology) {
+  const RCTree t = fig1();
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.parent(t.at("n1")), kSource);
+  EXPECT_EQ(t.parent(t.at("n5")), t.at("n4"));
+  EXPECT_EQ(t.parent(t.at("n6")), t.at("n1"));
+  EXPECT_EQ(t.parent(t.at("n7")), t.at("n6"));
+  // Two leaves: the end of the main chain and the end of the side branch.
+  EXPECT_EQ(t.leaves().size(), 2u);
+}
+
+TEST(Fig1, ObservedNodesInPaperOrder) {
+  const RCTree t = fig1();
+  const auto obs = fig1_observed(t);
+  EXPECT_EQ(t.name(obs[0]), "n1");
+  EXPECT_EQ(t.name(obs[1]), "n5");
+  EXPECT_EQ(t.name(obs[2]), "n7");
+}
+
+TEST(Fig1, CalibratedElmoreMatchesTable1) {
+  // Calibration target: Elmore delays within ~3% of the published Table I.
+  const RCTree t = fig1();
+  const auto td = moments::elmore_delays(t);
+  const auto obs = fig1_observed(t);
+  const auto pub = table1_published();
+  for (int k = 0; k < 3; ++k) ExpectRel(td[obs[k]], pub[k].elmore, 0.03);
+}
+
+TEST(Tree25, TopologyHas25Nodes) {
+  const RCTree t = tree25();
+  EXPECT_EQ(t.size(), 25u);
+  EXPECT_EQ(t.depth(t.at("A")), 1u);
+  EXPECT_GT(t.depth(t.at("C")), t.depth(t.at("B")));
+}
+
+TEST(Tree25, CalibratedElmoreMatchesTable2) {
+  const RCTree t = tree25();
+  const auto td = moments::elmore_delays(t);
+  const auto obs = tree25_observed(t);
+  const auto pub = table2_published();
+  for (int k = 0; k < 3; ++k) ExpectRel(td[obs[k]], pub[k].elmore, 0.03);
+}
+
+TEST(PublishedTables, SanityRelationsHold) {
+  // In the published data the Elmore value always upper-bounds the actual
+  // delay (the paper's theorem) and the PRH bounds bracket it.
+  for (const auto& row : table1_published()) {
+    EXPECT_GE(row.elmore, row.actual_delay);
+    EXPECT_LE(row.prh_tmin, row.actual_delay);
+    EXPECT_GE(row.prh_tmax, row.actual_delay);
+    EXPECT_LE(row.lower_bound, row.actual_delay);
+  }
+  for (const auto& row : table2_published()) {
+    EXPECT_GE(row.elmore, row.delay_1ns);
+    EXPECT_GE(row.delay_5ns, row.delay_1ns);
+    EXPECT_GE(row.delay_10ns, row.delay_5ns);
+    EXPECT_GT(row.error_1ns, row.error_5ns);
+    EXPECT_GT(row.error_5ns, row.error_10ns);
+  }
+}
+
+}  // namespace
+}  // namespace rct::circuits

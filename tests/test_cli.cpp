@@ -1,0 +1,104 @@
+// End-to-end tests of the `rct` command-line tool: spawn the real binary on
+// the committed testdata and check output and exit codes.  The binary path
+// and testdata directory are injected by CMake.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef RCT_CLI_PATH
+#define RCT_CLI_PATH "./rct"
+#endif
+#ifndef RCT_TESTDATA_DIR
+#define RCT_TESTDATA_DIR "testdata"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code;
+  std::string output;  // stdout + stderr
+};
+
+RunResult run(const std::string& args) {
+  const std::string cmd = std::string(RCT_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 4096> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  const int status = pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, std::move(out)};
+}
+
+std::string data(const char* file) { return std::string(RCT_TESTDATA_DIR) + "/" + file; }
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const auto r = run("");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, ReportOnDeck) {
+  const auto r = run("report " + data("bus_bit.sp"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("elmore"), std::string::npos);
+  EXPECT_NE(r.output.find("rx2"), std::string::npos);
+}
+
+TEST(Cli, DotOnDeck) {
+  const auto r = run("dot " + data("bus_bit.sp"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("digraph"), std::string::npos);
+  EXPECT_NE(r.output.find("TD="), std::string::npos);
+}
+
+TEST(Cli, SpefReport) {
+  const auto r = run("spef " + data("two_nets.spef"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("net_a"), std::string::npos);
+  EXPECT_NE(r.output.find("exact"), std::string::npos);
+}
+
+TEST(Cli, DelayCurveCsv) {
+  const auto r = run("delay-curve " + data("bus_bit.sp") + " rx2");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("rise_time_s,delay_s"), std::string::npos);
+  // 30 data rows + header.
+  std::size_t lines = 0;
+  for (char c : r.output)
+    if (c == '\n') ++lines;
+  EXPECT_GE(lines, 30u);
+}
+
+TEST(Cli, BodeCsv) {
+  const auto r = run("bode " + data("bus_bit.sp") + " rx1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("-3dB bandwidth"), std::string::npos);
+  EXPECT_NE(r.output.find("freq_hz,mag_db,phase_deg"), std::string::npos);
+}
+
+TEST(Cli, ConvertRoundTrip) {
+  const std::string out_path = ::testing::TempDir() + "/rct_cli_convert.spef";
+  const auto r = run("convert " + data("clock_spine.sp") + " " + out_path);
+  EXPECT_EQ(r.exit_code, 0);
+  const auto back = run("spef " + out_path);
+  EXPECT_EQ(back.exit_code, 0);
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, MissingFileFailsCleanly) {
+  const auto r = run("report /nonexistent/net.sp");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, BadNodeFailsCleanly) {
+  const auto r = run("delay-curve " + data("bus_bit.sp") + " no_such_node");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+}  // namespace

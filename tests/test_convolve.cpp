@@ -1,0 +1,98 @@
+#include "sim/convolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::sim {
+namespace {
+
+TEST(ConvolveResponse, StepThroughImpulseGivesStepResponse) {
+  const RCTree t = testing::two_rc();
+  const ExactAnalysis e(t);
+  const auto grid = e.suggested_grid(4000);
+  const Waveform h = e.impulse_waveform(1, grid);
+  const StepSource step;
+  const Waveform y = convolve_response(h, step);
+  for (std::size_t k = 0; k < y.size(); k += 211)
+    EXPECT_NEAR(y.value(k), e.step_response(1, y.time(k)), 2e-3);
+}
+
+TEST(ConvolveResponse, RampThroughImpulseMatchesClosedForm) {
+  const RCTree t = testing::small_tree();
+  const ExactAnalysis e(t);
+  const double tau = e.dominant_time_constant();
+  const auto grid = e.suggested_grid(6000, 2.0 * tau);
+  const NodeId n = t.at("c");
+  const Waveform h = e.impulse_waveform(n, grid);
+  const SaturatedRampSource ramp(2.0 * tau);
+  const Waveform y = convolve_response(h, ramp);
+  for (std::size_t k = 0; k < y.size(); k += 397)
+    EXPECT_NEAR(y.value(k), e.ramp_response(n, y.time(k), 2.0 * tau), 2e-3);
+}
+
+TEST(ConvolveResponse, RequiresUniformGridFromZero) {
+  const StepSource step;
+  EXPECT_THROW((void)convolve_response(Waveform({0.0, 1.0, 3.0}, {1.0, 1.0, 1.0}), step),
+               std::invalid_argument);
+  EXPECT_THROW((void)convolve_response(Waveform({1.0, 2.0, 3.0}, {1.0, 1.0, 1.0}), step),
+               std::invalid_argument);
+}
+
+TEST(ConvolveDensities, BoxBoxGivesTriangle) {
+  // box(0,1) * box(0,1) = triangle peaking at 1.
+  const auto t = uniform_grid(1.0, 101);
+  std::vector<double> box(t.size(), 1.0);
+  const Waveform f(t, box);
+  const Waveform y = convolve_densities(f, f);
+  EXPECT_NEAR(y.value_at(1.0), 1.0, 2e-2);
+  EXPECT_NEAR(y.value_at(0.5), 0.5, 2e-2);
+  EXPECT_NEAR(y.value_at(1.5), 0.5, 2e-2);
+  EXPECT_NEAR(y.integrate(), 1.0, 2e-2);
+}
+
+TEST(ConvolveDensities, MeanAndCentralMomentsAdd) {
+  // Appendix B: for normalized densities, means and central moments mu2,
+  // mu3 add under convolution.
+  const auto t = uniform_grid(10.0, 2001);
+  std::vector<double> fa(t.size());
+  std::vector<double> fb(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    fa[i] = std::exp(-t[i]);                              // exp(1): mean 1, mu2 1, mu3 2
+    fb[i] = t[i] * std::exp(-t[i]);                       // gamma(2): mean 2, mu2 2, mu3 4
+  }
+  const Waveform a(t, fa);
+  const Waveform b(t, fb);
+  const Waveform y = convolve_densities(a, b);
+  EXPECT_NEAR(y.density_mean(), a.density_mean() + b.density_mean(), 2e-2);
+  EXPECT_NEAR(y.density_central_moment(2),
+              a.density_central_moment(2) + b.density_central_moment(2), 5e-2);
+  EXPECT_NEAR(y.density_central_moment(3),
+              a.density_central_moment(3) + b.density_central_moment(3), 2e-1);
+}
+
+TEST(ConvolveDensities, MismatchedStepThrows) {
+  const Waveform a(uniform_grid(1.0, 11), std::vector<double>(11, 1.0));
+  const Waveform b(uniform_grid(2.0, 11), std::vector<double>(11, 1.0));
+  EXPECT_THROW((void)convolve_densities(a, b), std::invalid_argument);
+}
+
+TEST(ConvolveDensities, UnimodalityPreserved) {
+  // Lemma 1's engine: convolution of unimodal positive densities is
+  // unimodal (Wintner's theorem) — check numerically on two gammas.
+  const auto t = uniform_grid(12.0, 1201);
+  std::vector<double> fa(t.size());
+  std::vector<double> fb(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    fa[i] = t[i] * std::exp(-2.0 * t[i]);
+    fb[i] = std::exp(-t[i]);
+  }
+  const Waveform y = convolve_densities(Waveform(t, fa), Waveform(t, fb));
+  EXPECT_TRUE(y.is_unimodal(1e-12));
+}
+
+}  // namespace
+}  // namespace rct::sim

@@ -1,0 +1,110 @@
+// Cross-engine consistency: the repository contains five independent routes
+// to an RC tree's step response (closed-form eigenseries, trapezoidal
+// transient, impulse-convolution, PRIMA full order, AWE full order) and six
+// delay estimators with a provable ordering.  This suite pins them against
+// each other on shared circuits — the strongest internal-consistency check
+// the toolkit has.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/awe.hpp"
+#include "core/metrics.hpp"
+#include "core/prima.hpp"
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+#include "rctree/generators.hpp"
+#include "sim/convolve.hpp"
+#include "sim/exact.hpp"
+#include "sim/transient.hpp"
+
+namespace rct {
+namespace {
+
+class CrossEngine : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossEngine, FiveRoutesToTheSameStepResponse) {
+  const RCTree t = gen::random_tree(12, GetParam());
+  const NodeId node = t.size() - 1;
+  const sim::ExactAnalysis exact(t);
+  const double tau = exact.dominant_time_constant();
+  const double t_end = 10.0 * tau;
+
+  // Route 2: transient integration.
+  const sim::StepSource step;
+  sim::TransientOptions opt;
+  opt.t_end = t_end;
+  opt.steps = 8000;
+  const auto trans = sim::simulate(t, step, {node}, opt);
+
+  // Route 3: numeric convolution of the impulse response with the step.
+  const auto grid = sim::uniform_grid(t_end, 16000);
+  const sim::Waveform conv =
+      sim::convolve_response(exact.impulse_waveform(node, grid), step);
+
+  // Routes 4-5: full-order reductions (must be exact up to conditioning).
+  const core::PrimaReduction prima(t, t.size());
+  const core::ReducedModel rm = prima.at(node);
+  const core::AweApproximation awe(t, node, 4);  // partial order, looser
+
+  for (double x : {0.5, 1.5, 3.0, 6.0}) {
+    const double tt = x * tau;
+    const double truth = exact.step_response(node, tt);
+    EXPECT_NEAR(trans.waveform(0).value_at(tt), truth, 5e-4) << "transient";
+    EXPECT_NEAR(conv.value_at(tt), truth, 1e-2) << "convolution";
+    EXPECT_NEAR(rm.step_response(tt), truth, 1e-4) << "prima";
+    if (awe.stable()) {
+      EXPECT_NEAR(awe.step_response(tt), truth, 5e-2) << "awe";
+    }
+  }
+}
+
+TEST_P(CrossEngine, EstimatorOrderingAgainstExact) {
+  const RCTree t = gen::random_tree(18, GetParam() + 500);
+  const sim::ExactAnalysis exact(t);
+  const auto metrics = core::delay_metrics(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const double truth = exact.step_delay(i);
+    const auto& m = metrics[i];
+    // Provable: lower bounds below exact, Elmore above, and the two lower
+    // bounds ordered.
+    EXPECT_LE(m.lower_cantelli, m.lower_unimodal + 1e-30);
+    EXPECT_LE(m.lower_unimodal, truth * (1 + 1e-9));
+    EXPECT_GE(m.elmore, truth * (1 - 1e-9));
+    // Structural: every estimator inside [0, elmore].
+    for (double est : {m.single_pole, m.d2m, m.scaled_elmore}) {
+      EXPECT_GE(est, 0.0);
+      EXPECT_LE(est, m.elmore * (1 + 1e-9));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngine, ::testing::Values(1, 7, 13, 19));
+
+TEST(CrossEngine, PaperCircuitAllEnginesAgreeOnC5) {
+  const RCTree t = circuits::fig1();
+  const NodeId c5 = t.at("n5");
+  const sim::ExactAnalysis exact(t);
+  const double truth = exact.step_delay(c5);
+
+  const core::PrimaReduction prima(t, t.size());
+  EXPECT_NEAR(prima.at(c5).delay(), truth, 1e-5 * truth);
+
+  const core::AweApproximation awe(t, c5, 4);
+  if (awe.stable()) {
+    EXPECT_NEAR(awe.delay(), truth, 1e-2 * truth);
+  }
+
+  const sim::StepSource step;
+  sim::TransientOptions opt;
+  opt.t_end = 12.0 * exact.dominant_time_constant();
+  opt.steps = 20000;
+  const auto trans = sim::simulate(t, step, {c5}, opt);
+  const auto crossing = trans.waveform(0).first_rise_crossing(0.5);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_NEAR(*crossing, truth, 2e-3 * truth);
+}
+
+}  // namespace
+}  // namespace rct

@@ -1,0 +1,133 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+namespace rct::linalg {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(i3(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  const auto y = m.multiply(std::vector<double>{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MultiplyVectorSizeMismatchThrows) {
+  Matrix m(2, 2);
+  std::vector<double> x{1.0};
+  EXPECT_THROW((void)m.multiply(x), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyMatrixAgainstHandResult) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  const Matrix c = a.multiply(b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = -2.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), -2.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(LuFactor, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const LuFactor lu(a);
+  const auto x = lu.solve(std::vector<double>{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(LuFactor, DeterminantMatchesClosedForm) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  EXPECT_NEAR(LuFactor(a).determinant(), 5.0, 1e-12);
+}
+
+TEST(LuFactor, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const LuFactor lu(a);
+  const auto x = lu.solve(std::vector<double>{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-12);
+}
+
+TEST(LuFactor, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(LuFactor{a}, std::runtime_error);
+}
+
+TEST(LuFactor, NonSquareThrows) { EXPECT_THROW(LuFactor{Matrix(2, 3)}, std::invalid_argument); }
+
+TEST(LuFactor, RandomRoundTrip) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rep) % 12;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = uni(rng);
+      a(i, i) += static_cast<double>(n);  // diagonally dominant -> nonsingular
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = uni(rng);
+    const auto b = a.multiply(x_true);
+    const auto x = LuFactor(a).solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace rct::linalg

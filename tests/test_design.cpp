@@ -1,0 +1,161 @@
+#include "sta/design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rctree/generators.hpp"
+#include "sta/path_timer.hpp"
+
+namespace rct::sta {
+namespace {
+
+RCTree short_net() { return gen::line(2, 20.0, 2e-15, 100.0, 15e-15); }
+
+Design two_stage_design() {
+  Design d(builtin_library());
+  d.add_primary_input("in", 100.0);
+  d.add_instance("u1", "inv_x1");
+  d.add_instance("u2", "buf_x2");
+  d.add_instance("ff1", "dff_x1");
+  d.add_net("in", short_net(), {{"n3", "u1"}});
+  d.add_net("u1", short_net(), {{"n3", "u2"}});
+  d.add_net("u2", short_net(), {{"n3", "ff1"}});
+  return d;
+}
+
+TEST(Design, Validation) {
+  Design d(builtin_library());
+  EXPECT_THROW(d.add_instance("u1", "not_a_gate"), std::invalid_argument);
+  d.add_instance("u1", "inv_x1");
+  EXPECT_THROW(d.add_instance("u1", "inv_x1"), std::invalid_argument);
+  EXPECT_THROW(d.add_net("in", short_net(), {{"n3", "nope"}}), std::invalid_argument);
+  EXPECT_THROW(d.add_net("in", short_net(), {{"zz", "u1"}}), std::invalid_argument);
+  EXPECT_THROW(d.add_primary_input("p", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)d.analyze(0.0), std::invalid_argument);
+}
+
+TEST(Design, ArrivalsPropagateInOrder) {
+  const auto report = two_stage_design().analyze(2e-9);
+  ASSERT_EQ(report.arrivals.size(), 3u);  // u1, u2, ff1 inputs
+  double prev = -1.0;
+  for (const auto& a : report.arrivals) {
+    EXPECT_GE(a.upper, a.lower);
+    EXPECT_GT(a.upper, prev);  // each stage adds delay along the chain
+    prev = a.upper;
+  }
+}
+
+TEST(Design, EndpointSlackAgainstClock) {
+  const auto report = two_stage_design().analyze(2e-9);
+  ASSERT_EQ(report.endpoints.size(), 1u);
+  EXPECT_EQ(report.endpoints[0].instance, "ff1");
+  EXPECT_NEAR(report.endpoints[0].setup_slack, 2e-9 - report.endpoints[0].arrival_upper,
+              1e-18);
+  EXPECT_GT(report.worst_arrival_upper, 0.0);
+}
+
+TEST(Design, HoldSlackUsesLowerBoundAndHoldTime) {
+  const auto report = two_stage_design().analyze(2e-9);
+  ASSERT_EQ(report.endpoints.size(), 1u);
+  const auto& ep = report.endpoints[0];
+  // Hold slack = guaranteed-earliest arrival minus the flop's hold time.
+  double lower = 0.0;
+  for (const auto& a : report.arrivals)
+    if (a.instance == "ff1") lower = a.lower;
+  const double hold = find_gate(builtin_library(), "dff_x1").hold_time;
+  EXPECT_NEAR(ep.hold_slack, lower - hold, 1e-18);
+  EXPECT_GT(hold, 0.0);
+}
+
+TEST(Design, FlopsRelaunchPaths) {
+  // A net driven by a flop starts a fresh path: downstream arrivals do not
+  // include the pre-flop logic depth.
+  Design d(builtin_library());
+  d.add_primary_input("in", 100.0);
+  d.add_instance("u1", "inv_x1");
+  d.add_instance("ff1", "dff_x1");
+  d.add_instance("u2", "inv_x4");
+  d.add_instance("ff2", "dff_x1");
+  d.add_net("in", short_net(), {{"n3", "u1"}});
+  d.add_net("u1", short_net(), {{"n3", "ff1"}});
+  d.add_net("ff1", short_net(), {{"n3", "u2"}});
+  d.add_net("u2", short_net(), {{"n3", "ff2"}});
+  const auto report = d.analyze(2e-9);
+  ASSERT_EQ(report.endpoints.size(), 2u);
+  // Both endpoints see roughly two-stage depth, not cumulative 4-stage.
+  const double worst = report.endpoints.front().arrival_upper;
+  const double best = report.endpoints.back().arrival_upper;
+  EXPECT_LT(worst, 2.0 * best + 1e-9);
+}
+
+TEST(Design, FanoutTakesWorstArrival) {
+  // Two paths converge on one gate: the max-arrival wins the upper window.
+  Design d(builtin_library());
+  d.add_primary_input("fast", 50.0);
+  d.add_primary_input("slow", 50.0);
+  d.add_instance("u1", "inv_x1");
+  d.add_instance("uslow", "nor2_x1");
+  d.add_instance("join", "nand2_x1");
+  d.add_instance("ff", "dff_x1");
+  d.add_net("fast", short_net(), {{"n3", "join"}});
+  d.add_net("slow", gen::line(8, 20.0, 2e-15, 300.0, 40e-15), {{"n9", "uslow"}});
+  d.add_net("uslow", short_net(), {{"n3", "join"}});
+  d.add_net("join", short_net(), {{"n3", "ff"}});
+  const auto report = d.analyze(5e-9);
+
+  double join_upper = 0.0;
+  double join_lower = 0.0;
+  for (const auto& a : report.arrivals) {
+    if (a.instance == "join") {
+      join_upper = a.upper;
+      join_lower = a.lower;
+    }
+  }
+  // Upper window follows the slow path (through uslow), lower the fast one.
+  EXPECT_GT(join_upper, 3.0 * join_lower);
+}
+
+TEST(Design, CombinationalLoopDetected) {
+  Design d(builtin_library());
+  d.add_instance("u1", "inv_x1");
+  d.add_instance("u2", "inv_x1");
+  d.add_net("u1", short_net(), {{"n3", "u2"}});
+  d.add_net("u2", short_net(), {{"n3", "u1"}});
+  EXPECT_THROW((void)d.analyze(1e-9), std::invalid_argument);
+}
+
+TEST(Design, UnknownDriverDetected) {
+  Design d(builtin_library());
+  d.add_instance("u1", "inv_x1");
+  d.add_net("ghost", short_net(), {{"n3", "u1"}});
+  EXPECT_THROW((void)d.analyze(1e-9), std::invalid_argument);
+}
+
+TEST(Design, MatchesPathTimerOnALinearChain) {
+  // A straight-line design must produce the same upper bound as time_path.
+  Design d(builtin_library());
+  d.add_primary_input("in", find_gate(builtin_library(), "inv_x1").drive_resistance);
+  d.add_instance("u2", "buf_x2");
+  d.add_instance("ff", "dff_x1");
+  d.add_net("in", short_net(), {{"n3", "u2"}});
+  d.add_net("u2", short_net(), {{"n3", "ff"}});
+  const auto report = d.analyze(5e-9);
+
+  Stage s1;
+  s1.driver = find_gate(builtin_library(), "inv_x1");
+  s1.driver.intrinsic_delay = 0.0;  // primary input has no intrinsic delay
+  s1.wire = short_net();
+  s1.sink = "n3";
+  s1.sink_load = find_gate(builtin_library(), "buf_x2").input_capacitance;
+  Stage s2;
+  s2.driver = find_gate(builtin_library(), "buf_x2");
+  s2.wire = short_net();
+  s2.sink = "n3";
+  s2.sink_load = find_gate(builtin_library(), "dff_x1").input_capacitance;
+  const auto path = time_path({s1, s2});
+
+  ASSERT_EQ(report.endpoints.size(), 1u);
+  EXPECT_NEAR(report.endpoints[0].arrival_upper, path.path_upper, 1e-15);
+}
+
+}  // namespace
+}  // namespace rct::sta

@@ -1,0 +1,123 @@
+#include "sim/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moments/path_tracing.hpp"
+#include "rctree/transform.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::sim {
+namespace {
+
+TEST(Distributed, Validation) {
+  EXPECT_THROW(DistributedLine(0.0, 1e-12, 0.0), std::invalid_argument);
+  EXPECT_THROW(DistributedLine(100.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(DistributedLine(100.0, 1e-12, -1.0), std::invalid_argument);
+  EXPECT_THROW(DistributedLine(100.0, 1e-12, 0.0, 0), std::invalid_argument);
+}
+
+TEST(Distributed, OpenLineClassicConstants) {
+  // Rd = 0: poles at beta_n = (2n-1)pi/2 and the famous 50% delay
+  // t_50 ~ 0.379 RC (Sakurai's distributed-line constant ~0.38).
+  const double r = 1000.0;
+  const double c = 1e-12;
+  const DistributedLine line(r, c, 0.0);
+  const double rc = r * c;
+  EXPECT_NEAR(line.poles()[0], (M_PI * M_PI / 4.0) / rc, 1e-6 / rc);
+  EXPECT_NEAR(line.elmore_delay(), 0.5 * rc, 1e-18);
+  EXPECT_NEAR(line.mu2(), rc * rc / 6.0, 1e-30);
+  EXPECT_NEAR(line.step_delay(0.5), 0.379 * rc, 0.002 * rc);
+}
+
+TEST(Distributed, SeriesSumsToOneAtZero) {
+  // v(0+) must be 0, i.e. the series coefficients sum to 1 (up to the
+  // O(1/modes) truncation tail of the eigenfunction series).
+  const DistributedLine line(500.0, 2e-12, 150.0, 200);
+  EXPECT_NEAR(line.step_response(1e-25), 0.0, 1e-4);
+  const DistributedLine fine(500.0, 2e-12, 150.0, 2000);
+  EXPECT_LT(std::abs(fine.step_response(1e-25)), std::abs(line.step_response(1e-25)));
+}
+
+TEST(Distributed, StepResponseMonotoneAndSettles) {
+  const DistributedLine line(800.0, 1.5e-12, 200.0);
+  const double rc = 800.0 * 1.5e-12;
+  double prev = 0.0;
+  for (double x = 0.01; x < 6.0; x += 0.01) {
+    const double v = line.step_response(x * rc);
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+  EXPECT_NEAR(line.step_response(20.0 * rc), 1.0, 1e-9);
+}
+
+TEST(Distributed, ElmoreIsUpperBoundHereToo) {
+  // The paper's theorem covers distributed lines as limits of RC trees.
+  for (double k : {0.0, 0.2, 1.0, 5.0}) {
+    const double r = 1000.0;
+    const double c = 1e-12;
+    const DistributedLine line(r, c, k * r);
+    EXPECT_LE(line.step_delay(0.5), line.elmore_delay());
+    // ... and the mu - sigma lower bound holds as well.
+    const double lower = std::max(line.elmore_delay() - std::sqrt(line.mu2()), 0.0);
+    EXPECT_GE(line.step_delay(0.5), lower);
+  }
+}
+
+TEST(Distributed, LadderConvergesToDistributedLine) {
+  // segmented_wire(N) must converge to the continuous solution as N grows,
+  // both in waveform and in 50% delay.
+  const double r = 1000.0;
+  const double c = 1e-12;
+  const double rd = 250.0;
+  const DistributedLine truth(r, c, rd);
+  const WireParams params{r / 1000.0, c / 1000.0};  // per-um over 1000 um
+
+  double prev_err = 1e300;
+  for (std::size_t sections : {2u, 8u, 32u}) {
+    const RCTree ladder = segmented_wire(1000.0, params, sections, rd, 0.0);
+    const ExactAnalysis exact(ladder);
+    const double d_ladder = exact.step_delay(ladder.at("load"));
+    const double err = std::abs(d_ladder - truth.step_delay(0.5)) / truth.step_delay(0.5);
+    EXPECT_LT(err, prev_err + 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 2e-3);
+}
+
+TEST(Distributed, LadderElmoreMatchesClosedForm) {
+  // The ladder's Elmore converges to Rd C + R C / 2 (the distributed T_D).
+  const double r = 640.0;
+  const double c = 0.9e-12;
+  const double rd = 120.0;
+  const DistributedLine truth(r, c, rd);
+  const WireParams params{r / 500.0, c / 500.0};
+  const RCTree ladder = rct::segmented_wire(500.0, params, 64, rd, 0.0);
+  const double td = moments::elmore_delays(ladder)[ladder.at("load")];
+  EXPECT_NEAR(td, truth.elmore_delay(), 5e-3 * truth.elmore_delay());
+}
+
+TEST(Distributed, DriverResistanceShiftsTowardSinglePole) {
+  // Large Rd: the line looks like one lumped cap; delay -> ln2 (RdC + RC/2)
+  // and the first pole dominates.
+  const double r = 100.0;
+  const double c = 1e-12;
+  const DistributedLine line(r, c, 100.0 * r);
+  const double td = line.elmore_delay();
+  EXPECT_NEAR(line.step_delay(0.5), std::log(2.0) * td, 0.01 * td);
+}
+
+TEST(Distributed, ImpulseIsStepDerivative) {
+  const DistributedLine line(700.0, 1.1e-12, 90.0);
+  const double rc = 700.0 * 1.1e-12;
+  for (double x : {0.2, 0.5, 1.5}) {
+    const double t = x * rc;
+    const double h = 1e-6 * rc;
+    const double num = (line.step_response(t + h) - line.step_response(t - h)) / (2.0 * h);
+    EXPECT_NEAR(num, line.impulse_response(t), 1e-5 / rc);
+  }
+}
+
+}  // namespace
+}  // namespace rct::sim

@@ -1,0 +1,45 @@
+#include "rctree/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace rct {
+namespace {
+
+TEST(DotExport, ContainsAllNodesAndEdges) {
+  const RCTree t = testing::small_tree();
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("digraph rctree"), std::string::npos);
+  EXPECT_NE(dot.find("src"), std::string::npos);
+  for (NodeId i = 0; i < t.size(); ++i)
+    EXPECT_NE(dot.find(t.name(i)), std::string::npos) << t.name(i);
+  // One edge per node: source edge plus internal ones.
+  std::size_t arrows = 0;
+  for (std::size_t p = dot.find("->"); p != std::string::npos; p = dot.find("->", p + 2))
+    ++arrows;
+  EXPECT_EQ(arrows, t.size());
+}
+
+TEST(DotExport, ValuesToggleAndAnnotations) {
+  const RCTree t = testing::single_rc(1000.0, 1e-12);
+  DotOptions opt;
+  opt.show_values = false;
+  const std::string bare = to_dot(t, opt);
+  EXPECT_EQ(bare.find("C="), std::string::npos);
+
+  DotOptions ann;
+  ann.annotations[0] = "TD=1ns";
+  const std::string with_ann = to_dot(t, ann);
+  EXPECT_NE(with_ann.find("TD=1ns"), std::string::npos);
+  EXPECT_NE(with_ann.find("C=1pF"), std::string::npos);
+}
+
+TEST(DotExport, CustomGraphName) {
+  DotOptions opt;
+  opt.graph_name = "my_net";
+  EXPECT_NE(to_dot(testing::single_rc(), opt).find("digraph my_net"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rct

@@ -1,0 +1,88 @@
+#include "core/effective_capacitance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::core {
+namespace {
+
+TEST(EffectiveCap, AlwaysBetweenNearCapAndTotal) {
+  for (std::uint64_t seed : {1u, 3u, 5u, 7u}) {
+    const RCTree t = gen::random_tree(30, seed);
+    const PiModel pi = input_pi_model(t);
+    for (double rd : {10.0, 100.0, 1000.0, 10000.0}) {
+      const auto e = effective_capacitance(pi, rd);
+      EXPECT_GE(e.ceff, pi.c1 * (1 - 1e-12));
+      EXPECT_LE(e.ceff, (pi.c1 + pi.c2) * (1 + 1e-12));
+      EXPECT_GE(e.shielding, 0.0);
+      EXPECT_LT(e.shielding, 1.0);
+    }
+  }
+}
+
+TEST(EffectiveCap, NoWireResistanceMeansNoShielding) {
+  // R2 -> 0: the far cap is fully visible.
+  const PiModel pi{1e-12, 1e-12, 1e-3};
+  const auto e = effective_capacitance(pi, 500.0);
+  EXPECT_NEAR(e.ceff, 2e-12, 1e-17);
+  EXPECT_NEAR(e.shielding, 0.0, 1e-5);
+}
+
+TEST(EffectiveCap, HugeWireResistanceHidesFarCap) {
+  const PiModel pi{1e-12, 1e-12, 1e9};
+  const auto e = effective_capacitance(pi, 500.0);
+  EXPECT_NEAR(e.ceff, 1e-12, 1e-15);
+  EXPECT_GT(e.shielding, 0.45);
+}
+
+TEST(EffectiveCap, StrongDriverSeesLessCapacitance) {
+  // A faster driver (smaller Rd) has a shorter window, so shielding grows.
+  const RCTree t = gen::line(10, 10.0, 10e-15, 200.0, 40e-15);
+  const auto weak = effective_capacitance(t, 5000.0);
+  const auto strong = effective_capacitance(t, 50.0);
+  EXPECT_GT(weak.ceff, strong.ceff);
+  EXPECT_GT(strong.shielding, weak.shielding);
+}
+
+TEST(EffectiveCap, ConvergesQuickly) {
+  const RCTree t = gen::random_tree(40, 17);
+  const auto e = effective_capacitance(t, 300.0);
+  EXPECT_LE(e.iterations, 60);
+  EXPECT_GT(e.iterations, 0);
+}
+
+TEST(EffectiveCap, NegligibleWireResistanceMeansNegligibleShielding) {
+  // An RCTree load always reduces through its wire resistance; with a
+  // micro-ohm wire the reduction must recover the lumped value.
+  const RCTree t = testing::single_rc(1e-6, 2e-12);
+  const auto e = effective_capacitance(t, 300.0);
+  EXPECT_NEAR(e.ceff, 2e-12, 1e-18);
+  EXPECT_NEAR(e.shielding, 0.0, 1e-6);
+}
+
+TEST(EffectiveCap, UnreducibleLoadFallsBackToTotal) {
+  // All-zero capacitance cannot be pi-reduced; the fallback reports the
+  // (zero) lumped total instead of throwing.
+  RCTreeBuilder b;
+  b.add_node("x", kSource, 100.0, 0.0);
+  const RCTree t = std::move(b).build();
+  const auto e = effective_capacitance(t, 300.0);
+  EXPECT_DOUBLE_EQ(e.ceff, 0.0);
+  EXPECT_DOUBLE_EQ(e.shielding, 0.0);
+}
+
+TEST(EffectiveCap, Validation) {
+  const PiModel pi{1e-12, 1e-12, 100.0};
+  EXPECT_THROW((void)effective_capacitance(pi, 0.0), std::invalid_argument);
+}
+
+TEST(EffectiveCap, TotalMatchesTreeCapacitance) {
+  const RCTree t = gen::random_tree(25, 9);
+  const auto e = effective_capacitance(t, 200.0);
+  EXPECT_NEAR(e.total, t.total_capacitance(), 1e-9 * e.total);
+}
+
+}  // namespace
+}  // namespace rct::core

@@ -1,0 +1,104 @@
+#include "core/generalized_input.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/elmore.hpp"
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+
+namespace rct::core {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(LogSweep, EndpointsAndSpacing) {
+  const auto s = log_sweep(1e-10, 1e-8, 5);
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_NEAR(s.front(), 1e-10, 1e-22);
+  EXPECT_NEAR(s.back(), 1e-8, 1e-20);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_NEAR(s[i] / s[i - 1], std::sqrt(10.0), 1e-9);
+}
+
+TEST(LogSweep, Validation) {
+  EXPECT_THROW((void)log_sweep(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)log_sweep(1.0, 0.5, 3), std::invalid_argument);
+  EXPECT_THROW((void)log_sweep(1.0, 2.0, 1), std::invalid_argument);
+}
+
+TEST(DelayCurve, MonotoneAndBoundedByElmore) {
+  // Fig. 12 behaviour: delay(t_r) increases with rise time and approaches
+  // T_D from below.
+  const RCTree t = circuits::fig1();
+  const sim::ExactAnalysis exact(t);
+  const NodeId n = t.at("n5");
+  const auto curve = delay_curve(t, exact, n, log_sweep(0.05e-9, 50e-9, 10));
+  const double td = elmore_delay(t, n);
+  double prev = 0.0;
+  for (const auto& p : curve) {
+    EXPECT_GE(p.delay, prev * (1 - 1e-9));
+    EXPECT_LE(p.delay, td * (1 + 1e-9));
+    EXPECT_NEAR(p.elmore, td, 1e-15);
+    prev = p.delay;
+  }
+  // Asymptote: at t_r = 50 ns >> tau the delay is within 1% of T_D.
+  EXPECT_GT(curve.back().delay, 0.99 * td);
+  // Relative error column consistent.
+  for (const auto& p : curve) EXPECT_NEAR(p.relative_error, (td - p.delay) / p.delay, 1e-9);
+}
+
+TEST(RelativeElmoreError, DecreasesWithRiseTime) {
+  const RCTree t = circuits::tree25();
+  const sim::ExactAnalysis exact(t);
+  const NodeId n = t.at("C");
+  double prev = 1e300;
+  for (double tr : {1e-9, 5e-9, 10e-9}) {
+    const sim::SaturatedRampSource ramp(tr);
+    const double err = relative_elmore_error(t, exact, n, ramp);
+    EXPECT_GT(err, 0.0);  // Elmore over-estimates
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(RelativeElmoreError, DecreasesTowardLeaves) {
+  // Fig. 14: for fixed rise time, error falls with distance from driver.
+  const RCTree t = circuits::tree25();
+  const sim::ExactAnalysis exact(t);
+  const sim::SaturatedRampSource ramp(1e-9);
+  const auto obs = circuits::tree25_observed(t);
+  const double err_a = relative_elmore_error(t, exact, obs[0], ramp);
+  const double err_b = relative_elmore_error(t, exact, obs[1], ramp);
+  const double err_c = relative_elmore_error(t, exact, obs[2], ramp);
+  EXPECT_GT(err_a, err_b);
+  EXPECT_GT(err_b, err_c);
+}
+
+TEST(InputOutputArea, EqualsElmoreDelayForStep) {
+  // eq. (48) with a step input.
+  const RCTree t = testing::small_tree();
+  const sim::ExactAnalysis exact(t);
+  const sim::StepSource step;
+  const NodeId n = t.at("c");
+  const double area =
+      input_output_area(exact, n, step, 40.0 * exact.dominant_time_constant());
+  ExpectRel(area, elmore_delay(t, n), 1e-4);
+}
+
+TEST(InputOutputArea, EqualsElmoreDelayForRamps) {
+  // eq. (48) holds for any input: area between input and output == T_D.
+  const RCTree t = circuits::fig1();
+  const sim::ExactAnalysis exact(t);
+  const NodeId n = t.at("n7");
+  const double td = elmore_delay(t, n);
+  for (double tr : {0.5e-9, 2e-9}) {
+    const sim::SaturatedRampSource ramp(tr);
+    const double area =
+        input_output_area(exact, n, ramp, 40.0 * exact.dominant_time_constant() + tr, 8000);
+    ExpectRel(area, td, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace rct::core

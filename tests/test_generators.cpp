@@ -1,0 +1,121 @@
+#include "rctree/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moments/path_tracing.hpp"
+
+namespace rct::gen {
+namespace {
+
+TEST(Line, TopologyAndValues) {
+  const RCTree t = line(4, 50.0, 0.1e-12, 100.0, 0.2e-12);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.parent(0), kSource);
+  EXPECT_DOUBLE_EQ(t.resistance(0), 50.0);
+  for (NodeId i = 1; i < 5; ++i) {
+    EXPECT_EQ(t.parent(i), i - 1);
+    EXPECT_DOUBLE_EQ(t.resistance(i), 100.0);
+    EXPECT_DOUBLE_EQ(t.capacitance(i), 0.2e-12);
+  }
+  EXPECT_EQ(t.leaves().size(), 1u);
+}
+
+TEST(Line, ElmoreMatchesClosedForm) {
+  // Uniform line after driver: T_D(leaf) = r_d*Ctot + sum_i r*(n-i+1)*c.
+  const std::size_t n = 10;
+  const double rd = 10.0;
+  const double cd = 0.0;
+  const double r = 100.0;
+  const double c = 0.1e-12;
+  const RCTree t = line(n, rd, cd, r, c);
+  const auto td = moments::elmore_delays(t);
+  double want = rd * (static_cast<double>(n) * c);
+  for (std::size_t k = 1; k <= n; ++k) want += r * (static_cast<double>(n - k + 1)) * c;
+  EXPECT_NEAR(td.back(), want, 1e-15 * 1e9);
+}
+
+TEST(Line, RejectsZeroSegments) { EXPECT_THROW((void)line(0, 1, 1, 1, 1), std::invalid_argument); }
+
+TEST(Balanced, SizeIsGeometricSum) {
+  const RCTree t = balanced(3, 2, 10.0, 1e-15, 100.0, 1e-15);
+  EXPECT_EQ(t.size(), 1u + 2u + 4u + 8u);
+  EXPECT_EQ(t.leaves().size(), 8u);
+}
+
+TEST(Balanced, DepthIsUniform) {
+  const RCTree t = balanced(3, 3, 10.0, 1e-15, 100.0, 1e-15);
+  for (NodeId leaf : t.leaves()) EXPECT_EQ(t.depth(leaf), 4u);
+}
+
+TEST(Htree, SymmetricSinkDelays) {
+  const RCTree t = htree(4, 100.0, 0.2e-12, 10e-15);
+  const auto td = moments::elmore_delays(t);
+  const auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 16u);
+  for (NodeId leaf : leaves) EXPECT_NEAR(td[leaf], td[leaves[0]], 1e-20);
+}
+
+TEST(Htree, LevelScalingHalvesResistance) {
+  const RCTree t = htree(2, 100.0, 0.2e-12, 0.0);
+  EXPECT_DOUBLE_EQ(t.resistance(0), 100.0);
+  EXPECT_DOUBLE_EQ(t.resistance(1), 50.0);
+  EXPECT_DOUBLE_EQ(t.resistance(3), 25.0);
+}
+
+TEST(RandomTree, Deterministic) {
+  const RCTree a = random_tree(50, 7);
+  const RCTree b = random_tree(50, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.parent(i), b.parent(i));
+    EXPECT_DOUBLE_EQ(a.resistance(i), b.resistance(i));
+    EXPECT_DOUBLE_EQ(a.capacitance(i), b.capacitance(i));
+  }
+}
+
+TEST(RandomTree, DifferentSeedsDiffer) {
+  const RCTree a = random_tree(50, 7);
+  const RCTree b = random_tree(50, 8);
+  bool differs = false;
+  for (NodeId i = 0; i < a.size() && !differs; ++i)
+    differs = a.resistance(i) != b.resistance(i);
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTree, ValuesWithinRanges) {
+  RandomTreeOptions opt;
+  opt.r_min = 100.0;
+  opt.r_max = 200.0;
+  opt.c_min = 1e-15;
+  opt.c_max = 2e-15;
+  const RCTree t = random_tree(200, 3, opt);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.resistance(i), 100.0);
+    EXPECT_LE(t.resistance(i), 200.0);
+    EXPECT_GE(t.capacitance(i), 1e-15);
+    EXPECT_LE(t.capacitance(i), 2e-15);
+  }
+}
+
+TEST(RandomTree, ZeroBushinessIsALine) {
+  RandomTreeOptions opt;
+  opt.bushiness = 0.0;
+  const RCTree t = random_tree(30, 5, opt);
+  for (NodeId i = 1; i < t.size(); ++i) EXPECT_EQ(t.parent(i), i - 1);
+}
+
+TEST(RandomTree, BadBushinessThrows) {
+  RandomTreeOptions opt;
+  opt.bushiness = 1.5;
+  EXPECT_THROW((void)random_tree(10, 1, opt), std::invalid_argument);
+}
+
+TEST(Star, HubAndArms) {
+  const RCTree t = star(5, 10.0, 1e-15, 100.0, 2e-15);
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.children(t.at("hub")).size(), 5u);
+  EXPECT_EQ(t.leaves().size(), 5u);
+}
+
+}  // namespace
+}  // namespace rct::gen

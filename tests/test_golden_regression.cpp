@@ -1,0 +1,69 @@
+// Numerical regression guard: step-response samples and 50% delays of the
+// calibrated Fig. 1 circuit, frozen from a verified build.  Any future
+// change to the eigensolver, MNA assembly, calibration constants or root
+// finder that shifts these values beyond tight tolerances fails here first,
+// with a message naming the node and time.
+
+#include <gtest/gtest.h>
+
+#include "moments/path_tracing.hpp"
+#include "rctree/circuits.hpp"
+#include "sim/exact.hpp"
+
+namespace rct {
+namespace {
+
+struct Golden {
+  const char* node;
+  double t;       // seconds; -1 marks a 50% delay entry
+  double value;   // step response value, or delay in seconds
+};
+
+// Frozen 2026-07-06 from the calibrated circuit (see EXPERIMENTS.md).
+constexpr Golden kGolden[] = {
+    {"n1", 2.0e-10, 5.028661610442753e-01},
+    {"n1", 5.0e-10, 6.635253004225998e-01},
+    {"n1", 1.0e-09, 8.087209877266381e-01},
+    {"n1", 2.0e-09, 9.331938407270689e-01},
+    {"n1", -1.0, 1.959979178125742e-10},
+    {"n5", 2.0e-10, 6.414230358092632e-02},
+    {"n5", 5.0e-10, 2.568237785519758e-01},
+    {"n5", 1.0e-09, 5.386330881447114e-01},
+    {"n5", 2.0e-09, 8.338980343420987e-01},
+    {"n5", -1.0, 9.189960911890565e-10},
+    {"n7", 2.0e-10, 2.682069531610695e-01},
+    {"n7", 5.0e-10, 5.341061685688844e-01},
+    {"n7", 1.0e-09, 7.514900801807832e-01},
+    {"n7", 2.0e-09, 9.155583996097426e-01},
+    {"n7", -1.0, 4.500010165100061e-10},
+};
+
+TEST(GoldenRegression, Fig1StepResponsesAndDelays) {
+  const RCTree tree = circuits::fig1();
+  const sim::ExactAnalysis exact(tree);
+  for (const Golden& g : kGolden) {
+    const NodeId node = tree.at(g.node);
+    if (g.t < 0.0) {
+      // Delay entries allow root-finder tolerance.
+      EXPECT_NEAR(exact.step_delay(node), g.value, 1e-6 * g.value)
+          << g.node << " 50% delay";
+    } else {
+      EXPECT_NEAR(exact.step_response(node, g.t), g.value, 1e-9)
+          << g.node << " @ " << g.t;
+    }
+  }
+}
+
+TEST(GoldenRegression, Tree25ElmoreAnchors) {
+  // The calibrated Table II Elmore values, frozen (path tracing only — no
+  // floating simulation involved, so tolerances are machine-level).
+  const RCTree tree = circuits::tree25();
+  const auto obs = circuits::tree25_observed(tree);
+  const auto td = moments::elmore_delays(tree);
+  EXPECT_NEAR(td[obs[0]], 0.0200e-9, 1e-3 * 0.02e-9);
+  EXPECT_NEAR(td[obs[1]], 1.1424e-9, 1e-3 * 1.14e-9);
+  EXPECT_NEAR(td[obs[2]], 1.5426e-9, 1e-3 * 1.54e-9);
+}
+
+}  // namespace
+}  // namespace rct

@@ -1,0 +1,86 @@
+#include "moments/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::moments {
+namespace {
+
+TEST(IncrementalElmore, MatchesBatchOnConstruction) {
+  const RCTree t = gen::random_tree(50, 31);
+  const IncrementalElmore inc(t);
+  const auto td = elmore_delays(t);
+  for (NodeId i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(inc.elmore(i), td[i]);
+}
+
+TEST(IncrementalElmore, CapUpdateTracksRecompute) {
+  const RCTree t = testing::small_tree();
+  IncrementalElmore inc(t);
+  inc.add_cap(t.at("c"), 3e-12);
+  const auto td = elmore_delays(inc.snapshot());
+  for (NodeId i = 0; i < t.size(); ++i)
+    EXPECT_NEAR(inc.elmore(i), td[i], 1e-12 * td[i]);
+  EXPECT_DOUBLE_EQ(inc.capacitance(t.at("c")), 3.5e-12);
+  EXPECT_DOUBLE_EQ(inc.subtree_capacitance(t.at("a")), 8e-12);
+}
+
+TEST(IncrementalElmore, ResUpdateTracksRecompute) {
+  const RCTree t = testing::small_tree();
+  IncrementalElmore inc(t);
+  inc.set_resistance(t.at("b"), 777.0);
+  const auto td = elmore_delays(inc.snapshot());
+  for (NodeId i = 0; i < t.size(); ++i)
+    EXPECT_NEAR(inc.elmore(i), td[i], 1e-12 * td[i]);
+}
+
+class IncrementalRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalRandomOps, LongUpdateSequencesStayExact) {
+  const RCTree t = gen::random_tree(60, GetParam());
+  IncrementalElmore inc(t);
+  std::mt19937_64 rng(GetParam() * 97 + 5);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  for (int op = 0; op < 200; ++op) {
+    const NodeId node = static_cast<NodeId>(uni(rng) * static_cast<double>(t.size() - 1));
+    if (uni(rng) < 0.5) {
+      // Never drive a cap negative: add within [-cap, +50fF].
+      const double delta = uni(rng) * 50e-15 - 0.5 * inc.capacitance(node);
+      inc.add_cap(node, std::max(delta, -inc.capacitance(node)));
+    } else {
+      inc.set_resistance(node, 10.0 + uni(rng) * 1000.0);
+    }
+  }
+  const auto td = elmore_delays(inc.snapshot());
+  for (NodeId i = 0; i < t.size(); ++i)
+    EXPECT_NEAR(inc.elmore(i), td[i], 1e-9 * td[i] + 1e-24) << "node " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandomOps, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IncrementalElmore, Validation) {
+  const RCTree t = testing::small_tree();
+  IncrementalElmore inc(t);
+  EXPECT_THROW(inc.add_cap(99, 1e-15), std::invalid_argument);
+  EXPECT_THROW(inc.add_cap(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(inc.set_resistance(99, 1.0), std::invalid_argument);
+  EXPECT_THROW(inc.set_resistance(0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)inc.elmore(99), std::invalid_argument);
+}
+
+TEST(IncrementalElmore, SnapshotPreservesNamesAndTopology) {
+  const RCTree t = gen::random_tree(20, 77);
+  const RCTree s = IncrementalElmore(t).snapshot();
+  ASSERT_EQ(s.size(), t.size());
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(s.name(i), t.name(i));
+    EXPECT_EQ(s.parent(i), t.parent(i));
+  }
+}
+
+}  // namespace
+}  // namespace rct::moments

@@ -1,0 +1,109 @@
+#include "sta/liberty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#ifndef RCT_TESTDATA_DIR
+#define RCT_TESTDATA_DIR "testdata"
+#endif
+
+namespace rct::sta {
+namespace {
+
+std::string lib_path() { return std::string(RCT_TESTDATA_DIR) + "/demo.lib"; }
+
+TEST(Liberty, ParsesDemoLibrary) {
+  const LibertyLibrary lib = parse_liberty_file(lib_path());
+  EXPECT_EQ(lib.name, "rct_demo");
+  EXPECT_DOUBLE_EQ(lib.time_unit, 1e-9);
+  EXPECT_DOUBLE_EQ(lib.cap_unit, 1e-12);
+  ASSERT_EQ(lib.cells.size(), 2u);
+  EXPECT_EQ(lib.cells[0].name, "inv_demo");
+  EXPECT_EQ(lib.cells[1].name, "buf_demo");
+}
+
+TEST(Liberty, PinCapacitancesScaled) {
+  const LibertyLibrary lib = parse_liberty_file(lib_path());
+  const LibertyCell& inv = lib.cell("inv_demo");
+  ASSERT_TRUE(inv.input_caps.contains("A"));
+  EXPECT_NEAR(inv.input_caps.at("A"), 0.008e-12, 1e-20);
+}
+
+TEST(Liberty, TablesScaledToSeconds) {
+  const LibertyLibrary lib = parse_liberty_file(lib_path());
+  const LibertyCell& inv = lib.cell("inv_demo");
+  ASSERT_EQ(inv.arcs.size(), 1u);
+  const LibertyArc& arc = inv.arcs[0];
+  EXPECT_EQ(arc.related_pin, "A");
+  ASSERT_TRUE(arc.cell_rise.has_value());
+  ASSERT_TRUE(arc.rise_transition.has_value());
+  // Grid corner: slew 0.01 ns, load 0.005 pF -> delay 0.020 ns.
+  EXPECT_NEAR(arc.cell_rise->lookup(0.010e-9, 0.005e-12), 0.020e-9, 1e-15);
+  // Interpolated interior point stays within the table range.
+  const double mid = arc.cell_rise->lookup(0.05e-9, 0.01e-12);
+  EXPECT_GT(mid, 0.020e-9);
+  EXPECT_LT(mid, 0.152e-9);
+}
+
+TEST(Liberty, UnknownGroupsAndAttributesSkipped) {
+  const LibertyLibrary lib = parse_liberty_file(lib_path());
+  // operating_conditions and 'area' must not break anything.
+  EXPECT_EQ(lib.cells.size(), 2u);
+}
+
+TEST(Liberty, CellLookupThrowsOnMissing) {
+  const LibertyLibrary lib = parse_liberty_file(lib_path());
+  EXPECT_THROW((void)lib.cell("nope"), LibertyError);
+}
+
+TEST(Liberty, MalformedInputsReportLineNumbers) {
+  try {
+    (void)parse_liberty("library (x) {\n  cell (a) {\n    pin (A) {\n");
+    FAIL() << "expected LibertyError";
+  } catch (const LibertyError& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_liberty("cell (a) { }"), LibertyError);  // no library
+  EXPECT_THROW((void)parse_liberty("library (x) { }"), LibertyError);  // no cells
+  EXPECT_THROW((void)parse_liberty("library (x) { time_unit : \"1fortnight\"; cell (a) {} }"),
+               LibertyError);
+}
+
+TEST(Liberty, TableShapeValidation) {
+  const char* bad =
+      "library (x) { cell (a) { pin (Z) { timing () {"
+      "cell_rise (t) { index_1 (\"1, 2\"); index_2 (\"1\"); values (\"1\"); } } } } }";
+  EXPECT_THROW((void)parse_liberty(bad), LibertyError);
+}
+
+TEST(Liberty, LinearizeProducesUsableGate) {
+  const LibertyLibrary lib = parse_liberty_file(lib_path());
+  const Gate g = linearize(lib.cell("inv_demo"));
+  EXPECT_EQ(g.name, "inv_demo");
+  EXPECT_NEAR(g.input_capacitance, 0.008e-12, 1e-20);
+  EXPECT_GT(g.drive_resistance, 100.0);
+  EXPECT_GE(g.intrinsic_delay, 0.0);
+  // Fit quality: the linearized model reproduces the fast-slew table within
+  // ~30% across the load axis (delay = intrinsic + ln2 R C).
+  const DelayTable& t = *lib.cell("inv_demo").arcs[0].cell_rise;
+  for (double load : t.load_axis()) {
+    const double table = t.lookup(t.slew_axis().front(), load);
+    const double model = g.intrinsic_delay + std::log(2.0) * g.drive_resistance * load;
+    EXPECT_NEAR(model, table, 0.3 * table);
+  }
+}
+
+TEST(Liberty, LinearizeRequiresCellRise) {
+  LibertyCell bare;
+  bare.name = "x";
+  EXPECT_THROW((void)linearize(bare), LibertyError);
+}
+
+TEST(Liberty, FileNotFoundThrows) {
+  EXPECT_THROW((void)parse_liberty_file("/nonexistent.lib"), LibertyError);
+}
+
+}  // namespace
+}  // namespace rct::sta

@@ -1,0 +1,102 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::core {
+namespace {
+
+TEST(Metrics, SinglePoleLimits) {
+  // Single RC (m1 = -tau, m2 = tau^2): every metric has a closed form.
+  const double tau = 1e-9;
+  const auto d = metrics_from_moments(-tau, tau * tau);
+  EXPECT_NEAR(d.elmore, tau, 1e-20);
+  EXPECT_NEAR(d.single_pole, std::log(2.0) * tau, 1e-18);
+  EXPECT_NEAR(d.d2m, std::log(2.0) * tau, 1e-18);
+  // Gamma fit with shape k = 1: (3 - 0.8)/(3 + 0.2) = 0.6875 ~ ln 2.
+  EXPECT_NEAR(d.scaled_elmore, 0.6875 * tau, 1e-3 * tau);
+  EXPECT_NEAR(d.lower_cantelli, 0.0, 1e-18);
+  EXPECT_NEAR(d.lower_unimodal, (1.0 - std::sqrt(0.6)) * tau, 1e-12 * tau);
+}
+
+TEST(Metrics, Validation) {
+  EXPECT_THROW((void)metrics_from_moments(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)metrics_from_moments(-1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Metrics, UnimodalLowerTighterThanCantelli) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const RCTree t = gen::random_tree(40, seed);
+    for (const auto& d : delay_metrics(t)) {
+      EXPECT_GE(d.lower_unimodal, d.lower_cantelli);
+      EXPECT_LE(d.lower_unimodal, d.elmore);
+    }
+  }
+}
+
+class MetricsBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsBounds, UnimodalLowerBoundStillBelowExact) {
+  // The improved Johnson-Rogers lower bound must remain a true bound —
+  // exercised on random trees against the exact delay.
+  const RCTree t = gen::random_tree(22, GetParam());
+  const sim::ExactAnalysis e(t);
+  const auto metrics = delay_metrics(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const double exact = e.step_delay(i);
+    EXPECT_LE(metrics[i].lower_unimodal, exact * (1 + 1e-9)) << "node " << i;
+    EXPECT_GE(metrics[i].elmore, exact * (1 - 1e-9)) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsBounds,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Metrics, D2mAndGammaFitBeatLnTwoOnPaperCircuit) {
+  // The estimators (not bounds) should usually out-predict ln(2) T_D.
+  const RCTree t = circuits::fig1();
+  const sim::ExactAnalysis e(t);
+  const auto metrics = delay_metrics(t);
+  double err_1p = 0.0;
+  double err_d2m = 0.0;
+  double err_gamma = 0.0;
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const double exact = e.step_delay(i);
+    err_1p += std::abs(metrics[i].single_pole - exact) / exact;
+    err_d2m += std::abs(metrics[i].d2m - exact) / exact;
+    err_gamma += std::abs(metrics[i].scaled_elmore - exact) / exact;
+  }
+  EXPECT_LT(err_d2m, err_1p);
+  EXPECT_LT(err_gamma, err_1p);
+}
+
+TEST(Metrics, GammaFitApproachesElmoreAsVarianceVanishes) {
+  // k -> infinity: the gamma median tends to the mean.
+  const double td = 1e-9;
+  for (double sigma_frac : {0.5, 0.1, 0.01}) {
+    const double sigma = sigma_frac * td;
+    // m2 from sigma: mu2 = 2 m2 - m1^2 => m2 = (sigma^2 + td^2)/2.
+    const auto d = metrics_from_moments(-td, 0.5 * (sigma * sigma + td * td));
+    EXPECT_NEAR(d.scaled_elmore, td, 3.0 * sigma);
+  }
+}
+
+TEST(Metrics, ZooOrderingOnDeepLineNodes) {
+  // Deep in a line, exact delay is close to T_D and all the scaled metrics
+  // sit between the unimodal lower bound and T_D.
+  const RCTree t = gen::line(30, 50.0, 10e-15, 100.0, 50e-15);
+  const auto metrics = delay_metrics(t);
+  const auto& leaf = metrics.back();
+  EXPECT_LT(leaf.lower_unimodal, leaf.scaled_elmore);
+  EXPECT_LT(leaf.scaled_elmore, leaf.elmore);
+  EXPECT_LT(leaf.d2m, leaf.elmore);
+}
+
+}  // namespace
+}  // namespace rct::core

@@ -1,0 +1,82 @@
+#include "sim/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::sim {
+namespace {
+
+TEST(Mna, SingleRc) {
+  const Mna m = assemble_mna(testing::single_rc(1000.0, 1e-12));
+  ASSERT_EQ(m.capacitance.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.conductance(0, 0), 1e-3);
+  EXPECT_DOUBLE_EQ(m.injection[0], 1e-3);
+  EXPECT_DOUBLE_EQ(m.capacitance[0], 1e-12);
+}
+
+TEST(Mna, SmallTreeStamping) {
+  const RCTree t = testing::small_tree();
+  const Mna m = assemble_mna(t);
+  const NodeId a = t.at("a");
+  const NodeId b = t.at("b");
+  const NodeId c = t.at("c");
+  const NodeId d = t.at("d");
+  // Diagonal: sum of incident conductances.
+  EXPECT_DOUBLE_EQ(m.conductance(a, a), 1.0 / 100 + 1.0 / 200 + 1.0 / 150);
+  EXPECT_DOUBLE_EQ(m.conductance(b, b), 1.0 / 200 + 1.0 / 300);
+  EXPECT_DOUBLE_EQ(m.conductance(c, c), 1.0 / 300);
+  EXPECT_DOUBLE_EQ(m.conductance(d, d), 1.0 / 150);
+  // Off-diagonal symmetric -g.
+  EXPECT_DOUBLE_EQ(m.conductance(a, b), -1.0 / 200);
+  EXPECT_DOUBLE_EQ(m.conductance(b, a), -1.0 / 200);
+  EXPECT_DOUBLE_EQ(m.conductance(a, d), -1.0 / 150);
+  EXPECT_DOUBLE_EQ(m.conductance(b, c), -1.0 / 300);
+  EXPECT_DOUBLE_EQ(m.conductance(a, c), 0.0);
+  // Injection only at the source-adjacent node.
+  EXPECT_DOUBLE_EQ(m.injection[a], 1.0 / 100);
+  EXPECT_DOUBLE_EQ(m.injection[b], 0.0);
+}
+
+TEST(MnaMoments, DcGainIsOneEverywhere) {
+  const auto m = mna_moments(testing::small_tree(), 0);
+  for (double v : m[0]) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(MnaMoments, FirstMomentIsMinusElmore) {
+  const RCTree t = testing::small_tree();
+  const auto m = mna_moments(t, 1);
+  const auto td = moments::elmore_delays(t);
+  for (NodeId i = 0; i < t.size(); ++i) EXPECT_NEAR(m[1][i], -td[i], 1e-12 * td[i] + 1e-25);
+}
+
+TEST(MnaMoments, MatchesPathTracingToHighOrder) {
+  // Independent routes to the same m_k: dense LU vs O(N) path tracing.
+  const RCTree t = gen::random_tree(40, 11);
+  const auto dense = mna_moments(t, 5);
+  const auto traced = moments::transfer_moments(t, 5);
+  for (std::size_t k = 0; k <= 5; ++k)
+    for (NodeId i = 0; i < t.size(); ++i) {
+      const double scale = std::abs(traced[k][i]) + 1e-300;
+      EXPECT_NEAR(dense[k][i] / scale, traced[k][i] / scale, 1e-8)
+          << "k=" << k << " node=" << i;
+    }
+}
+
+TEST(MnaMoments, AlternatingSigns) {
+  // For RC trees, m_k has sign (-1)^k (distribution moments are positive).
+  const RCTree t = gen::random_tree(25, 3);
+  const auto m = mna_moments(t, 6);
+  for (std::size_t k = 1; k <= 6; ++k)
+    for (NodeId i = 0; i < t.size(); ++i) {
+      if (k % 2)
+        EXPECT_LT(m[k][i], 0.0);
+      else
+        EXPECT_GT(m[k][i], 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace rct::sim

@@ -1,0 +1,54 @@
+#include "linalg/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rct::linalg {
+namespace {
+
+TEST(NelderMead, QuadraticBowl) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const auto r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-5);
+  EXPECT_LT(r.f, 1e-9);
+}
+
+TEST(NelderMead, Rosenbrock2D) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opt;
+  opt.max_iter = 20000;
+  auto r = nelder_mead(f, {-1.2, 1.0}, opt);
+  r = nelder_mead(f, r.x, opt);  // one restart, standard for Rosenbrock
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(NelderMead, OneDimensional) {
+  auto f = [](const std::vector<double>& x) { return std::cosh(x[0] - 0.5); };
+  const auto r = nelder_mead(f, {5.0});
+  EXPECT_NEAR(r.x[0], 0.5, 1e-5);
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  EXPECT_THROW((void)nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               std::invalid_argument);
+}
+
+TEST(NelderMead, RespectsIterationCap) {
+  NelderMeadOptions opt;
+  opt.max_iter = 3;
+  const auto r = nelder_mead(
+      [](const std::vector<double>& x) { return x[0] * x[0] + x[1] * x[1]; }, {10.0, 10.0}, opt);
+  EXPECT_LE(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace rct::linalg

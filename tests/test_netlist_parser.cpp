@@ -1,0 +1,128 @@
+#include "rctree/netlist_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rct {
+namespace {
+
+constexpr const char* kDeck = R"(* a small RC tree
+.title demo tree
+.input in
+R1 in  n1 100
+C1 n1  0  1p
+R2 n1  n2 200
+C2 n2  0  2p
+R3 n2  n3 300
+C3 0   n3 0.5p  ; ground may be first
+R4 n1  n4 150
+C4 n4  gnd 1.5p
+.probe n3
+.probe n4
+.end
+)";
+
+TEST(NetlistParser, ParsesTreeTopology) {
+  const ParsedNetlist p = parse_netlist(kDeck);
+  EXPECT_EQ(p.title, "demo tree");
+  ASSERT_EQ(p.tree.size(), 4u);
+  EXPECT_TRUE(p.warnings.empty());
+  const RCTree& t = p.tree;
+  EXPECT_EQ(t.parent(t.at("n1")), kSource);
+  EXPECT_EQ(t.parent(t.at("n2")), t.at("n1"));
+  EXPECT_EQ(t.parent(t.at("n3")), t.at("n2"));
+  EXPECT_EQ(t.parent(t.at("n4")), t.at("n1"));
+  EXPECT_DOUBLE_EQ(t.resistance(t.at("n3")), 300.0);
+  EXPECT_DOUBLE_EQ(t.capacitance(t.at("n4")), 1.5e-12);
+}
+
+TEST(NetlistParser, ProbesResolve) {
+  const ParsedNetlist p = parse_netlist(kDeck);
+  ASSERT_EQ(p.probes.size(), 2u);
+  EXPECT_EQ(p.tree.name(p.probes[0]), "n3");
+  EXPECT_EQ(p.tree.name(p.probes[1]), "n4");
+}
+
+TEST(NetlistParser, ResistorOrientationIrrelevant) {
+  const ParsedNetlist p = parse_netlist(
+      ".input in\nR1 n1 in 100\nC1 n1 0 1p\n");
+  EXPECT_EQ(p.tree.parent(p.tree.at("n1")), kSource);
+}
+
+TEST(NetlistParser, ParallelCapacitorsSum) {
+  const ParsedNetlist p = parse_netlist(
+      ".input in\nR1 in n1 100\nC1 n1 0 1p\nC2 n1 0 0.25p\n");
+  EXPECT_DOUBLE_EQ(p.tree.capacitance(0), 1.25e-12);
+}
+
+TEST(NetlistParser, InputCapIgnoredWithWarning) {
+  const ParsedNetlist p = parse_netlist(
+      ".input in\nCx in 0 5p\nR1 in n1 100\nC1 n1 0 1p\n");
+  ASSERT_EQ(p.warnings.size(), 1u);
+  EXPECT_NE(p.warnings[0].find("ignored"), std::string::npos);
+}
+
+TEST(NetlistParser, CaplessNodeWarns) {
+  const ParsedNetlist p = parse_netlist(".input in\nR1 in n1 100\n");
+  ASSERT_EQ(p.warnings.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.tree.capacitance(0), 0.0);
+}
+
+TEST(NetlistParser, MissingInputThrows) {
+  EXPECT_THROW((void)parse_netlist("R1 a b 100\nC1 b 0 1p\n"), NetlistError);
+}
+
+TEST(NetlistParser, ResistorLoopThrows) {
+  EXPECT_THROW((void)parse_netlist(".input in\n"
+                                   "R1 in n1 100\nR2 in n2 100\nR3 n1 n2 100\n"
+                                   "C1 n1 0 1p\nC2 n2 0 1p\n"),
+               NetlistError);
+}
+
+TEST(NetlistParser, ResistorToGroundThrows) {
+  EXPECT_THROW((void)parse_netlist(".input in\nR1 in 0 100\n"), NetlistError);
+}
+
+TEST(NetlistParser, DisconnectedResistorThrows) {
+  EXPECT_THROW((void)parse_netlist(".input in\nR1 in n1 100\nC1 n1 0 1p\nR2 x y 5\n"),
+               NetlistError);
+}
+
+TEST(NetlistParser, FloatingCapacitorThrows) {
+  EXPECT_THROW((void)parse_netlist(".input in\nR1 in n1 100\nC1 n1 0 1p\nC2 zz 0 1p\n"),
+               NetlistError);
+}
+
+TEST(NetlistParser, NonGroundedCapacitorThrows) {
+  EXPECT_THROW((void)parse_netlist(".input in\nR1 in n1 100\nC1 n1 n2 1p\n"), NetlistError);
+}
+
+TEST(NetlistParser, BadValueReportsLineNumber) {
+  try {
+    (void)parse_netlist(".input in\nR1 in n1 abc\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(NetlistParser, UnknownDirectiveThrows) {
+  EXPECT_THROW((void)parse_netlist(".frobnicate\n"), NetlistError);
+}
+
+TEST(NetlistParser, ProbeOnMissingNodeThrows) {
+  EXPECT_THROW((void)parse_netlist(".input in\nR1 in n1 100\nC1 n1 0 1p\n.probe zz\n"),
+               NetlistError);
+}
+
+TEST(NetlistParser, ContentAfterEndIgnored) {
+  const ParsedNetlist p =
+      parse_netlist(".input in\nR1 in n1 100\nC1 n1 0 1p\n.end\ngarbage here\n");
+  EXPECT_EQ(p.tree.size(), 1u);
+}
+
+TEST(NetlistParser, FileNotFoundThrows) {
+  EXPECT_THROW((void)parse_netlist_file("/nonexistent/path.sp"), NetlistError);
+}
+
+}  // namespace
+}  // namespace rct

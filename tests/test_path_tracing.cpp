@@ -1,0 +1,142 @@
+#include "moments/path_tracing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::moments {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(SubtreeCapacitances, SmallTree) {
+  const RCTree t = testing::small_tree();
+  const auto c = subtree_capacitances(t);
+  EXPECT_DOUBLE_EQ(c[t.at("a")], 5e-12);
+  EXPECT_DOUBLE_EQ(c[t.at("b")], 2.5e-12);
+  EXPECT_DOUBLE_EQ(c[t.at("c")], 0.5e-12);
+  EXPECT_DOUBLE_EQ(c[t.at("d")], 1.5e-12);
+}
+
+TEST(PathResistances, SmallTree) {
+  const RCTree t = testing::small_tree();
+  const auto r = path_resistances(t);
+  EXPECT_DOUBLE_EQ(r[t.at("a")], 100.0);
+  EXPECT_DOUBLE_EQ(r[t.at("c")], 600.0);
+  EXPECT_DOUBLE_EQ(r[t.at("d")], 250.0);
+}
+
+TEST(ElmoreDelays, HandComputedSmallTree) {
+  // T_D(i) = sum_k R_ki C_k with R_ki the shared-path resistance.
+  const RCTree t = testing::small_tree();
+  const auto td = elmore_delays(t);
+  const double ca = 1e-12;
+  const double cb = 2e-12;
+  const double cc = 0.5e-12;
+  const double cd = 1.5e-12;
+  EXPECT_NEAR(td[t.at("a")], 100 * (ca + cb + cc + cd), 1e-22);
+  EXPECT_NEAR(td[t.at("b")], 100 * (ca + cb + cc + cd) + 200 * (cb + cc), 1e-22);
+  EXPECT_NEAR(td[t.at("c")], 100 * (ca + cb + cc + cd) + 200 * (cb + cc) + 300 * cc, 1e-22);
+  EXPECT_NEAR(td[t.at("d")], 100 * (ca + cb + cc + cd) + 150 * cd, 1e-22);
+}
+
+TEST(ElmoreDelays, SingleRcIsTau) {
+  const auto td = elmore_delays(testing::single_rc(1000.0, 1e-12));
+  EXPECT_DOUBLE_EQ(td[0], 1e-9);
+}
+
+TEST(ElmoreDelays, MonotoneAlongAnyPath) {
+  const RCTree t = gen::random_tree(80, 4);
+  const auto td = elmore_delays(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    if (t.parent(i) != kSource) {
+      EXPECT_GT(td[i], td[t.parent(i)]);
+    }
+  }
+}
+
+TEST(TransferMoments, MatchDirectDefinition) {
+  // m_1(i) = -T_D(i); m_0 = 1.
+  const RCTree t = gen::random_tree(50, 12);
+  const auto m = transfer_moments(t, 1);
+  const auto td = elmore_delays(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m[0][i], 1.0);
+    ExpectRel(m[1][i], -td[i], 1e-12);
+  }
+}
+
+TEST(TransferMoments, SingleRcClosedFormAllOrders) {
+  // H(s) = 1/(1 + s tau): m_k = (-tau)^k.
+  const double tau = 2e-9;
+  const RCTree t = testing::single_rc(2000.0, 1e-12);
+  const auto m = transfer_moments(t, 6);
+  for (std::size_t k = 0; k <= 6; ++k) ExpectRel(m[k][0], std::pow(-tau, k), 1e-12);
+}
+
+TEST(DistributionMoments, SignAndFactorial) {
+  // M_q = (-1)^q q! m_q; for single RC: M_q = q! tau^q.
+  const double tau = 1e-9;
+  const RCTree t = testing::single_rc(1000.0, 1e-12);
+  const auto dm = distribution_moments(t, 4);
+  double fact = 1.0;
+  for (std::size_t q = 0; q <= 4; ++q) {
+    if (q > 0) fact *= static_cast<double>(q);
+    ExpectRel(dm[q][0], fact * std::pow(tau, q), 1e-12);
+  }
+}
+
+TEST(PrhTerms, SingleRcDegenerate) {
+  const auto p = prh_terms(testing::single_rc(1000.0, 1e-12));
+  EXPECT_DOUBLE_EQ(p.tp, 1e-9);
+  EXPECT_DOUBLE_EQ(p.td[0], 1e-9);
+  EXPECT_DOUBLE_EQ(p.tr[0], 1e-9);
+}
+
+TEST(PrhTerms, OrderingTrLeTdLeTp) {
+  // Classic RPH inequalities: T_R(i) <= T_D(i) <= T_P.
+  for (std::uint64_t seed : {1u, 5u, 9u, 14u}) {
+    const RCTree t = gen::random_tree(60, seed);
+    const auto p = prh_terms(t);
+    for (NodeId i = 0; i < t.size(); ++i) {
+      EXPECT_LE(p.tr[i], p.td[i] * (1 + 1e-12));
+      EXPECT_LE(p.td[i], p.tp * (1 + 1e-12));
+    }
+  }
+}
+
+TEST(PrhTerms, FastTrMatchesQuadraticReference) {
+  for (std::uint64_t seed : {2u, 7u}) {
+    const RCTree t = gen::random_tree(40, seed);
+    const auto p = prh_terms(t);
+    const auto slow = squared_common_resistance_slow(t);
+    const auto rpath = path_resistances(t);
+    for (NodeId i = 0; i < t.size(); ++i) ExpectRel(p.tr[i], slow[i] / rpath[i], 1e-10);
+  }
+}
+
+TEST(PrhTerms, TpEqualsElmoreSumWeightedByFullPath) {
+  const RCTree t = testing::small_tree();
+  const auto p = prh_terms(t);
+  // T_P = sum_k R_kk C_k by hand.
+  const double want =
+      100 * 1e-12 + 300 * 2e-12 + 600 * 0.5e-12 + 250 * 1.5e-12;
+  EXPECT_NEAR(p.tp, want, 1e-22);
+}
+
+TEST(PathTracing, LineScalesLinearly) {
+  // Smoke check the O(N) claim: a 100k-node line completes fast and gives
+  // finite results.
+  const RCTree t = gen::line(100000, 10.0, 0.0, 1.0, 1e-15);
+  const auto td = elmore_delays(t);
+  const auto p = prh_terms(t);
+  EXPECT_TRUE(std::isfinite(td.back()));
+  EXPECT_TRUE(std::isfinite(p.tr.back()));
+  EXPECT_GT(td.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace rct::moments

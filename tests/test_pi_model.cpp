@@ -1,0 +1,129 @@
+#include "core/pi_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "moments/admittance.hpp"
+#include "moments/central.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::core {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(PiModel, MatchesFirstThreeAdmittanceMoments) {
+  // The defining property (eq. 26): the pi's own m1..m3 equal the tree's.
+  for (std::uint64_t seed : {1u, 4u, 9u, 16u}) {
+    const RCTree t = gen::random_tree(30, seed);
+    const auto y = moments::input_admittance(t, 3);
+    const PiModel pi = input_pi_model(t);
+    ExpectRel(pi.m1(), y[1], 1e-10);
+    ExpectRel(pi.m2(), y[2], 1e-10);
+    ExpectRel(pi.m3(), y[3], 1e-10);
+  }
+}
+
+TEST(PiModel, ComponentsArePhysical) {
+  for (std::uint64_t seed : {2u, 8u, 32u}) {
+    const PiModel pi = input_pi_model(gen::random_tree(25, seed));
+    EXPECT_GT(pi.c1, 0.0);
+    EXPECT_GT(pi.c2, 0.0);
+    EXPECT_GT(pi.r2, 0.0);
+  }
+}
+
+TEST(PiModel, TotalCapacitancePreserved) {
+  // C1 + C2 = m1(Y) = total tree capacitance.
+  const RCTree t = gen::random_tree(40, 5);
+  const PiModel pi = input_pi_model(t);
+  ExpectRel(pi.c1 + pi.c2, t.total_capacitance(), 1e-10);
+}
+
+TEST(PiModel, ExactForActualPiCircuit) {
+  // Reducing a literal C1-R2-C2 circuit returns its own components.
+  RCTreeBuilder b;
+  const NodeId n1 = b.add_node("n1", kSource, 123.0, 3e-12);  // R1 feeds the pi
+  b.add_node("n2", n1, 456.0, 2e-12);
+  const RCTree t = std::move(b).build();
+  const PiModel pi = subtree_pi_model(t, t.at("n1"));
+  ExpectRel(pi.c1, 3e-12, 1e-10);
+  ExpectRel(pi.c2, 2e-12, 1e-10);
+  ExpectRel(pi.r2, 456.0, 1e-10);
+}
+
+TEST(PiModel, SingleCapacitorSubtreeRejected) {
+  // A bare capacitor has m2 = m3 = 0: not reducible, must throw.
+  const RCTree t = testing::single_rc();
+  EXPECT_THROW((void)subtree_pi_model(t, 0), std::invalid_argument);
+}
+
+TEST(PiModel, NeedsOrderThree) {
+  linalg::PowerSeries y(2);
+  y[1] = 1e-12;
+  EXPECT_THROW((void)pi_model_from_moments(y), std::invalid_argument);
+}
+
+TEST(AppendixB, CentralMomentsMatchGeneralFormula) {
+  // eq. 28-29 closed forms vs the generic transfer-moment machinery on the
+  // literal R1 + pi circuit.
+  const double r1 = 200.0;
+  const PiModel pi{1.5e-12, 0.8e-12, 350.0};
+  RCTreeBuilder b;
+  const NodeId n1 = b.add_node("n1", kSource, r1, pi.c1);
+  b.add_node("n2", n1, pi.r2, pi.c2);
+  const RCTree t = std::move(b).build();
+
+  const auto stats = moments::impulse_stats(t)[t.at("n1")];
+  const auto ab = appendix_b_central_moments(r1, pi);
+  ExpectRel(ab.mu2, stats.mu2, 1e-12);
+  ExpectRel(ab.mu3, stats.mu3, 1e-12);
+}
+
+TEST(AppendixB, MomentsNonNegative) {
+  // The Lemma 2 induction base: mu2, mu3 >= 0 for any physical pi.
+  for (double r1 : {10.0, 100.0, 1000.0}) {
+    for (double r2 : {10.0, 1000.0}) {
+      const PiModel pi{1e-12, 0.3e-12, r2};
+      const auto ab = appendix_b_central_moments(r1, pi);
+      EXPECT_GE(ab.mu2, 0.0);
+      EXPECT_GE(ab.mu3, 0.0);
+    }
+  }
+}
+
+TEST(PiModel, DrivingPointElmoreOfReducedMatchesOriginal) {
+  // Loading a driver resistance with the pi instead of the full tree
+  // preserves the driving-point Elmore delay (first moment match).
+  const RCTree full = gen::random_tree(30, 41);
+  const double r_drv = 75.0;
+
+  RCTreeBuilder wrap_full;
+  // driver -> full tree: emulate by scaling: build driver + original tree.
+  const NodeId drv = wrap_full.add_node("drv", kSource, r_drv, 0.0);
+  for (NodeId i = 0; i < full.size(); ++i) {
+    const NodeId p = full.parent(i);
+    wrap_full.add_node(full.name(i), p == kSource ? drv : p + 1, full.resistance(i),
+                       full.capacitance(i));
+  }
+  const RCTree loaded_full = std::move(wrap_full).build();
+
+  const PiModel pi = input_pi_model(full);
+  RCTreeBuilder wrap_pi;
+  const NodeId d2 = wrap_pi.add_node("drv", kSource, r_drv, pi.c1);
+  wrap_pi.add_node("far", d2, pi.r2, pi.c2);
+  const RCTree loaded_pi = std::move(wrap_pi).build();
+
+  const auto full_stats = moments::impulse_stats(loaded_full)[loaded_full.at("drv")];
+  const auto pi_stats = moments::impulse_stats(loaded_pi)[loaded_pi.at("drv")];
+  ExpectRel(pi_stats.mean, full_stats.mean, 1e-9);
+  // Second/third central moments at the driving point also match, because
+  // they depend only on Y's first three moments (Appendix A).
+  ExpectRel(pi_stats.mu2, full_stats.mu2, 1e-9);
+  ExpectRel(pi_stats.mu3, full_stats.mu3, 1e-9);
+}
+
+}  // namespace
+}  // namespace rct::core

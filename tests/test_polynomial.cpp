@@ -1,0 +1,100 @@
+#include "linalg/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rct::linalg {
+namespace {
+
+std::vector<double> sorted_real_parts(std::vector<std::complex<double>> roots) {
+  std::vector<double> re;
+  re.reserve(roots.size());
+  for (const auto& r : roots) re.push_back(r.real());
+  std::sort(re.begin(), re.end());
+  return re;
+}
+
+TEST(PolynomialEval, Horner) {
+  // p(x) = 1 + 2x + 3x^2 at x = 2 -> 17.
+  const std::vector<double> c{1.0, 2.0, 3.0};
+  EXPECT_NEAR(polynomial_eval(c, 2.0).real(), 17.0, 1e-12);
+  EXPECT_NEAR(polynomial_eval(c, 2.0).imag(), 0.0, 1e-12);
+}
+
+TEST(PolynomialRoots, Linear) {
+  // 2x - 4 = 0 -> x = 2.
+  const auto roots = polynomial_roots(std::vector<double>{-4.0, 2.0});
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0].real(), 2.0, 1e-10);
+}
+
+TEST(PolynomialRoots, QuadraticRealRoots) {
+  // (x-1)(x-3) = x^2 - 4x + 3.
+  const auto re = sorted_real_parts(polynomial_roots(std::vector<double>{3.0, -4.0, 1.0}));
+  EXPECT_NEAR(re[0], 1.0, 1e-9);
+  EXPECT_NEAR(re[1], 3.0, 1e-9);
+}
+
+TEST(PolynomialRoots, QuadraticComplexPair) {
+  // x^2 + 1 -> +-i.
+  const auto roots = polynomial_roots(std::vector<double>{1.0, 0.0, 1.0});
+  ASSERT_EQ(roots.size(), 2u);
+  std::vector<double> im{roots[0].imag(), roots[1].imag()};
+  std::sort(im.begin(), im.end());
+  EXPECT_NEAR(im[0], -1.0, 1e-9);
+  EXPECT_NEAR(im[1], 1.0, 1e-9);
+  EXPECT_NEAR(roots[0].real(), 0.0, 1e-9);
+}
+
+TEST(PolynomialRoots, CubicWithSpreadRoots) {
+  // (x-1)(x-10)(x-100).
+  const std::vector<double> c{-1000.0, 1110.0, -111.0, 1.0};
+  const auto re = sorted_real_parts(polynomial_roots(c));
+  EXPECT_NEAR(re[0], 1.0, 1e-7);
+  EXPECT_NEAR(re[1], 10.0, 1e-6);
+  EXPECT_NEAR(re[2], 100.0, 1e-5);
+}
+
+TEST(PolynomialRoots, NonMonicAndLeadingZeroCoefficients) {
+  // 2(x-1)(x-2) with an appended zero coefficient.
+  const auto re = sorted_real_parts(polynomial_roots(std::vector<double>{4.0, -6.0, 2.0, 0.0}));
+  ASSERT_EQ(re.size(), 2u);
+  EXPECT_NEAR(re[0], 1.0, 1e-9);
+  EXPECT_NEAR(re[1], 2.0, 1e-9);
+}
+
+TEST(PolynomialRoots, DegreeZeroThrows) {
+  EXPECT_THROW((void)polynomial_roots(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)polynomial_roots(std::vector<double>{1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(PolynomialRoots, ResidualIsSmallOnRandomPolys) {
+  // Verify p(root) ~ 0 for a batch of polynomials built from known roots.
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> roots_true;
+    for (int k = 0; k < 5; ++k)
+      roots_true.push_back(-1.0 - static_cast<double>(k * (rep + 1)) * 0.37);
+    // Build coefficients of prod (x - r).
+    std::vector<double> c{1.0};
+    for (double r : roots_true) {
+      std::vector<double> next(c.size() + 1, 0.0);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        next[i + 1] += c[i];
+        next[i] -= r * c[i];
+      }
+      c = std::move(next);
+    }
+    std::reverse(c.begin(), c.end());  // constant term first
+    const auto got = polynomial_roots(c);
+    double scale = 0.0;
+    for (double v : c) scale = std::max(scale, std::abs(v));
+    for (const auto& root : got)
+      EXPECT_LT(std::abs(polynomial_eval(c, root)), 1e-6 * scale);
+  }
+}
+
+}  // namespace
+}  // namespace rct::linalg

@@ -1,0 +1,97 @@
+#include "linalg/power_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rct::linalg {
+namespace {
+
+TEST(PowerSeries, ZeroConstruction) {
+  PowerSeries p(3);
+  EXPECT_EQ(p.order(), 3u);
+  for (std::size_t k = 0; k <= 3; ++k) EXPECT_EQ(p[k], 0.0);
+}
+
+TEST(PowerSeries, AdditionAndSubtraction) {
+  PowerSeries a(std::vector<double>{1.0, 2.0, 3.0});
+  PowerSeries b(std::vector<double>{0.5, -1.0, 4.0});
+  const PowerSeries s = a + b;
+  EXPECT_DOUBLE_EQ(s[0], 1.5);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 7.0);
+  const PowerSeries d = s - b;
+  EXPECT_DOUBLE_EQ(d[0], a[0]);
+  EXPECT_DOUBLE_EQ(d[1], a[1]);
+  EXPECT_DOUBLE_EQ(d[2], a[2]);
+}
+
+TEST(PowerSeries, ScalarMultiply) {
+  PowerSeries a(std::vector<double>{1.0, -2.0});
+  const PowerSeries b = a * 3.0;
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(b[1], -6.0);
+}
+
+TEST(PowerSeries, TruncatedProduct) {
+  // (1 + s)(1 - s + s^2) = 1 + s^3 -> truncated at order 2: 1 + 0 s + 0 s^2.
+  PowerSeries a(std::vector<double>{1.0, 1.0, 0.0});
+  PowerSeries b(std::vector<double>{1.0, -1.0, 1.0});
+  const PowerSeries p = a.multiply(b);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_NEAR(p[1], 0.0, 1e-15);
+  EXPECT_NEAR(p[2], 0.0, 1e-15);
+}
+
+TEST(PowerSeries, ReciprocalOfGeometric) {
+  // 1/(1 - s) = 1 + s + s^2 + s^3.
+  PowerSeries a(std::vector<double>{1.0, -1.0, 0.0, 0.0});
+  const PowerSeries r = a.reciprocal();
+  for (std::size_t k = 0; k <= 3; ++k) EXPECT_NEAR(r[k], 1.0, 1e-15);
+}
+
+TEST(PowerSeries, ReciprocalRoundTrip) {
+  PowerSeries a(std::vector<double>{2.0, 0.3, -0.7, 1.1, 0.05});
+  const PowerSeries prod = a.multiply(a.reciprocal());
+  EXPECT_NEAR(prod[0], 1.0, 1e-14);
+  for (std::size_t k = 1; k <= 4; ++k) EXPECT_NEAR(prod[k], 0.0, 1e-13);
+}
+
+TEST(PowerSeries, ReciprocalOfZeroConstantThrows) {
+  PowerSeries a(std::vector<double>{0.0, 1.0});
+  EXPECT_THROW((void)a.reciprocal(), std::invalid_argument);
+}
+
+TEST(PowerSeries, DivisionMatchesAnalytic) {
+  // s / (1 + s) = s - s^2 + s^3 - ...
+  PowerSeries num(std::vector<double>{0.0, 1.0, 0.0, 0.0, 0.0});
+  PowerSeries den(std::vector<double>{1.0, 1.0, 0.0, 0.0, 0.0});
+  const PowerSeries q = num.divide(den);
+  EXPECT_NEAR(q[0], 0.0, 1e-15);
+  EXPECT_NEAR(q[1], 1.0, 1e-15);
+  EXPECT_NEAR(q[2], -1.0, 1e-15);
+  EXPECT_NEAR(q[3], 1.0, 1e-15);
+  EXPECT_NEAR(q[4], -1.0, 1e-15);
+}
+
+TEST(PowerSeries, ExponentialSeriesProductIdentity) {
+  // exp-series truncations: e^a * e^b coefficients = e^{a+b} coefficients.
+  auto exp_series = [](double x, std::size_t ord) {
+    PowerSeries p(ord);
+    double term = 1.0;
+    for (std::size_t k = 0; k <= ord; ++k) {
+      p[k] = term;
+      term *= x / static_cast<double>(k + 1);
+    }
+    return p;
+  };
+  const auto ea = exp_series(0.3, 6);
+  const auto eb = exp_series(0.5, 6);
+  const auto eab = exp_series(0.8, 6);
+  const auto prod = ea.multiply(eb);
+  for (std::size_t k = 0; k <= 6; ++k) EXPECT_NEAR(prod[k], eab[k], 1e-12);
+}
+
+}  // namespace
+}  // namespace rct::linalg

@@ -1,0 +1,102 @@
+#include "core/penfield_rubinstein.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::core {
+namespace {
+
+TEST(Prh, SingleRcBoundsAreExact) {
+  // With one RC section T_P = T_D = T_R, and both bounds collapse onto the
+  // exact response: t = -tau ln(1 - v).
+  const double tau = 1e-9;
+  const RCTree t = testing::single_rc(1000.0, 1e-12);
+  const PrhBounds prh(t);
+  for (double v : {0.1, 0.5, 0.9, 0.99}) {
+    const double want = -tau * std::log(1.0 - v);
+    EXPECT_NEAR(prh.t_min(0, v), want, 1e-12 * want);
+    EXPECT_NEAR(prh.t_max(0, v), want, 1e-12 * want);
+  }
+}
+
+TEST(Prh, TermsAccessors) {
+  const RCTree t = testing::small_tree();
+  const PrhBounds prh(t);
+  EXPECT_GT(prh.tp(), 0.0);
+  EXPECT_LE(prh.td(t.at("c")), prh.tp());
+  EXPECT_LE(prh.tr(t.at("c")), prh.td(t.at("c")));
+}
+
+TEST(Prh, FractionValidation) {
+  const PrhBounds prh(testing::single_rc());
+  EXPECT_THROW((void)prh.t_min(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)prh.t_max(0, -0.1), std::invalid_argument);
+  EXPECT_EQ(prh.t_min(0, 0.0), 0.0);
+}
+
+TEST(Prh, BoundsAreOrderedAndMonotoneInThreshold) {
+  const RCTree t = circuits::fig1();
+  const PrhBounds prh(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    double prev_min = -1.0;
+    double prev_max = -1.0;
+    for (double v = 0.05; v < 0.999; v += 0.05) {
+      const double lo = prh.t_min(i, v);
+      const double hi = prh.t_max(i, v);
+      EXPECT_LE(lo, hi * (1 + 1e-12));
+      EXPECT_GE(lo, prev_min - 1e-18);
+      EXPECT_GE(hi, prev_max - 1e-18);
+      prev_min = lo;
+      prev_max = hi;
+    }
+  }
+}
+
+class PrhContainment : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrhContainment, ExactCrossingInsideBoundsEverywhere) {
+  // The PRH theorem itself: t_min(v) <= t_exact(v) <= t_max(v) for all
+  // nodes and thresholds, on random trees.
+  const RCTree t = gen::random_tree(20, GetParam());
+  const PrhBounds prh(t);
+  const sim::ExactAnalysis e(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    for (double v : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const double exact = e.step_delay(i, v);
+      EXPECT_LE(prh.t_min(i, v), exact * (1 + 1e-9)) << "node " << i << " v " << v;
+      EXPECT_GE(prh.t_max(i, v), exact * (1 - 1e-9)) << "node " << i << " v " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrhContainment, ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(Prh, DrivingPointTmaxEqualsElmoreAtHalf) {
+  // Paper observation (Table I): at the driving point T_R = T_D, so
+  // t_max(0.5) = 2 T_D - T_R = T_D whenever 0.5 <= 1 - T_D/T_P.
+  const RCTree t = circuits::fig1();
+  const PrhBounds prh(t);
+  const NodeId n1 = t.at("n1");
+  if (0.5 <= 1.0 - prh.td(n1) / prh.tp()) {
+    EXPECT_NEAR(prh.t_max(n1, 0.5), prh.td(n1), 1e-9 * prh.td(n1));
+  }
+}
+
+TEST(Prh, ElmoreTighterAtLeavesPrhTighterAtRoot) {
+  // Paper Table I structure: t_max > T_D at the loads, t_max == T_D at the
+  // driving point.
+  const RCTree t = circuits::fig1();
+  const PrhBounds prh(t);
+  EXPECT_NEAR(prh.t_max(t.at("n1"), 0.5), prh.td(t.at("n1")), 1e-9 * prh.td(t.at("n1")));
+  EXPECT_GT(prh.t_max(t.at("n5"), 0.5), prh.td(t.at("n5")));
+  EXPECT_GT(prh.t_max(t.at("n7"), 0.5), prh.td(t.at("n7")));
+}
+
+}  // namespace
+}  // namespace rct::core

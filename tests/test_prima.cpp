@@ -1,0 +1,127 @@
+#include "core/prima.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/awe.hpp"
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::core {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(Prima, Validation) {
+  EXPECT_THROW(PrimaReduction(testing::small_tree(), 0), std::invalid_argument);
+  RCTreeBuilder b;
+  b.add_node("x", kSource, 1.0, 0.0);
+  const RCTree capless = std::move(b).build();
+  EXPECT_THROW(PrimaReduction(capless, 1), std::invalid_argument);
+}
+
+TEST(Prima, FullOrderReproducesExactModel) {
+  const RCTree t = testing::small_tree();
+  const sim::ExactAnalysis exact(t);
+  const PrimaReduction prima(t, t.size());
+  ASSERT_EQ(prima.effective_order(), t.size());
+  for (std::size_t j = 0; j < t.size(); ++j)
+    ExpectRel(prima.poles()[j], exact.poles()[j], 1e-8);
+  const NodeId node = t.at("c");
+  const ReducedModel rm = prima.at(node);
+  EXPECT_NEAR(rm.dc, 1.0, 1e-9);
+  const double tau = exact.dominant_time_constant();
+  for (double x : {0.2, 0.8, 2.0})
+    EXPECT_NEAR(rm.step_response(x * tau), exact.step_response(node, x * tau), 1e-8);
+}
+
+TEST(Prima, MatchesFirstQMoments) {
+  // PRIMA's defining property: an order-q SISO projection matches q moments.
+  const RCTree t = gen::random_tree(30, 19);
+  const std::size_t q = 4;
+  const PrimaReduction prima(t, q);
+  const auto dist = moments::distribution_moments(t, q - 1);
+  for (NodeId node : {NodeId{0}, t.size() / 2, t.size() - 1}) {
+    const ReducedModel rm = prima.at(node);
+    for (std::size_t k = 0; k < q; ++k) {
+      SCOPED_TRACE(::testing::Message() << "node " << node << " moment " << k);
+      ExpectRel(rm.distribution_moment(static_cast<int>(k)), dist[k][node], 1e-6, 1e-30);
+    }
+  }
+}
+
+class PrimaStability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimaStability, AlwaysStableWhereAweMayFail) {
+  // Structural stability: every reduced pole real positive, every seed,
+  // every order — no exceptions, unlike AWE.
+  const RCTree t = gen::random_tree(15, GetParam());
+  for (std::size_t q : {1u, 2u, 3u, 4u, 6u}) {
+    const PrimaReduction prima(t, q);
+    EXPECT_TRUE(prima.stable()) << "q=" << q;
+    for (double l : prima.poles()) EXPECT_GT(l, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimaStability,
+                         ::testing::Values(3, 6, 9, 12, 15, 18, 21, 24));
+
+TEST(Prima, DelayAccuracyImprovesWithOrder) {
+  const RCTree t = rct::circuits::tree25();
+  const sim::ExactAnalysis exact(t);
+  const NodeId node = t.at("C");
+  const double truth = exact.step_delay(node);
+  double prev = 1e300;
+  for (std::size_t q : {1u, 2u, 4u, 8u}) {
+    const PrimaReduction prima(t, q);
+    const double err = std::abs(prima.at(node).delay() - truth);
+    EXPECT_LT(err, prev * 1.2) << "q=" << q;  // allow small non-monotone wiggle
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-3 * truth);
+}
+
+TEST(Prima, SaturatesGracefullyOnTinyCircuits) {
+  const RCTree t = testing::two_rc();
+  const PrimaReduction prima(t, 10);  // asks for more than N
+  EXPECT_LE(prima.effective_order(), 2u);
+  EXPECT_TRUE(prima.stable());
+  EXPECT_NEAR(prima.at(1).dc, 1.0, 1e-9);
+}
+
+TEST(Prima, DcExactAtEveryNode) {
+  // m0 is among the matched moments, so the reduced DC gain is exactly 1.
+  const RCTree t = gen::random_tree(40, 77);
+  const PrimaReduction prima(t, 3);
+  for (NodeId i = 0; i < t.size(); ++i) EXPECT_NEAR(prima.at(i).dc, 1.0, 1e-8);
+}
+
+TEST(Prima, StableWhereAweIsUnstable) {
+  // Hunt a seed where AWE(4) goes unstable and show PRIMA(4) does not.
+  int awe_unstable = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const RCTree t = gen::random_tree(15, seed);
+    const AweApproximation awe(t, t.size() - 1, 4);
+    if (!awe.stable()) {
+      ++awe_unstable;
+      const PrimaReduction prima(t, 4);
+      EXPECT_TRUE(prima.stable()) << "seed " << seed;
+    }
+  }
+  EXPECT_GT(awe_unstable, 0) << "expected at least one unstable AWE fit in 40 seeds";
+}
+
+TEST(Prima, ReducedModelValidation) {
+  const PrimaReduction prima(testing::small_tree(), 2);
+  EXPECT_THROW((void)prima.at(99), std::invalid_argument);
+  const ReducedModel rm = prima.at(0);
+  EXPECT_THROW((void)rm.delay(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rm.distribution_moment(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rct::core

@@ -1,0 +1,128 @@
+#include "rctree/rctree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers.hpp"
+#include "rctree/netlist_parser.hpp"
+
+namespace rct {
+namespace {
+
+TEST(RCTreeBuilder, SingleNode) {
+  const RCTree t = testing::single_rc(1000.0, 1e-12);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.parent(0), kSource);
+  EXPECT_DOUBLE_EQ(t.resistance(0), 1000.0);
+  EXPECT_DOUBLE_EQ(t.capacitance(0), 1e-12);
+  EXPECT_EQ(t.name(0), "n1");
+  EXPECT_TRUE(t.is_leaf(0));
+}
+
+TEST(RCTreeBuilder, RejectsEmptyName) {
+  RCTreeBuilder b;
+  EXPECT_THROW((void)b.add_node("", kSource, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(RCTreeBuilder, RejectsDuplicateName) {
+  RCTreeBuilder b;
+  b.add_node("x", kSource, 1.0, 1.0);
+  EXPECT_THROW((void)b.add_node("x", 0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(RCTreeBuilder, RejectsNonexistentParent) {
+  RCTreeBuilder b;
+  EXPECT_THROW((void)b.add_node("x", 5, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(RCTreeBuilder, RejectsNonPositiveResistance) {
+  RCTreeBuilder b;
+  EXPECT_THROW((void)b.add_node("x", kSource, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)b.add_node("x", kSource, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(RCTreeBuilder, RejectsNegativeCapacitance) {
+  RCTreeBuilder b;
+  EXPECT_THROW((void)b.add_node("x", kSource, 1.0, -1e-15), std::invalid_argument);
+}
+
+TEST(RCTreeBuilder, ZeroCapacitanceAllowed) {
+  RCTreeBuilder b;
+  b.add_node("x", kSource, 1.0, 0.0);
+  const RCTree t = std::move(b).build();
+  EXPECT_DOUBLE_EQ(t.capacitance(0), 0.0);
+}
+
+TEST(RCTreeBuilder, EmptyBuildThrows) {
+  RCTreeBuilder b;
+  EXPECT_THROW((void)std::move(b).build(), std::invalid_argument);
+}
+
+TEST(RCTree, ChildrenAndLeaves) {
+  const RCTree t = testing::small_tree();
+  const NodeId a = t.at("a");
+  ASSERT_EQ(t.children(a).size(), 2u);
+  EXPECT_EQ(t.children_of_source().size(), 1u);
+  EXPECT_EQ(t.children_of_source()[0], a);
+  const auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(t.name(leaves[0]), "c");
+  EXPECT_EQ(t.name(leaves[1]), "d");
+}
+
+TEST(RCTree, DepthAndPathResistance) {
+  const RCTree t = testing::small_tree();
+  EXPECT_EQ(t.depth(t.at("a")), 1u);
+  EXPECT_EQ(t.depth(t.at("c")), 3u);
+  EXPECT_DOUBLE_EQ(t.path_resistance(t.at("c")), 600.0);
+  EXPECT_DOUBLE_EQ(t.path_resistance(t.at("d")), 250.0);
+}
+
+TEST(RCTree, CapacitanceAggregates) {
+  const RCTree t = testing::small_tree();
+  EXPECT_DOUBLE_EQ(t.total_capacitance(), 5e-12);
+  EXPECT_DOUBLE_EQ(t.subtree_capacitance(t.at("b")), 2.5e-12);
+  EXPECT_DOUBLE_EQ(t.subtree_capacitance(t.at("a")), 5e-12);
+}
+
+TEST(RCTree, FindAndAt) {
+  const RCTree t = testing::small_tree();
+  EXPECT_TRUE(t.find("b").has_value());
+  EXPECT_FALSE(t.find("nope").has_value());
+  EXPECT_THROW((void)t.at("nope"), std::out_of_range);
+}
+
+TEST(RCTree, ScaledMultipliesComponents) {
+  const RCTree t = testing::small_tree().scaled(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.resistance(t.at("a")), 200.0);
+  EXPECT_DOUBLE_EQ(t.capacitance(t.at("b")), 1e-12);
+}
+
+TEST(RCTree, ScaledRejectsBadFactors) {
+  EXPECT_THROW((void)testing::small_tree().scaled(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)testing::small_tree().scaled(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(RCTree, NetlistRoundTrip) {
+  const RCTree t = testing::small_tree();
+  const ParsedNetlist parsed = parse_netlist(t.to_netlist("round trip"));
+  const RCTree& u = parsed.tree;
+  ASSERT_EQ(u.size(), t.size());
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const NodeId j = u.at(t.name(i));
+    EXPECT_DOUBLE_EQ(u.capacitance(j), t.capacitance(i));
+    EXPECT_NEAR(u.path_resistance(j), t.path_resistance(i), 1e-9 * t.path_resistance(i));
+  }
+}
+
+TEST(RCTree, MultipleRootsAllowed) {
+  RCTreeBuilder b;
+  b.add_node("r1", kSource, 10.0, 1e-12);
+  b.add_node("r2", kSource, 20.0, 2e-12);
+  const RCTree t = std::move(b).build();
+  EXPECT_EQ(t.children_of_source().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rct

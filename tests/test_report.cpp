@@ -1,0 +1,70 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "rctree/circuits.hpp"
+
+namespace rct::core {
+namespace {
+
+TEST(Report, RowsCoverAllNodes) {
+  const RCTree t = circuits::fig1();
+  const auto rows = build_report(t);
+  ASSERT_EQ(rows.size(), t.size());
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_TRUE(r.exact_delay.has_value());
+    EXPECT_TRUE(r.exact_rise.has_value());
+  }
+}
+
+TEST(Report, LeavesOnlyFilter) {
+  const RCTree t = circuits::fig1();
+  ReportOptions opt;
+  opt.leaves_only = true;
+  const auto rows = build_report(t, opt);
+  ASSERT_EQ(rows.size(), 2u);  // n5 and n7
+}
+
+TEST(Report, WithoutExactSkipsEigensolve) {
+  const RCTree t = circuits::fig1();
+  ReportOptions opt;
+  opt.with_exact = false;
+  const auto rows = build_report(t, opt);
+  for (const auto& r : rows) EXPECT_FALSE(r.exact_delay.has_value());
+}
+
+TEST(Report, InvariantsPerRow) {
+  const RCTree t = circuits::tree25();
+  for (const auto& r : build_report(t)) {
+    EXPECT_GE(*r.exact_delay, r.prh_tmin * (1 - 1e-9));
+    EXPECT_LE(*r.exact_delay, r.prh_tmax * (1 + 1e-9));
+    EXPECT_LE(*r.exact_delay, r.elmore * (1 + 1e-9));
+    EXPECT_GE(*r.exact_delay, r.lower_bound * (1 - 1e-9));
+    EXPECT_GE(r.skewness, 0.0);
+    EXPECT_GT(r.sigma, 0.0);
+  }
+}
+
+TEST(Report, CustomFraction) {
+  const RCTree t = circuits::fig1();
+  ReportOptions opt;
+  opt.fraction = 0.9;
+  const auto rows = build_report(t, opt);
+  // 90% delays exceed 50% delays.
+  const auto rows50 = build_report(t);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_GT(*rows[i].exact_delay, *rows50[i].exact_delay);
+}
+
+TEST(Report, FormatContainsHeaderAndEveryNode) {
+  const RCTree t = circuits::fig1();
+  const std::string text = format_report(build_report(t));
+  EXPECT_NE(text.find("elmore"), std::string::npos);
+  for (NodeId i = 0; i < t.size(); ++i)
+    EXPECT_NE(text.find(t.name(i)), std::string::npos) << t.name(i);
+}
+
+}  // namespace
+}  // namespace rct::core

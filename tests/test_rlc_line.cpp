@@ -1,0 +1,89 @@
+#include "sim/rlc_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::sim {
+namespace {
+
+TEST(RlcLine, Validation) {
+  EXPECT_THROW(RlcLine(0, 1.0, 1.0, 1e-9, 1e-12), std::invalid_argument);
+  EXPECT_THROW(RlcLine(2, 1.0, 1.0, 0.0, 1e-12), std::invalid_argument);
+  EXPECT_THROW(RlcLine(2, 1.0, 1.0, 1e-9, 0.0), std::invalid_argument);
+  EXPECT_THROW(RlcLine(2, -1.0, 1.0, 1e-9, 1e-12), std::invalid_argument);
+}
+
+TEST(RlcLine, ElmoreMatchesRcLadderFormula) {
+  const RlcLine line(4, 50.0, 100.0, 1e-12, 20e-15);
+  // C * sum_k (Rd + kR) = 20f * (4*50 + 100*(1+2+3+4)).
+  EXPECT_NEAR(line.elmore_delay(), 20e-15 * (4 * 50.0 + 100.0 * 10.0), 1e-27);
+}
+
+TEST(RlcLine, TinyInductanceRecoversRcBehaviour) {
+  // With negligible L the RLC ladder must match the RC tree exact solver.
+  const std::size_t n = 6;
+  const double rd = 80.0;
+  const double r = 120.0;
+  const double c = 30e-15;
+  const RlcLine rlc(n, rd, r, 1e-16, c);  // ~zero inductance
+  const RCTree rc = gen::line(n - 1, rd + r, c, r, c);
+  // gen::line(n-1 segments) gives n nodes with first edge rd+r: same ladder.
+  const ExactAnalysis exact(rc);
+  const double t_end = 12.0 * exact.dominant_time_constant();
+  const Waveform w = rlc.step_response(t_end, 6000);
+  for (std::size_t k = 600; k < w.size(); k += 900)
+    EXPECT_NEAR(w.value(k), exact.step_response(rc.size() - 1, w.time(k)), 2e-3);
+}
+
+TEST(RlcLine, OverdampedIsMonotoneUnderdampedIsNot) {
+  // Heavy R: monotone like an RC line.  Light R: rings.
+  const RlcLine damped(4, 200.0, 500.0, 0.1e-9, 50e-15);
+  const Waveform wd = damped.step_response(damped.settle_horizon(), 8000);
+  EXPECT_TRUE(wd.is_monotone_nondecreasing(1e-4));
+  EXPECT_LT(damped.overshoot(), 1.001);
+
+  const RlcLine ringing(4, 5.0, 2.0, 2e-9, 50e-15);
+  EXPECT_GT(ringing.overshoot(), 1.2);
+  const Waveform wr = ringing.step_response(ringing.settle_horizon(), 8000);
+  EXPECT_FALSE(wr.is_monotone_nondecreasing(1e-3));
+}
+
+TEST(RlcLine, SettlesToOne) {
+  const RlcLine line(5, 30.0, 60.0, 0.5e-9, 40e-15);
+  const Waveform w = line.step_response(line.settle_horizon(), 8000);
+  EXPECT_NEAR(w.values().back(), 1.0, 1e-3);
+}
+
+TEST(RlcLine, ElmoreBoundFailsForHighQ) {
+  // THE counterexample: a low-loss ladder has a tiny RC first moment but a
+  // sqrt(LC)-scale rise — the 50% delay exceeds the "Elmore delay" and the
+  // paper's bound genuinely does not apply outside RC trees.
+  const RlcLine line(6, 1.0, 0.5, 5e-9, 50e-15);
+  const double td = line.elmore_delay();
+  const double actual = line.step_delay(0.5);
+  EXPECT_GT(actual, 3.0 * td);
+}
+
+TEST(RlcLine, ElmoreBoundHoldsWhenHeavilyDamped) {
+  // ... and reappears in the RC-like limit, as the theorem promises.
+  const RlcLine line(6, 150.0, 300.0, 1e-12, 50e-15);
+  EXPECT_LE(line.step_delay(0.5), line.elmore_delay());
+}
+
+TEST(RlcLine, ImpulseUnimodalityFailsWhenRinging) {
+  // Lemma 1's conclusion (unimodal h) fails with inductance: the numeric
+  // derivative of a ringing step response has multiple humps.
+  const RlcLine ringing(4, 5.0, 2.0, 2e-9, 50e-15);
+  const Waveform w = ringing.step_response(ringing.settle_horizon(), 16000);
+  const Waveform h = w.derivative();
+  double peak = 0.0;
+  for (double v : h.values()) peak = std::max(peak, std::abs(v));
+  EXPECT_FALSE(h.is_unimodal(1e-4 * peak));
+}
+
+}  // namespace
+}  // namespace rct::sim

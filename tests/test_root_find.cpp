@@ -1,0 +1,60 @@
+#include "linalg/root_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rct::linalg {
+namespace {
+
+TEST(BrentRoot, FindsSqrtTwo) {
+  const auto r = brent_root([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, std::sqrt(2.0), 1e-12);
+}
+
+TEST(BrentRoot, EndpointIsRoot) {
+  const auto r = brent_root([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0.0);
+}
+
+TEST(BrentRoot, InvalidBracketReturnsNullopt) {
+  EXPECT_FALSE(brent_root([](double x) { return x * x + 1.0; }, -1.0, 1.0).has_value());
+}
+
+TEST(BrentRoot, SteepExponentialCrossing) {
+  // 1 - e^{-x/tau} = 0.5 -> x = tau ln 2, tau = 1e-9 (circuit scale).
+  const double tau = 1e-9;
+  const auto r =
+      brent_root([&](double t) { return 1.0 - std::exp(-t / tau) - 0.5; }, 0.0, 1e-6);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, tau * std::log(2.0), 1e-15);
+}
+
+TEST(BrentRoot, DiscontinuousSignChangeStillBracketed) {
+  // Step-like function: Brent still converges to the jump location.
+  const auto r = brent_root([](double x) { return x < 0.3 ? -1.0 : 1.0; }, 0.0, 1.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 0.3, 1e-9);
+}
+
+TEST(BracketAndSolve, ExpandsUntilSignChange) {
+  // Root at 100; initial hi is far too small.
+  const auto r = bracket_and_solve([](double x) { return x - 100.0; }, 1.0, 1e6);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 100.0, 1e-9);
+}
+
+TEST(BracketAndSolve, RespectsCap) {
+  EXPECT_FALSE(bracket_and_solve([](double x) { return x - 100.0; }, 1.0, 10.0).has_value());
+}
+
+TEST(BracketAndSolve, ZeroIsRoot) {
+  const auto r = bracket_and_solve([](double x) { return x; }, 1.0, 10.0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0.0);
+}
+
+}  // namespace
+}  // namespace rct::linalg

@@ -1,0 +1,114 @@
+#include "rctree/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "moments/path_tracing.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::route {
+namespace {
+
+TEST(RouteNet, Validation) {
+  const Pin drv{"drv", 0.0, 0.0};
+  EXPECT_THROW((void)route_net(drv, {}), std::invalid_argument);
+  EXPECT_THROW((void)route_net(drv, {{"drv", 1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW((void)route_net(drv, {{"a", 1, 0}, {"a", 2, 0}}), std::invalid_argument);
+  RouteOptions bad;
+  bad.driver_resistance = 0.0;
+  EXPECT_THROW((void)route_net(drv, {{"a", 1, 0}}, bad), std::invalid_argument);
+  RouteOptions bad2;
+  bad2.segments_per_100um = 0;
+  EXPECT_THROW((void)route_net(drv, {{"a", 1, 0}}, bad2), std::invalid_argument);
+}
+
+TEST(RouteNet, TwoPinWirelengthIsManhattan) {
+  const Pin drv{"drv", 0.0, 0.0};
+  const Pin sink{"s1", 120.0, 80.0, 20e-15};
+  const RoutedNet net = route_net(drv, {sink});
+  EXPECT_NEAR(net.total_wirelength, 200.0, 1e-9);
+  ASSERT_EQ(net.edges.size(), 1u);
+  EXPECT_EQ(net.edges[0].from, "drv");
+  EXPECT_EQ(net.edges[0].to, "s1");
+  // Sink node carries its load.
+  const NodeId s = net.sink_nodes[0];
+  EXPECT_EQ(net.tree.name(s), "s1");
+  EXPECT_GE(net.tree.capacitance(s), 20e-15);
+}
+
+TEST(RouteNet, TwoPinElmoreMatchesClosedForm) {
+  // Straight-line 100um route: T_D ~ Rd(C_wire + C_load) + R C / 2 + R C_L.
+  RouteOptions opt;
+  opt.segments_per_100um = 40;  // fine discretization for the comparison
+  const Pin drv{"drv", 0.0, 0.0};
+  const Pin sink{"s1", 100.0, 0.0, 15e-15};
+  const RoutedNet net = route_net(drv, {sink}, opt);
+  const double r = opt.wire.res_per_length * 100.0;
+  const double c = opt.wire.cap_per_length * 100.0;
+  const double want = opt.driver_resistance * (c + 15e-15) + 0.5 * r * c + r * 15e-15;
+  const double got = moments::elmore_delays(net.tree)[net.sink_nodes[0]];
+  EXPECT_NEAR(got, want, 0.02 * want);
+}
+
+TEST(RouteNet, AllSinksRoutedAndNamed) {
+  const Pin drv{"clk", 0.0, 0.0};
+  const std::vector<Pin> sinks{
+      {"a", 50, 30, 8e-15}, {"b", -40, 10, 8e-15}, {"c", 20, -60, 8e-15}, {"d", 90, 90, 8e-15}};
+  const RoutedNet net = route_net(drv, sinks);
+  ASSERT_EQ(net.sink_nodes.size(), 4u);
+  for (std::size_t i = 0; i < sinks.size(); ++i)
+    EXPECT_EQ(net.tree.name(net.sink_nodes[i]), sinks[i].name);
+  EXPECT_EQ(net.edges.size(), 4u);
+  EXPECT_GT(net.total_wirelength, 0.0);
+}
+
+TEST(RouteNet, BoundsHoldOnRoutedTrees) {
+  const Pin drv{"drv", 0.0, 0.0};
+  const std::vector<Pin> sinks{
+      {"a", 80, 20, 12e-15}, {"b", 30, -70, 9e-15}, {"c", -50, 40, 15e-15}};
+  const RoutedNet net = route_net(drv, sinks);
+  const sim::ExactAnalysis exact(net.tree);
+  const auto bounds = core::delay_bounds(net.tree);
+  for (NodeId s : net.sink_nodes) {
+    const double actual = exact.step_delay(s);
+    EXPECT_LE(actual, bounds[s].upper * (1 + 1e-9));
+    EXPECT_GE(actual, bounds[s].lower * (1 - 1e-9));
+  }
+}
+
+TEST(RouteNet, SteinerSharingShortensWirelength) {
+  // Driver far left; two sinks stacked at the right: the corner created for
+  // the first route is the natural tap for the second.
+  const Pin drv{"drv", 0.0, 0.0};
+  const std::vector<Pin> sinks{{"a", 100, 10, 5e-15}, {"b", 100, -10, 5e-15}};
+  RouteOptions steiner;
+  steiner.steiner = true;
+  RouteOptions spanning;
+  spanning.steiner = false;
+  const double wl_steiner = route_net(drv, sinks, steiner).total_wirelength;
+  const double wl_spanning = route_net(drv, sinks, spanning).total_wirelength;
+  EXPECT_LT(wl_steiner, wl_spanning);
+  EXPECT_NEAR(wl_steiner, 110.0 + 10.0, 1e-9);   // drv->a, then corner->b
+  EXPECT_NEAR(wl_spanning, 110.0 + 20.0, 1e-9);  // drv->a, then a->b
+}
+
+TEST(RouteNet, CoincidentPinHandled) {
+  const Pin drv{"drv", 0.0, 0.0};
+  const RoutedNet net = route_net(drv, {{"a", 0.0, 0.0, 5e-15}});
+  EXPECT_EQ(net.tree.size(), 2u);
+  EXPECT_NEAR(net.total_wirelength, 0.0, 1e-12);
+}
+
+TEST(RouteNet, Deterministic) {
+  const Pin drv{"drv", 0.0, 0.0};
+  const std::vector<Pin> sinks{{"a", 10, 20, 1e-15}, {"b", -30, 5, 2e-15}};
+  const RoutedNet x = route_net(drv, sinks);
+  const RoutedNet y = route_net(drv, sinks);
+  EXPECT_EQ(x.tree.size(), y.tree.size());
+  EXPECT_DOUBLE_EQ(x.total_wirelength, y.total_wirelength);
+}
+
+}  // namespace
+}  // namespace rct::route

@@ -1,0 +1,151 @@
+// Scaling and numerical-convergence properties that cut across modules:
+// every Elmore-family quantity scales as kr*kc under component scaling,
+// the transient integrators converge at their theoretical orders, and the
+// exact engine is invariant under node relabeling of the same circuit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/penfield_rubinstein.hpp"
+#include "helpers.hpp"
+#include "moments/central.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+#include "sim/transient.hpp"
+
+namespace rct {
+namespace {
+
+using rct::testing::ExpectRel;
+
+class ScalingInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingInvariance, AllTimeQuantitiesScaleAsKrKc) {
+  const RCTree t = gen::random_tree(25, GetParam());
+  const double kr = 3.7;
+  const double kc = 0.21;
+  const double k = kr * kc;
+  const RCTree s = t.scaled(kr, kc);
+
+  const auto td_t = moments::elmore_delays(t);
+  const auto td_s = moments::elmore_delays(s);
+  const auto st_t = moments::impulse_stats(t);
+  const auto st_s = moments::impulse_stats(s);
+  const auto prh_t = moments::prh_terms(t);
+  const auto prh_s = moments::prh_terms(s);
+  ExpectRel(prh_s.tp, k * prh_t.tp, 1e-12);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    ExpectRel(td_s[i], k * td_t[i], 1e-12);
+    ExpectRel(st_s[i].sigma, k * st_t[i].sigma, 1e-12);
+    ExpectRel(st_s[i].mu3, k * k * k * st_t[i].mu3, 1e-12);
+    // Skewness is dimensionless: invariant (absolute floor absorbs the
+    // catastrophic cancellation on near-symmetric nodes).
+    ExpectRel(st_s[i].skewness, st_t[i].skewness, 1e-9, 1e-7);
+    ExpectRel(prh_s.tr[i], k * prh_t.tr[i], 1e-12);
+  }
+
+  // Exact 50% delays scale identically (time axis stretch).
+  const sim::ExactAnalysis et(t);
+  const sim::ExactAnalysis es(s);
+  for (NodeId i : {NodeId{0}, t.size() - 1})
+    ExpectRel(es.step_delay(i), k * et.step_delay(i), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingInvariance, ::testing::Values(4, 8, 15, 16, 23, 42));
+
+TEST(Convergence, BackwardEulerIsFirstOrder) {
+  // Halving the step should roughly halve the endpoint-time error.
+  const RCTree t = testing::two_rc();
+  const sim::ExactAnalysis exact(t);
+  const sim::StepSource step;
+  const double t_end = 3.0 * exact.dominant_time_constant();
+  auto max_err = [&](std::size_t steps) {
+    sim::TransientOptions o;
+    o.t_end = t_end;
+    o.steps = steps;
+    o.method = sim::Method::kBackwardEuler;
+    const auto res = sim::simulate(t, step, {1}, o);
+    double err = 0.0;
+    for (std::size_t k2 = 1; k2 < res.time.size(); ++k2)
+      err = std::max(err, std::abs(res.values[0][k2] - exact.step_response(1, res.time[k2])));
+    return err;
+  };
+  const double e1 = max_err(200);
+  const double e2 = max_err(400);
+  const double ratio = e1 / e2;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(Convergence, TrapezoidalIsSecondOrder) {
+  const RCTree t = testing::two_rc();
+  const sim::ExactAnalysis exact(t);
+  // Smooth input avoids the t=0 corner that degrades the observed order.
+  const sim::RaisedCosineSource src(2.0 * exact.dominant_time_constant());
+  const double t_end = 6.0 * exact.dominant_time_constant();
+  auto max_err = [&](std::size_t steps) {
+    sim::TransientOptions o;
+    o.t_end = t_end;
+    o.steps = steps;
+    o.method = sim::Method::kTrapezoidal;
+    const auto res = sim::simulate(t, src, {1}, o);
+    double err = 0.0;
+    for (std::size_t k2 = 1; k2 < res.time.size(); ++k2)
+      err = std::max(err,
+                     std::abs(res.values[0][k2] - exact.response(1, src, res.time[k2])));
+    return err;
+  };
+  const double e1 = max_err(100);
+  const double e2 = max_err(200);
+  const double ratio = e1 / e2;
+  EXPECT_GT(ratio, 3.0);  // ~4 for a second-order method
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Relabeling, NodeOrderDoesNotChangePhysics) {
+  // The same circuit built in two different (valid) topological orders must
+  // produce identical metrics per node name.
+  RCTreeBuilder a;
+  const NodeId a1 = a.add_node("x", kSource, 100.0, 1e-12);
+  const NodeId a2 = a.add_node("y", a1, 200.0, 2e-12);
+  a.add_node("z", a2, 300.0, 0.5e-12);
+  a.add_node("w", a1, 150.0, 1.5e-12);
+  const RCTree ta = std::move(a).build();
+
+  RCTreeBuilder b;
+  const NodeId b1 = b.add_node("x", kSource, 100.0, 1e-12);
+  b.add_node("w", b1, 150.0, 1.5e-12);  // branch first this time
+  const NodeId b2 = b.add_node("y", b1, 200.0, 2e-12);
+  b.add_node("z", b2, 300.0, 0.5e-12);
+  const RCTree tb = std::move(b).build();
+
+  const auto td_a = moments::elmore_delays(ta);
+  const auto td_b = moments::elmore_delays(tb);
+  const sim::ExactAnalysis ea(ta);
+  const sim::ExactAnalysis eb(tb);
+  for (const char* n : {"x", "y", "z", "w"}) {
+    ExpectRel(td_b[tb.at(n)], td_a[ta.at(n)], 1e-12);
+    ExpectRel(eb.step_delay(tb.at(n)), ea.step_delay(ta.at(n)), 1e-9);
+  }
+}
+
+TEST(Scaling, BoundsScaleConsistently) {
+  const RCTree t = gen::random_tree(20, 99);
+  const double k = 2.5 * 0.4;
+  const RCTree s = t.scaled(2.5, 0.4);
+  const auto bt = core::delay_bounds(t);
+  const auto bs = core::delay_bounds(s);
+  const core::PrhBounds pt(t);
+  const core::PrhBounds ps(s);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    ExpectRel(bs[i].lower, k * bt[i].lower, 1e-9, 1e-30);
+    ExpectRel(ps.t_max(i, 0.5), k * pt.t_max(i, 0.5), 1e-12);
+    ExpectRel(ps.t_min(i, 0.5), k * pt.t_min(i, 0.5), 1e-12, 1e-30);
+  }
+}
+
+}  // namespace
+}  // namespace rct

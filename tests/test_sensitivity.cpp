@@ -1,0 +1,109 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+#include "rctree/transform.hpp"
+
+namespace rct::core {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(Sensitivity, HandValuesOnSmallTree) {
+  const RCTree t = testing::small_tree();  // a -R100- ; b -R200- ; c -R300-; d -R150-
+  const NodeId c = t.at("c");
+  const auto dc = elmore_cap_sensitivities(t, c);
+  // R_k,c: shared-path resistance with the source->c path {a, b, c}.
+  EXPECT_DOUBLE_EQ(dc[t.at("a")], 100.0);
+  EXPECT_DOUBLE_EQ(dc[t.at("b")], 300.0);
+  EXPECT_DOUBLE_EQ(dc[t.at("c")], 600.0);
+  EXPECT_DOUBLE_EQ(dc[t.at("d")], 100.0);  // LCA is a
+
+  const auto dr = elmore_res_sensitivities(t, c);
+  EXPECT_DOUBLE_EQ(dr[t.at("a")], 5e-12);    // full tree hangs below a's edge
+  EXPECT_DOUBLE_EQ(dr[t.at("b")], 2.5e-12);  // subtree(b)
+  EXPECT_DOUBLE_EQ(dr[t.at("c")], 0.5e-12);
+  EXPECT_DOUBLE_EQ(dr[t.at("d")], 0.0);      // off the path
+}
+
+class SensitivityFiniteDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SensitivityFiniteDiff, CapGradientMatchesFiniteDifference) {
+  const RCTree t = gen::random_tree(30, GetParam());
+  const NodeId node = t.size() - 1;
+  const auto grad = elmore_cap_sensitivities(t, node);
+  const double base = moments::elmore_delays(t)[node];
+  const double h = 1e-16;  // 0.1 fF
+  for (NodeId k = 0; k < t.size(); k += 3) {
+    const RCTree bumped = add_cap(t, k, h);
+    const double fd = (moments::elmore_delays(bumped)[node] - base) / h;
+    ExpectRel(grad[k], fd, 1e-6, 1e-9);
+  }
+}
+
+TEST_P(SensitivityFiniteDiff, ResGradientMatchesFiniteDifference) {
+  const RCTree t = gen::random_tree(30, GetParam() + 100);
+  const NodeId node = t.size() - 1;
+  const auto grad = elmore_res_sensitivities(t, node);
+  const double base = moments::elmore_delays(t)[node];
+  for (NodeId e = 0; e < t.size(); e += 3) {
+    // Rebuild with r_e bumped.
+    const double h = 1e-3 * t.resistance(e);
+    RCTreeBuilder b;
+    for (NodeId i = 0; i < t.size(); ++i)
+      b.add_node(t.name(i), t.parent(i), t.resistance(i) + (i == e ? h : 0.0),
+                 t.capacitance(i));
+    const RCTree bumped = std::move(b).build();
+    const double fd = (moments::elmore_delays(bumped)[node] - base) / h;
+    ExpectRel(grad[e], fd, 1e-6, 1e-18);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensitivityFiniteDiff, ::testing::Values(5, 10, 15));
+
+TEST(Sensitivity, GradientReconstructsElmore) {
+  // Euler identity: T_D(i) = sum_k (dT/dc_k) c_k  (T_D is linear in caps).
+  const RCTree t = gen::random_tree(40, 7);
+  const auto td = moments::elmore_delays(t);
+  for (NodeId node : {NodeId{0}, t.size() / 2, t.size() - 1}) {
+    const auto grad = elmore_cap_sensitivities(t, node);
+    double acc = 0.0;
+    for (NodeId k = 0; k < t.size(); ++k) acc += grad[k] * t.capacitance(k);
+    ExpectRel(acc, td[node], 1e-12);
+  }
+}
+
+TEST(Sensitivity, ResGradientReconstructsElmoreToo) {
+  // T_D is also linear in resistances: T_D(i) = sum_e (dT/dr_e) r_e.
+  const RCTree t = gen::random_tree(40, 8);
+  const auto td = moments::elmore_delays(t);
+  const NodeId node = t.size() - 1;
+  const auto grad = elmore_res_sensitivities(t, node);
+  double acc = 0.0;
+  for (NodeId e = 0; e < t.size(); ++e) acc += grad[e] * t.resistance(e);
+  ExpectRel(acc, td[node], 1e-12);
+}
+
+TEST(Sensitivity, Validation) {
+  const RCTree t = testing::small_tree();
+  EXPECT_THROW((void)elmore_cap_sensitivities(t, 99), std::invalid_argument);
+  EXPECT_THROW((void)elmore_res_sensitivities(t, 99), std::invalid_argument);
+}
+
+TEST(Sensitivity, SymmetryOfSharedResistance) {
+  // R_ki = R_ik: the cap-sensitivity matrix is symmetric.
+  const RCTree t = gen::random_tree(20, 21);
+  for (NodeId i = 0; i < t.size(); i += 4) {
+    const auto si = elmore_cap_sensitivities(t, i);
+    for (NodeId k = 0; k < t.size(); k += 3) {
+      const auto sk = elmore_cap_sensitivities(t, k);
+      EXPECT_NEAR(si[k], sk[i], 1e-9 * (si[k] + 1.0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rct::core

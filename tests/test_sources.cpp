@@ -1,0 +1,154 @@
+#include "sim/sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace rct::sim {
+namespace {
+
+// Numeric raw moment of v' by Simpson on [0, settle].
+double numeric_derivative_moment(const Source& s, int k, std::size_t panels = 20000) {
+  const double hi = s.settle_time();
+  const double h = hi / static_cast<double>(panels);
+  auto f = [&](double t) { return std::pow(t, k) * s.derivative(t); };
+  double acc = f(0.0) + f(hi);
+  for (std::size_t i = 1; i < panels; ++i)
+    acc += (i % 2 ? 4.0 : 2.0) * f(h * static_cast<double>(i));
+  return acc * h / 3.0;
+}
+
+void check_stats_numerically(const Source& s, double tol) {
+  const auto st = s.derivative_stats();
+  const double m0 = numeric_derivative_moment(s, 0);
+  const double m1 = numeric_derivative_moment(s, 1);
+  const double m2 = numeric_derivative_moment(s, 2);
+  const double m3 = numeric_derivative_moment(s, 3);
+  EXPECT_NEAR(m0, 1.0, tol);
+  EXPECT_NEAR(m1, st.mean, tol * std::abs(st.mean));
+  EXPECT_NEAR(m2 - m1 * m1, st.mu2, tol * std::max(st.mu2, 1e-30));
+  EXPECT_NEAR(m3 - 3 * m1 * m2 + 2 * m1 * m1 * m1, st.mu3,
+              tol * std::max(std::abs(st.mu3), 1e-30) + 1e-30);
+}
+
+TEST(StepSource, Basics) {
+  StepSource s;
+  EXPECT_EQ(s.value(-1e-9), 0.0);
+  EXPECT_EQ(s.value(1e-9), 1.0);
+  EXPECT_TRUE(s.is_step());
+  EXPECT_EQ(s.crossing_time(0.5), 0.0);
+  const auto st = s.derivative_stats();
+  EXPECT_EQ(st.mean, 0.0);
+  EXPECT_EQ(st.mu2, 0.0);
+  EXPECT_EQ(st.mu3, 0.0);
+}
+
+TEST(SaturatedRamp, ValueAndCrossing) {
+  SaturatedRampSource s(2e-9);
+  EXPECT_DOUBLE_EQ(s.value(1e-9), 0.5);
+  EXPECT_DOUBLE_EQ(s.value(3e-9), 1.0);
+  EXPECT_DOUBLE_EQ(s.crossing_time(0.25), 0.5e-9);
+  EXPECT_FALSE(s.is_step());
+}
+
+TEST(SaturatedRamp, AnalyticStatsMatchNumeric) {
+  check_stats_numerically(SaturatedRampSource(2e-9), 1e-6);
+}
+
+TEST(SaturatedRamp, VarianceScalesWithRiseTimeSquared) {
+  const auto a = SaturatedRampSource(1e-9).derivative_stats();
+  const auto b = SaturatedRampSource(2e-9).derivative_stats();
+  EXPECT_NEAR(b.mu2 / a.mu2, 4.0, 1e-12);
+}
+
+TEST(SaturatedRamp, RejectsNonPositiveRiseTime) {
+  EXPECT_THROW(SaturatedRampSource(0.0), std::invalid_argument);
+}
+
+TEST(RaisedCosine, SmoothAndSymmetric) {
+  RaisedCosineSource s(2e-9);
+  EXPECT_DOUBLE_EQ(s.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(2e-9), 1.0);
+  EXPECT_NEAR(s.value(1e-9), 0.5, 1e-15);
+  EXPECT_NEAR(s.crossing_time(0.5), 1e-9, 1e-18);
+  // Symmetry: v(tr/2 + d) + v(tr/2 - d) = 1.
+  for (double d : {0.1e-9, 0.5e-9, 0.9e-9})
+    EXPECT_NEAR(s.value(1e-9 + d) + s.value(1e-9 - d), 1.0, 1e-12);
+}
+
+TEST(RaisedCosine, AnalyticStatsMatchNumeric) {
+  check_stats_numerically(RaisedCosineSource(3e-9), 1e-6);
+}
+
+TEST(RaisedCosine, TighterThanBoxDerivative) {
+  // The cosine bump is more concentrated than the uniform box.
+  const auto cosine = RaisedCosineSource(1e-9).derivative_stats();
+  const auto box = SaturatedRampSource(1e-9).derivative_stats();
+  EXPECT_LT(cosine.mu2, box.mu2);
+}
+
+TEST(Exponential, ValueCrossingStats) {
+  ExponentialSource s(1e-9);
+  EXPECT_NEAR(s.value(1e-9), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(s.crossing_time(0.5), 1e-9 * std::log(2.0), 1e-18);
+  check_stats_numerically(s, 1e-5);
+  EXPECT_GT(s.derivative_stats().mu3, 0.0);  // positively skewed
+}
+
+TEST(Pwl, Validation) {
+  using P = PwlSource::Point;
+  EXPECT_THROW(PwlSource({{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(PwlSource({{0.0, 0.0}, {1.0, 0.5}}), std::invalid_argument);   // ends below 1
+  EXPECT_THROW(PwlSource({{0.0, 0.0}, {0.0, 1.0}}), std::invalid_argument);   // dt = 0
+  EXPECT_THROW(PwlSource({{0.0, 0.0}, {1.0, 2.0}, {2.0, 1.0}}), std::invalid_argument);
+  (void)PwlSource({P{0.0, 0.0}, P{1e-9, 1.0}});  // minimal valid
+}
+
+TEST(Pwl, MatchesSaturatedRamp) {
+  const PwlSource p({{0.0, 0.0}, {2e-9, 1.0}});
+  const SaturatedRampSource r(2e-9);
+  for (double t : {0.0, 0.5e-9, 1.7e-9, 3e-9}) EXPECT_NEAR(p.value(t), r.value(t), 1e-15);
+  const auto sp = p.derivative_stats();
+  const auto sr = r.derivative_stats();
+  EXPECT_NEAR(sp.mean, sr.mean, 1e-20);
+  EXPECT_NEAR(sp.mu2, sr.mu2, 1e-28);
+  EXPECT_NEAR(sp.mu3, sr.mu3, 1e-37);
+}
+
+TEST(Pwl, TwoSlopeStatsMatchNumeric) {
+  // Simpson converges slower across the interior slope kink; loosen the
+  // numeric tolerance accordingly.
+  const PwlSource p({{0.0, 0.0}, {1e-9, 0.8}, {4e-9, 1.0}});
+  check_stats_numerically(p, 2e-4);
+}
+
+TEST(Pwl, UnimodalDetection) {
+  // Slopes 0.8 then 0.066: decreasing -> unimodal.
+  EXPECT_TRUE(PwlSource({{0.0, 0.0}, {1e-9, 0.8}, {4e-9, 1.0}}).derivative_unimodal());
+  // Slopes 0.2, 0.6, 0.2: rise then fall -> unimodal.
+  EXPECT_TRUE(
+      PwlSource({{0.0, 0.0}, {1e-9, 0.2}, {2e-9, 0.8}, {3e-9, 1.0}}).derivative_unimodal());
+  // Slopes 0.6, 0.1, 0.3: fall then rise -> NOT unimodal.
+  EXPECT_FALSE(
+      PwlSource({{0.0, 0.0}, {1e-9, 0.6}, {2e-9, 0.7}, {3e-9, 1.0}}).derivative_unimodal());
+}
+
+TEST(Pwl, CrossingInterpolates) {
+  const PwlSource p({{0.0, 0.0}, {1e-9, 0.8}, {4e-9, 1.0}});
+  EXPECT_NEAR(p.crossing_time(0.4), 0.5e-9, 1e-18);
+  EXPECT_NEAR(p.crossing_time(0.9), 2.5e-9, 1e-18);
+}
+
+TEST(AllSources, DescribeIsNonEmpty) {
+  const StepSource a;
+  const SaturatedRampSource b(1e-9);
+  const RaisedCosineSource c(1e-9);
+  const ExponentialSource d(1e-9);
+  const PwlSource e({{0.0, 0.0}, {1e-9, 1.0}});
+  for (const Source* s : std::initializer_list<const Source*>{&a, &b, &c, &d, &e})
+    EXPECT_FALSE(s->describe().empty());
+}
+
+}  // namespace
+}  // namespace rct::sim

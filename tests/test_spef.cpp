@@ -1,0 +1,138 @@
+#include "rctree/spef.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct {
+namespace {
+
+constexpr const char* kSpef = R"(*SPEF "IEEE 1481-1998"
+*DESIGN "demo_chip"
+*DATE "2026"
+*VENDOR "rct"
+*T_UNIT 1 NS
+*C_UNIT 1 PF
+*R_UNIT 1 OHM
+
+*D_NET clk_leaf 0.24
+*CONN
+*P drv I
+*I u1:A O
+*I u2:A O
+*CAP
+1 n1 0.08
+2 u1:A 0.10
+3 u2:A 0.06
+*RES
+1 drv n1 120
+2 n1 u1:A 80
+3 n1 u2:A 95
+*END
+
+*D_NET small 0.01
+*CONN
+*P p2 I
+*I s1 O
+*CAP
+1 s1 0.01
+*RES
+1 p2 s1 50
+*END
+)";
+
+TEST(SpefParser, ParsesHeaderAndUnits) {
+  const SpefFile f = parse_spef(kSpef);
+  EXPECT_EQ(f.design, "demo_chip");
+  EXPECT_DOUBLE_EQ(f.time_unit, 1e-9);
+  EXPECT_DOUBLE_EQ(f.cap_unit, 1e-12);
+  EXPECT_DOUBLE_EQ(f.res_unit, 1.0);
+  ASSERT_EQ(f.nets.size(), 2u);
+}
+
+TEST(SpefParser, BuildsTreeWithScaledValues) {
+  const SpefFile f = parse_spef(kSpef);
+  const SpefNet& net = f.nets[0];
+  EXPECT_EQ(net.name, "clk_leaf");
+  EXPECT_EQ(net.driver, "drv");
+  ASSERT_EQ(net.tree.size(), 3u);
+  EXPECT_DOUBLE_EQ(net.tree.capacitance(net.tree.at("n1")), 0.08e-12);
+  EXPECT_DOUBLE_EQ(net.tree.resistance(net.tree.at("u1:A")), 80.0);
+  ASSERT_EQ(net.loads.size(), 2u);
+  EXPECT_EQ(net.tree.name(net.loads[0]), "u1:A");
+}
+
+TEST(SpefParser, AlternateUnitsScale) {
+  const SpefFile f = parse_spef(
+      "*C_UNIT 1 FF\n*R_UNIT 1 KOHM\n"
+      "*D_NET n 1\n*CONN\n*P a I\n*CAP\n1 b 5\n*RES\n1 a b 2\n*END\n");
+  EXPECT_DOUBLE_EQ(f.nets[0].tree.capacitance(0), 5e-15);
+  EXPECT_DOUBLE_EQ(f.nets[0].tree.resistance(0), 2000.0);
+}
+
+TEST(SpefParser, CouplingCapRejected) {
+  EXPECT_THROW((void)parse_spef("*D_NET n 1\n*CONN\n*P a I\n*CAP\n1 b c 5\n*RES\n1 a b 2\n*END\n"),
+               SpefError);
+}
+
+TEST(SpefParser, InductanceRejected) {
+  EXPECT_THROW((void)parse_spef("*D_NET n 1\n*CONN\n*P a I\n*INDUC\n"), SpefError);
+}
+
+TEST(SpefParser, MissingDriverRejected) {
+  EXPECT_THROW(
+      (void)parse_spef("*D_NET n 1\n*CONN\n*I b O\n*CAP\n1 b 5\n*RES\n1 a b 2\n*END\n"),
+      SpefError);
+}
+
+TEST(SpefParser, LoopRejectedWithLineNumber) {
+  try {
+    (void)parse_spef(
+        "*D_NET n 1\n*CONN\n*P a I\n*CAP\n1 b 1\n1 c 1\n*RES\n"
+        "1 a b 2\n2 a c 2\n3 b c 2\n*END\n");
+    FAIL() << "expected SpefError";
+  } catch (const SpefError& e) {
+    EXPECT_NE(std::string(e.what()).find("loop"), std::string::npos);
+  }
+}
+
+TEST(SpefParser, EmptyFileRejected) {
+  EXPECT_THROW((void)parse_spef("*SPEF \"x\"\n"), SpefError);
+}
+
+TEST(SpefParser, UnknownLoadPinRejected) {
+  EXPECT_THROW((void)parse_spef("*D_NET n 1\n*CONN\n*P a I\n*I zz O\n*CAP\n1 b 1\n*RES\n"
+                                "1 a b 2\n*END\n"),
+               SpefError);
+}
+
+TEST(SpefWriter, RoundTripPreservesElmore) {
+  // random tree -> SPEF text -> parse -> same Elmore delays per node name.
+  const RCTree t = gen::random_tree(30, 123);
+  const SpefFile out = spef_from_tree(t, "rt_net");
+  const SpefFile back = parse_spef(write_spef(out));
+  ASSERT_EQ(back.nets.size(), 1u);
+  const RCTree& u = back.nets[0].tree;
+  ASSERT_EQ(u.size(), t.size());
+  const auto td_t = moments::elmore_delays(t);
+  const auto td_u = moments::elmore_delays(u);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const NodeId j = u.at(t.name(i));
+    EXPECT_NEAR(td_u[j], td_t[i], 1e-5 * td_t[i]) << t.name(i);
+  }
+}
+
+TEST(SpefWriter, LoadsSurviveRoundTrip) {
+  const RCTree t = testing::small_tree();
+  const SpefFile back = parse_spef(write_spef(spef_from_tree(t, "n")));
+  ASSERT_EQ(back.nets[0].loads.size(), t.leaves().size());
+}
+
+TEST(SpefParser, FileNotFoundThrows) {
+  EXPECT_THROW((void)parse_spef_file("/nonexistent.spef"), SpefError);
+}
+
+}  // namespace
+}  // namespace rct

@@ -1,0 +1,111 @@
+#include "sta/path_timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+
+namespace rct::sta {
+namespace {
+
+TEST(Library, BuiltinLookup) {
+  const auto lib = builtin_library();
+  EXPECT_GE(lib.size(), 5u);
+  const Gate& inv = find_gate(lib, "inv_x1");
+  EXPECT_GT(inv.drive_resistance, 0.0);
+  EXPECT_GT(inv.input_capacitance, 0.0);
+  EXPECT_THROW((void)find_gate(lib, "nope"), std::out_of_range);
+}
+
+TEST(LoadNet, AddsDriverSectionAndLoads) {
+  const RCTree wire = gen::line(3, 10.0, 1e-15, 100.0, 10e-15);
+  const RCTree net = load_net(wire, 500.0, {{wire.at("n4"), 8e-15}});
+  ASSERT_EQ(net.size(), wire.size() + 1);
+  EXPECT_EQ(net.name(0), "drv");
+  EXPECT_DOUBLE_EQ(net.resistance(0), 500.0);
+  EXPECT_DOUBLE_EQ(net.capacitance(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.capacitance(net.at("n4")), 10e-15 + 8e-15);
+  // Tree shape preserved: n1's parent is now drv.
+  EXPECT_EQ(net.parent(net.at("n1")), net.at("drv"));
+}
+
+TEST(LoadNet, Validation) {
+  const RCTree wire = gen::line(2, 10.0, 1e-15, 100.0, 10e-15);
+  EXPECT_THROW((void)load_net(wire, 0.0, {}), std::invalid_argument);
+  EXPECT_THROW((void)load_net(wire, 100.0, {{99, 1e-15}}), std::invalid_argument);
+}
+
+std::vector<Stage> demo_path() {
+  const auto lib = builtin_library();
+  Stage s1;
+  s1.driver = find_gate(lib, "inv_x1");
+  s1.wire = gen::line(4, 20.0, 2e-15, 80.0, 15e-15);
+  s1.sink = "n5";
+  s1.sink_load = find_gate(lib, "buf_x2").input_capacitance;
+  Stage s2;
+  s2.driver = find_gate(lib, "buf_x2");
+  s2.wire = gen::line(6, 20.0, 2e-15, 120.0, 20e-15);
+  s2.sink = "n7";
+  s2.sink_load = find_gate(lib, "dff_x1").input_capacitance;
+  return {s1, s2};
+}
+
+TEST(TimePath, BoundsBracketExact) {
+  const auto timing = time_path(demo_path(), 0.0, /*with_exact=*/true);
+  ASSERT_EQ(timing.stages.size(), 2u);
+  ASSERT_TRUE(timing.path_exact.has_value());
+  EXPECT_LE(timing.path_lower, *timing.path_exact * (1 + 1e-9));
+  EXPECT_GE(timing.path_upper, *timing.path_exact * (1 - 1e-9));
+  for (const auto& st : timing.stages) {
+    ASSERT_TRUE(st.delay_exact.has_value());
+    EXPECT_LE(st.delay_lower, *st.delay_exact * (1 + 1e-9));
+    EXPECT_GE(st.delay_upper, *st.delay_exact * (1 - 1e-9));
+  }
+}
+
+TEST(TimePath, SlewSigmaAccumulates) {
+  const auto timing = time_path(demo_path(), 0.0, false);
+  EXPECT_GT(timing.stages[0].slew_sigma, 0.0);
+  EXPECT_GT(timing.stages[1].slew_sigma, timing.stages[0].slew_sigma);
+  // Quadrature accumulation from a nonzero input slew.
+  const double s_in = 50e-12;
+  const auto with_slew = time_path(demo_path(), s_in, false);
+  const double expect0 =
+      std::sqrt(s_in * s_in + timing.stages[0].slew_sigma * timing.stages[0].slew_sigma);
+  EXPECT_NEAR(with_slew.stages[0].slew_sigma, expect0, 1e-15);
+}
+
+TEST(TimePath, UpperIsSumOfStageElmorePlusIntrinsic) {
+  const auto path = demo_path();
+  const auto timing = time_path(path, 0.0, false);
+  double want = 0.0;
+  for (const auto& stage : path) {
+    std::vector<SinkLoad> loads;
+    loads.push_back({stage.wire.at(stage.sink), stage.sink_load});
+    const RCTree net = load_net(stage.wire, stage.driver.drive_resistance, loads);
+    want += stage.driver.intrinsic_delay + moments::elmore_delays(net)[net.at(stage.sink)];
+  }
+  EXPECT_NEAR(timing.path_upper, want, 1e-15);
+}
+
+TEST(TimePath, ExtraLoadsIncreaseDelay) {
+  auto path = demo_path();
+  const auto base = time_path(path, 0.0, false);
+  path[0].extra_loads.push_back({path[0].wire.at("n3"), 40e-15});
+  const auto loaded = time_path(path, 0.0, false);
+  EXPECT_GT(loaded.path_upper, base.path_upper);
+}
+
+TEST(FormatPathTiming, MentionsGatesAndTotals) {
+  const auto text = format_path_timing(time_path(demo_path(), 0.0, true));
+  EXPECT_NE(text.find("inv_x1"), std::string::npos);
+  EXPECT_NE(text.find("buf_x2"), std::string::npos);
+  EXPECT_NE(text.find("path:"), std::string::npos);
+  EXPECT_NE(text.find("exact"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rct::sta

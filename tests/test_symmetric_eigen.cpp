@@ -1,0 +1,119 @@
+#include "linalg/symmetric_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rct::linalg {
+namespace {
+
+TEST(SymmetricEigen, OneByOne) {
+  Matrix a(1, 1);
+  a(0, 0) = 3.5;
+  const auto e = symmetric_eigen(a);
+  ASSERT_EQ(e.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.eigenvalues[0], 3.5);
+  EXPECT_DOUBLE_EQ(e.eigenvectors(0, 0), 1.0);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const auto e = symmetric_eigen(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, TwoByTwoClosedForm) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;  // only lower triangle needs filling
+  const auto e = symmetric_eigen(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, NonSquareThrows) {
+  EXPECT_THROW((void)symmetric_eigen(Matrix(2, 3)), std::invalid_argument);
+}
+
+class SymmetricEigenRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymmetricEigenRandom, ReconstructsMatrixAndIsOrthonormal) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(1234 + n);
+  std::uniform_real_distribution<double> uni(-1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) a(i, j) = a(j, i) = uni(rng);
+
+  const auto e = symmetric_eigen(a);
+  const Matrix& q = e.eigenvectors;
+
+  // Eigenvalues ascending.
+  for (std::size_t j = 1; j < n; ++j) EXPECT_LE(e.eigenvalues[j - 1], e.eigenvalues[j]);
+
+  // Q^T Q = I.
+  const Matrix qtq = q.transposed().multiply(q);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(qtq(i, j), i == j ? 1.0 : 0.0, 1e-10);
+
+  // Q diag(w) Q^T = A.
+  Matrix qd = q;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) qd(i, j) *= e.eigenvalues[j];
+  const Matrix rec = qd.multiply(q.transposed());
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(rec(i, j), a(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetricEigenRandom,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 40, 77));
+
+TEST(SymmetricEigen, TraceAndDeterminantInvariants) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> uni(0.1, 2.0);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  // SPD: A = B^T B + I.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = uni(rng) - 1.0;
+  a = b.transposed().multiply(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+  const auto e = symmetric_eigen(a);
+  double trace = 0.0;
+  double sum_l = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum_l += e.eigenvalues[i];
+    EXPECT_GT(e.eigenvalues[i], 0.0);  // SPD => positive spectrum
+  }
+  EXPECT_NEAR(sum_l, trace, 1e-9 * std::abs(trace));
+}
+
+TEST(SymmetricEigen, TridiagonalToeplitzClosedForm) {
+  // Second-difference matrix: eigenvalues 2 - 2 cos(k pi / (n+1)).
+  const std::size_t n = 9;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i > 0) a(i, i - 1) = -1.0;
+  }
+  const auto e = symmetric_eigen(a);
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double want =
+        2.0 - 2.0 * std::cos(static_cast<double>(k) * M_PI / static_cast<double>(n + 1));
+    EXPECT_NEAR(e.eigenvalues[k - 1], want, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace rct::linalg

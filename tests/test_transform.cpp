@@ -1,0 +1,148 @@
+#include "rctree/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct {
+namespace {
+
+using rct::testing::ExpectRel;
+
+TEST(MergeSeries, CollapsesCaplessChain) {
+  RCTreeBuilder b;
+  const NodeId a = b.add_node("a", kSource, 100.0, 1e-12);
+  const NodeId x = b.add_node("x", a, 50.0, 0.0);   // capless, 1 child
+  const NodeId y = b.add_node("y", x, 70.0, 0.0);   // capless, 1 child
+  b.add_node("leaf", y, 30.0, 2e-12);
+  const RCTree merged = merge_series(std::move(b).build());
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.resistance(merged.at("leaf")), 150.0);
+  EXPECT_FALSE(merged.find("x").has_value());
+}
+
+TEST(MergeSeries, KeepsCaplessBranchPoints) {
+  RCTreeBuilder b;
+  const NodeId a = b.add_node("a", kSource, 100.0, 0.0);  // capless but 2 children
+  b.add_node("l1", a, 50.0, 1e-12);
+  b.add_node("l2", a, 60.0, 1e-12);
+  const RCTree merged = merge_series(std::move(b).build());
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(merged.find("a").has_value());
+}
+
+TEST(MergeSeries, PreservesElmoreExactly) {
+  // Merging capless series nodes is an exact transformation for every
+  // moment (no capacitance moves).
+  RCTreeBuilder b;
+  const NodeId a = b.add_node("a", kSource, 10.0, 0.0);
+  const NodeId c = b.add_node("c", a, 20.0, 1e-12);
+  const NodeId d = b.add_node("d", c, 5.0, 0.0);
+  const NodeId e = b.add_node("e", d, 5.0, 2e-12);
+  b.add_node("f", e, 7.0, 0.5e-12);
+  b.add_node("g", c, 9.0, 0.3e-12);
+  const RCTree orig = std::move(b).build();
+  const RCTree merged = merge_series(orig);
+  const auto m_orig = moments::transfer_moments(orig, 3);
+  const auto m_new = moments::transfer_moments(merged, 3);
+  for (NodeId i = 0; i < merged.size(); ++i) {
+    const NodeId j = orig.at(merged.name(i));
+    for (std::size_t k = 1; k <= 3; ++k)
+      ExpectRel(m_new[k][i], m_orig[k][j], 1e-12);
+  }
+}
+
+TEST(PruneSubtree, DropAndLump) {
+  const RCTree t = testing::small_tree();  // a -> {b -> c, d}
+  const RCTree dropped = prune_subtree(t, t.at("b"), /*lump=*/false);
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_FALSE(dropped.find("b").has_value());
+  EXPECT_DOUBLE_EQ(dropped.capacitance(dropped.at("a")), 1e-12);
+
+  const RCTree lumped = prune_subtree(t, t.at("b"), /*lump=*/true);
+  EXPECT_DOUBLE_EQ(lumped.capacitance(lumped.at("a")), 1e-12 + 2.5e-12);
+  EXPECT_DOUBLE_EQ(lumped.total_capacitance(), t.total_capacitance());
+}
+
+TEST(PruneSubtree, LumpedElmoreUpperBoundsDetailed) {
+  // The lumped model moves capacitance closer to the source, so Elmore at
+  // surviving nodes can only stay equal or drop at nodes past the lump,
+  // while at the attachment point it is unchanged (same downstream cap).
+  const RCTree t = gen::random_tree(25, 9);
+  // Prune some mid-tree node with children.
+  NodeId victim = 0;
+  for (NodeId i = t.size(); i-- > 1;) {
+    if (!t.is_leaf(i) && t.parent(i) != kSource) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+  const RCTree lumped = prune_subtree(t, victim, true);
+  const auto td_full = moments::elmore_delays(t);
+  const auto td_lump = moments::elmore_delays(lumped);
+  const NodeId attach_old = t.parent(victim);
+  const NodeId attach_new = lumped.at(t.name(attach_old));
+  ExpectRel(td_lump[attach_new], td_full[attach_old], 1e-12);
+}
+
+TEST(PruneSubtree, Validation) {
+  const RCTree t = testing::small_tree();
+  EXPECT_THROW((void)prune_subtree(t, 99, true), std::invalid_argument);
+  EXPECT_THROW((void)prune_subtree(t, t.at("a"), true), std::invalid_argument);
+}
+
+TEST(AddCap, AddsAndValidates) {
+  const RCTree t = testing::small_tree();
+  const RCTree u = add_cap(t, t.at("c"), 1e-12);
+  EXPECT_DOUBLE_EQ(u.capacitance(u.at("c")), 1.5e-12);
+  EXPECT_THROW((void)add_cap(t, 99, 1e-12), std::invalid_argument);
+  EXPECT_THROW((void)add_cap(t, t.at("c"), -1e-11), std::invalid_argument);
+}
+
+TEST(SegmentedWire, ElmoreMatchesDistributedLimit) {
+  // Distributed RC line delay (driver R_d, line R, C, load C_L):
+  //   T_D = R_d (C + C_L) + R C / 2 + R C_L.
+  const WireParams p{0.5, 0.2e-15};  // ohm/um, F/um
+  const double len = 1000.0;
+  const double rd = 150.0;
+  const double cl = 20e-15;
+  const double r_line = p.res_per_length * len;
+  const double c_line = p.cap_per_length * len;
+  const double want = rd * (c_line + cl) + 0.5 * r_line * c_line + r_line * cl;
+
+  double prev_err = 1e300;
+  for (std::size_t sections : {4u, 16u, 64u}) {
+    const RCTree w = segmented_wire(len, p, sections, rd, cl);
+    const double got = moments::elmore_delays(w)[w.at("load")];
+    const double err = std::abs(got - want) / want;
+    EXPECT_LE(err, prev_err + 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 2e-3);
+}
+
+TEST(SegmentedWire, ConvergesToDistributedDelay) {
+  // The exact 50% delay converges as sections grow (Richardson-style check
+  // between 32 and 64 sections).
+  const WireParams p{0.3, 0.15e-15};
+  const RCTree w32 = segmented_wire(800.0, p, 32, 100.0, 10e-15);
+  const RCTree w64 = segmented_wire(800.0, p, 64, 100.0, 10e-15);
+  const double d32 = sim::ExactAnalysis(w32).step_delay(w32.at("load"));
+  const double d64 = sim::ExactAnalysis(w64).step_delay(w64.at("load"));
+  EXPECT_NEAR(d32, d64, 5e-3 * d64);
+}
+
+TEST(SegmentedWire, Validation) {
+  const WireParams p{0.5, 0.2e-15};
+  EXPECT_THROW((void)segmented_wire(0.0, p, 4, 10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)segmented_wire(100.0, p, 0, 10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)segmented_wire(100.0, WireParams{-1.0, 0.1}, 4, 10.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rct

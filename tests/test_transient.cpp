@@ -1,0 +1,115 @@
+#include "sim/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::sim {
+namespace {
+
+TransientOptions opts(double t_end, std::size_t steps, Method m) {
+  TransientOptions o;
+  o.t_end = t_end;
+  o.steps = steps;
+  o.method = m;
+  return o;
+}
+
+TEST(Transient, SingleRcAgainstClosedForm) {
+  const double tau = 1e-9;
+  const RCTree t = testing::single_rc(1000.0, 1e-12);
+  const StepSource step;
+  const auto res = simulate(t, step, {0}, opts(6.0 * tau, 6000, Method::kTrapezoidal));
+  for (std::size_t k = 0; k < res.time.size(); k += 500) {
+    const double want = 1.0 - std::exp(-res.time[k] / tau);
+    EXPECT_NEAR(res.values[0][k], want, 2e-6);
+  }
+}
+
+TEST(Transient, TrapezoidalBeatsBackwardEuler) {
+  const RCTree t = testing::two_rc();
+  const ExactAnalysis exact(t);
+  const StepSource step;
+  const double t_end = 8.0 * exact.dominant_time_constant();
+  const auto be = simulate(t, step, {1}, opts(t_end, 400, Method::kBackwardEuler));
+  const auto tr = simulate(t, step, {1}, opts(t_end, 400, Method::kTrapezoidal));
+  double err_be = 0.0;
+  double err_tr = 0.0;
+  for (std::size_t k = 0; k < be.time.size(); ++k) {
+    const double want = exact.step_response(1, be.time[k]);
+    err_be = std::max(err_be, std::abs(be.values[0][k] - want));
+    err_tr = std::max(err_tr, std::abs(tr.values[0][k] - want));
+  }
+  EXPECT_LT(err_tr, err_be);
+  EXPECT_LT(err_tr, 1e-4);
+}
+
+class TransientVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransientVsExact, RandomTreesMatchEigenSolution) {
+  const RCTree t = gen::random_tree(30, GetParam());
+  const ExactAnalysis exact(t);
+  const StepSource step;
+  const double t_end = 10.0 * exact.dominant_time_constant();
+  const NodeId probe = t.size() - 1;
+  const auto res = simulate(t, step, {probe}, opts(t_end, 4000, Method::kTrapezoidal));
+  for (std::size_t k = 0; k < res.time.size(); k += 97) {
+    EXPECT_NEAR(res.values[0][k], exact.step_response(probe, res.time[k]), 5e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransientVsExact, ::testing::Values(11, 22, 33, 44));
+
+TEST(Transient, RampInputMatchesExactClosedForm) {
+  const RCTree t = testing::small_tree();
+  const ExactAnalysis exact(t);
+  const double tau = exact.dominant_time_constant();
+  const SaturatedRampSource ramp(2.0 * tau);
+  const NodeId probe = t.at("c");
+  const auto res = simulate(t, ramp, {probe}, opts(12.0 * tau, 6000, Method::kTrapezoidal));
+  for (std::size_t k = 0; k < res.time.size(); k += 301)
+    EXPECT_NEAR(res.values[0][k], exact.ramp_response(probe, res.time[k], 2.0 * tau), 5e-5);
+}
+
+TEST(Transient, SettlesToDcForAllSources) {
+  const RCTree t = testing::small_tree();
+  const ExactAnalysis exact(t);
+  const double tau = exact.dominant_time_constant();
+  const StepSource step;
+  const RaisedCosineSource cosine(tau);
+  const ExponentialSource expo(0.5 * tau);
+  for (const Source* s : std::initializer_list<const Source*>{&step, &cosine, &expo}) {
+    const auto res = simulate(t, *s, {t.at("d")},
+                              opts(40.0 * tau + s->settle_time(), 8000, Method::kTrapezoidal));
+    EXPECT_NEAR(res.values[0].back(), 1.0, 1e-6) << s->describe();
+  }
+}
+
+TEST(Transient, WaveformAccessor) {
+  const RCTree t = testing::single_rc();
+  const StepSource step;
+  const auto res = simulate(t, step, {0}, opts(1e-9, 100, Method::kBackwardEuler));
+  const Waveform w = res.waveform(0);
+  EXPECT_EQ(w.size(), 101u);
+  EXPECT_TRUE(w.is_monotone_nondecreasing(1e-12));
+}
+
+TEST(Transient, Validation) {
+  const RCTree t = testing::single_rc();
+  const StepSource step;
+  EXPECT_THROW((void)simulate(t, step, {0}, opts(0.0, 10, Method::kBackwardEuler)),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate(t, step, {5}, opts(1e-9, 10, Method::kBackwardEuler)),
+               std::invalid_argument);
+  TransientOptions bad;
+  bad.t_end = 1e-9;
+  bad.steps = 0;
+  EXPECT_THROW((void)simulate(t, step, {0}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rct::sim

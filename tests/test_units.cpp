@@ -1,0 +1,58 @@
+#include "rctree/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rct {
+namespace {
+
+TEST(ParseEngineering, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_engineering("100"), 100.0);
+  EXPECT_DOUBLE_EQ(*parse_engineering("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_engineering("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1e-12"), 1e-12);
+}
+
+TEST(ParseEngineering, SpiceSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse_engineering("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(*parse_engineering("2p"), 2e-12);
+  EXPECT_DOUBLE_EQ(*parse_engineering("3n"), 3e-9);
+  EXPECT_DOUBLE_EQ(*parse_engineering("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(*parse_engineering("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(*parse_engineering("6k"), 6e3);
+  EXPECT_DOUBLE_EQ(*parse_engineering("7meg"), 7e6);
+  EXPECT_DOUBLE_EQ(*parse_engineering("8g"), 8e9);
+  EXPECT_DOUBLE_EQ(*parse_engineering("9t"), 9e12);
+}
+
+TEST(ParseEngineering, CaseInsensitiveAndUnitsIgnored) {
+  EXPECT_DOUBLE_EQ(*parse_engineering("2.5P"), 2.5e-12);
+  EXPECT_DOUBLE_EQ(*parse_engineering("100pF"), 100e-12);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1kohm"), 1000.0);
+  EXPECT_DOUBLE_EQ(*parse_engineering("3MEG"), 3e6);
+  EXPECT_DOUBLE_EQ(*parse_engineering("5F"), 5e-15);  // SPICE: trailing F is femto
+}
+
+TEST(ParseEngineering, MegBeforeMilli) {
+  // 'm' alone is milli; 'meg' is mega — the classic SPICE trap.
+  EXPECT_DOUBLE_EQ(*parse_engineering("1m"), 1e-3);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1meg"), 1e6);
+}
+
+TEST(ParseEngineering, Malformed) {
+  EXPECT_FALSE(parse_engineering("").has_value());
+  EXPECT_FALSE(parse_engineering("abc").has_value());
+  EXPECT_FALSE(parse_engineering("nan").has_value());
+  EXPECT_FALSE(parse_engineering("inf").has_value());
+}
+
+TEST(FormatEngineering, RoundTripScales) {
+  EXPECT_EQ(format_engineering(2.5e-12, "F"), "2.5pF");
+  EXPECT_EQ(format_engineering(1000.0), "1k");
+  EXPECT_EQ(format_engineering(0.0, "s"), "0s");
+  EXPECT_EQ(format_engineering(1e6), "1M");
+}
+
+TEST(FormatTime, NsScale) { EXPECT_EQ(format_time(0.919e-9), "919ps"); }
+
+}  // namespace
+}  // namespace rct

@@ -1,0 +1,99 @@
+#include "core/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/generators.hpp"
+#include "sim/exact.hpp"
+
+namespace rct::core {
+namespace {
+
+TEST(Variation, Validation) {
+  const RCTree t = testing::small_tree();
+  VariationModel bad;
+  bad.res_sigma = -0.1;
+  EXPECT_THROW((void)elmore_variation(t, 0, bad, 10, 1), std::invalid_argument);
+  EXPECT_THROW((void)elmore_variation(t, 99, {}, 10, 1), std::invalid_argument);
+  EXPECT_THROW((void)elmore_variation(t, 0, {}, 1, 1), std::invalid_argument);
+}
+
+TEST(Variation, Deterministic) {
+  const RCTree t = gen::random_tree(20, 3);
+  const auto a = elmore_variation(t, t.size() - 1, {}, 100, 42);
+  const auto b = elmore_variation(t, t.size() - 1, {}, 100, 42);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.q95, b.q95);
+}
+
+TEST(Variation, ZeroSigmaCollapsesToNominal) {
+  const RCTree t = gen::random_tree(15, 5);
+  VariationModel m;
+  m.res_sigma = 0.0;
+  m.cap_sigma = 0.0;
+  const auto s = elmore_variation(t, t.size() - 1, m, 50, 7);
+  EXPECT_NEAR(s.mean, s.nominal, 1e-12 * s.nominal);
+  EXPECT_NEAR(s.stddev, 0.0, 1e-12 * s.nominal);
+  EXPECT_NEAR(s.q05, s.q95, 1e-12 * s.nominal);
+}
+
+TEST(Variation, QuantilesOrderedAndBracketMedian) {
+  const RCTree t = gen::random_tree(25, 11);
+  const auto s = elmore_variation(t, t.size() - 1, {}, 500, 13);
+  EXPECT_LE(s.q05, s.q50);
+  EXPECT_LE(s.q50, s.q95);
+  EXPECT_GT(s.stddev, 0.0);
+  // With 10% lognormal sigmas the spread is moderate.
+  EXPECT_LT(s.q95 / s.q05, 2.0);
+  EXPECT_NEAR(s.q50, s.mean, 0.2 * s.mean);
+}
+
+TEST(Variation, GlobalSigmaWidensSpread) {
+  const RCTree t = gen::random_tree(25, 17);
+  VariationModel local_only;
+  VariationModel with_global = local_only;
+  with_global.global_sigma = 0.15;
+  const auto a = elmore_variation(t, t.size() - 1, local_only, 400, 23);
+  const auto b = elmore_variation(t, t.size() - 1, with_global, 400, 23);
+  EXPECT_GT(b.stddev, a.stddev);
+}
+
+TEST(Variation, LocalVariationAveragesOutOnDeepLines) {
+  // Many independent per-segment variations partially cancel: the relative
+  // spread of the leaf delay on a 64-seg line is far below the 10%
+  // per-component sigma's worst case.
+  const RCTree t = gen::line(64, 20.0, 5e-15, 100.0, 30e-15);
+  const auto s = elmore_variation(t, t.size() - 1, {}, 400, 29);
+  EXPECT_LT(s.stddev / s.mean, 0.06);
+}
+
+TEST(Variation, TheoremHoldsPerSample) {
+  // Every sampled circuit is an RC tree, so the sampled Elmore value must
+  // upper-bound that sample's exact delay.
+  const RCTree t = gen::random_tree(15, 31);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const RCTree sample = sample_variation(t, {}, 1000 + s);
+    const sim::ExactAnalysis exact(sample);
+    const auto td = moments::elmore_delays(sample);
+    const NodeId leaf = sample.size() - 1;
+    EXPECT_LE(exact.step_delay(leaf), td[leaf] * (1 + 1e-9)) << "sample " << s;
+  }
+}
+
+TEST(Variation, SampleKeepsTopology) {
+  const RCTree t = gen::random_tree(20, 37);
+  const RCTree s = sample_variation(t, {}, 99);
+  ASSERT_EQ(s.size(), t.size());
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(s.parent(i), t.parent(i));
+    EXPECT_EQ(s.name(i), t.name(i));
+    EXPECT_GT(s.resistance(i), 0.0);
+    EXPECT_GE(s.capacitance(i), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rct::core

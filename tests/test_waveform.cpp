@@ -1,0 +1,126 @@
+#include "sim/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rct::sim {
+namespace {
+
+Waveform ramp_wave() {
+  // v = t on [0, 1], 11 samples.
+  auto t = uniform_grid(1.0, 11);
+  auto v = t;
+  return {std::move(t), std::move(v)};
+}
+
+TEST(Waveform, ValidatesInput) {
+  EXPECT_THROW(Waveform({}, {}), std::invalid_argument);
+  EXPECT_THROW(Waveform({0.0, 1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(Waveform({0.0, 0.0}, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Waveform({1.0, 0.5}, {0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Waveform, ValueAtInterpolatesAndClamps) {
+  const Waveform w = ramp_wave();
+  EXPECT_DOUBLE_EQ(w.value_at(0.55), 0.55);
+  EXPECT_DOUBLE_EQ(w.value_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value_at(2.0), 1.0);
+}
+
+TEST(Waveform, FirstRiseCrossing) {
+  const Waveform w = ramp_wave();
+  const auto c = w.first_rise_crossing(0.5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 0.5, 1e-12);
+  EXPECT_FALSE(w.first_rise_crossing(2.0).has_value());
+}
+
+TEST(Waveform, CrossingAtInitialValue) {
+  const Waveform w({0.0, 1.0}, {0.7, 0.9});
+  const auto c = w.first_rise_crossing(0.5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 0.0);
+}
+
+TEST(Waveform, LastCrossingOfNonMonotone) {
+  const Waveform w({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 0.0, 1.0});
+  const auto c = w.last_crossing(0.5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 2.5, 1e-12);
+}
+
+TEST(Waveform, RiseTime1090OfLinearRamp) {
+  const Waveform w = ramp_wave();
+  const auto rt = w.rise_time_10_90(1.0);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_NEAR(*rt, 0.8, 1e-12);
+}
+
+TEST(Waveform, MonotoneChecks) {
+  EXPECT_TRUE(ramp_wave().is_monotone_nondecreasing());
+  const Waveform w({0.0, 1.0, 2.0}, {0.0, 1.0, 0.5});
+  EXPECT_FALSE(w.is_monotone_nondecreasing());
+  EXPECT_TRUE(w.is_monotone_nondecreasing(0.6));  // slack absorbs the dip
+}
+
+TEST(Waveform, UnimodalChecks) {
+  const Waveform peak({0.0, 1.0, 2.0, 3.0}, {0.0, 2.0, 1.0, 0.5});
+  EXPECT_TRUE(peak.is_unimodal());
+  const Waveform twin({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 2.0, 0.5, 2.0, 0.0});
+  EXPECT_FALSE(twin.is_unimodal());
+  EXPECT_TRUE(ramp_wave().is_unimodal());  // monotone counts as unimodal
+}
+
+TEST(Waveform, IntegrateLinear) {
+  EXPECT_NEAR(ramp_wave().integrate(), 0.5, 1e-12);
+}
+
+TEST(Waveform, IntegralWaveformEndsAtTotal) {
+  const Waveform in = ramp_wave().integral();
+  EXPECT_DOUBLE_EQ(in.value(0), 0.0);
+  EXPECT_NEAR(in.values().back(), 0.5, 1e-12);
+}
+
+TEST(Waveform, DerivativeOfRampIsOne) {
+  const Waveform d = ramp_wave().derivative();
+  for (double v : d.values()) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Waveform, DensityStatsOfExponential) {
+  // h(t) = e^{-t}: mean 1, mu2 = 1, mu3 = 2, median ln 2, mode 0, skew 2.
+  const auto t = uniform_grid(40.0, 40001);
+  std::vector<double> v(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) v[i] = std::exp(-t[i]);
+  const Waveform w(t, v);
+  EXPECT_NEAR(w.density_mean(), 1.0, 1e-3);
+  EXPECT_NEAR(w.density_central_moment(2), 1.0, 3e-3);
+  EXPECT_NEAR(w.density_central_moment(3), 2.0, 1e-2);
+  EXPECT_NEAR(w.density_median(), std::log(2.0), 1e-3);
+  EXPECT_NEAR(w.density_mode(), 0.0, 1e-12);
+  EXPECT_NEAR(w.density_skewness(), 2.0, 1e-2);
+}
+
+TEST(Waveform, DensityStatsOfSymmetricTriangle) {
+  // Triangle on [0,2] peaking at 1: mean = median = mode = 1, skew 0.
+  const auto t = uniform_grid(2.0, 2001);
+  std::vector<double> v(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) v[i] = 1.0 - std::abs(t[i] - 1.0);
+  const Waveform w(t, v);
+  EXPECT_NEAR(w.density_mean(), 1.0, 1e-9);
+  EXPECT_NEAR(w.density_median(), 1.0, 1e-3);
+  EXPECT_NEAR(w.density_mode(), 1.0, 1e-3);
+  EXPECT_NEAR(w.density_skewness(), 0.0, 1e-9);
+}
+
+TEST(UniformGrid, Validation) {
+  EXPECT_THROW((void)uniform_grid(1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)uniform_grid(0.0, 10), std::invalid_argument);
+  const auto g = uniform_grid(2.0, 5);
+  EXPECT_DOUBLE_EQ(g.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 2.0);
+  EXPECT_DOUBLE_EQ(g[1], 0.5);
+}
+
+}  // namespace
+}  // namespace rct::sim

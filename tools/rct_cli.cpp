@@ -1,0 +1,138 @@
+// rct — command-line front end for the RC-tree timing toolkit.
+//
+//   rct report <deck.sp>                 bound report for every node
+//   rct spef <file.spef>                 per-net load-pin bound report
+//   rct convert <deck.sp> <out.spef>     netlist -> SPEF-lite
+//   rct delay-curve <deck.sp> <node>     50-50 delay vs rise time (CSV)
+//   rct bode <deck.sp> <node>            magnitude/phase sweep (CSV)
+//
+// Deck format: see README (SPICE-like, .input/.probe directives).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/generalized_input.hpp"
+#include "core/report.hpp"
+#include "moments/path_tracing.hpp"
+#include "rctree/dot_export.hpp"
+#include "rctree/netlist_parser.hpp"
+#include "rctree/spef.hpp"
+#include "rctree/units.hpp"
+#include "sim/ac.hpp"
+#include "sim/exact.hpp"
+
+using namespace rct;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rct report <deck.sp>\n"
+               "       rct dot <deck.sp>\n"
+               "       rct spef <file.spef>\n"
+               "       rct convert <deck.sp> <out.spef>\n"
+               "       rct delay-curve <deck.sp> <node>\n"
+               "       rct bode <deck.sp> <node>\n");
+  return 2;
+}
+
+int cmd_report(const std::string& path) {
+  const ParsedNetlist parsed = parse_netlist_file(path);
+  for (const auto& w : parsed.warnings) std::fprintf(stderr, "warning: %s\n", w.c_str());
+  std::printf("%s", core::format_report(core::build_report(parsed.tree)).c_str());
+  return 0;
+}
+
+int cmd_spef(const std::string& path) {
+  const SpefFile file = parse_spef_file(path);
+  std::printf("design '%s': %zu net(s)\n", file.design.c_str(), file.nets.size());
+  for (const SpefNet& net : file.nets) {
+    std::printf("\n*D_NET %s  (driver %s, %zu nodes, %s total)\n", net.name.c_str(),
+                net.driver.c_str(), net.tree.size(),
+                format_engineering(net.tree.total_capacitance(), "F").c_str());
+    core::ReportOptions opt;
+    opt.with_exact = net.tree.size() <= 2000;  // eigensolve only when cheap
+    const auto rows = core::build_report(net.tree, opt);
+    for (NodeId load : net.loads) {
+      const auto& r = rows[load];
+      std::printf("  load %-12s elmore %-10s bounds [%s, %s]", r.name.c_str(),
+                  format_time(r.elmore).c_str(), format_time(r.lower_bound).c_str(),
+                  format_time(r.elmore).c_str());
+      if (r.exact_delay) std::printf("  exact %s", format_time(*r.exact_delay).c_str());
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_convert(const std::string& in_path, const std::string& out_path) {
+  const ParsedNetlist parsed = parse_netlist_file(in_path);
+  const SpefFile f = spef_from_tree(parsed.tree,
+                                    parsed.title.empty() ? "net0" : parsed.title, "rct");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << write_spef(f);
+  std::printf("wrote %s (%zu nodes)\n", out_path.c_str(), parsed.tree.size());
+  return 0;
+}
+
+int cmd_delay_curve(const std::string& path, const std::string& node_name) {
+  const ParsedNetlist parsed = parse_netlist_file(path);
+  const NodeId node = parsed.tree.at(node_name);
+  const sim::ExactAnalysis exact(parsed.tree);
+  const double tau = exact.dominant_time_constant();
+  const auto curve = core::delay_curve(parsed.tree, exact, node,
+                                       core::log_sweep(0.05 * tau, 100.0 * tau, 30));
+  std::printf("rise_time_s,delay_s,elmore_s,relative_error\n");
+  for (const auto& p : curve)
+    std::printf("%.6e,%.6e,%.6e,%.6f\n", p.rise_time, p.delay, p.elmore, p.relative_error);
+  return 0;
+}
+
+int cmd_dot(const std::string& path) {
+  const ParsedNetlist parsed = parse_netlist_file(path);
+  // Annotate every node with its Elmore delay for at-a-glance debugging.
+  const auto td = moments::elmore_delays(parsed.tree);
+  DotOptions opt;
+  for (NodeId i = 0; i < parsed.tree.size(); ++i)
+    opt.annotations[i] = "TD=" + format_time(td[i]);
+  std::printf("%s", to_dot(parsed.tree, opt).c_str());
+  return 0;
+}
+
+int cmd_bode(const std::string& path, const std::string& node_name) {
+  const ParsedNetlist parsed = parse_netlist_file(path);
+  const NodeId node = parsed.tree.at(node_name);
+  const sim::ExactAnalysis exact(parsed.tree);
+  const sim::AcAnalysis ac(exact);
+  const double f0 = exact.poles().front() / (2.0 * M_PI);
+  std::printf("# -3dB bandwidth: %.6e Hz\n", ac.bandwidth_3db(node));
+  std::printf("freq_hz,mag_db,phase_deg\n");
+  for (const auto& p : ac.bode(node, 0.001 * f0, 1000.0 * f0, 40))
+    std::printf("%.6e,%.3f,%.3f\n", p.freq_hz, p.magnitude_db, p.phase_deg);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "report") return cmd_report(argv[2]);
+    if (cmd == "dot") return cmd_dot(argv[2]);
+    if (cmd == "spef") return cmd_spef(argv[2]);
+    if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
+    if (cmd == "delay-curve" && argc >= 4) return cmd_delay_curve(argv[2], argv[3]);
+    if (cmd == "bode" && argc >= 4) return cmd_bode(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
