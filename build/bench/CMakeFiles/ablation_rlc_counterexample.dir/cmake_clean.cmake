@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rlc_counterexample.dir/ablation_rlc_counterexample.cpp.o"
+  "CMakeFiles/ablation_rlc_counterexample.dir/ablation_rlc_counterexample.cpp.o.d"
+  "ablation_rlc_counterexample"
+  "ablation_rlc_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rlc_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

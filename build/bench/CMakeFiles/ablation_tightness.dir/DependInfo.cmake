@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tightness.cpp" "bench/CMakeFiles/ablation_tightness.dir/ablation_tightness.cpp.o" "gcc" "bench/CMakeFiles/ablation_tightness.dir/ablation_tightness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/rct_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/moments/CMakeFiles/rct_moments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctree/CMakeFiles/rct_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rct_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_delay_curves.dir/fig12_delay_curves.cpp.o"
+  "CMakeFiles/fig12_delay_curves.dir/fig12_delay_curves.cpp.o.d"
+  "fig12_delay_curves"
+  "fig12_delay_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_delay_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_impulse_responses.dir/fig13_impulse_responses.cpp.o"
+  "CMakeFiles/fig13_impulse_responses.dir/fig13_impulse_responses.cpp.o.d"
+  "fig13_impulse_responses"
+  "fig13_impulse_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_impulse_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_relative_error.dir/fig14_relative_error.cpp.o"
+  "CMakeFiles/fig14_relative_error.dir/fig14_relative_error.cpp.o.d"
+  "fig14_relative_error"
+  "fig14_relative_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_relative_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

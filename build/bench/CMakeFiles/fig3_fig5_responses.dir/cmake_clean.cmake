@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig5_responses.dir/fig3_fig5_responses.cpp.o"
+  "CMakeFiles/fig3_fig5_responses.dir/fig3_fig5_responses.cpp.o.d"
+  "fig3_fig5_responses"
+  "fig3_fig5_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig5_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_incremental.dir/perf_incremental.cpp.o"
+  "CMakeFiles/perf_incremental.dir/perf_incremental.cpp.o.d"
+  "perf_incremental"
+  "perf_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_moments.dir/perf_moments.cpp.o"
+  "CMakeFiles/perf_moments.dir/perf_moments.cpp.o.d"
+  "perf_moments"
+  "perf_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

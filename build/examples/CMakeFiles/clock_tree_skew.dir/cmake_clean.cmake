@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_tree_skew.dir/clock_tree_skew.cpp.o"
+  "CMakeFiles/clock_tree_skew.dir/clock_tree_skew.cpp.o.d"
+  "clock_tree_skew"
+  "clock_tree_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_tree_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

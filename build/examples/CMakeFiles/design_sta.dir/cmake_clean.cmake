@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_sta.dir/design_sta.cpp.o"
+  "CMakeFiles/design_sta.dir/design_sta.cpp.o.d"
+  "design_sta"
+  "design_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_timer.dir/liberty_timer.cpp.o"
+  "CMakeFiles/liberty_timer.dir/liberty_timer.cpp.o.d"
+  "liberty_timer"
+  "liberty_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

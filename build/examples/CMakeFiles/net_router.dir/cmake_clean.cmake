@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_router.dir/net_router.cpp.o"
+  "CMakeFiles/net_router.dir/net_router.cpp.o.d"
+  "net_router"
+  "net_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeater_insertion.dir/repeater_insertion.cpp.o"
+  "CMakeFiles/repeater_insertion.dir/repeater_insertion.cpp.o.d"
+  "repeater_insertion"
+  "repeater_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeater_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/awe.cpp" "src/core/CMakeFiles/rct_core.dir/awe.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/awe.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/rct_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/effective_capacitance.cpp" "src/core/CMakeFiles/rct_core.dir/effective_capacitance.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/effective_capacitance.cpp.o.d"
+  "/root/repo/src/core/generalized_input.cpp" "src/core/CMakeFiles/rct_core.dir/generalized_input.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/generalized_input.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/rct_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/penfield_rubinstein.cpp" "src/core/CMakeFiles/rct_core.dir/penfield_rubinstein.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/penfield_rubinstein.cpp.o.d"
+  "/root/repo/src/core/pi_model.cpp" "src/core/CMakeFiles/rct_core.dir/pi_model.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/pi_model.cpp.o.d"
+  "/root/repo/src/core/prima.cpp" "src/core/CMakeFiles/rct_core.dir/prima.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/prima.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rct_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/rct_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/variation.cpp" "src/core/CMakeFiles/rct_core.dir/variation.cpp.o" "gcc" "src/core/CMakeFiles/rct_core.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/moments/CMakeFiles/rct_moments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctree/CMakeFiles/rct_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rct_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

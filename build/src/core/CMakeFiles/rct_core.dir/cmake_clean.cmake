@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_core.dir/awe.cpp.o"
+  "CMakeFiles/rct_core.dir/awe.cpp.o.d"
+  "CMakeFiles/rct_core.dir/bounds.cpp.o"
+  "CMakeFiles/rct_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/rct_core.dir/effective_capacitance.cpp.o"
+  "CMakeFiles/rct_core.dir/effective_capacitance.cpp.o.d"
+  "CMakeFiles/rct_core.dir/generalized_input.cpp.o"
+  "CMakeFiles/rct_core.dir/generalized_input.cpp.o.d"
+  "CMakeFiles/rct_core.dir/metrics.cpp.o"
+  "CMakeFiles/rct_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/rct_core.dir/penfield_rubinstein.cpp.o"
+  "CMakeFiles/rct_core.dir/penfield_rubinstein.cpp.o.d"
+  "CMakeFiles/rct_core.dir/pi_model.cpp.o"
+  "CMakeFiles/rct_core.dir/pi_model.cpp.o.d"
+  "CMakeFiles/rct_core.dir/prima.cpp.o"
+  "CMakeFiles/rct_core.dir/prima.cpp.o.d"
+  "CMakeFiles/rct_core.dir/report.cpp.o"
+  "CMakeFiles/rct_core.dir/report.cpp.o.d"
+  "CMakeFiles/rct_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/rct_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/rct_core.dir/variation.cpp.o"
+  "CMakeFiles/rct_core.dir/variation.cpp.o.d"
+  "librct_core.a"
+  "librct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

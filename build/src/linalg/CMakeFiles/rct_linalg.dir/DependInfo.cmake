@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/rct_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/rct_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/nelder_mead.cpp" "src/linalg/CMakeFiles/rct_linalg.dir/nelder_mead.cpp.o" "gcc" "src/linalg/CMakeFiles/rct_linalg.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/linalg/polynomial.cpp" "src/linalg/CMakeFiles/rct_linalg.dir/polynomial.cpp.o" "gcc" "src/linalg/CMakeFiles/rct_linalg.dir/polynomial.cpp.o.d"
+  "/root/repo/src/linalg/power_series.cpp" "src/linalg/CMakeFiles/rct_linalg.dir/power_series.cpp.o" "gcc" "src/linalg/CMakeFiles/rct_linalg.dir/power_series.cpp.o.d"
+  "/root/repo/src/linalg/root_find.cpp" "src/linalg/CMakeFiles/rct_linalg.dir/root_find.cpp.o" "gcc" "src/linalg/CMakeFiles/rct_linalg.dir/root_find.cpp.o.d"
+  "/root/repo/src/linalg/symmetric_eigen.cpp" "src/linalg/CMakeFiles/rct_linalg.dir/symmetric_eigen.cpp.o" "gcc" "src/linalg/CMakeFiles/rct_linalg.dir/symmetric_eigen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/rct_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/rct_linalg.dir/nelder_mead.cpp.o"
+  "CMakeFiles/rct_linalg.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/rct_linalg.dir/polynomial.cpp.o"
+  "CMakeFiles/rct_linalg.dir/polynomial.cpp.o.d"
+  "CMakeFiles/rct_linalg.dir/power_series.cpp.o"
+  "CMakeFiles/rct_linalg.dir/power_series.cpp.o.d"
+  "CMakeFiles/rct_linalg.dir/root_find.cpp.o"
+  "CMakeFiles/rct_linalg.dir/root_find.cpp.o.d"
+  "CMakeFiles/rct_linalg.dir/symmetric_eigen.cpp.o"
+  "CMakeFiles/rct_linalg.dir/symmetric_eigen.cpp.o.d"
+  "librct_linalg.a"
+  "librct_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

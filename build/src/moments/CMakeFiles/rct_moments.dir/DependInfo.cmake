@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moments/admittance.cpp" "src/moments/CMakeFiles/rct_moments.dir/admittance.cpp.o" "gcc" "src/moments/CMakeFiles/rct_moments.dir/admittance.cpp.o.d"
+  "/root/repo/src/moments/central.cpp" "src/moments/CMakeFiles/rct_moments.dir/central.cpp.o" "gcc" "src/moments/CMakeFiles/rct_moments.dir/central.cpp.o.d"
+  "/root/repo/src/moments/incremental.cpp" "src/moments/CMakeFiles/rct_moments.dir/incremental.cpp.o" "gcc" "src/moments/CMakeFiles/rct_moments.dir/incremental.cpp.o.d"
+  "/root/repo/src/moments/path_tracing.cpp" "src/moments/CMakeFiles/rct_moments.dir/path_tracing.cpp.o" "gcc" "src/moments/CMakeFiles/rct_moments.dir/path_tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rctree/CMakeFiles/rct_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rct_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_moments.dir/admittance.cpp.o"
+  "CMakeFiles/rct_moments.dir/admittance.cpp.o.d"
+  "CMakeFiles/rct_moments.dir/central.cpp.o"
+  "CMakeFiles/rct_moments.dir/central.cpp.o.d"
+  "CMakeFiles/rct_moments.dir/incremental.cpp.o"
+  "CMakeFiles/rct_moments.dir/incremental.cpp.o.d"
+  "CMakeFiles/rct_moments.dir/path_tracing.cpp.o"
+  "CMakeFiles/rct_moments.dir/path_tracing.cpp.o.d"
+  "librct_moments.a"
+  "librct_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

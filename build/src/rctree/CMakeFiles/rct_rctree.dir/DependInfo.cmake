@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rctree/circuits.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/circuits.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/circuits.cpp.o.d"
+  "/root/repo/src/rctree/dot_export.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/dot_export.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/dot_export.cpp.o.d"
+  "/root/repo/src/rctree/generators.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/generators.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/generators.cpp.o.d"
+  "/root/repo/src/rctree/graph_builder.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/graph_builder.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/graph_builder.cpp.o.d"
+  "/root/repo/src/rctree/netlist_parser.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/netlist_parser.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/netlist_parser.cpp.o.d"
+  "/root/repo/src/rctree/rctree.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/rctree.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/rctree.cpp.o.d"
+  "/root/repo/src/rctree/routing.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/routing.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/routing.cpp.o.d"
+  "/root/repo/src/rctree/spef.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/spef.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/spef.cpp.o.d"
+  "/root/repo/src/rctree/transform.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/transform.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/transform.cpp.o.d"
+  "/root/repo/src/rctree/units.cpp" "src/rctree/CMakeFiles/rct_rctree.dir/units.cpp.o" "gcc" "src/rctree/CMakeFiles/rct_rctree.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_rctree.dir/circuits.cpp.o"
+  "CMakeFiles/rct_rctree.dir/circuits.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/dot_export.cpp.o"
+  "CMakeFiles/rct_rctree.dir/dot_export.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/generators.cpp.o"
+  "CMakeFiles/rct_rctree.dir/generators.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/graph_builder.cpp.o"
+  "CMakeFiles/rct_rctree.dir/graph_builder.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/netlist_parser.cpp.o"
+  "CMakeFiles/rct_rctree.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/rctree.cpp.o"
+  "CMakeFiles/rct_rctree.dir/rctree.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/routing.cpp.o"
+  "CMakeFiles/rct_rctree.dir/routing.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/spef.cpp.o"
+  "CMakeFiles/rct_rctree.dir/spef.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/transform.cpp.o"
+  "CMakeFiles/rct_rctree.dir/transform.cpp.o.d"
+  "CMakeFiles/rct_rctree.dir/units.cpp.o"
+  "CMakeFiles/rct_rctree.dir/units.cpp.o.d"
+  "librct_rctree.a"
+  "librct_rctree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_rctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ac.cpp" "src/sim/CMakeFiles/rct_sim.dir/ac.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/ac.cpp.o.d"
+  "/root/repo/src/sim/convolve.cpp" "src/sim/CMakeFiles/rct_sim.dir/convolve.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/convolve.cpp.o.d"
+  "/root/repo/src/sim/distributed.cpp" "src/sim/CMakeFiles/rct_sim.dir/distributed.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/distributed.cpp.o.d"
+  "/root/repo/src/sim/exact.cpp" "src/sim/CMakeFiles/rct_sim.dir/exact.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/exact.cpp.o.d"
+  "/root/repo/src/sim/mna.cpp" "src/sim/CMakeFiles/rct_sim.dir/mna.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/mna.cpp.o.d"
+  "/root/repo/src/sim/rlc_line.cpp" "src/sim/CMakeFiles/rct_sim.dir/rlc_line.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/rlc_line.cpp.o.d"
+  "/root/repo/src/sim/sources.cpp" "src/sim/CMakeFiles/rct_sim.dir/sources.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/sources.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/rct_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/transient.cpp.o.d"
+  "/root/repo/src/sim/tree_solver.cpp" "src/sim/CMakeFiles/rct_sim.dir/tree_solver.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/tree_solver.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/sim/CMakeFiles/rct_sim.dir/waveform.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/waveform.cpp.o.d"
+  "/root/repo/src/sim/waveform_io.cpp" "src/sim/CMakeFiles/rct_sim.dir/waveform_io.cpp.o" "gcc" "src/sim/CMakeFiles/rct_sim.dir/waveform_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rctree/CMakeFiles/rct_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rct_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_sim.dir/ac.cpp.o"
+  "CMakeFiles/rct_sim.dir/ac.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/convolve.cpp.o"
+  "CMakeFiles/rct_sim.dir/convolve.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/distributed.cpp.o"
+  "CMakeFiles/rct_sim.dir/distributed.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/exact.cpp.o"
+  "CMakeFiles/rct_sim.dir/exact.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/mna.cpp.o"
+  "CMakeFiles/rct_sim.dir/mna.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/rlc_line.cpp.o"
+  "CMakeFiles/rct_sim.dir/rlc_line.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/sources.cpp.o"
+  "CMakeFiles/rct_sim.dir/sources.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/transient.cpp.o"
+  "CMakeFiles/rct_sim.dir/transient.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/tree_solver.cpp.o"
+  "CMakeFiles/rct_sim.dir/tree_solver.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/waveform.cpp.o"
+  "CMakeFiles/rct_sim.dir/waveform.cpp.o.d"
+  "CMakeFiles/rct_sim.dir/waveform_io.cpp.o"
+  "CMakeFiles/rct_sim.dir/waveform_io.cpp.o.d"
+  "librct_sim.a"
+  "librct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/buffering.cpp" "src/sta/CMakeFiles/rct_sta.dir/buffering.cpp.o" "gcc" "src/sta/CMakeFiles/rct_sta.dir/buffering.cpp.o.d"
+  "/root/repo/src/sta/design.cpp" "src/sta/CMakeFiles/rct_sta.dir/design.cpp.o" "gcc" "src/sta/CMakeFiles/rct_sta.dir/design.cpp.o.d"
+  "/root/repo/src/sta/gate.cpp" "src/sta/CMakeFiles/rct_sta.dir/gate.cpp.o" "gcc" "src/sta/CMakeFiles/rct_sta.dir/gate.cpp.o.d"
+  "/root/repo/src/sta/liberty.cpp" "src/sta/CMakeFiles/rct_sta.dir/liberty.cpp.o" "gcc" "src/sta/CMakeFiles/rct_sta.dir/liberty.cpp.o.d"
+  "/root/repo/src/sta/nldm.cpp" "src/sta/CMakeFiles/rct_sta.dir/nldm.cpp.o" "gcc" "src/sta/CMakeFiles/rct_sta.dir/nldm.cpp.o.d"
+  "/root/repo/src/sta/path_timer.cpp" "src/sta/CMakeFiles/rct_sta.dir/path_timer.cpp.o" "gcc" "src/sta/CMakeFiles/rct_sta.dir/path_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/moments/CMakeFiles/rct_moments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rctree/CMakeFiles/rct_rctree.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rct_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_sta.dir/buffering.cpp.o"
+  "CMakeFiles/rct_sta.dir/buffering.cpp.o.d"
+  "CMakeFiles/rct_sta.dir/design.cpp.o"
+  "CMakeFiles/rct_sta.dir/design.cpp.o.d"
+  "CMakeFiles/rct_sta.dir/gate.cpp.o"
+  "CMakeFiles/rct_sta.dir/gate.cpp.o.d"
+  "CMakeFiles/rct_sta.dir/liberty.cpp.o"
+  "CMakeFiles/rct_sta.dir/liberty.cpp.o.d"
+  "CMakeFiles/rct_sta.dir/nldm.cpp.o"
+  "CMakeFiles/rct_sta.dir/nldm.cpp.o.d"
+  "CMakeFiles/rct_sta.dir/path_timer.cpp.o"
+  "CMakeFiles/rct_sta.dir/path_timer.cpp.o.d"
+  "librct_sta.a"
+  "librct_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

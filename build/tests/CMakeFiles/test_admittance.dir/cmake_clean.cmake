@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admittance.dir/test_admittance.cpp.o"
+  "CMakeFiles/test_admittance.dir/test_admittance.cpp.o.d"
+  "test_admittance"
+  "test_admittance.pdb"
+  "test_admittance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admittance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

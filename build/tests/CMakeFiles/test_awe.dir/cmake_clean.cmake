@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_awe.dir/test_awe.cpp.o"
+  "CMakeFiles/test_awe.dir/test_awe.cpp.o.d"
+  "test_awe"
+  "test_awe.pdb"
+  "test_awe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_awe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convolve.dir/test_convolve.cpp.o"
+  "CMakeFiles/test_convolve.dir/test_convolve.cpp.o.d"
+  "test_convolve"
+  "test_convolve.pdb"
+  "test_convolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_effective_capacitance.dir/test_effective_capacitance.cpp.o"
+  "CMakeFiles/test_effective_capacitance.dir/test_effective_capacitance.cpp.o.d"
+  "test_effective_capacitance"
+  "test_effective_capacitance.pdb"
+  "test_effective_capacitance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_effective_capacitance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

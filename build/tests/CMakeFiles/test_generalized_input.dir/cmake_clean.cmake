@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generalized_input.dir/test_generalized_input.cpp.o"
+  "CMakeFiles/test_generalized_input.dir/test_generalized_input.cpp.o.d"
+  "test_generalized_input"
+  "test_generalized_input.pdb"
+  "test_generalized_input[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generalized_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

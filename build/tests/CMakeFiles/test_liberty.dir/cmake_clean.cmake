@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_liberty.dir/test_liberty.cpp.o"
+  "CMakeFiles/test_liberty.dir/test_liberty.cpp.o.d"
+  "test_liberty"
+  "test_liberty.pdb"
+  "test_liberty[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

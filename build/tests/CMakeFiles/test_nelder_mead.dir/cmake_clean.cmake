@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nelder_mead.dir/test_nelder_mead.cpp.o"
+  "CMakeFiles/test_nelder_mead.dir/test_nelder_mead.cpp.o.d"
+  "test_nelder_mead"
+  "test_nelder_mead.pdb"
+  "test_nelder_mead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nelder_mead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nldm.dir/test_nldm.cpp.o"
+  "CMakeFiles/test_nldm.dir/test_nldm.cpp.o.d"
+  "test_nldm"
+  "test_nldm.pdb"
+  "test_nldm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nldm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_tracing.dir/test_path_tracing.cpp.o"
+  "CMakeFiles/test_path_tracing.dir/test_path_tracing.cpp.o.d"
+  "test_path_tracing"
+  "test_path_tracing.pdb"
+  "test_path_tracing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

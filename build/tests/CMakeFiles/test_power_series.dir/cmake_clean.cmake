@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_series.dir/test_power_series.cpp.o"
+  "CMakeFiles/test_power_series.dir/test_power_series.cpp.o.d"
+  "test_power_series"
+  "test_power_series.pdb"
+  "test_power_series[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prh.dir/test_prh.cpp.o"
+  "CMakeFiles/test_prh.dir/test_prh.cpp.o.d"
+  "test_prh"
+  "test_prh.pdb"
+  "test_prh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rctree.dir/test_rctree.cpp.o"
+  "CMakeFiles/test_rctree.dir/test_rctree.cpp.o.d"
+  "test_rctree"
+  "test_rctree.pdb"
+  "test_rctree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rctree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rlc_line.dir/test_rlc_line.cpp.o"
+  "CMakeFiles/test_rlc_line.dir/test_rlc_line.cpp.o.d"
+  "test_rlc_line"
+  "test_rlc_line.pdb"
+  "test_rlc_line[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rlc_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sources.dir/test_sources.cpp.o"
+  "CMakeFiles/test_sources.dir/test_sources.cpp.o.d"
+  "test_sources"
+  "test_sources.pdb"
+  "test_sources[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

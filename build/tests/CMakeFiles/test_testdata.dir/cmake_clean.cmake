@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testdata.dir/test_testdata.cpp.o"
+  "CMakeFiles/test_testdata.dir/test_testdata.cpp.o.d"
+  "test_testdata"
+  "test_testdata.pdb"
+  "test_testdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

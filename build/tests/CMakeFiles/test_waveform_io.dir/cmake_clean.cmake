@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waveform_io.dir/test_waveform_io.cpp.o"
+  "CMakeFiles/test_waveform_io.dir/test_waveform_io.cpp.o.d"
+  "test_waveform_io"
+  "test_waveform_io.pdb"
+  "test_waveform_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waveform_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

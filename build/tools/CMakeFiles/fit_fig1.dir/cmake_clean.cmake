@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_fig1.dir/fit_fig1.cpp.o"
+  "CMakeFiles/fit_fig1.dir/fit_fig1.cpp.o.d"
+  "fit_fig1"
+  "fit_fig1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

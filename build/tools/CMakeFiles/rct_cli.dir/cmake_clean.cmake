@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rct_cli.dir/rct_cli.cpp.o"
+  "CMakeFiles/rct_cli.dir/rct_cli.cpp.o.d"
+  "rct"
+  "rct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rct_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
