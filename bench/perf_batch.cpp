@@ -1,0 +1,91 @@
+// perf_batch — 1-thread vs N-thread throughput of the batch timing engine
+// on a generated 1000-net SPEF-style workload, plus the cache win on a
+// stamped (clock-mesh-like) variant.  Prints nets/s per thread count and
+// the speedup over --jobs 1; on multi-core hardware --jobs 4 is expected
+// to clear 2x.
+//
+//   perf_batch [nets] [nodes_per_net] [max_jobs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/batch.hpp"
+#include "rctree/generators.hpp"
+#include "rctree/spef.hpp"
+
+namespace {
+
+rct::SpefNet make_net(std::string name, rct::RCTree tree) {
+  rct::SpefNet net;
+  net.name = std::move(name);
+  net.driver = tree.name(tree.children_of_source().front());
+  net.loads = tree.leaves();
+  net.tree = std::move(tree);
+  return net;
+}
+
+/// `count` distinct random nets, as a parsed-SPEF-equivalent net list.
+std::vector<rct::SpefNet> generate_workload(std::size_t count, std::size_t nodes) {
+  std::vector<rct::SpefNet> nets;
+  nets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    nets.push_back(make_net("net" + std::to_string(i), rct::gen::random_tree(nodes, 42 + i)));
+  return nets;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t net_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1000;
+  const std::size_t nodes = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 50;
+  std::size_t max_jobs = argc > 3 ? std::strtoul(argv[3], nullptr, 10)
+                                  : std::thread::hardware_concurrency();
+  if (max_jobs == 0) max_jobs = 1;
+
+  rct::bench::header("batch engine throughput: 1 thread vs N threads",
+                     "engine scaling (no paper counterpart; production-scale substrate)");
+  std::printf("# workload: %zu nets x %zu nodes, exact eigensolve on, cache off\n", net_count,
+              nodes);
+  std::printf("# hardware_concurrency: %u\n", std::thread::hardware_concurrency());
+  rct::bench::rule();
+
+  const std::vector<rct::SpefNet> nets = generate_workload(net_count, nodes);
+
+  std::printf("%8s %12s %14s %10s\n", "jobs", "wall_s", "nets_per_s", "speedup");
+  double base_wall = 0.0;
+  for (std::size_t jobs = 1; jobs <= max_jobs; jobs *= 2) {
+    rct::engine::BatchOptions opt;
+    opt.jobs = jobs;
+    opt.use_cache = false;
+    const rct::engine::BatchResult r = rct::engine::analyze_nets(nets, opt);
+    if (r.stats.failures != 0) {
+      std::fprintf(stderr, "error: %zu net(s) failed\n", r.stats.failures);
+      return 1;
+    }
+    const double wall = r.stats.total.wall_s;
+    if (jobs == 1) base_wall = wall;
+    std::printf("%8zu %12.4f %14.1f %9.2fx\n", jobs, wall,
+                static_cast<double>(net_count) / wall, base_wall / wall);
+  }
+
+  rct::bench::rule();
+  std::printf("# cache: same workload with every net stamped out twice\n");
+  std::vector<rct::SpefNet> stamped = nets;
+  for (std::size_t i = 0; i < net_count; ++i) {
+    rct::RCTree copy = rct::gen::random_tree(nodes, 42 + i);  // same seed = same content
+    stamped.push_back(make_net("dup" + std::to_string(i), std::move(copy)));
+  }
+  for (const bool use_cache : {false, true}) {
+    rct::engine::BatchOptions opt;
+    opt.jobs = max_jobs;
+    opt.use_cache = use_cache;
+    const rct::engine::BatchResult r = rct::engine::analyze_nets(stamped, opt);
+    std::printf("# cache %-3s  wall %.4fs  analyzed %zu  hits %zu\n", use_cache ? "on" : "off",
+                r.stats.total.wall_s, r.stats.tasks_run, r.stats.cache_hits);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the concurrent engine (and everything else).
+#
+#   1. ThreadSanitizer build; runs the engine tests (thread pool, net cache,
+#      batch analyzer) and the CLI batch end-to-end tests under TSan.
+#   2. AddressSanitizer+UBSan build; runs the full ctest suite.
+#
+# Usage: scripts/check.sh [--tsan-only|--asan-only]
+# Build trees land in build-tsan/ and build-asan/ (gitignored).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-all}"
+
+configure_and_build() {
+  local dir="$1" sanitize="$2"
+  shift 2
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRCT_SANITIZE="$sanitize" \
+    -DRCT_BUILD_BENCH=OFF -DRCT_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j"$JOBS" "$@"
+}
+
+if [[ "$MODE" != "--asan-only" ]]; then
+  echo "== ThreadSanitizer: engine tests =="
+  configure_and_build build-tsan thread --target test_engine --target test_cli --target rct_cli
+  (cd build-tsan &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_engine &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli --gtest_filter='Cli.Batch*')
+fi
+
+if [[ "$MODE" != "--tsan-only" ]]; then
+  echo "== AddressSanitizer+UBSan: full suite =="
+  configure_and_build build-asan address,undefined
+  (cd build-asan &&
+    ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+      ctest --output-on-failure -j"$JOBS")
+fi
+
+echo "check.sh: all sanitizer passes green"

@@ -16,7 +16,7 @@ std::vector<NodeReport> build_report(const RCTree& tree, const ReportOptions& op
   const auto stats = moments::impulse_stats(tree);
   const PrhBounds prh(tree);
   std::optional<sim::ExactAnalysis> exact;
-  if (options.with_exact) exact.emplace(tree);
+  if (options.with_exact && tree.size() <= options.exact_node_limit) exact.emplace(tree);
 
   std::vector<NodeReport> rows;
   for (NodeId i = 0; i < tree.size(); ++i) {

@@ -31,6 +31,10 @@ struct ReportOptions {
   bool with_exact = true;      ///< run the eigendecomposition (O(N^3))
   double fraction = 0.5;       ///< threshold fraction for delays/bounds
   bool leaves_only = false;    ///< restrict rows to leaf nodes
+  /// Largest tree (in nodes) the O(N^3) eigensolve is attempted on; larger
+  /// trees get bound-only rows even when with_exact is set.  Shared by the
+  /// CLI `spef` and `batch` commands (--exact-limit).
+  std::size_t exact_node_limit = 2000;
 };
 
 /// Builds the report for every node (or every leaf).

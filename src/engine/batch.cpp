@@ -1,0 +1,232 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/net_cache.hpp"
+#include "engine/thread_pool.hpp"
+#include "rctree/units.hpp"
+
+namespace rct::engine {
+namespace {
+
+/// Wall + process-CPU stopwatch for one phase.
+class PhaseTimer {
+ public:
+  PhaseTimer()
+      : wall_start_(std::chrono::steady_clock::now()), cpu_start_(std::clock()) {}
+
+  [[nodiscard]] PhaseTime elapsed() const {
+    PhaseTime t;
+    t.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
+                   .count();
+    t.cpu_s = static_cast<double>(std::clock() - cpu_start_) / CLOCKS_PER_SEC;
+    return t;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point wall_start_;
+  std::clock_t cpu_start_;
+};
+
+/// Analyzes one net; never throws (failures land in result.error).
+NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache* cache,
+                      std::atomic<std::size_t>& tasks_run) {
+  NetResult r;
+  r.name = net.name;
+  r.driver = net.driver;
+  r.loads = net.loads;
+  r.nodes = net.tree.size();
+  try {
+    if (net.tree.empty())
+      throw std::invalid_argument("net '" + net.name + "' has an empty RC tree");
+    r.total_capacitance = net.tree.total_capacitance();
+    if (cache != nullptr) {
+      const NetKey key = NetKey::of(net.tree, options.report);
+      if (auto hit = cache->lookup(key, net.tree)) {
+        r.rows = std::move(*hit);
+        r.from_cache = true;
+        return r;
+      }
+      tasks_run.fetch_add(1);
+      r.rows = core::build_report(net.tree, options.report);
+      cache->insert(key, r.rows);
+    } else {
+      tasks_run.fetch_add(1);
+      r.rows = core::build_report(net.tree, options.report);
+    }
+  } catch (const std::exception& e) {
+    r.rows.clear();
+    r.error = e.what();
+  }
+  return r;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12e", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string EngineStats::summary() const {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "engine: %zu net(s), %zu analyzed, %zu cache hit(s), %zu failed, %zu thread(s); "
+                "analyze %.3fs wall / %.3fs cpu, total %.3fs wall",
+                nets, tasks_run, cache_hits, failures, threads, analyze.wall_s, analyze.cpu_s,
+                total.wall_s);
+  os << buf;
+  return os.str();
+}
+
+BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& options) {
+  const PhaseTimer total;
+  BatchResult out;
+  out.nets.resize(nets.size());
+  out.stats.nets = nets.size();
+
+  NetCache cache;
+  NetCache* cache_ptr = options.use_cache ? &cache : nullptr;
+  std::atomic<std::size_t> tasks_run{0};
+
+  // More workers than nets is pure thread-create/join overhead.
+  const std::size_t jobs =
+      options.jobs == 0 ? 0 : std::min(options.jobs, std::max<std::size_t>(nets.size(), 1));
+
+  const PhaseTimer analyze;
+  {
+    ThreadPool pool(jobs);
+    out.stats.threads = pool.thread_count();
+    // One task per net; each writes only its own preassigned slot, so the
+    // merged order is the input order regardless of scheduling.
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const SpefNet& net = nets[i];
+      NetResult& slot = out.nets[i];
+      pool.submit([&net, &slot, &options, cache_ptr, &tasks_run] {
+        slot = analyze_one(net, options, cache_ptr, tasks_run);
+      });
+    }
+    pool.wait_idle();
+  }
+  out.stats.analyze = analyze.elapsed();
+
+  const PhaseTimer merge;
+  out.stats.tasks_run = tasks_run.load();
+  out.stats.cache_hits = cache.hits();
+  for (const NetResult& r : out.nets)
+    if (!r.ok()) ++out.stats.failures;
+  out.stats.merge = merge.elapsed();
+  out.stats.total = total.elapsed();
+  return out;
+}
+
+BatchResult analyze_batch(const SpefFile& file, const BatchOptions& options) {
+  BatchResult out = analyze_nets(file.nets, options);
+  out.design = file.design;
+  return out;
+}
+
+std::string format_batch(const BatchResult& result) {
+  std::ostringstream os;
+  if (!result.design.empty())
+    os << "design '" << result.design << "': " << result.nets.size() << " net(s)\n";
+  for (const NetResult& net : result.nets) {
+    os << "\n*D_NET " << net.name << "  (driver " << net.driver << ", " << net.nodes
+       << " nodes, " << format_engineering(net.total_capacitance, "F") << " total)\n";
+    if (!net.ok()) {
+      os << "  error: " << net.error << "\n";
+      continue;
+    }
+    for (const NodeId load : net.loads) {
+      const core::NodeReport& r = net.rows[load];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "  load %-12s elmore %-10s bounds [%s, %s]",
+                    r.name.c_str(), format_time(r.elmore).c_str(),
+                    format_time(r.lower_bound).c_str(), format_time(r.elmore).c_str());
+      os << buf;
+      if (r.exact_delay) os << "  exact " << format_time(*r.exact_delay);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string format_batch_json(const BatchResult& result) {
+  std::string out;
+  out += "{\"design\":";
+  append_json_string(out, result.design);
+  out += ",\"nets\":[";
+  bool first_net = true;
+  for (const NetResult& net : result.nets) {
+    if (!first_net) out += ',';
+    first_net = false;
+    out += "{\"name\":";
+    append_json_string(out, net.name);
+    out += ",\"driver\":";
+    append_json_string(out, net.driver);
+    out += ",\"nodes\":" + std::to_string(net.nodes);
+    out += ",\"total_capacitance_f\":";
+    append_json_double(out, net.total_capacitance);
+    if (!net.ok()) {
+      out += ",\"error\":";
+      append_json_string(out, net.error);
+      out += ",\"loads\":[]}";
+      continue;
+    }
+    out += ",\"error\":null,\"loads\":[";
+    bool first_load = true;
+    for (const NodeId load : net.loads) {
+      const core::NodeReport& r = net.rows[load];
+      if (!first_load) out += ',';
+      first_load = false;
+      out += "{\"name\":";
+      append_json_string(out, r.name);
+      out += ",\"elmore_s\":";
+      append_json_double(out, r.elmore);
+      out += ",\"sigma_s\":";
+      append_json_double(out, r.sigma);
+      out += ",\"lower_bound_s\":";
+      append_json_double(out, r.lower_bound);
+      out += ",\"exact_delay_s\":";
+      if (r.exact_delay)
+        append_json_double(out, *r.exact_delay);
+      else
+        out += "null";
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rct::engine

@@ -1,0 +1,91 @@
+#pragma once
+// Parallel batch timing engine.
+//
+// Real extracted designs carry thousands of independent nets; bound reports
+// for them are embarrassingly parallel.  analyze_batch()/analyze_nets() fan
+// the nets of a SpefFile out across a ThreadPool — one task per net, each
+// producing the existing core::build_report rows — consult a
+// content-addressed NetCache so repeated nets (clock meshes, stamped
+// macros) skip recomputation, and merge results deterministically in input
+// order: the output is bit-identical for any thread count.
+//
+// Failures are per-net, never process-fatal: a net that throws gets its
+// error string recorded and every other net still completes.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "rctree/spef.hpp"
+
+namespace rct::engine {
+
+/// Knobs for one batch run.
+struct BatchOptions {
+  std::size_t jobs = 0;        ///< worker threads; 0 = hardware concurrency
+  core::ReportOptions report;  ///< shared per-net report options
+  bool use_cache = true;       ///< skip recomputation of content-identical nets
+};
+
+/// Outcome for one input net.
+struct NetResult {
+  std::string name;
+  std::string driver;
+  std::vector<NodeId> loads;
+  std::size_t nodes = 0;
+  double total_capacitance = 0.0;       ///< farads
+  std::vector<core::NodeReport> rows;   ///< empty when error is set
+  std::string error;                    ///< per-net failure message, if any
+  bool from_cache = false;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Wall and process-CPU time of one engine phase, seconds.
+struct PhaseTime {
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+};
+
+/// Observability: what the engine did and where the time went.
+struct EngineStats {
+  std::size_t nets = 0;       ///< input nets
+  std::size_t tasks_run = 0;  ///< nets actually analyzed (cache misses)
+  std::size_t cache_hits = 0;
+  std::size_t failures = 0;
+  std::size_t threads = 0;  ///< pool size used
+  PhaseTime analyze;        ///< fan-out + per-net analysis
+  PhaseTime merge;          ///< in-order result collection
+  PhaseTime total;
+
+  /// One-line human-readable summary (for stderr; contains timings, so it is
+  /// intentionally kept out of the deterministic stdout renderers below).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// A finished batch: one NetResult per input net, in input order.
+struct BatchResult {
+  std::string design;  ///< from the SPEF header; empty for raw net spans
+  std::vector<NetResult> nets;
+  EngineStats stats;
+};
+
+/// Analyzes a span of nets across `options.jobs` threads.
+[[nodiscard]] BatchResult analyze_nets(std::span<const SpefNet> nets,
+                                       const BatchOptions& options = {});
+
+/// Analyzes every net of a parsed SPEF file.
+[[nodiscard]] BatchResult analyze_batch(const SpefFile& file, const BatchOptions& options = {});
+
+/// Plain-text renderer used by `rct batch`.  Deterministic: no timings,
+/// thread counts or cache provenance, so output is byte-identical for any
+/// --jobs value.
+[[nodiscard]] std::string format_batch(const BatchResult& result);
+
+/// JSON renderer (schema documented in README.md), same determinism
+/// guarantee as format_batch().
+[[nodiscard]] std::string format_batch_json(const BatchResult& result);
+
+}  // namespace rct::engine

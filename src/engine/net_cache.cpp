@@ -1,0 +1,96 @@
+#include "engine/net_cache.hpp"
+
+#include <bit>
+#include <memory>
+
+namespace rct::engine {
+namespace {
+
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& words) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint64_t w : words) {
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (8 * byte)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// Rewrites the cached rows' names (and nothing else) for `tree`.  Rows are
+/// either one-per-node or one-per-leaf depending on ReportOptions, which the
+/// key encodes, so row count disambiguates the mapping.
+void rebind_names(std::vector<core::NodeReport>& rows, const RCTree& tree) {
+  if (rows.size() == tree.size()) {
+    for (NodeId i = 0; i < tree.size(); ++i) rows[i].name = tree.name(i);
+    return;
+  }
+  const std::vector<NodeId> leaves = tree.leaves();
+  if (rows.size() != leaves.size()) return;  // defensive: unexpected shape, keep stored names
+  for (std::size_t i = 0; i < leaves.size(); ++i) rows[i].name = tree.name(leaves[i]);
+}
+
+}  // namespace
+
+NetKey NetKey::of(const RCTree& tree, const core::ReportOptions& options) {
+  NetKey key;
+  key.words.reserve(3 + 3 * tree.size());
+  key.words.push_back(tree.size());
+  // Options enter as their *effective* values: with_exact only matters as
+  // applied after the node-count cutoff.
+  const bool exact = options.with_exact && tree.size() <= options.exact_node_limit;
+  key.words.push_back((exact ? 1ULL : 0ULL) | (options.leaves_only ? 2ULL : 0ULL));
+  key.words.push_back(std::bit_cast<std::uint64_t>(options.fraction));
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    key.words.push_back(tree.parent(i));  // kSource is its own sentinel value
+    key.words.push_back(std::bit_cast<std::uint64_t>(tree.resistance(i)));
+    key.words.push_back(std::bit_cast<std::uint64_t>(tree.capacitance(i)));
+  }
+  key.hash = fnv1a(key.words);
+  return key;
+}
+
+NetCache::NetCache(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::optional<std::vector<core::NodeReport>> NetCache::lookup(const NetKey& key,
+                                                              const RCTree& tree) {
+  Shard& shard = shard_for(key.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto chain = shard.map.find(key.hash);
+  if (chain != shard.map.end()) {
+    for (const Entry& e : chain->second) {
+      if (e.key == key) {
+        hits_.fetch_add(1);
+        std::vector<core::NodeReport> rows = e.rows;  // copy under the shard lock
+        rebind_names(rows, tree);
+        return rows;
+      }
+    }
+  }
+  misses_.fetch_add(1);
+  return std::nullopt;
+}
+
+void NetCache::insert(const NetKey& key, std::vector<core::NodeReport> rows) {
+  Shard& shard = shard_for(key.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<Entry>& chain = shard.map[key.hash];
+  for (const Entry& e : chain)
+    if (e.key == key) return;  // first writer wins
+  chain.push_back(Entry{key, std::move(rows)});
+}
+
+std::size_t NetCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [hash, chain] : shard->map) n += chain.size();
+  }
+  return n;
+}
+
+}  // namespace rct::engine

@@ -1,0 +1,74 @@
+#pragma once
+// Content-addressed cache of per-net report rows.
+//
+// Key: 64-bit FNV-1a over the net's topology (parent ids), the exact bit
+// patterns of its R/C values, and the ReportOptions that shaped the rows.
+// Node names are deliberately excluded — repeated physical nets (clock
+// meshes, stamped macro pins) differ only in names — and are re-bound from
+// the live tree on a hit, so a hit returns rows indistinguishable from a
+// fresh build_report() call.  The full key material is stored and compared
+// on lookup, so a hit is exact, never probabilistic.
+//
+// Thread safety: the map is sharded by hash, one mutex per shard, so
+// concurrent lookups/inserts from a thread pool contend only when they land
+// on the same shard.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "rctree/rctree.hpp"
+
+namespace rct::engine {
+
+/// Name-independent key material of a (tree, options) pair.
+struct NetKey {
+  std::vector<std::uint64_t> words;  ///< packed topology/R/C/options
+  std::uint64_t hash = 0;            ///< FNV-1a of words
+
+  /// Builds the key for one net's report computation.
+  [[nodiscard]] static NetKey of(const RCTree& tree, const core::ReportOptions& options);
+
+  [[nodiscard]] bool operator==(const NetKey& other) const { return words == other.words; }
+};
+
+class NetCache {
+ public:
+  explicit NetCache(std::size_t shards = 16);
+
+  /// Returns a copy of the cached rows with names re-bound to `tree`, or
+  /// nullopt on a miss.  `tree` must be the tree the key was built from.
+  [[nodiscard]] std::optional<std::vector<core::NodeReport>> lookup(const NetKey& key,
+                                                                    const RCTree& tree);
+
+  /// Stores rows under `key`; a concurrent duplicate insert keeps the first.
+  void insert(const NetKey& key, std::vector<core::NodeReport> rows);
+
+  [[nodiscard]] std::size_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// Number of distinct entries stored.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    NetKey key;
+    std::vector<core::NodeReport> rows;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> map;  // hash -> collision chain
+  };
+
+  Shard& shard_for(std::uint64_t hash) { return *shards_[hash % shards_.size()]; }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace rct::engine

@@ -1,0 +1,103 @@
+#include "engine/thread_pool.hpp"
+
+namespace rct::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t slot;
+  {
+    // Count the task before publishing it so a racing claimer can never see
+    // a task the counters do not yet know about.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++unfinished_;
+    ++unclaimed_;
+    slot = next_++ % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
+    workers_[slot]->queue.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+bool ThreadPool::try_run_one(std::size_t home) {
+  std::function<void()> task;
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker& w = *workers_[(home + k) % n];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.queue.empty()) continue;
+    if (k == 0) {  // own deque: newest first (cache-hot)
+      task = std::move(w.queue.back());
+      w.queue.pop_back();
+    } else {  // steal: oldest first
+      task = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+    break;
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    --unclaimed_;
+  }
+  try {
+    task();
+  } catch (...) {
+    // Tasks own their exceptions; never let one kill the pool.
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    if (--unfinished_ == 0) all_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t home) {
+  for (;;) {
+    while (try_run_one(home)) {
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (unclaimed_ > 0) {
+      // A task was counted but not yet published to its deque; let the
+      // submitter finish the push instead of spinning on the lock.
+      lock.unlock();
+      std::this_thread::yield();
+      continue;
+    }
+    if (stop_) return;
+    work_ready_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+    if (stop_ && unclaimed_ == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  all_done_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i)
+    submit([&fn, i] { fn(i); });
+  wait_idle();
+}
+
+}  // namespace rct::engine

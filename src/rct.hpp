@@ -10,6 +10,7 @@
 //   sim      -> exact / transient / distributed simulation
 //   core     -> the paper's bounds and metrics
 //   sta      -> gate-level timing built on the bounds
+//   engine   -> parallel batch analysis (thread pool, net cache)
 
 #include "core/awe.hpp"
 #include "core/bounds.hpp"
@@ -23,6 +24,9 @@
 #include "core/report.hpp"
 #include "core/sensitivity.hpp"
 #include "core/variation.hpp"
+#include "engine/batch.hpp"
+#include "engine/net_cache.hpp"
+#include "engine/thread_pool.hpp"
 #include "moments/admittance.hpp"
 #include "moments/central.hpp"
 #include "moments/incremental.hpp"

@@ -22,8 +22,8 @@ struct RunResult {
   std::string output;  // stdout + stderr
 };
 
-RunResult run(const std::string& args) {
-  const std::string cmd = std::string(RCT_CLI_PATH) + " " + args + " 2>&1";
+RunResult run_redirected(const std::string& args, const char* redirect) {
+  const std::string cmd = std::string(RCT_CLI_PATH) + " " + args + " " + redirect;
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   std::string out;
@@ -32,6 +32,12 @@ RunResult run(const std::string& args) {
   const int status = pclose(pipe);
   return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, std::move(out)};
 }
+
+RunResult run(const std::string& args) { return run_redirected(args, "2>&1"); }
+
+/// stdout only — for byte-identity checks that must ignore the (timed)
+/// engine stats printed to stderr.
+RunResult run_stdout(const std::string& args) { return run_redirected(args, "2>/dev/null"); }
 
 std::string data(const char* file) { return std::string(RCT_TESTDATA_DIR) + "/" + file; }
 
@@ -60,6 +66,59 @@ TEST(Cli, SpefReport) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("net_a"), std::string::npos);
   EXPECT_NE(r.output.find("exact"), std::string::npos);
+}
+
+TEST(Cli, BatchReport) {
+  const auto r = run("batch " + data("two_nets.spef"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("net_a"), std::string::npos);
+  EXPECT_NE(r.output.find("net_b"), std::string::npos);
+  EXPECT_NE(r.output.find("exact"), std::string::npos);
+  EXPECT_NE(r.output.find("engine:"), std::string::npos);  // stats on stderr
+}
+
+TEST(Cli, BatchOutputByteIdenticalAcrossJobs) {
+  const auto r1 = run_stdout("batch " + data("two_nets.spef") + " --jobs 1");
+  EXPECT_EQ(r1.exit_code, 0);
+  for (const char* jobs : {"2", "3", "8"}) {
+    const auto rn = run_stdout("batch " + data("two_nets.spef") + " --jobs " + jobs);
+    EXPECT_EQ(rn.exit_code, 0);
+    EXPECT_EQ(r1.output, rn.output) << "--jobs " << jobs;
+  }
+  const auto j1 = run_stdout("batch " + data("two_nets.spef") + " --jobs 1 --json");
+  const auto j4 = run_stdout("batch " + data("two_nets.spef") + " --jobs 4 --json");
+  EXPECT_EQ(j1.output, j4.output);
+}
+
+TEST(Cli, BatchJsonSchema) {
+  const auto r = run_stdout("batch " + data("two_nets.spef") + " --json");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.rfind("{\"design\":\"testdata\",\"nets\":[", 0), 0u);
+  EXPECT_NE(r.output.find("\"name\":\"net_a\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"elmore_s\":"), std::string::npos);
+  EXPECT_NE(r.output.find("\"exact_delay_s\":"), std::string::npos);
+}
+
+TEST(Cli, BatchMatchesSpefCommandPerNet) {
+  // batch is the parallel sibling of spef: same per-net rows, same text.
+  const auto spef = run_stdout("spef " + data("two_nets.spef"));
+  const auto batch = run_stdout("batch " + data("two_nets.spef") + " --no-cache");
+  EXPECT_EQ(spef.output, batch.output);
+}
+
+TEST(Cli, BatchExactLimitSuppressesEigensolve) {
+  const auto r = run_stdout("batch " + data("two_nets.spef") + " --exact-limit 1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.find("exact"), std::string::npos);
+  const auto s = run_stdout("spef " + data("two_nets.spef") + " --exact-limit 1");
+  EXPECT_EQ(s.exit_code, 0);
+  EXPECT_EQ(s.output.find("exact"), std::string::npos);
+}
+
+TEST(Cli, BatchMissingFileFailsCleanly) {
+  const auto r = run("batch /nonexistent.spef");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
 }
 
 TEST(Cli, DelayCurveCsv) {

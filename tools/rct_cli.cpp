@@ -2,6 +2,7 @@
 //
 //   rct report <deck.sp>                 bound report for every node
 //   rct spef <file.spef>                 per-net load-pin bound report
+//   rct batch <file.spef>                parallel per-net report (thread pool)
 //   rct convert <deck.sp> <out.spef>     netlist -> SPEF-lite
 //   rct delay-curve <deck.sp> <node>     50-50 delay vs rise time (CSV)
 //   rct bode <deck.sp> <node>            magnitude/phase sweep (CSV)
@@ -9,12 +10,15 @@
 // Deck format: see README (SPICE-like, .input/.probe directives).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/generalized_input.hpp"
 #include "core/report.hpp"
+#include "engine/batch.hpp"
 #include "moments/path_tracing.hpp"
 #include "rctree/dot_export.hpp"
 #include "rctree/netlist_parser.hpp"
@@ -31,11 +35,54 @@ int usage() {
   std::fprintf(stderr,
                "usage: rct report <deck.sp>\n"
                "       rct dot <deck.sp>\n"
-               "       rct spef <file.spef>\n"
+               "       rct spef <file.spef> [--exact-limit N]\n"
+               "       rct batch <file.spef> [--jobs N] [--json] [--no-cache] "
+               "[--exact-limit N]\n"
                "       rct convert <deck.sp> <out.spef>\n"
                "       rct delay-curve <deck.sp> <node>\n"
                "       rct bode <deck.sp> <node>\n");
   return 2;
+}
+
+/// Flags shared by the SPEF-consuming commands.  Positional args land in
+/// `positional`; unknown flags abort with usage.
+struct SpefFlags {
+  std::vector<std::string> positional;
+  engine::BatchOptions batch;  // carries jobs/use_cache and the ReportOptions
+  bool json = false;
+  bool ok = true;
+};
+
+SpefFlags parse_spef_flags(int argc, char** argv, int first) {
+  SpefFlags f;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", flag);
+        f.ok = false;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      if (const char* v = value("--jobs")) f.batch.jobs = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--exact-limit") {
+      if (const char* v = value("--exact-limit"))
+        f.batch.report.exact_node_limit = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--json") {
+      f.json = true;
+    } else if (arg == "--no-cache") {
+      f.batch.use_cache = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      f.ok = false;
+    } else {
+      f.positional.push_back(arg);
+    }
+    if (!f.ok) break;
+  }
+  return f;
 }
 
 int cmd_report(const std::string& path) {
@@ -45,16 +92,14 @@ int cmd_report(const std::string& path) {
   return 0;
 }
 
-int cmd_spef(const std::string& path) {
-  const SpefFile file = parse_spef_file(path);
+int cmd_spef(const SpefFlags& flags) {
+  const SpefFile file = parse_spef_file(flags.positional[0]);
   std::printf("design '%s': %zu net(s)\n", file.design.c_str(), file.nets.size());
   for (const SpefNet& net : file.nets) {
     std::printf("\n*D_NET %s  (driver %s, %zu nodes, %s total)\n", net.name.c_str(),
                 net.driver.c_str(), net.tree.size(),
                 format_engineering(net.tree.total_capacitance(), "F").c_str());
-    core::ReportOptions opt;
-    opt.with_exact = net.tree.size() <= 2000;  // eigensolve only when cheap
-    const auto rows = core::build_report(net.tree, opt);
+    const auto rows = core::build_report(net.tree, flags.batch.report);
     for (NodeId load : net.loads) {
       const auto& r = rows[load];
       std::printf("  load %-12s elmore %-10s bounds [%s, %s]", r.name.c_str(),
@@ -65,6 +110,19 @@ int cmd_spef(const std::string& path) {
     }
   }
   return 0;
+}
+
+int cmd_batch(const SpefFlags& flags) {
+  const SpefFile file = parse_spef_file(flags.positional[0]);
+  const engine::BatchResult result = engine::analyze_batch(file, flags.batch);
+  // Timings and thread counts go to stderr so stdout stays byte-identical
+  // for every --jobs value.
+  std::fprintf(stderr, "%s\n", result.stats.summary().c_str());
+  if (flags.json)
+    std::printf("%s\n", engine::format_batch_json(result).c_str());
+  else
+    std::printf("%s", engine::format_batch(result).c_str());
+  return result.stats.failures == 0 ? 0 : 1;
 }
 
 int cmd_convert(const std::string& in_path, const std::string& out_path) {
@@ -126,7 +184,11 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "report") return cmd_report(argv[2]);
     if (cmd == "dot") return cmd_dot(argv[2]);
-    if (cmd == "spef") return cmd_spef(argv[2]);
+    if (cmd == "spef" || cmd == "batch") {
+      const SpefFlags flags = parse_spef_flags(argc, argv, 2);
+      if (!flags.ok || flags.positional.size() != 1) return usage();
+      return cmd == "spef" ? cmd_spef(flags) : cmd_batch(flags);
+    }
     if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
     if (cmd == "delay-curve" && argc >= 4) return cmd_delay_curve(argv[2], argv[3]);
     if (cmd == "bode" && argc >= 4) return cmd_bode(argv[2], argv[3]);
