@@ -1,0 +1,149 @@
+// perf_report — build_report() cost with and without a shared TreeContext,
+// against a replica of the pre-refactor algorithm.
+//
+// The pre-refactor build_report derived everything per call and read
+// RCTree::depth per row — an O(depth) walk that turns the per-node report
+// loop quadratic on line topologies.  The refactored pipeline does a fixed
+// set of linear passes (TreeContext) shared by every consumer.  This
+// benchmark pins the claim: on a 2^14-node line the refactored
+// build_report (exact solve disabled) must be >= 5x faster than the legacy
+// replica.
+//
+//   Legacy  — pre-refactor replica (per-call stats/PRH + depth walks)
+//   Fresh   — build_report(tree): one-shot context built inside the call
+//   Shared  — build_report(context): context built once, reused per call
+//
+// By default results land in BENCH_report.json (benchmark's JSON format);
+// pass your own --benchmark_out to override.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/tree_context.hpp"
+#include "core/penfield_rubinstein.hpp"
+#include "core/report.hpp"
+#include "moments/central.hpp"
+#include "rctree/generators.hpp"
+
+namespace {
+
+using namespace rct;
+
+core::ReportOptions bench_options() {
+  core::ReportOptions opt;
+  opt.with_exact = false;  // isolate the bound pipeline from the O(N^3) solve
+  return opt;
+}
+
+RCTree make_tree(bool line, std::size_t nodes) {
+  if (line) return gen::line(nodes, 100.0, 0.1e-12, 50.0, 0.05e-12);
+  return gen::random_tree(nodes, /*seed=*/12345);
+}
+
+/// Pre-refactor build_report replica: per-call derivations and the
+/// O(depth)-per-row RCTree::depth accessor.
+std::vector<core::NodeReport> legacy_build_report(const RCTree& tree,
+                                                  const core::ReportOptions& options) {
+  const auto stats = moments::impulse_stats(tree);
+  const core::PrhBounds prh(tree);
+  std::vector<core::NodeReport> rows;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (options.leaves_only && !tree.is_leaf(i)) continue;
+    core::NodeReport r;
+    r.name = tree.name(i);
+    r.depth = tree.depth(i);
+    r.elmore = stats[i].mean;
+    r.sigma = stats[i].sigma;
+    r.skewness = stats[i].skewness;
+    r.lower_bound = std::max(r.elmore - r.sigma, 0.0);
+    r.single_pole = -std::log(1.0 - options.fraction) * r.elmore;
+    r.prh_tmin = prh.t_min(i, options.fraction);
+    r.prh_tmax = prh.t_max(i, options.fraction);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+void BM_ReportLegacy(benchmark::State& state, bool line) {
+  const RCTree tree = make_tree(line, static_cast<std::size_t>(state.range(0)));
+  const core::ReportOptions opt = bench_options();
+  for (auto _ : state) {
+    auto rows = legacy_build_report(tree, opt);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ReportFresh(benchmark::State& state, bool line) {
+  const RCTree tree = make_tree(line, static_cast<std::size_t>(state.range(0)));
+  const core::ReportOptions opt = bench_options();
+  for (auto _ : state) {
+    auto rows = core::build_report(tree, opt);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ReportShared(benchmark::State& state, bool line) {
+  const RCTree tree = make_tree(line, static_cast<std::size_t>(state.range(0)));
+  const analysis::TreeContext ctx(tree);
+  const core::ReportOptions opt = bench_options();
+  for (auto _ : state) {
+    auto rows = core::build_report(ctx, opt);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ContextBuild(benchmark::State& state, bool line) {
+  const RCTree tree = make_tree(line, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    analysis::TreeContext ctx(tree);
+    benchmark::DoNotOptimize(ctx.elmore_delays().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// N = 2^10 .. 2^16; the legacy replica is capped at 2^14 (its quadratic
+// depth walks make 2^16 lines take minutes).
+constexpr std::int64_t kMin = 1 << 10, kMax = 1 << 16, kLegacyMax = 1 << 14;
+
+BENCHMARK_CAPTURE(BM_ReportLegacy, line, true)->RangeMultiplier(4)->Range(kMin, kLegacyMax)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ReportLegacy, random, false)->RangeMultiplier(4)->Range(kMin, kLegacyMax)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ReportFresh, line, true)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ReportFresh, random, false)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ReportShared, line, true)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ReportShared, random, false)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ContextBuild, line, true)->RangeMultiplier(4)->Range(kMin, kMax)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default to a JSON datapoint file unless the caller chose their own.
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_report.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the concurrent engine (and everything else).
+# Sanitizer + lint gate for the concurrent engine (and everything else).
 #
+#   0. Source lint: the hot analysis layers must not call the per-walk
+#      RCTree accessors (use analysis::TreeContext arrays instead).
 #   1. ThreadSanitizer build; runs the engine tests (thread pool, net cache,
-#      batch analyzer) and the CLI batch end-to-end tests under TSan.
+#      batch analyzer), the shared-TreeContext tests and the CLI batch
+#      end-to-end tests under TSan.
 #   2. AddressSanitizer+UBSan build; runs the full ctest suite.
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only]
@@ -13,6 +16,23 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 MODE="${1:-all}"
+
+# --- lint: no per-call tree walks in the derived-array consumers ------------
+# RCTree::depth / RCTree::path_resistance / RCTree::subtree_capacitance cost
+# O(depth) or O(subtree) per call; code in these layers must read the
+# TreeContext arrays instead.  Add a file here (regex, one per line) only
+# with a comment justifying the exemption.
+LINT_DIRS=(src/core src/moments src/sim src/sta src/engine)
+LINT_ALLOWLIST_RE='^$'  # no exemptions today
+echo "== lint: per-call RCTree accessors in ${LINT_DIRS[*]} =="
+LINT_HITS=$(grep -rnE '\.(depth|path_resistance|subtree_capacitance)\(' "${LINT_DIRS[@]}" \
+  | grep -vE "$LINT_ALLOWLIST_RE" || true)
+if [[ -n "$LINT_HITS" ]]; then
+  echo "$LINT_HITS"
+  echo "lint: per-call RCTree accessor in a derived-array layer; use"
+  echo "      analysis::TreeContext (or extend LINT_ALLOWLIST_RE with a reason)"
+  exit 1
+fi
 
 configure_and_build() {
   local dir="$1" sanitize="$2"
@@ -25,10 +45,13 @@ configure_and_build() {
 }
 
 if [[ "$MODE" != "--asan-only" ]]; then
-  echo "== ThreadSanitizer: engine tests =="
-  configure_and_build build-tsan thread --target test_engine --target test_cli --target rct_cli
+  echo "== ThreadSanitizer: engine + analysis tests =="
+  configure_and_build build-tsan thread --target test_engine --target test_analysis \
+    --target test_report_equivalence --target test_cli --target rct_cli
   (cd build-tsan &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_engine &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_analysis &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_report_equivalence &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli --gtest_filter='Cli.Batch*')
 fi
 

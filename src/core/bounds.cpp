@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 namespace rct::core {
+namespace {
 
-std::vector<DelayBounds> delay_bounds(const RCTree& tree) {
-  const auto stats = moments::impulse_stats(tree);
+std::vector<DelayBounds> bounds_from_stats(std::span<const moments::ImpulseStats> stats) {
   std::vector<DelayBounds> out(stats.size());
   for (std::size_t i = 0; i < stats.size(); ++i) {
     out[i].elmore = stats[i].mean;
@@ -18,16 +19,11 @@ std::vector<DelayBounds> delay_bounds(const RCTree& tree) {
   return out;
 }
 
-DelayBounds delay_bounds_at(const RCTree& tree, NodeId node) {
-  return delay_bounds(tree)[node];
-}
-
-GeneralizedBounds generalized_bounds(const RCTree& tree, NodeId node,
-                                     const sim::Source& input) {
+GeneralizedBounds generalized_from_stats(const moments::ImpulseStats& stats,
+                                         const sim::Source& input) {
   if (!input.derivative_unimodal())
     throw std::invalid_argument(
         "generalized_bounds: Corollary 2 requires a unimodal input derivative");
-  const auto stats = moments::impulse_stats(tree)[node];
   const sim::DerivativeStats in = input.derivative_stats();
 
   GeneralizedBounds g{};
@@ -44,8 +40,40 @@ GeneralizedBounds generalized_bounds(const RCTree& tree, NodeId node,
   return g;
 }
 
+}  // namespace
+
+std::vector<DelayBounds> delay_bounds(const RCTree& tree) {
+  return bounds_from_stats(moments::impulse_stats(tree));
+}
+
+std::vector<DelayBounds> delay_bounds(const analysis::TreeContext& context) {
+  return bounds_from_stats(context.impulse_stats());
+}
+
+DelayBounds delay_bounds_at(const RCTree& tree, NodeId node) {
+  return delay_bounds(tree)[node];
+}
+
+DelayBounds delay_bounds_at(const analysis::TreeContext& context, NodeId node) {
+  return delay_bounds(context)[node];
+}
+
+GeneralizedBounds generalized_bounds(const RCTree& tree, NodeId node,
+                                     const sim::Source& input) {
+  return generalized_from_stats(moments::impulse_stats(tree)[node], input);
+}
+
+GeneralizedBounds generalized_bounds(const analysis::TreeContext& context, NodeId node,
+                                     const sim::Source& input) {
+  return generalized_from_stats(context.impulse_stats()[node], input);
+}
+
 double rise_time_estimate(const RCTree& tree, NodeId node) {
   return moments::impulse_stats(tree)[node].sigma;
+}
+
+double rise_time_estimate(const analysis::TreeContext& context, NodeId node) {
+  return context.impulse_stats()[node].sigma;
 }
 
 }  // namespace rct::core

@@ -13,21 +13,21 @@ void check_fraction(double v) {
 
 }  // namespace
 
-double PrhBounds::t_min(NodeId node, double v) const {
+double prh_t_min(const moments::PrhTerms& terms, NodeId node, double v) {
   check_fraction(v);
-  const double tp = terms_.tp;
-  const double td = terms_.td[node];
-  const double tr = terms_.tr[node];
+  const double tp = terms.tp;
+  const double td = terms.td[node];
+  const double tr = terms.tr[node];
   if (v <= 1.0 - td / tp) return 0.0;
   if (v <= 1.0 - tr / tp) return td - tp * (1.0 - v);
   return td - tr + tr * std::log(tr / (tp * (1.0 - v)));
 }
 
-double PrhBounds::t_max(NodeId node, double v) const {
+double prh_t_max(const moments::PrhTerms& terms, NodeId node, double v) {
   check_fraction(v);
-  const double tp = terms_.tp;
-  const double td = terms_.td[node];
-  const double tr = terms_.tr[node];
+  const double tp = terms.tp;
+  const double td = terms.td[node];
+  const double tr = terms.tr[node];
   if (v <= 1.0 - td / tp) return td / (1.0 - v) - tr;
   // Note: the 1997 journal transcription prints "T_D - T_R + ..." here,
   // which is discontinuous at the regime boundary; the original RPH'83

@@ -13,8 +13,15 @@
 namespace rct::core {
 
 std::vector<NodeReport> build_report(const RCTree& tree, const ReportOptions& options) {
-  const auto stats = moments::impulse_stats(tree);
-  const PrhBounds prh(tree);
+  return build_report(analysis::TreeContext(tree), options);
+}
+
+std::vector<NodeReport> build_report(const analysis::TreeContext& context,
+                                     const ReportOptions& options) {
+  const RCTree& tree = context.tree();
+  const auto stats = context.impulse_stats();
+  const moments::PrhTerms& prh = context.prh_terms();
+  const auto depths = context.depths();
   std::optional<sim::ExactAnalysis> exact;
   if (options.with_exact && tree.size() <= options.exact_node_limit) exact.emplace(tree);
 
@@ -23,14 +30,14 @@ std::vector<NodeReport> build_report(const RCTree& tree, const ReportOptions& op
     if (options.leaves_only && !tree.is_leaf(i)) continue;
     NodeReport r;
     r.name = tree.name(i);
-    r.depth = tree.depth(i);
+    r.depth = depths[i];
     r.elmore = stats[i].mean;
     r.sigma = stats[i].sigma;
     r.skewness = stats[i].skewness;
     r.lower_bound = std::max(r.elmore - r.sigma, 0.0);
     r.single_pole = -std::log(1.0 - options.fraction) * r.elmore;
-    r.prh_tmin = prh.t_min(i, options.fraction);
-    r.prh_tmax = prh.t_max(i, options.fraction);
+    r.prh_tmin = prh_t_min(prh, i, options.fraction);
+    r.prh_tmax = prh_t_max(prh, i, options.fraction);
     if (exact) {
       r.exact_delay = exact->step_delay(i, options.fraction);
       r.exact_rise = exact->step_rise_time_10_90(i);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/tree_context.hpp"
 #include "rctree/rctree.hpp"
 
 namespace rct::core {
@@ -37,8 +38,18 @@ struct ReportOptions {
   std::size_t exact_node_limit = 2000;
 };
 
-/// Builds the report for every node (or every leaf).
+/// Builds the report for every node (or every leaf).  Constructs a
+/// one-shot analysis::TreeContext internally; callers that analyze the same
+/// tree more than once should build the context themselves and use the
+/// overload below.
 [[nodiscard]] std::vector<NodeReport> build_report(const RCTree& tree,
+                                                   const ReportOptions& options = {});
+
+/// Same report from a shared TreeContext: all derived arrays (depths,
+/// moments, PRH terms) come from the context, so the per-node loop is a
+/// fixed set of O(N) array reads — no per-call tree walks.  Output is
+/// bit-identical to the tree overload.
+[[nodiscard]] std::vector<NodeReport> build_report(const analysis::TreeContext& context,
                                                    const ReportOptions& options = {});
 
 /// Renders reports as an aligned text table (times in ns).

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,9 +35,16 @@ class PhaseTimer {
   std::clock_t cpu_start_;
 };
 
+/// Per-net counters shared across the pool's tasks.
+struct TaskCounters {
+  std::atomic<std::size_t> tasks_run{0};
+  std::atomic<std::size_t> contexts_built{0};
+  std::atomic<std::size_t> context_reuses{0};
+};
+
 /// Analyzes one net; never throws (failures land in result.error).
 NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache* cache,
-                      std::atomic<std::size_t>& tasks_run) {
+                      TaskCounters& counters) {
   NetResult r;
   r.name = net.name;
   r.driver = net.driver;
@@ -53,12 +61,31 @@ NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache*
         r.from_cache = true;
         return r;
       }
-      tasks_run.fetch_add(1);
-      r.rows = core::build_report(net.tree, options.report);
+      counters.tasks_run.fetch_add(1);
+      // Share derived arrays by content: a content-identical net analyzed
+      // under different options (or concurrently) reuses the same context.
+      // The borrowed donor tree is a batch net, which outlives the cache.
+      const NetKey ckey = NetKey::content_of(net.tree);
+      std::shared_ptr<const analysis::TreeContext> ctx = cache->lookup_context(ckey);
+      if (ctx != nullptr) {
+        counters.context_reuses.fetch_add(1);
+      } else {
+        auto built = std::make_shared<const analysis::TreeContext>(net.tree);
+        ctx = cache->insert_context(ckey, built);
+        if (ctx == built)
+          counters.contexts_built.fetch_add(1);
+        else
+          counters.context_reuses.fetch_add(1);  // lost the insert race
+      }
+      r.rows = core::build_report(*ctx, options.report);
+      // A donor context computed the rows under its own tree's names.
+      if (&ctx->tree() != &net.tree) rebind_report_names(r.rows, net.tree);
       cache->insert(key, r.rows);
     } else {
-      tasks_run.fetch_add(1);
-      r.rows = core::build_report(net.tree, options.report);
+      counters.tasks_run.fetch_add(1);
+      counters.contexts_built.fetch_add(1);
+      const analysis::TreeContext ctx(net.tree);
+      r.rows = core::build_report(ctx, options.report);
     }
   } catch (const std::exception& e) {
     r.rows.clear();
@@ -101,9 +128,10 @@ std::string EngineStats::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "engine: %zu net(s), %zu analyzed, %zu cache hit(s), %zu failed, %zu thread(s); "
+                "contexts %zu built / %zu reused; "
                 "analyze %.3fs wall / %.3fs cpu, total %.3fs wall",
-                nets, tasks_run, cache_hits, failures, threads, analyze.wall_s, analyze.cpu_s,
-                total.wall_s);
+                nets, tasks_run, cache_hits, failures, threads, contexts_built, context_reuses,
+                analyze.wall_s, analyze.cpu_s, total.wall_s);
   os << buf;
   return os.str();
 }
@@ -116,7 +144,7 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
 
   NetCache cache;
   NetCache* cache_ptr = options.use_cache ? &cache : nullptr;
-  std::atomic<std::size_t> tasks_run{0};
+  TaskCounters counters;
 
   // More workers than nets is pure thread-create/join overhead.
   const std::size_t jobs =
@@ -131,8 +159,8 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
     for (std::size_t i = 0; i < nets.size(); ++i) {
       const SpefNet& net = nets[i];
       NetResult& slot = out.nets[i];
-      pool.submit([&net, &slot, &options, cache_ptr, &tasks_run] {
-        slot = analyze_one(net, options, cache_ptr, tasks_run);
+      pool.submit([&net, &slot, &options, cache_ptr, &counters] {
+        slot = analyze_one(net, options, cache_ptr, counters);
       });
     }
     pool.wait_idle();
@@ -140,7 +168,9 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
   out.stats.analyze = analyze.elapsed();
 
   const PhaseTimer merge;
-  out.stats.tasks_run = tasks_run.load();
+  out.stats.tasks_run = counters.tasks_run.load();
+  out.stats.contexts_built = counters.contexts_built.load();
+  out.stats.context_reuses = counters.context_reuses.load();
   out.stats.cache_hits = cache.hits();
   for (const NetResult& r : out.nets)
     if (!r.ok()) ++out.stats.failures;

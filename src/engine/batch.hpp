@@ -56,6 +56,11 @@ struct EngineStats {
   std::size_t cache_hits = 0;
   std::size_t failures = 0;
   std::size_t threads = 0;  ///< pool size used
+  /// Derived-array (TreeContext) accounting: every analyzed net either
+  /// built its context or adopted one from a content-identical net, so
+  /// contexts_built + context_reuses == tasks_run.
+  std::size_t contexts_built = 0;
+  std::size_t context_reuses = 0;
   PhaseTime analyze;        ///< fan-out + per-net analysis
   PhaseTime merge;          ///< in-order result collection
   PhaseTime total;

@@ -17,10 +17,17 @@ std::uint64_t fnv1a(const std::vector<std::uint64_t>& words) {
   return h;
 }
 
-/// Rewrites the cached rows' names (and nothing else) for `tree`.  Rows are
-/// either one-per-node or one-per-leaf depending on ReportOptions, which the
-/// key encodes, so row count disambiguates the mapping.
-void rebind_names(std::vector<core::NodeReport>& rows, const RCTree& tree) {
+void append_content_words(NetKey& key, const RCTree& tree) {
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    key.words.push_back(tree.parent(i));  // kSource is its own sentinel value
+    key.words.push_back(std::bit_cast<std::uint64_t>(tree.resistance(i)));
+    key.words.push_back(std::bit_cast<std::uint64_t>(tree.capacitance(i)));
+  }
+}
+
+}  // namespace
+
+void rebind_report_names(std::vector<core::NodeReport>& rows, const RCTree& tree) {
   if (rows.size() == tree.size()) {
     for (NodeId i = 0; i < tree.size(); ++i) rows[i].name = tree.name(i);
     return;
@@ -29,8 +36,6 @@ void rebind_names(std::vector<core::NodeReport>& rows, const RCTree& tree) {
   if (rows.size() != leaves.size()) return;  // defensive: unexpected shape, keep stored names
   for (std::size_t i = 0; i < leaves.size(); ++i) rows[i].name = tree.name(leaves[i]);
 }
-
-}  // namespace
 
 NetKey NetKey::of(const RCTree& tree, const core::ReportOptions& options) {
   NetKey key;
@@ -41,11 +46,16 @@ NetKey NetKey::of(const RCTree& tree, const core::ReportOptions& options) {
   const bool exact = options.with_exact && tree.size() <= options.exact_node_limit;
   key.words.push_back((exact ? 1ULL : 0ULL) | (options.leaves_only ? 2ULL : 0ULL));
   key.words.push_back(std::bit_cast<std::uint64_t>(options.fraction));
-  for (NodeId i = 0; i < tree.size(); ++i) {
-    key.words.push_back(tree.parent(i));  // kSource is its own sentinel value
-    key.words.push_back(std::bit_cast<std::uint64_t>(tree.resistance(i)));
-    key.words.push_back(std::bit_cast<std::uint64_t>(tree.capacitance(i)));
-  }
+  append_content_words(key, tree);
+  key.hash = fnv1a(key.words);
+  return key;
+}
+
+NetKey NetKey::content_of(const RCTree& tree) {
+  NetKey key;
+  key.words.reserve(1 + 3 * tree.size());
+  key.words.push_back(tree.size());
+  append_content_words(key, tree);
   key.hash = fnv1a(key.words);
   return key;
 }
@@ -66,7 +76,7 @@ std::optional<std::vector<core::NodeReport>> NetCache::lookup(const NetKey& key,
       if (e.key == key) {
         hits_.fetch_add(1);
         std::vector<core::NodeReport> rows = e.rows;  // copy under the shard lock
-        rebind_names(rows, tree);
+        rebind_report_names(rows, tree);
         return rows;
       }
     }
@@ -84,11 +94,50 @@ void NetCache::insert(const NetKey& key, std::vector<core::NodeReport> rows) {
   chain.push_back(Entry{key, std::move(rows)});
 }
 
+std::shared_ptr<const analysis::TreeContext> NetCache::lookup_context(const NetKey& key) {
+  Shard& shard = shard_for(key.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto chain = shard.ctx_map.find(key.hash);
+  if (chain != shard.ctx_map.end()) {
+    for (const CtxEntry& e : chain->second) {
+      if (e.key == key) {
+        ctx_hits_.fetch_add(1);
+        return e.context;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const analysis::TreeContext> NetCache::insert_context(
+    const NetKey& key, std::shared_ptr<const analysis::TreeContext> context) {
+  Shard& shard = shard_for(key.hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<CtxEntry>& chain = shard.ctx_map[key.hash];
+  for (const CtxEntry& e : chain) {
+    if (e.key == key) {
+      ctx_hits_.fetch_add(1);  // lost the race; caller adopts the winner
+      return e.context;
+    }
+  }
+  chain.push_back(CtxEntry{key, context});
+  return context;
+}
+
 std::size_t NetCache::size() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (const auto& [hash, chain] : shard->map) n += chain.size();
+  }
+  return n;
+}
+
+std::size_t NetCache::context_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [hash, chain] : shard->ctx_map) n += chain.size();
   }
   return n;
 }

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/tree_context.hpp"
 #include "core/report.hpp"
 #include "rctree/rctree.hpp"
 
@@ -34,8 +35,17 @@ struct NetKey {
   /// Builds the key for one net's report computation.
   [[nodiscard]] static NetKey of(const RCTree& tree, const core::ReportOptions& options);
 
+  /// Content-only key (topology + R/C bit patterns, no options) — the
+  /// identity under which derived arrays are shareable between nets.
+  [[nodiscard]] static NetKey content_of(const RCTree& tree);
+
   [[nodiscard]] bool operator==(const NetKey& other) const { return words == other.words; }
 };
+
+/// Rewrites `rows`' names (and nothing else) for `tree`.  Rows are either
+/// one-per-node or one-per-leaf; the row count disambiguates the mapping.
+/// Used after computing rows from a content-identical donor tree/context.
+void rebind_report_names(std::vector<core::NodeReport>& rows, const RCTree& tree);
 
 class NetCache {
  public:
@@ -49,19 +59,45 @@ class NetCache {
   /// Stores rows under `key`; a concurrent duplicate insert keeps the first.
   void insert(const NetKey& key, std::vector<core::NodeReport> rows);
 
+  /// Returns the shared TreeContext stored under the *content* key, or
+  /// nullptr.  Contexts are keyed by content only (NetKey::content_of), so
+  /// one context serves every ReportOptions variant of the same net.  The
+  /// context's derived arrays are name-independent; consumers that emit
+  /// names must rebind_report_names() against their own live tree.
+  [[nodiscard]] std::shared_ptr<const analysis::TreeContext> lookup_context(const NetKey& key);
+
+  /// Stores `context` under the content key; on a concurrent duplicate the
+  /// first writer wins and the stored (winning) context is returned, so
+  /// callers can switch to the shared instance.  The cached context must
+  /// remain valid for the cache's lifetime: either it owns its tree, or the
+  /// borrowed tree outlives the cache (the engine's per-batch caches borrow
+  /// from the batch's nets, which do).
+  std::shared_ptr<const analysis::TreeContext> insert_context(
+      const NetKey& key, std::shared_ptr<const analysis::TreeContext> context);
+
   [[nodiscard]] std::size_t hits() const { return hits_.load(); }
   [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// Number of context cache hits (lookup_context successes plus
+  /// insert_context races lost to an earlier writer).
+  [[nodiscard]] std::size_t context_hits() const { return ctx_hits_.load(); }
   /// Number of distinct entries stored.
   [[nodiscard]] std::size_t size() const;
+  /// Number of distinct contexts stored.
+  [[nodiscard]] std::size_t context_count() const;
 
  private:
   struct Entry {
     NetKey key;
     std::vector<core::NodeReport> rows;
   };
+  struct CtxEntry {
+    NetKey key;
+    std::shared_ptr<const analysis::TreeContext> context;
+  };
   struct Shard {
     std::mutex mutex;
     std::unordered_map<std::uint64_t, std::vector<Entry>> map;  // hash -> collision chain
+    std::unordered_map<std::uint64_t, std::vector<CtxEntry>> ctx_map;
   };
 
   Shard& shard_for(std::uint64_t hash) { return *shards_[hash % shards_.size()]; }
@@ -69,6 +105,7 @@ class NetCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> ctx_hits_{0};
 };
 
 }  // namespace rct::engine

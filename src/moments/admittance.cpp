@@ -15,12 +15,9 @@ PowerSeries through_series_resistor(const PowerSeries& y, double r) {
   return y.divide(denom);
 }
 
-namespace {
-
-// Admittance looking into every node, computed leaf-to-root in one sweep
-// (children have larger indices than parents), so arbitrarily deep lines
-// are fine.
-std::vector<PowerSeries> all_node_admittances(const RCTree& tree, std::size_t order) {
+// Computed leaf-to-root in one sweep (children have larger indices than
+// parents), so arbitrarily deep lines are fine.
+std::vector<PowerSeries> node_admittances(const RCTree& tree, std::size_t order) {
   const std::size_t n = tree.size();
   std::vector<PowerSeries> y(n, PowerSeries(order));
   for (NodeId i = n; i-- > 0;) {
@@ -31,15 +28,13 @@ std::vector<PowerSeries> all_node_admittances(const RCTree& tree, std::size_t or
   return y;
 }
 
-}  // namespace
-
 PowerSeries node_admittance(const RCTree& tree, NodeId i, std::size_t order) {
   if (i >= tree.size()) throw std::invalid_argument("node_admittance: node out of range");
-  return all_node_admittances(tree, order)[i];
+  return node_admittances(tree, order)[i];
 }
 
 PowerSeries input_admittance(const RCTree& tree, std::size_t order) {
-  const auto ys = all_node_admittances(tree, order);
+  const auto ys = node_admittances(tree, order);
   PowerSeries y(order);
   for (NodeId root : tree.children_of_source())
     y += through_series_resistor(ys[root], tree.resistance(root));

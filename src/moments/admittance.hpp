@@ -10,14 +10,24 @@
 // to synthesize the O'Brien-Savarino pi-model (eq. 26) and to derive the
 // transfer moments at the first node (eq. A3).
 
+#include <vector>
+
 #include "linalg/power_series.hpp"
 #include "rctree/rctree.hpp"
 
 namespace rct::moments {
 
+/// Admittance looking into *every* node, leaf-to-root in one O(N * order^2)
+/// sweep.  Callers needing more than one node's series (pi-model builders,
+/// per-sink Ceff loops) should take this array once instead of calling
+/// node_admittance() per node, which redoes the whole sweep each time.
+[[nodiscard]] std::vector<linalg::PowerSeries> node_admittances(const RCTree& tree,
+                                                                std::size_t order);
+
 /// Admittance looking *into node i* (the subtree hanging at i, including
 /// c_i, excluding the edge resistance r_i above it), truncated at `order`.
 /// Coefficient [k] is the k-th moment m_k(Y); [0] == 0 for RC trees.
+/// Cost: one full-tree sweep per call — use node_admittances() in loops.
 [[nodiscard]] linalg::PowerSeries node_admittance(const RCTree& tree, NodeId i,
                                                   std::size_t order);
 

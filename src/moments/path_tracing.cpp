@@ -28,8 +28,7 @@ std::vector<double> path_resistances(const RCTree& tree) {
   return rpath;
 }
 
-std::vector<double> elmore_delays(const RCTree& tree) {
-  const std::vector<double> ctot = subtree_capacitances(tree);
+std::vector<double> elmore_delays_from(const RCTree& tree, std::span<const double> ctot) {
   const std::size_t n = tree.size();
   std::vector<double> td(n);
   for (NodeId i = 0; i < n; ++i) {
@@ -39,29 +38,33 @@ std::vector<double> elmore_delays(const RCTree& tree) {
   return td;
 }
 
-std::vector<std::vector<double>> transfer_moments(const RCTree& tree, std::size_t order) {
+std::vector<double> elmore_delays(const RCTree& tree) {
+  return elmore_delays_from(tree, subtree_capacitances(tree));
+}
+
+std::vector<double> next_transfer_moment(const RCTree& tree, const std::vector<double>& prev) {
   const std::size_t n = tree.size();
+  // Upward pass: accumulate c_j * m_{k-1}(j) over subtrees.
+  std::vector<double> weighted(n);
+  for (NodeId i = 0; i < n; ++i) weighted[i] = tree.capacitance(i) * prev[i];
+  for (NodeId i = n; i-- > 0;) {
+    const NodeId p = tree.parent(i);
+    if (p != kSource) weighted[p] += weighted[i];
+  }
+  // Downward pass: m_k(i) = m_k(parent) - r_i * subtree_sum(i).
+  std::vector<double> cur(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId p = tree.parent(i);
+    cur[i] = (p == kSource ? 0.0 : cur[p]) - tree.resistance(i) * weighted[i];
+  }
+  return cur;
+}
+
+std::vector<std::vector<double>> transfer_moments(const RCTree& tree, std::size_t order) {
   std::vector<std::vector<double>> m;
   m.reserve(order + 1);
-  m.emplace_back(n, 1.0);  // m_0 = 1 (DC gain of an RC tree)
-
-  std::vector<double> weighted(n);  // sum over subtree of c_j * m_{k-1}(j)
-  for (std::size_t k = 1; k <= order; ++k) {
-    const std::vector<double>& prev = m.back();
-    // Upward pass: accumulate c_j * m_{k-1}(j) over subtrees.
-    for (NodeId i = 0; i < n; ++i) weighted[i] = tree.capacitance(i) * prev[i];
-    for (NodeId i = n; i-- > 0;) {
-      const NodeId p = tree.parent(i);
-      if (p != kSource) weighted[p] += weighted[i];
-    }
-    // Downward pass: m_k(i) = m_k(parent) - r_i * subtree_sum(i).
-    std::vector<double> cur(n);
-    for (NodeId i = 0; i < n; ++i) {
-      const NodeId p = tree.parent(i);
-      cur[i] = (p == kSource ? 0.0 : cur[p]) - tree.resistance(i) * weighted[i];
-    }
-    m.push_back(std::move(cur));
-  }
+  m.emplace_back(tree.size(), 1.0);  // m_0 = 1 (DC gain of an RC tree)
+  for (std::size_t k = 1; k <= order; ++k) m.push_back(next_transfer_moment(tree, m.back()));
   return m;
 }
 
@@ -75,13 +78,11 @@ std::vector<std::vector<double>> distribution_moments(const RCTree& tree, std::s
   return m;
 }
 
-PrhTerms prh_terms(const RCTree& tree) {
+PrhTerms prh_terms_from(const RCTree& tree, std::span<const double> ctot,
+                        std::span<const double> rpath, std::span<const double> td) {
   const std::size_t n = tree.size();
-  const std::vector<double> ctot = subtree_capacitances(tree);
-  const std::vector<double> rpath = path_resistances(tree);
-
   PrhTerms out;
-  out.td = elmore_delays(tree);
+  out.td.assign(td.begin(), td.end());
   out.tp = 0.0;
   for (NodeId i = 0; i < n; ++i) out.tp += rpath[i] * tree.capacitance(i);
 
@@ -96,6 +97,12 @@ PrhTerms prh_terms(const RCTree& tree) {
     out.tr[i] = a[i] / rpath[i];
   }
   return out;
+}
+
+PrhTerms prh_terms(const RCTree& tree) {
+  const std::vector<double> ctot = subtree_capacitances(tree);
+  const std::vector<double> rpath = path_resistances(tree);
+  return prh_terms_from(tree, ctot, rpath, elmore_delays_from(tree, ctot));
 }
 
 std::vector<double> squared_common_resistance_slow(const RCTree& tree) {

@@ -13,6 +13,7 @@
 // Distribution moments M_q = int t^q h dt relate to transfer moments by
 // M_q = (-1)^q q! m_q.
 
+#include <span>
 #include <vector>
 
 #include "rctree/rctree.hpp"
@@ -21,6 +22,13 @@ namespace rct::moments {
 
 /// Elmore delay T_D at every node (seconds).  O(N).
 [[nodiscard]] std::vector<double> elmore_delays(const RCTree& tree);
+
+/// Elmore delays from a precomputed subtree-capacitance array (as produced
+/// by subtree_capacitances()).  Bit-identical to elmore_delays(tree); lets
+/// callers that already hold the array (analysis::TreeContext) skip the
+/// extra sweep.  O(N).
+[[nodiscard]] std::vector<double> elmore_delays_from(const RCTree& tree,
+                                                     std::span<const double> ctot);
 
 /// Downstream (subtree) capacitance at every node.  O(N).
 [[nodiscard]] std::vector<double> subtree_capacitances(const RCTree& tree);
@@ -32,6 +40,12 @@ namespace rct::moments {
 /// m_0 = 1 everywhere; m_1(i) = -T_D(i).  O(N * order).
 [[nodiscard]] std::vector<std::vector<double>> transfer_moments(const RCTree& tree,
                                                                 std::size_t order);
+
+/// One step of the RICE recurrence: m_k at every node from the m_{k-1}
+/// vector.  Exposed so memoizing callers (analysis::TreeContext) extend
+/// their moment sets with arithmetic bit-identical to transfer_moments().
+[[nodiscard]] std::vector<double> next_transfer_moment(const RCTree& tree,
+                                                       const std::vector<double>& prev);
 
 /// Distribution moments M_q(i) = int t^q h_i(t) dt = (-1)^q q! m_q(i);
 /// result[q][i], q = 0..order.
@@ -48,6 +62,14 @@ struct PrhTerms {
 /// Computes T_P, T_D, T_R in O(N) total using the ancestor recurrence
 /// A(w) = A(parent) + (R_ww^2 - R_vv^2) * Ctot(w) for A(w) = sum_k C_k R_kw^2.
 [[nodiscard]] PrhTerms prh_terms(const RCTree& tree);
+
+/// PRH terms from precomputed ctot/rpath/td arrays (as produced by the
+/// sibling functions above).  Bit-identical to prh_terms(tree); shares no
+/// tree sweeps, so a caller holding the arrays pays only the two O(N)
+/// T_P / T_R loops.
+[[nodiscard]] PrhTerms prh_terms_from(const RCTree& tree, std::span<const double> ctot,
+                                      std::span<const double> rpath,
+                                      std::span<const double> td);
 
 /// Reference (quadratic-time) computation of sum_k R_ki^2 C_k used by the
 /// test suite to validate the O(N) recurrence.

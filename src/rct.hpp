@@ -7,11 +7,13 @@
 //   linalg   -> numeric kernels
 //   rctree   -> circuit model, parsers, generators, transforms
 //   moments  -> O(N) moment engine
+//   analysis -> shared per-tree derived arrays (TreeContext)
 //   sim      -> exact / transient / distributed simulation
 //   core     -> the paper's bounds and metrics
 //   sta      -> gate-level timing built on the bounds
 //   engine   -> parallel batch analysis (thread pool, net cache)
 
+#include "analysis/tree_context.hpp"
 #include "core/awe.hpp"
 #include "core/bounds.hpp"
 #include "core/effective_capacitance.hpp"

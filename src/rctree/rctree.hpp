@@ -56,12 +56,18 @@ class RCTree {
   [[nodiscard]] std::vector<NodeId> leaves() const;
 
   /// Number of resistive edges between the source and node i (>= 1).
+  /// Cost: O(depth) parent walk per call — per-node loops over a whole tree
+  /// should read analysis::TreeContext::depths() instead.
   [[nodiscard]] std::size_t depth(NodeId i) const;
   /// Total resistance of the source->i path (R_ii in the paper's notation).
+  /// Cost: O(depth) parent walk per call — use
+  /// analysis::TreeContext::path_resistances() in loops.
   [[nodiscard]] double path_resistance(NodeId i) const;
   /// Sum of all capacitances in the tree.
   [[nodiscard]] double total_capacitance() const;
   /// Sum of capacitances in the subtree rooted at i (including i).
+  /// Cost: O(subtree) DFS per call — use
+  /// analysis::TreeContext::subtree_capacitances() in loops.
   [[nodiscard]] double subtree_capacitance(NodeId i) const;
 
   /// Node lookup by name; nullopt when absent.

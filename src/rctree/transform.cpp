@@ -44,7 +44,12 @@ RCTree prune_subtree(const RCTree& tree, NodeId node, bool lump) {
     const NodeId p = tree.parent(i);
     if (p != kSource && doomed[p]) doomed[i] = 1;
   }
-  const double lumped = lump ? tree.subtree_capacitance(node) : 0.0;
+  // Sum the lumped capacitance from the marks just computed instead of
+  // paying RCTree::subtree_capacitance's separate O(subtree) DFS.
+  double lumped = 0.0;
+  if (lump)
+    for (NodeId i = 0; i < tree.size(); ++i)
+      if (doomed[i]) lumped += tree.capacitance(i);
 
   RCTreeBuilder b;
   std::vector<NodeId> new_id(tree.size(), kSource);

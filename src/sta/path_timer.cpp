@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/tree_context.hpp"
 #include "moments/central.hpp"
 #include "sim/exact.hpp"
 
@@ -41,7 +42,8 @@ PathTiming time_path(const std::vector<Stage>& path, double input_sigma, bool wi
     const RCTree net = load_net(stage.wire, stage.driver.drive_resistance, loads);
     const NodeId sink = net.at(stage.sink);
 
-    const auto stats = moments::impulse_stats(net)[sink];
+    const analysis::TreeContext ctx(net);
+    const auto stats = ctx.impulse_stats()[sink];
     StageTiming st;
     st.gate = stage.driver.name;
     st.sink = stage.sink;

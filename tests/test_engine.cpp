@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/tree_context.hpp"
 #include "engine/batch.hpp"
 #include "engine/net_cache.hpp"
 #include "engine/thread_pool.hpp"
@@ -165,6 +167,48 @@ TEST(NetCache, HitReturnsRowsWithReboundNames) {
   }
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(NetCache, ContentKeyIgnoresOptions) {
+  const RCTree a = gen::random_tree(20, 13);
+  core::ReportOptions opt;
+  opt.fraction = 0.9;
+  // Option changes separate the row keys but not the content key.
+  EXPECT_FALSE(NetKey::of(a, {}) == NetKey::of(a, opt));
+  EXPECT_EQ(NetKey::content_of(a), NetKey::content_of(renamed(a, "x_")));
+}
+
+TEST(NetCache, ContextInsertFirstWriterWins) {
+  const RCTree a = gen::random_tree(20, 13);
+  const NetKey key = NetKey::content_of(a);
+  NetCache cache;
+  EXPECT_EQ(cache.lookup_context(key), nullptr);
+  EXPECT_EQ(cache.context_hits(), 0u);
+
+  auto first = std::make_shared<const analysis::TreeContext>(a);
+  auto second = std::make_shared<const analysis::TreeContext>(a);
+  EXPECT_EQ(cache.insert_context(key, first), first);
+  // The duplicate insert loses: the caller gets the stored winner back.
+  EXPECT_EQ(cache.insert_context(key, second), first);
+  EXPECT_EQ(cache.lookup_context(key), first);
+  EXPECT_EQ(cache.context_count(), 1u);
+  EXPECT_EQ(cache.context_hits(), 2u);  // one lost race + one lookup hit
+}
+
+TEST(NetCache, RebindReportNamesRewritesOnlyNames) {
+  const RCTree a = gen::random_tree(15, 21);
+  const RCTree b = renamed(a, "other_");
+  core::ReportOptions opt;
+  opt.with_exact = false;
+  auto rows = core::build_report(a, opt);
+  const auto original = rows;
+  rebind_report_names(rows, b);
+  ASSERT_EQ(rows.size(), original.size());
+  for (NodeId i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(rows[i].name, b.name(i));
+    EXPECT_EQ(rows[i].elmore, original[i].elmore);
+    EXPECT_EQ(rows[i].prh_tmax, original[i].prh_tmax);
+  }
 }
 
 // ---------------------------------------------------------------------------

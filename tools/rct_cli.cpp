@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/tree_context.hpp"
 #include "core/generalized_input.hpp"
 #include "core/report.hpp"
 #include "engine/batch.hpp"
@@ -88,7 +89,8 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first) {
 int cmd_report(const std::string& path) {
   const ParsedNetlist parsed = parse_netlist_file(path);
   for (const auto& w : parsed.warnings) std::fprintf(stderr, "warning: %s\n", w.c_str());
-  std::printf("%s", core::format_report(core::build_report(parsed.tree)).c_str());
+  const analysis::TreeContext ctx(parsed.tree);
+  std::printf("%s", core::format_report(core::build_report(ctx)).c_str());
   return 0;
 }
 
@@ -155,7 +157,8 @@ int cmd_delay_curve(const std::string& path, const std::string& node_name) {
 int cmd_dot(const std::string& path) {
   const ParsedNetlist parsed = parse_netlist_file(path);
   // Annotate every node with its Elmore delay for at-a-glance debugging.
-  const auto td = moments::elmore_delays(parsed.tree);
+  const analysis::TreeContext ctx(parsed.tree);
+  const auto td = ctx.elmore_delays();
   DotOptions opt;
   for (NodeId i = 0; i < parsed.tree.size(); ++i)
     opt.annotations[i] = "TD=" + format_time(td[i]);
