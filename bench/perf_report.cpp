@@ -13,13 +13,22 @@
 //   Fresh   — build_report(tree): one-shot context built inside the call
 //   Shared  — build_report(context): context built once, reused per call
 //
+// It also carries the obs overhead gate: build_report is instrumented with
+// src/obs spans/timers/counters, and with tracing disarmed (the default)
+// that instrumentation must cost < 2% against an uninstrumented replica of
+// the same loop — the "disabled overhead is near zero" claim, measured.
+// The gate's obs metrics snapshot lands in BENCH_obs.json.
+//
 // By default results land in BENCH_report.json (benchmark's JSON format);
 // pass your own --benchmark_out to override.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,7 +36,9 @@
 #include "core/penfield_rubinstein.hpp"
 #include "core/report.hpp"
 #include "moments/central.hpp"
+#include "obs/metrics.hpp"
 #include "rctree/generators.hpp"
+#include "sim/exact.hpp"
 
 namespace {
 
@@ -108,6 +119,74 @@ void BM_ContextBuild(benchmark::State& state, bool line) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
+/// Replica of the current build_report(context) loop with the src/obs
+/// hooks stripped — the PR 3 baseline the overhead gate compares against.
+/// Keep in sync with src/core/report.cpp (minus the obs:: lines).
+std::vector<core::NodeReport> nohooks_build_report(const analysis::TreeContext& context,
+                                                   const core::ReportOptions& options) {
+  const RCTree& tree = context.tree();
+  const auto stats = context.impulse_stats();
+  const moments::PrhTerms& prh = context.prh_terms();
+  const auto depths = context.depths();
+  std::optional<sim::ExactAnalysis> exact;
+  if (options.with_exact && tree.size() <= options.exact_node_limit) exact.emplace(tree);
+
+  std::vector<core::NodeReport> rows;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (options.leaves_only && !tree.is_leaf(i)) continue;
+    core::NodeReport r;
+    r.name = tree.name(i);
+    r.depth = depths[i];
+    r.elmore = stats[i].mean;
+    r.sigma = stats[i].sigma;
+    r.skewness = stats[i].skewness;
+    r.lower_bound = std::max(r.elmore - r.sigma, 0.0);
+    r.single_pole = -std::log(1.0 - options.fraction) * r.elmore;
+    r.prh_tmin = core::prh_t_min(prh, i, options.fraction);
+    r.prh_tmax = core::prh_t_max(prh, i, options.fraction);
+    if (exact) {
+      r.exact_delay = exact->step_delay(i, options.fraction);
+      r.exact_rise = exact->step_rise_time_10_90(i);
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+/// Obs overhead gate: instrumented build_report vs the no-hooks replica on
+/// a 2^14-node line, min-of-repeats timing (min filters scheduler noise).
+/// Returns false when the instrumented path is > `tolerance` slower.
+bool run_obs_overhead_gate(double tolerance) {
+  const RCTree tree = make_tree(/*line=*/true, 1 << 14);
+  const analysis::TreeContext ctx(tree);
+  const core::ReportOptions opt = bench_options();
+  // Warm the lazy context members so both paths measure only the row loop.
+  (void)core::build_report(ctx, opt);
+  (void)nohooks_build_report(ctx, opt);
+
+  const auto time_min = [&](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 9; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < 3; ++i) {
+        auto rows = fn();
+        benchmark::DoNotOptimize(rows);
+      }
+      const double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                           .count();
+      if (s < best) best = s;
+    }
+    return best;
+  };
+  const double nohooks_s = time_min([&] { return nohooks_build_report(ctx, opt); });
+  const double hooked_s = time_min([&] { return core::build_report(ctx, opt); });
+  const double overhead = hooked_s / nohooks_s - 1.0;
+  std::printf("obs overhead gate: instrumented %.3f ms vs no-hooks %.3f ms -> %+.2f%% "
+              "(tolerance %.0f%%)\n",
+              hooked_s * 1e3 / 3, nohooks_s * 1e3 / 3, overhead * 100.0, tolerance * 100.0);
+  return overhead < tolerance;
+}
+
 // N = 2^10 .. 2^16; the legacy replica is capped at 2^14 (its quadratic
 // depth walks make 2^16 lines take minutes).
 constexpr std::int64_t kMin = 1 << 10, kMax = 1 << 16, kLegacyMax = 1 << 14;
@@ -145,5 +224,15 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&args_count, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  const bool gate_ok = run_obs_overhead_gate(/*tolerance=*/0.02);
+  // The gate run itself populated the core/analysis metrics; persist the
+  // snapshot as the first point of the observability bench trajectory.
+  if (!rct::obs::registry().write_json("BENCH_obs.json"))
+    std::fprintf(stderr, "warning: cannot write BENCH_obs.json\n");
+  if (!gate_ok) {
+    std::fprintf(stderr, "FAIL: obs instrumentation-disabled overhead exceeds 2%%\n");
+    return 1;
+  }
   return 0;
 }

@@ -4,9 +4,11 @@
 #   0. Source lint: the hot analysis layers must not call the per-walk
 #      RCTree accessors (use analysis::TreeContext arrays instead).
 #   1. ThreadSanitizer build; runs the engine tests (thread pool, net cache,
-#      batch analyzer), the shared-TreeContext tests and the CLI batch
-#      end-to-end tests under TSan.
-#   2. AddressSanitizer+UBSan build; runs the full ctest suite.
+#      batch analyzer), the shared-TreeContext tests, the obs registry/tracer
+#      tests and the CLI batch end-to-end tests under TSan.
+#   2. Trace validation: the TSan-built CLI emits a Chrome trace + metrics
+#      snapshot, checked against a small JSON schema (python3).
+#   3. AddressSanitizer+UBSan build; runs the full ctest suite.
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only]
 # Build trees land in build-tsan/ and build-asan/ (gitignored).
@@ -45,14 +47,50 @@ configure_and_build() {
 }
 
 if [[ "$MODE" != "--asan-only" ]]; then
-  echo "== ThreadSanitizer: engine + analysis tests =="
+  echo "== ThreadSanitizer: engine + analysis + obs tests =="
   configure_and_build build-tsan thread --target test_engine --target test_analysis \
-    --target test_report_equivalence --target test_cli --target rct_cli
+    --target test_obs --target test_report_equivalence --target test_cli --target rct_cli
   (cd build-tsan &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_engine &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_analysis &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_obs &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_report_equivalence &&
-    TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli --gtest_filter='Cli.Batch*')
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli --gtest_filter='Cli.Batch*:Cli.SpefMetricsOut')
+
+  echo "== trace/metrics schema validation (TSan-built CLI) =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct batch testdata/two_nets.spef \
+    --jobs 4 --trace-out build-tsan/trace.json --metrics-out build-tsan/metrics.json \
+    > /dev/null 2> /dev/null
+  python3 - build-tsan/trace.json build-tsan/metrics.json <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert trace["displayTimeUnit"] == "ms", "displayTimeUnit"
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+cats = set()
+for e in events:
+    assert {"name", "ph", "pid", "tid"} <= e.keys(), f"missing keys: {e}"
+    if e["ph"] == "M":
+        continue
+    assert e["ph"] == "X", f"unexpected phase {e['ph']}"
+    assert isinstance(e["ts"], (int, float)) and isinstance(e["dur"], (int, float))
+    assert e["dur"] >= 0, "negative duration"
+    cats.add(e["cat"])
+assert {"cli", "engine", "pool", "analysis", "core"} <= cats, f"layers missing: {cats}"
+
+metrics = json.load(open(sys.argv[2]))
+assert metrics["schema_version"] == 1, "schema_version"
+for section in ("counters", "gauges", "histograms"):
+    assert isinstance(metrics[section], dict), section
+for name in ("engine.cache.hits", "engine.context.built", "pool.tasks.run"):
+    assert name in metrics["counters"], f"counter missing: {name}"
+for name in ("engine.net.analyze_seconds", "analysis.context.build_seconds"):
+    hist = metrics["histograms"][name]
+    assert hist["buckets"][-1]["le"] == "inf", f"{name}: no overflow bucket"
+    assert sum(b["count"] for b in hist["buckets"]) == hist["count"], f"{name}: counts"
+print(f"trace OK ({len(events)} events, layers: {sorted(cats)}); metrics OK "
+      f"({len(metrics['counters'])} counters, {len(metrics['histograms'])} histograms)")
+PY
 fi
 
 if [[ "$MODE" != "--tsan-only" ]]; then

@@ -3,7 +3,30 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rct::analysis {
+namespace {
+
+obs::Counter& build_counter() {
+  static obs::Counter& c = obs::registry().counter("analysis.context.builds");
+  return c;
+}
+obs::Histogram& build_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("analysis.context.build_seconds");
+  return h;
+}
+obs::Counter& moment_extension_counter() {
+  static obs::Counter& c = obs::registry().counter("analysis.moments.extensions");
+  return c;
+}
+obs::Gauge& moment_order_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("analysis.moments.max_order");
+  return g;
+}
+
+}  // namespace
 
 TreeContext::TreeContext(const RCTree& tree) : tree_(&tree) { build_arrays(); }
 
@@ -14,6 +37,9 @@ TreeContext::TreeContext(std::shared_ptr<const RCTree> tree)
 }
 
 void TreeContext::build_arrays() {
+  const obs::Span span("analysis.context.build", "analysis");
+  const obs::ScopedTimer timer(build_histogram());
+  build_counter().add();
   const RCTree& t = *tree_;
   const std::size_t n = t.size();
 
@@ -61,8 +87,11 @@ void TreeContext::build_arrays() {
 
 void TreeContext::ensure_moments_locked(std::size_t order) const {
   if (moments_.empty()) moments_.emplace_back(size(), 1.0);  // m_0 = 1
-  while (moments_.size() <= order)
+  while (moments_.size() <= order) {
     moments_.push_back(moments::next_transfer_moment(*tree_, moments_.back()));
+    moment_extension_counter().add();
+  }
+  moment_order_gauge().max_of(static_cast<double>(moments_.size() - 1));
 }
 
 void TreeContext::ensure_moments(std::size_t order) const {

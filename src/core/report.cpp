@@ -8,9 +8,31 @@
 #include "core/elmore.hpp"
 #include "core/penfield_rubinstein.hpp"
 #include "moments/central.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/exact.hpp"
 
 namespace rct::core {
+namespace {
+
+obs::Counter& exact_path_counter() {
+  static obs::Counter& c = obs::registry().counter("core.report.exact_path");
+  return c;
+}
+obs::Counter& moments_only_counter() {
+  static obs::Counter& c = obs::registry().counter("core.report.moments_only");
+  return c;
+}
+obs::Histogram& build_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("core.report.build_seconds");
+  return h;
+}
+obs::Histogram& eigensolve_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("core.report.eigensolve_seconds");
+  return h;
+}
+
+}  // namespace
 
 std::vector<NodeReport> build_report(const RCTree& tree, const ReportOptions& options) {
   return build_report(analysis::TreeContext(tree), options);
@@ -18,12 +40,21 @@ std::vector<NodeReport> build_report(const RCTree& tree, const ReportOptions& op
 
 std::vector<NodeReport> build_report(const analysis::TreeContext& context,
                                      const ReportOptions& options) {
+  const obs::Span span("core.report.build", "core");
+  const obs::ScopedTimer timer(build_histogram());
   const RCTree& tree = context.tree();
   const auto stats = context.impulse_stats();
   const moments::PrhTerms& prh = context.prh_terms();
   const auto depths = context.depths();
   std::optional<sim::ExactAnalysis> exact;
-  if (options.with_exact && tree.size() <= options.exact_node_limit) exact.emplace(tree);
+  if (options.with_exact && tree.size() <= options.exact_node_limit) {
+    const obs::Span solve_span("core.report.eigensolve", "core");
+    const obs::ScopedTimer solve_timer(eigensolve_histogram());
+    exact.emplace(tree);
+  }
+  // Which path produced the delay column: the O(N^3) eigensolve or
+  // moment-based bounds only (limit cutoff or with_exact=false).
+  (exact ? exact_path_counter() : moments_only_counter()).add();
 
   std::vector<NodeReport> rows;
   for (NodeId i = 0; i < tree.size(); ++i) {

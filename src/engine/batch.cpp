@@ -1,7 +1,7 @@
 #include "engine/batch.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
@@ -11,6 +11,8 @@
 
 #include "engine/net_cache.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rctree/units.hpp"
 
 namespace rct::engine {
@@ -35,16 +37,48 @@ class PhaseTimer {
   std::clock_t cpu_start_;
 };
 
-/// Per-net counters shared across the pool's tasks.
-struct TaskCounters {
-  std::atomic<std::size_t> tasks_run{0};
-  std::atomic<std::size_t> contexts_built{0};
-  std::atomic<std::size_t> context_reuses{0};
+/// Cached references into the global obs registry.  These counters ARE the
+/// engine's bookkeeping: EngineStats is computed as per-run deltas over
+/// them (see run_batch), so the stderr summary, the `--metrics-out`
+/// snapshot and the `--progress` meter all read one source of truth.
+struct EngineCounters {
+  obs::Counter& nets_total = obs::registry().counter("engine.nets.total");
+  obs::Counter& nets_completed = obs::registry().counter("engine.nets.completed");
+  obs::Counter& nets_failed = obs::registry().counter("engine.nets.failed");
+  obs::Counter& tasks_run = obs::registry().counter("engine.tasks.run");
+  obs::Counter& contexts_built = obs::registry().counter("engine.context.built");
+  obs::Counter& context_reuses = obs::registry().counter("engine.context.reused");
+  /// Incremented by NetCache itself (engine.cache.hits); read for deltas.
+  obs::Counter& cache_hits = obs::registry().counter("engine.cache.hits");
+
+  static EngineCounters& get() {
+    static EngineCounters instance;
+    return instance;
+  }
 };
 
+obs::Histogram& net_analyze_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("engine.net.analyze_seconds");
+  return h;
+}
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("engine.task.queue_wait_seconds");
+  return h;
+}
+obs::Histogram& analyze_phase_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("engine.batch.analyze_seconds");
+  return h;
+}
+obs::Histogram& merge_phase_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("engine.batch.merge_seconds");
+  return h;
+}
+
 /// Analyzes one net; never throws (failures land in result.error).
-NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache* cache,
-                      TaskCounters& counters) {
+NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache* cache) {
+  const obs::Span span("engine.net.analyze", "engine", net.name);
+  const obs::ScopedTimer timer(net_analyze_histogram());
+  EngineCounters& ec = EngineCounters::get();
   NetResult r;
   r.name = net.name;
   r.driver = net.driver;
@@ -61,29 +95,29 @@ NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache*
         r.from_cache = true;
         return r;
       }
-      counters.tasks_run.fetch_add(1);
+      ec.tasks_run.add();
       // Share derived arrays by content: a content-identical net analyzed
       // under different options (or concurrently) reuses the same context.
       // The borrowed donor tree is a batch net, which outlives the cache.
       const NetKey ckey = NetKey::content_of(net.tree);
       std::shared_ptr<const analysis::TreeContext> ctx = cache->lookup_context(ckey);
       if (ctx != nullptr) {
-        counters.context_reuses.fetch_add(1);
+        ec.context_reuses.add();
       } else {
         auto built = std::make_shared<const analysis::TreeContext>(net.tree);
         ctx = cache->insert_context(ckey, built);
         if (ctx == built)
-          counters.contexts_built.fetch_add(1);
+          ec.contexts_built.add();
         else
-          counters.context_reuses.fetch_add(1);  // lost the insert race
+          ec.context_reuses.add();  // lost the insert race
       }
       r.rows = core::build_report(*ctx, options.report);
       // A donor context computed the rows under its own tree's names.
       if (&ctx->tree() != &net.tree) rebind_report_names(r.rows, net.tree);
       cache->insert(key, r.rows);
     } else {
-      counters.tasks_run.fetch_add(1);
-      counters.contexts_built.fetch_add(1);
+      ec.tasks_run.add();
+      ec.contexts_built.add();
       const analysis::TreeContext ctx(net.tree);
       r.rows = core::build_report(ctx, options.report);
     }
@@ -144,7 +178,16 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
 
   NetCache cache;
   NetCache* cache_ptr = options.use_cache ? &cache : nullptr;
-  TaskCounters counters;
+
+  // EngineStats is a per-run delta over the process-global registry: runs
+  // are assumed not to interleave (concurrent analyze_nets calls would fold
+  // into each other's deltas, while the registry totals stay correct).
+  EngineCounters& ec = EngineCounters::get();
+  const std::uint64_t base_tasks = ec.tasks_run.value();
+  const std::uint64_t base_built = ec.contexts_built.value();
+  const std::uint64_t base_reused = ec.context_reuses.value();
+  const std::uint64_t base_hits = ec.cache_hits.value();
+  ec.nets_total.add(nets.size());
 
   // More workers than nets is pure thread-create/join overhead.
   const std::size_t jobs =
@@ -152,6 +195,7 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
 
   const PhaseTimer analyze;
   {
+    const obs::Span span("engine.batch.analyze", "engine");
     ThreadPool pool(jobs);
     out.stats.threads = pool.thread_count();
     // One task per net; each writes only its own preassigned slot, so the
@@ -159,8 +203,14 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
     for (std::size_t i = 0; i < nets.size(); ++i) {
       const SpefNet& net = nets[i];
       NetResult& slot = out.nets[i];
-      pool.submit([&net, &slot, &options, cache_ptr, &counters] {
-        slot = analyze_one(net, options, cache_ptr, counters);
+      const std::uint64_t enqueue_ns = obs::timestamp_ns();
+      pool.submit([&net, &slot, &options, cache_ptr, &ec, enqueue_ns] {
+        if constexpr (obs::kTimingEnabled)
+          queue_wait_histogram().observe(
+              static_cast<double>(obs::timestamp_ns() - enqueue_ns) * 1e-9);
+        slot = analyze_one(net, options, cache_ptr);
+        if (!slot.ok()) ec.nets_failed.add();
+        ec.nets_completed.add();
       });
     }
     pool.wait_idle();
@@ -168,14 +218,24 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
   out.stats.analyze = analyze.elapsed();
 
   const PhaseTimer merge;
-  out.stats.tasks_run = counters.tasks_run.load();
-  out.stats.contexts_built = counters.contexts_built.load();
-  out.stats.context_reuses = counters.context_reuses.load();
-  out.stats.cache_hits = cache.hits();
-  for (const NetResult& r : out.nets)
-    if (!r.ok()) ++out.stats.failures;
+  {
+    const obs::Span span("engine.batch.merge", "engine");
+    out.stats.tasks_run = ec.tasks_run.value() - base_tasks;
+    out.stats.contexts_built = ec.contexts_built.value() - base_built;
+    out.stats.context_reuses = ec.context_reuses.value() - base_reused;
+    out.stats.cache_hits = ec.cache_hits.value() - base_hits;
+    for (const NetResult& r : out.nets)
+      if (!r.ok()) ++out.stats.failures;
+  }
   out.stats.merge = merge.elapsed();
   out.stats.total = total.elapsed();
+  if constexpr (obs::kTimingEnabled) {
+    analyze_phase_histogram().observe(out.stats.analyze.wall_s);
+    merge_phase_histogram().observe(out.stats.merge.wall_s);
+  }
+  // Every analyzed (non-cache-hit) net either built its TreeContext or
+  // adopted one from a content-identical sibling — nothing else.
+  assert(out.stats.contexts_built + out.stats.context_reuses == out.stats.tasks_run);
   return out;
 }
 

@@ -49,7 +49,13 @@ struct PhaseTime {
   double cpu_s = 0.0;
 };
 
-/// Observability: what the engine did and where the time went.
+/// Observability: what the engine did and where the time went.  The
+/// counter fields are a per-run view over the global obs::MetricsRegistry
+/// (captured as before/after deltas of the `engine.*` counters), so this
+/// summary, `--metrics-out` snapshots and the `--progress` meter all read
+/// one source of truth.  Concurrent analyze_nets() runs in one process
+/// would fold into each other's deltas; run batches sequentially when the
+/// per-run stats matter.
 struct EngineStats {
   std::size_t nets = 0;       ///< input nets
   std::size_t tasks_run = 0;  ///< nets actually analyzed (cache misses)

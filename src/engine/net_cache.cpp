@@ -3,8 +3,31 @@
 #include <bit>
 #include <memory>
 
+#include "obs/metrics.hpp"
+
 namespace rct::engine {
 namespace {
+
+// Registry mirrors of the per-instance counters below: one source of truth
+// for EngineStats, `--metrics-out` snapshots and the `--progress` meter.
+// Function-local statics so each hot path pays one relaxed atomic add, not
+// a name lookup.
+obs::Counter& cache_hit_counter() {
+  static obs::Counter& c = obs::registry().counter("engine.cache.hits");
+  return c;
+}
+obs::Counter& cache_miss_counter() {
+  static obs::Counter& c = obs::registry().counter("engine.cache.misses");
+  return c;
+}
+obs::Counter& cache_insert_counter() {
+  static obs::Counter& c = obs::registry().counter("engine.cache.inserts");
+  return c;
+}
+obs::Counter& context_hit_counter() {
+  static obs::Counter& c = obs::registry().counter("engine.cache.context_hits");
+  return c;
+}
 
 std::uint64_t fnv1a(const std::vector<std::uint64_t>& words) {
   std::uint64_t h = 14695981039346656037ULL;
@@ -75,6 +98,7 @@ std::optional<std::vector<core::NodeReport>> NetCache::lookup(const NetKey& key,
     for (const Entry& e : chain->second) {
       if (e.key == key) {
         hits_.fetch_add(1);
+        cache_hit_counter().add();
         std::vector<core::NodeReport> rows = e.rows;  // copy under the shard lock
         rebind_report_names(rows, tree);
         return rows;
@@ -82,6 +106,7 @@ std::optional<std::vector<core::NodeReport>> NetCache::lookup(const NetKey& key,
     }
   }
   misses_.fetch_add(1);
+  cache_miss_counter().add();
   return std::nullopt;
 }
 
@@ -92,6 +117,7 @@ void NetCache::insert(const NetKey& key, std::vector<core::NodeReport> rows) {
   for (const Entry& e : chain)
     if (e.key == key) return;  // first writer wins
   chain.push_back(Entry{key, std::move(rows)});
+  cache_insert_counter().add();
 }
 
 std::shared_ptr<const analysis::TreeContext> NetCache::lookup_context(const NetKey& key) {
@@ -102,6 +128,7 @@ std::shared_ptr<const analysis::TreeContext> NetCache::lookup_context(const NetK
     for (const CtxEntry& e : chain->second) {
       if (e.key == key) {
         ctx_hits_.fetch_add(1);
+        context_hit_counter().add();
         return e.context;
       }
     }
@@ -117,6 +144,7 @@ std::shared_ptr<const analysis::TreeContext> NetCache::insert_context(
   for (const CtxEntry& e : chain) {
     if (e.key == key) {
       ctx_hits_.fetch_add(1);  // lost the race; caller adopts the winner
+      context_hit_counter().add();
       return e.context;
     }
   }

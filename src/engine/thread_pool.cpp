@@ -1,6 +1,28 @@
 #include "engine/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace rct::engine {
+namespace {
+
+// Pool observability: one relaxed atomic add per executed/stolen task, an
+// idle-time histogram around the sleep path (cold), and a per-task span
+// that records only while tracing is armed.
+obs::Counter& tasks_run_counter() {
+  static obs::Counter& c = obs::registry().counter("pool.tasks.run");
+  return c;
+}
+obs::Counter& steal_counter() {
+  static obs::Counter& c = obs::registry().counter("pool.tasks.stolen");
+  return c;
+}
+obs::Histogram& idle_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("pool.worker.idle_seconds");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
@@ -51,6 +73,7 @@ bool ThreadPool::try_run_one(std::size_t home) {
     } else {  // steal: oldest first
       task = std::move(w.queue.front());
       w.queue.pop_front();
+      steal_counter().add();
     }
     break;
   }
@@ -59,7 +82,9 @@ bool ThreadPool::try_run_one(std::size_t home) {
     std::lock_guard<std::mutex> lock(sleep_mutex_);
     --unclaimed_;
   }
+  tasks_run_counter().add();
   try {
+    const obs::Span span("pool.task.run", "pool");
     task();
   } catch (...) {
     // Tasks own their exceptions; never let one kill the pool.
@@ -84,7 +109,10 @@ void ThreadPool::worker_loop(std::size_t home) {
       continue;
     }
     if (stop_) return;
-    work_ready_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+    {
+      const obs::ScopedTimer idle(idle_histogram());
+      work_ready_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+    }
     if (stop_ && unclaimed_ == 0) return;
   }
 }

@@ -1,0 +1,240 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace rct::obs {
+namespace {
+
+/// JSON number formatter shared by the snapshot writer: shortest round-trip
+/// form would be ideal, but %.17g is stable and always parses back exactly.
+void append_json_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; snapshots use null
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Relaxed CAS add for atomic<double> (fetch_add on floating atomics is
+/// C++20 but this spells out the loop the TSan-checked path actually runs).
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  // First bucket with bound >= v (le semantics); past-the-end = overflow.
+  const std::size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+double Histogram::max() const {
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isfinite(m) ? m : 0.0;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::default_latency_bounds() {
+  // 1-2-5 series, 1 us .. 50 s: per-net analysis sits in the us..ms decades,
+  // whole-batch phases in the ms..s decades.
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 20.0; decade *= 10.0)
+      for (const double m : {1.0, 2.0, 5.0}) b.push_back(decade * m);
+    return b;
+  }();
+  return kBounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, Histogram::default_latency_bounds());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  return *it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_json_double(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"buckets\":[";
+    const auto bounds = h->bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"le\":";
+      if (i < bounds.size())
+        append_json_double(out, bounds[i]);
+      else
+        out += "\"inf\"";
+      out += ",\"count\":" + std::to_string(h->bucket_count(i)) + '}';
+    }
+    out += "],\"count\":" + std::to_string(h->count());
+    out += ",\"sum\":";
+    append_json_double(out, h->sum());
+    out += ",\"min\":";
+    append_json_double(out, h->min());
+    out += ",\"max\":";
+    append_json_double(out, h->max());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+#if RCT_OBS_ENABLED
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(histogram),
+      start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+ScopedTimer::~ScopedTimer() {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  histogram_.observe(static_cast<double>(now - start_ns_) * 1e-9);
+}
+#endif
+
+}  // namespace rct::obs

@@ -4,6 +4,7 @@
 //   #include "rct.hpp"
 //
 // Layering (each header is independently includable):
+//   obs      -> metrics registry + scoped tracing (no deps)
 //   linalg   -> numeric kernels
 //   rctree   -> circuit model, parsers, generators, transforms
 //   moments  -> O(N) moment engine
@@ -33,6 +34,8 @@
 #include "moments/central.hpp"
 #include "moments/incremental.hpp"
 #include "moments/path_tracing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rctree/circuits.hpp"
 #include "rctree/dot_export.hpp"
 #include "rctree/generators.hpp"

@@ -6,6 +6,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef RCT_CLI_PATH
@@ -40,6 +42,14 @@ RunResult run(const std::string& args) { return run_redirected(args, "2>&1"); }
 RunResult run_stdout(const std::string& args) { return run_redirected(args, "2>/dev/null"); }
 
 std::string data(const char* file) { return std::string(RCT_TESTDATA_DIR) + "/" + file; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
 
 TEST(Cli, NoArgsPrintsUsage) {
   const auto r = run("");
@@ -113,6 +123,73 @@ TEST(Cli, BatchExactLimitSuppressesEigensolve) {
   const auto s = run_stdout("spef " + data("two_nets.spef") + " --exact-limit 1");
   EXPECT_EQ(s.exit_code, 0);
   EXPECT_EQ(s.output.find("exact"), std::string::npos);
+}
+
+TEST(Cli, BatchStdoutByteIdenticalWithObservabilityOn) {
+  // The observability satellite's determinism guarantee: tracing, metrics
+  // export and the progress heartbeat never touch stdout.
+  const auto base = run_stdout("batch " + data("two_nets.spef") + " --jobs 1");
+  EXPECT_EQ(base.exit_code, 0);
+  const std::string trace = ::testing::TempDir() + "/rct_cli_obs_trace.json";
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_obs_metrics.json";
+  for (const char* jobs : {"1", "2", "8"}) {
+    const auto rn = run_stdout("batch " + data("two_nets.spef") + " --jobs " + jobs +
+                               " --progress --trace-out " + trace + " --metrics-out " + metrics);
+    EXPECT_EQ(rn.exit_code, 0);
+    EXPECT_EQ(base.output, rn.output) << "--jobs " << jobs;
+  }
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(Cli, BatchTraceOutIsChromeTraceWithAllLayers) {
+  const std::string trace = ::testing::TempDir() + "/rct_cli_trace.json";
+  const auto r = run_stdout("batch " + data("two_nets.spef") + " --jobs 2 --trace-out " + trace);
+  EXPECT_EQ(r.exit_code, 0);
+  const std::string body = slurp(trace);
+  EXPECT_EQ(body.rfind("{\"displayTimeUnit\":", 0), 0u);
+  EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
+  // Spans from every instrumented layer.
+  for (const char* cat : {"\"cat\":\"cli\"", "\"cat\":\"engine\"", "\"cat\":\"pool\"",
+                          "\"cat\":\"analysis\"", "\"cat\":\"core\""})
+    EXPECT_NE(body.find(cat), std::string::npos) << cat;
+  EXPECT_NE(body.find("\"engine.net.analyze\""), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, BatchMetricsOutHasCacheContextPoolAndLatency) {
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_metrics.json";
+  const auto r = run_stdout("batch " + data("two_nets.spef") + " --metrics-out " + metrics);
+  EXPECT_EQ(r.exit_code, 0);
+  const std::string body = slurp(metrics);
+  EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos);
+  for (const char* key :
+       {"\"engine.cache.hits\"", "\"engine.cache.misses\"", "\"engine.context.built\"",
+        "\"engine.context.reused\"", "\"pool.tasks.run\"", "\"engine.nets.completed\"",
+        "\"engine.net.analyze_seconds\"", "\"engine.task.queue_wait_seconds\"",
+        "\"analysis.context.build_seconds\"", "\"core.report.build_seconds\""})
+    EXPECT_NE(body.find(key), std::string::npos) << key;
+  std::remove(metrics.c_str());
+}
+
+TEST(Cli, BatchProgressHeartbeatGoesToStderrOnly) {
+  const auto r = run("batch " + data("two_nets.spef") + " --progress");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("batch: 2/2 nets"), std::string::npos);
+  const auto clean = run_stdout("batch " + data("two_nets.spef") + " --progress");
+  EXPECT_EQ(clean.output.find("batch: 2/2 nets"), std::string::npos);
+}
+
+TEST(Cli, SpefMetricsOut) {
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_spef_metrics.json";
+  const auto with = run_stdout("spef " + data("two_nets.spef") + " --metrics-out " + metrics);
+  EXPECT_EQ(with.exit_code, 0);
+  const auto without = run_stdout("spef " + data("two_nets.spef"));
+  EXPECT_EQ(with.output, without.output);  // export never perturbs stdout
+  const std::string body = slurp(metrics);
+  EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"core.report.build_seconds\""), std::string::npos);
+  std::remove(metrics.c_str());
 }
 
 TEST(Cli, BatchMissingFileFailsCleanly) {

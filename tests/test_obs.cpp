@@ -1,0 +1,451 @@
+// src/obs tests: histogram bucket semantics, counter exactness under
+// concurrency (run under TSan by scripts/check.sh), Chrome-trace JSON
+// well-formedness (parsed back with a minimal JSON reader below) and
+// metrics snapshot schema stability.
+//
+// All tests share the process-global registry/tracer, so each one works on
+// uniquely-named instruments or resets/disarms what it touched.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace rct;
+
+// --- minimal recursive-descent JSON reader (tests only) ---------------------
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    const auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) throw std::runtime_error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Json value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return keyword("true", bool_value(true));
+      case 'f': return keyword("false", bool_value(false));
+      case 'n': return keyword("null", Json{});
+      default: return number();
+    }
+  }
+
+  static Json bool_value(bool b) {
+    Json v;
+    v.kind = Json::Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  Json keyword(std::string_view word, Json v) {
+    if (text_.substr(pos_, word.size()) != word) throw std::runtime_error("bad keyword");
+    pos_ += word.size();
+    return v;
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      Json key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace(std::move(key.str), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json string_value() {
+    Json v;
+    v.kind = Json::Kind::String;
+    expect('"');
+    while (peek() != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            const unsigned long code = std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16);
+            pos_ += 4;
+            c = static_cast<char>(code);  // tests only emit ASCII escapes
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      }
+      v.str += c;
+    }
+    ++pos_;
+    return v;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw std::runtime_error("bad number");
+    Json v;
+    v.kind = Json::Kind::Number;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Json parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+// --- histograms -------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundariesAreUpperInclusive) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 5.0, 6.0}) h.observe(v);
+  // le semantics: a sample lands in the first bucket whose bound >= value.
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.bucket_count(1), 2u);  // 1.5, 2.0
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 5.0
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 6.0 -> +inf overflow
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 6.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+}
+
+TEST(ObsHistogram, EmptyHistogramHasZeroStats) {
+  obs::Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(ObsHistogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsHistogram, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  const auto& b = obs::Histogram::default_latency_bounds();
+  ASSERT_GE(b.size(), 20u);
+  EXPECT_DOUBLE_EQ(b.front(), 1e-6);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(ObsHistogram, ResetZeroes) {
+  obs::Histogram h({1.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+// --- counters / gauges under concurrency ------------------------------------
+
+TEST(ObsConcurrency, CounterIsExactUnder8Threads) {
+  obs::Counter& c = obs::registry().counter("test.obs.concurrent_counter");
+  c.reset();
+  constexpr std::size_t kThreads = 8, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::size_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsConcurrency, HistogramCountAndSumAreExactUnder8Threads) {
+  obs::Histogram& h = obs::registry().histogram("test.obs.concurrent_hist_seconds");
+  h.reset();
+  constexpr std::size_t kThreads = 8, kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (std::size_t i = 0; i < kPerThread; ++i) h.observe(1e-5);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_NEAR(h.sum(), 1e-5 * static_cast<double>(kThreads * kPerThread), 1e-9);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) bucket_total += h.bucket_count(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(ObsConcurrency, GaugeAddIsExactUnder8Threads) {
+  obs::Gauge& g = obs::registry().gauge("test.obs.concurrent_gauge");
+  g.reset();
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 8; ++t)
+    threads.emplace_back([&g] {
+      for (std::size_t i = 0; i < 5000; ++i) g.add(1.0);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 40000.0);
+}
+
+TEST(ObsGauge, SetAndMaxOf) {
+  obs::Gauge g;
+  g.set(3.0);
+  g.max_of(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.max_of(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  obs::Counter& a = obs::registry().counter("test.obs.same_name");
+  obs::Counter& b = obs::registry().counter("test.obs.same_name");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsRegistry, CounterValueOfAbsentNameIsZero) {
+  EXPECT_EQ(obs::registry().counter_value("test.obs.never_created"), 0u);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsReferencesValid) {
+  obs::Counter& c = obs::registry().counter("test.obs.reset_counter");
+  c.add(5);
+  obs::registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the reference survives reset
+  EXPECT_EQ(obs::registry().counter_value("test.obs.reset_counter"), 2u);
+}
+
+TEST(ObsRegistry, ScopedTimerObservesElapsedSeconds) {
+  obs::Histogram& h = obs::registry().histogram("test.obs.timer_seconds");
+  h.reset();
+  { const obs::ScopedTimer t(h); }
+#if RCT_OBS_ENABLED
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+  EXPECT_LT(h.max(), 1.0);  // an empty scope is far below a second
+#else
+  EXPECT_EQ(h.count(), 0u);
+#endif
+}
+
+// --- metrics snapshot schema ------------------------------------------------
+
+TEST(ObsSnapshot, SchemaIsStableAndParsesBack) {
+  obs::registry().counter("test.obs.snap_counter").add(3);
+  obs::registry().gauge("test.obs.snap_gauge").set(2.5);
+  obs::Histogram& h = obs::registry().histogram("test.obs.snap_hist_seconds");
+  h.reset();
+  h.observe(1e-3);
+
+  const Json snap = parse_json(obs::registry().to_json());
+  ASSERT_EQ(snap.kind, Json::Kind::Object);
+  EXPECT_DOUBLE_EQ(snap.at("schema_version").number, 1.0);
+  ASSERT_EQ(snap.at("counters").kind, Json::Kind::Object);
+  ASSERT_EQ(snap.at("gauges").kind, Json::Kind::Object);
+  ASSERT_EQ(snap.at("histograms").kind, Json::Kind::Object);
+
+  EXPECT_DOUBLE_EQ(snap.at("counters").at("test.obs.snap_counter").number, 3.0);
+  EXPECT_DOUBLE_EQ(snap.at("gauges").at("test.obs.snap_gauge").number, 2.5);
+
+  const Json& hist = snap.at("histograms").at("test.obs.snap_hist_seconds");
+  ASSERT_EQ(hist.at("buckets").kind, Json::Kind::Array);
+  ASSERT_EQ(hist.at("buckets").array.size(), h.bounds().size() + 1);
+  // Every bucket entry is {"le": number-or-"inf", "count": n}; the last is inf.
+  for (const Json& bucket : hist.at("buckets").array) {
+    EXPECT_TRUE(bucket.has("le"));
+    EXPECT_TRUE(bucket.has("count"));
+  }
+  EXPECT_EQ(hist.at("buckets").array.back().at("le").str, "inf");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 1.0);
+  EXPECT_NEAR(hist.at("sum").number, 1e-3, 1e-12);
+  EXPECT_TRUE(hist.has("min"));
+  EXPECT_TRUE(hist.has("max"));
+}
+
+// --- tracing ----------------------------------------------------------------
+
+#if RCT_OBS_ENABLED
+
+TEST(ObsTrace, SpanRecordsOnlyWhileArmed) {
+  obs::tracer().clear();
+  obs::tracer().set_enabled(false);
+  { const obs::Span s("test.obs.disarmed", "test"); }
+  EXPECT_TRUE(obs::tracer().events().empty());
+
+  obs::tracer().set_enabled(true);
+  { const obs::Span s("test.obs.armed", "test", "detail-1"); }
+  obs::tracer().set_enabled(false);
+  const auto events = obs::tracer().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.obs.armed");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].detail, "detail-1");
+  EXPECT_GT(events[0].tid, 0u);
+  obs::tracer().clear();
+}
+
+TEST(ObsTrace, NestedSpansHaveContainedTimestamps) {
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  {
+    const obs::Span outer("test.obs.outer", "test");
+    const obs::Span inner("test.obs.inner", "test");
+  }
+  obs::tracer().set_enabled(false);
+  const auto events = obs::tracer().events();  // sorted by start time
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.obs.outer");
+  EXPECT_STREQ(events[1].name, "test.obs.inner");
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_LE(events[1].ts_ns + events[1].dur_ns, events[0].ts_ns + events[0].dur_ns);
+  obs::tracer().clear();
+}
+
+TEST(ObsTrace, ChromeJsonParsesBackWithPerThreadIds) {
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < 10; ++i) {
+        const obs::Span s("test.obs.worker", "test", "iteration");
+      }
+    });
+  for (auto& t : threads) t.join();
+  obs::tracer().set_enabled(false);
+
+  const Json trace = parse_json(obs::tracer().to_chrome_json());
+  ASSERT_EQ(trace.kind, Json::Kind::Object);
+  EXPECT_EQ(trace.at("displayTimeUnit").str, "ms");
+  const Json& events = trace.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::Kind::Array);
+
+  std::size_t spans = 0, metadata = 0;
+  std::map<double, std::size_t> by_tid;
+  for (const Json& e : events.array) {
+    ASSERT_TRUE(e.has("name"));
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    if (e.at("ph").str == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(e.at("ph").str, "X");
+    ASSERT_TRUE(e.has("cat"));
+    ASSERT_TRUE(e.has("ts"));
+    ASSERT_TRUE(e.has("dur"));
+    EXPECT_GE(e.at("dur").number, 0.0);
+    ++spans;
+    ++by_tid[e.at("tid").number];
+  }
+  EXPECT_EQ(spans, 40u);
+  EXPECT_EQ(by_tid.size(), 4u);  // one tid per recording thread
+  EXPECT_EQ(metadata, by_tid.size());
+  for (const auto& [tid, n] : by_tid) EXPECT_EQ(n, 10u);
+  obs::tracer().clear();
+}
+
+TEST(ObsTrace, ClearDropsEvents) {
+  obs::tracer().set_enabled(true);
+  { const obs::Span s("test.obs.cleared", "test"); }
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+  EXPECT_TRUE(obs::tracer().events().empty());
+}
+
+#endif  // RCT_OBS_ENABLED
+
+}  // namespace

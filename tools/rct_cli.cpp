@@ -9,11 +9,15 @@
 //
 // Deck format: see README (SPICE-like, .input/.probe directives).
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/tree_context.hpp"
@@ -21,6 +25,8 @@
 #include "core/report.hpp"
 #include "engine/batch.hpp"
 #include "moments/path_tracing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rctree/dot_export.hpp"
 #include "rctree/netlist_parser.hpp"
 #include "rctree/spef.hpp"
@@ -36,9 +42,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: rct report <deck.sp>\n"
                "       rct dot <deck.sp>\n"
-               "       rct spef <file.spef> [--exact-limit N]\n"
+               "       rct spef <file.spef> [--exact-limit N] [--metrics-out FILE]\n"
                "       rct batch <file.spef> [--jobs N] [--json] [--no-cache] "
                "[--exact-limit N]\n"
+               "                 [--progress] [--trace-out FILE] [--metrics-out FILE]\n"
                "       rct convert <deck.sp> <out.spef>\n"
                "       rct delay-curve <deck.sp> <node>\n"
                "       rct bode <deck.sp> <node>\n");
@@ -51,6 +58,9 @@ struct SpefFlags {
   std::vector<std::string> positional;
   engine::BatchOptions batch;  // carries jobs/use_cache and the ReportOptions
   bool json = false;
+  bool progress = false;     ///< single-line stderr heartbeat (batch only)
+  std::string trace_out;     ///< Chrome trace-event JSON path ("" = off)
+  std::string metrics_out;   ///< metrics snapshot JSON path ("" = off)
   bool ok = true;
 };
 
@@ -75,6 +85,12 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first) {
       f.json = true;
     } else if (arg == "--no-cache") {
       f.batch.use_cache = false;
+    } else if (arg == "--progress") {
+      f.progress = true;
+    } else if (arg == "--trace-out") {
+      if (const char* v = value("--trace-out")) f.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      if (const char* v = value("--metrics-out")) f.metrics_out = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       f.ok = false;
@@ -94,10 +110,90 @@ int cmd_report(const std::string& path) {
   return 0;
 }
 
+/// Arms the tracer / resets the registry for one observed CLI run.
+void obs_begin(const SpefFlags& flags) {
+  obs::registry().reset();
+  if (!flags.trace_out.empty()) obs::tracer().set_enabled(true);
+}
+
+/// Writes the requested trace / metrics files.  Failures warn on stderr
+/// (observability must never change the command's outcome).
+void obs_end(const SpefFlags& flags) {
+  if (!flags.metrics_out.empty() && !obs::registry().write_json(flags.metrics_out))
+    std::fprintf(stderr, "warning: cannot write metrics to '%s'\n", flags.metrics_out.c_str());
+  if (!flags.trace_out.empty() && !obs::tracer().write_chrome_json(flags.trace_out))
+    std::fprintf(stderr, "warning: cannot write trace to '%s'\n", flags.trace_out.c_str());
+}
+
+/// `--progress`: a single-line stderr heartbeat driven by the registry's
+/// engine counters, refreshed at most every 100 ms on its own thread.
+/// stdout is never touched.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, std::size_t total_nets)
+      : enabled_(enabled), total_(total_nets), start_(std::chrono::steady_clock::now()) {
+    if (enabled_) thread_ = std::thread([this] { loop(); });
+  }
+
+  ~ProgressMeter() {
+    if (!enabled_) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    print_line();  // final state, then leave the line behind
+    std::fprintf(stderr, "\n");
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // wait_for throttles: >= 100 ms between updates, prompt exit on done.
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(100), [this] { return done_; }))
+      print_line();
+  }
+
+  void print_line() const {
+    const auto& reg = obs::registry();
+    const std::uint64_t done_nets = reg.counter_value("engine.nets.completed");
+    const std::uint64_t hits = reg.counter_value("engine.cache.hits");
+    const std::uint64_t misses = reg.counter_value("engine.cache.misses");
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    char hit_rate[16] = "-";
+    if (hits + misses > 0)
+      std::snprintf(hit_rate, sizeof(hit_rate), "%.0f%%",
+                    100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses));
+    char eta[16] = "-";
+    if (done_nets > 0 && done_nets < total_)
+      std::snprintf(eta, sizeof(eta), "%.1fs",
+                    elapsed * static_cast<double>(total_ - done_nets) /
+                        static_cast<double>(done_nets));
+    std::fprintf(stderr, "\rbatch: %llu/%zu nets, cache hit %s, eta %s   ",
+                 static_cast<unsigned long long>(done_nets), total_, hit_rate, eta);
+    std::fflush(stderr);
+  }
+
+  const bool enabled_;
+  const std::size_t total_;
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
 int cmd_spef(const SpefFlags& flags) {
-  const SpefFile file = parse_spef_file(flags.positional[0]);
+  obs_begin(flags);
+  const SpefFile file = [&flags] {
+    const obs::Span span("cli.spef.parse", "cli", flags.positional[0]);
+    return parse_spef_file(flags.positional[0]);
+  }();
   std::printf("design '%s': %zu net(s)\n", file.design.c_str(), file.nets.size());
   for (const SpefNet& net : file.nets) {
+    const obs::Span span("cli.spef.net", "cli", net.name);
     std::printf("\n*D_NET %s  (driver %s, %zu nodes, %s total)\n", net.name.c_str(),
                 net.driver.c_str(), net.tree.size(),
                 format_engineering(net.tree.total_capacitance(), "F").c_str());
@@ -111,19 +207,32 @@ int cmd_spef(const SpefFlags& flags) {
       std::printf("\n");
     }
   }
+  obs_end(flags);
   return 0;
 }
 
 int cmd_batch(const SpefFlags& flags) {
-  const SpefFile file = parse_spef_file(flags.positional[0]);
-  const engine::BatchResult result = engine::analyze_batch(file, flags.batch);
+  obs_begin(flags);
+  const SpefFile file = [&flags] {
+    const obs::Span span("cli.spef.parse", "cli", flags.positional[0]);
+    return parse_spef_file(flags.positional[0]);
+  }();
+  engine::BatchResult result;
+  {
+    const ProgressMeter progress(flags.progress, file.nets.size());
+    result = engine::analyze_batch(file, flags.batch);
+  }
   // Timings and thread counts go to stderr so stdout stays byte-identical
-  // for every --jobs value.
+  // for every --jobs value (and with observability on or off).
   std::fprintf(stderr, "%s\n", result.stats.summary().c_str());
-  if (flags.json)
-    std::printf("%s\n", engine::format_batch_json(result).c_str());
-  else
-    std::printf("%s", engine::format_batch(result).c_str());
+  {
+    const obs::Span span("cli.batch.render", "cli");
+    if (flags.json)
+      std::printf("%s\n", engine::format_batch_json(result).c_str());
+    else
+      std::printf("%s", engine::format_batch(result).c_str());
+  }
+  obs_end(flags);
   return result.stats.failures == 0 ? 0 : 1;
 }
 
