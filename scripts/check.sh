@@ -3,12 +3,18 @@
 #
 #   0. Source lint: the hot analysis layers must not call the per-walk
 #      RCTree accessors (use analysis::TreeContext arrays instead).
+#   0b. Robustness lint: src/{rctree,core,engine} must throw typed
+#      robust::Error (or std::invalid_argument for caller bugs), never bare
+#      std::runtime_error — the engine's failure records depend on codes.
 #   1. ThreadSanitizer build; runs the engine tests (thread pool, net cache,
 #      batch analyzer), the shared-TreeContext tests, the obs registry/tracer
-#      tests and the CLI batch end-to-end tests under TSan.
+#      tests, the robustness tests (deadline/retry/fault injection) and the
+#      CLI batch end-to-end tests under TSan.
 #   2. Trace validation: the TSan-built CLI emits a Chrome trace + metrics
 #      snapshot, checked against a small JSON schema (python3).
-#   3. AddressSanitizer+UBSan build; runs the full ctest suite.
+#   3. AddressSanitizer+UBSan build; runs the full ctest suite, then drives
+#      the ASan CLI over every deck in testdata/malformed (strict + lenient):
+#      each must exit 1 with a diagnostic — never crash, never succeed.
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only]
 # Build trees land in build-tsan/ and build-asan/ (gitignored).
@@ -36,6 +42,19 @@ if [[ -n "$LINT_HITS" ]]; then
   exit 1
 fi
 
+# --- lint: untyped runtime_error throws in the robustness-covered layers ----
+# Parsers, core analysis and the engine report failures as robust::Error so
+# per-net records carry a code and category.  Lower layers (sim, linalg)
+# are exempt: their exceptions get classified at the engine boundary.
+ROBUST_DIRS=(src/rctree src/core src/engine)
+echo "== lint: bare 'throw std::runtime_error' in ${ROBUST_DIRS[*]} =="
+ROBUST_HITS=$(grep -rn 'throw std::runtime_error' "${ROBUST_DIRS[@]}" || true)
+if [[ -n "$ROBUST_HITS" ]]; then
+  echo "$ROBUST_HITS"
+  echo "lint: use robust::Error with a typed Code instead of std::runtime_error"
+  exit 1
+fi
+
 configure_and_build() {
   local dir="$1" sanitize="$2"
   shift 2
@@ -49,13 +68,15 @@ configure_and_build() {
 if [[ "$MODE" != "--asan-only" ]]; then
   echo "== ThreadSanitizer: engine + analysis + obs tests =="
   configure_and_build build-tsan thread --target test_engine --target test_analysis \
-    --target test_obs --target test_report_equivalence --target test_cli --target rct_cli
+    --target test_obs --target test_report_equivalence --target test_robust \
+    --target test_cli --target rct_cli
   (cd build-tsan &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_engine &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_analysis &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_obs &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_report_equivalence &&
-    TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli --gtest_filter='Cli.Batch*:Cli.SpefMetricsOut')
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_robust &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli --gtest_filter='Cli.Batch*:Cli.SpefMetricsOut:Cli.Fault*')
 
   echo "== trace/metrics schema validation (TSan-built CLI) =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct batch testdata/two_nets.spef \
@@ -99,6 +120,24 @@ if [[ "$MODE" != "--tsan-only" ]]; then
   (cd build-asan &&
     ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
       ctest --output-on-failure -j"$JOBS")
+
+  echo "== malformed corpus through the ASan CLI (strict + lenient) =="
+  for deck in testdata/malformed/*.spef; do
+    for args in "batch $deck" "batch $deck --lenient --jobs 4" "validate $deck"; do
+      set +e
+      ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+        ./build-asan/tools/rct $args > /dev/null 2> /dev/null
+      status=$?
+      set -e
+      # Structured failure (1) or lenient success (0); anything else —
+      # usage error, sanitizer abort, signal — fails the gate.
+      if [[ "$status" -ne 0 && "$status" -ne 1 ]]; then
+        echo "FAIL: rct $args exited $status (expected 0 or 1)"
+        exit 1
+      fi
+    done
+  done
+  echo "malformed corpus: every deck handled without a crash"
 fi
 
 echo "check.sh: all sanitizer passes green"

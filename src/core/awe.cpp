@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "robust/error.hpp"
+
 #include "linalg/polynomial.hpp"
 #include "linalg/root_find.hpp"
 #include "moments/path_tracing.hpp"
@@ -19,7 +21,7 @@ std::vector<cd> solve_complex(std::vector<std::vector<cd>> a, std::vector<cd> b)
     std::size_t piv = k;
     for (std::size_t i = k + 1; i < n; ++i)
       if (std::abs(a[i][k]) > std::abs(a[piv][k])) piv = i;
-    if (std::abs(a[piv][k]) == 0.0) throw std::runtime_error("AWE: singular moment system");
+    if (std::abs(a[piv][k]) == 0.0) throw robust::Error(robust::Code::kNonConvergence, "AWE: singular moment system");
     std::swap(a[k], a[piv]);
     std::swap(b[k], b[piv]);
     for (std::size_t i = k + 1; i < n; ++i) {
@@ -67,7 +69,7 @@ void AweApproximation::fit(const std::vector<double>& m, std::size_t q) {
   //   sum_i a_i c_{k+i} = -c_{k+q},  k = 0..q-1.
   std::vector<double> a(q);
   if (q == 1) {
-    if (c[0] == 0.0) throw std::runtime_error("AWE: zero DC moment");
+    if (c[0] == 0.0) throw robust::Error(robust::Code::kNanValue, "AWE: zero DC moment");
     a[0] = -c[1] / c[0];
   } else {
     std::vector<std::vector<cd>> h(q, std::vector<cd>(q));
@@ -88,7 +90,7 @@ void AweApproximation::fit(const std::vector<double>& m, std::size_t q) {
 
   lambda_.resize(q);
   for (std::size_t j = 0; j < q; ++j) {
-    if (std::abs(roots[j]) == 0.0) throw std::runtime_error("AWE: zero root (pole at infinity)");
+    if (std::abs(roots[j]) == 0.0) throw robust::Error(robust::Code::kNonConvergence, "AWE: zero root (pole at infinity)");
     lambda_[j] = 1.0 / roots[j];
   }
 
@@ -122,14 +124,15 @@ double AweApproximation::impulse_response(double t) const {
 }
 
 double AweApproximation::delay(double fraction) const {
-  if (!stable_) throw std::runtime_error("AWE: unstable fit; delay undefined");
+  if (!stable_) throw robust::Error(robust::Code::kNonConvergence, "AWE: unstable fit; delay undefined");
   if (!(fraction > 0.0 && fraction < 1.0))
     throw std::invalid_argument("AWE: fraction must be in (0,1)");
   double tau = 0.0;
   for (const cd& l : lambda_) tau = std::max(tau, 1.0 / l.real());
   auto f = [&](double t) { return step_response(t) - fraction; };
   const auto root = linalg::bracket_and_solve(f, tau, 1e7 * tau);
-  if (!root) throw std::runtime_error("AWE: response never crosses the threshold");
+  if (!root) throw robust::Error(robust::Code::kNonConvergence,
+                       "AWE: response never crosses the threshold");
   return *root;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "robust/error.hpp"
+
 #include "linalg/root_find.hpp"
 #include "linalg/symmetric_eigen.hpp"
 #include "sim/tree_solver.hpp"
@@ -41,7 +43,8 @@ double ReducedModel::delay(double fraction) const {
   linalg::RootOptions opt;
   opt.x_tol = 1e-12 * tau;
   const auto root = linalg::bracket_and_solve(f, tau, 1e7 * tau, opt);
-  if (!root) throw std::runtime_error("ReducedModel::delay: crossing not found");
+  if (!root) throw robust::Error(robust::Code::kNonConvergence,
+                      "ReducedModel::delay: crossing not found");
   return *root;
 }
 
@@ -130,7 +133,8 @@ PrimaReduction::PrimaReduction(const RCTree& tree, std::size_t order) {
       double acc = 0.0;
       for (std::size_t m = 0; m < q; ++m) {
         const double w = ce.eigenvalues[m];
-        if (!(w > 0.0)) throw std::runtime_error("PrimaReduction: Chat not positive definite");
+        if (!(w > 0.0)) throw robust::Error(robust::Code::kNonConvergence,
+                                    "PrimaReduction: Chat not positive definite");
         acc += ce.eigenvectors(i, m) * ce.eigenvectors(j, m) / std::sqrt(w);
       }
       chalf(i, j) = acc;
@@ -141,7 +145,8 @@ PrimaReduction::PrimaReduction(const RCTree& tree, std::size_t order) {
   const auto se = linalg::symmetric_eigen(s);
   lambda_ = se.eigenvalues;
   for (double l : lambda_)
-    if (!(l > 0.0)) throw std::runtime_error("PrimaReduction: non-positive reduced pole");
+    if (!(l > 0.0)) throw robust::Error(robust::Code::kNonConvergence,
+                                "PrimaReduction: non-positive reduced pole");
 
   // Mode gains: g_ij = [V Chat^{-1/2} Q]_{ij} * w_j / lambda_j with
   // w = Q^T Chat^{-1/2} bhat.

@@ -10,6 +10,7 @@
 #include "moments/central.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/fault.hpp"
 #include "sim/exact.hpp"
 
 namespace rct::core {
@@ -23,6 +24,14 @@ obs::Counter& moments_only_counter() {
   static obs::Counter& c = obs::registry().counter("core.report.moments_only");
   return c;
 }
+obs::Counter& degraded_rows_counter() {
+  static obs::Counter& c = obs::registry().counter("core.report.degraded_rows");
+  return c;
+}
+obs::Counter& eigensolve_invalid_counter() {
+  static obs::Counter& c = obs::registry().counter("core.report.eigensolve_invalid");
+  return c;
+}
 obs::Histogram& build_histogram() {
   static obs::Histogram& h = obs::registry().histogram("core.report.build_seconds");
   return h;
@@ -31,6 +40,19 @@ obs::Histogram& eigensolve_histogram() {
   static obs::Histogram& h = obs::registry().histogram("core.report.eigensolve_seconds");
   return h;
 }
+
+/// Every pole of a healthy RC tree is finite and strictly positive;
+/// anything else marks the whole eigensolve as garbage.
+bool poles_valid(const sim::ExactAnalysis& exact) {
+  for (const double l : exact.poles())
+    if (!std::isfinite(l) || l <= 0.0) return false;
+  return true;
+}
+
+/// How often the row loop polls the cooperative deadline: each row costs a
+/// bracketing root search, so a small stride keeps the overshoot bounded
+/// without measurable overhead.
+constexpr NodeId kDeadlineStride = 64;
 
 }  // namespace
 
@@ -43,21 +65,40 @@ std::vector<NodeReport> build_report(const analysis::TreeContext& context,
   const obs::Span span("core.report.build", "core");
   const obs::ScopedTimer timer(build_histogram());
   const RCTree& tree = context.tree();
+  if (options.deadline) options.deadline->check("core.report.build");
   const auto stats = context.impulse_stats();
   const moments::PrhTerms& prh = context.prh_terms();
   const auto depths = context.depths();
   std::optional<sim::ExactAnalysis> exact;
+  bool eigensolve_invalid = false;
   if (options.with_exact && tree.size() <= options.exact_node_limit) {
+    if (options.deadline) options.deadline->check("core.report.eigensolve");
     const obs::Span solve_span("core.report.eigensolve", "core");
     const obs::ScopedTimer solve_timer(eigensolve_histogram());
+    // An eigensolve that THROWS propagates to the caller (the batch engine
+    // retries the net on the moments path); one that returns garbage is
+    // caught just below and degrades every row instead.
+    robust::fault::maybe_throw("core.report.eigensolve", robust::Code::kNonConvergence);
     exact.emplace(tree);
+    if (!poles_valid(*exact)) {
+      exact.reset();
+      eigensolve_invalid = true;
+      eigensolve_invalid_counter().add();
+    }
   }
   // Which path produced the delay column: the O(N^3) eigensolve or
-  // moment-based bounds only (limit cutoff or with_exact=false).
+  // moment-based bounds only (limit cutoff, with_exact=false, or a
+  // discarded non-convergent solve).
   (exact ? exact_path_counter() : moments_only_counter()).add();
+
+  // Relative slack on the paper's lower <= exact <= elmore guarantee: the
+  // bracketing root search and the moment sums round differently, so exact
+  // equality at the boundary is not guaranteed in floating point.
+  constexpr double kBoundRelTol = 1e-6;
 
   std::vector<NodeReport> rows;
   for (NodeId i = 0; i < tree.size(); ++i) {
+    if (options.deadline && i % kDeadlineStride == 0) options.deadline->check("core.report.rows");
     if (options.leaves_only && !tree.is_leaf(i)) continue;
     NodeReport r;
     r.name = tree.name(i);
@@ -69,10 +110,29 @@ std::vector<NodeReport> build_report(const analysis::TreeContext& context,
     r.single_pole = -std::log(1.0 - options.fraction) * r.elmore;
     r.prh_tmin = prh_t_min(prh, i, options.fraction);
     r.prh_tmax = prh_t_max(prh, i, options.fraction);
-    if (exact) {
-      r.exact_delay = exact->step_delay(i, options.fraction);
-      r.exact_rise = exact->step_rise_time_10_90(i);
+    if (!std::isfinite(r.elmore) || !std::isfinite(r.sigma)) {
+      // Moments themselves are broken: nothing to fall back to, but the
+      // row still ships (flagged) rather than poisoning the whole net.
+      r.degraded = true;
     }
+    if (eigensolve_invalid) r.degraded = true;
+    if (exact) {
+      double d = exact->step_delay(i, options.fraction);
+      d = robust::fault::corrupt("core.report.exact_delay", d);
+      // The paper's lower <= median <= elmore sandwich only speaks about
+      // the 50% crossing; other fractions get the NaN check alone.
+      const double tol = kBoundRelTol * std::max(std::abs(r.elmore), 1e-18);
+      const bool median = options.fraction == 0.5;
+      if (!std::isfinite(d) || (median && (d < r.lower_bound - tol || d > r.elmore + tol))) {
+        // The exact value escaped the paper's bounds (Theorem 1): trust
+        // the moments, drop the exact columns, and flag the row.
+        r.degraded = true;
+      } else {
+        r.exact_delay = d;
+        r.exact_rise = exact->step_rise_time_10_90(i);
+      }
+    }
+    if (r.degraded) degraded_rows_counter().add();
     rows.push_back(std::move(r));
   }
   return rows;

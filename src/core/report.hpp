@@ -9,6 +9,7 @@
 
 #include "analysis/tree_context.hpp"
 #include "rctree/rctree.hpp"
+#include "robust/deadline.hpp"
 
 namespace rct::core {
 
@@ -25,6 +26,12 @@ struct NodeReport {
   double prh_tmax;                    ///< Penfield-Rubinstein upper, 50%
   std::optional<double> exact_delay;  ///< exact 50% step delay, if computed
   std::optional<double> exact_rise;   ///< exact 10-90% rise time, if computed
+  /// Degradation ladder: true when the exact path was requested but its
+  /// result was discarded (eigensolve produced non-finite poles, or the
+  /// exact delay was NaN / violated the paper's lower <= exact <= elmore
+  /// guarantee) and the row fell back to moment bounds — or when the
+  /// moments themselves are non-finite (nothing left to fall back to).
+  bool degraded = false;
 };
 
 /// Options for report generation.
@@ -36,6 +43,11 @@ struct ReportOptions {
   /// trees get bound-only rows even when with_exact is set.  Shared by the
   /// CLI `spef` and `batch` commands (--exact-limit).
   std::size_t exact_node_limit = 2000;
+  /// Cooperative deadline checked before the eigensolve and every few
+  /// rows; expiry throws robust::Error(kTimeout).  Borrowed, not owned;
+  /// nullptr = no deadline.  Deliberately excluded from NetKey hashing
+  /// (it never changes the rows, only whether they finish).
+  const robust::Deadline* deadline = nullptr;
 };
 
 /// Builds the report for every node (or every leaf).  Constructs a

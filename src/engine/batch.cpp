@@ -1,6 +1,7 @@
 #include "engine/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
@@ -14,6 +15,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rctree/units.hpp"
+#include "robust/deadline.hpp"
+#include "robust/fault.hpp"
 
 namespace rct::engine {
 namespace {
@@ -45,6 +48,10 @@ struct EngineCounters {
   obs::Counter& nets_total = obs::registry().counter("engine.nets.total");
   obs::Counter& nets_completed = obs::registry().counter("engine.nets.completed");
   obs::Counter& nets_failed = obs::registry().counter("engine.nets.failed");
+  obs::Counter& nets_degraded = obs::registry().counter("engine.nets.degraded");
+  obs::Counter& nets_retried = obs::registry().counter("engine.nets.retried");
+  obs::Counter& nets_timed_out = obs::registry().counter("engine.nets.timed_out");
+  obs::Counter& nets_cancelled = obs::registry().counter("engine.nets.cancelled");
   obs::Counter& tasks_run = obs::registry().counter("engine.tasks.run");
   obs::Counter& contexts_built = obs::registry().counter("engine.context.built");
   obs::Counter& context_reuses = obs::registry().counter("engine.context.reused");
@@ -74,8 +81,11 @@ obs::Histogram& merge_phase_histogram() {
   return h;
 }
 
-/// Analyzes one net; never throws (failures land in result.error).
-NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache* cache) {
+/// One analysis attempt; never throws (failures land in result.error with
+/// a typed code).  `report` is the per-attempt option set — the deadline
+/// pointer and the retry's with_exact flip live there, not in
+/// options.report.
+NetResult analyze_one(const SpefNet& net, const core::ReportOptions& report, NetCache* cache) {
   const obs::Span span("engine.net.analyze", "engine", net.name);
   const obs::ScopedTimer timer(net_analyze_histogram());
   EngineCounters& ec = EngineCounters::get();
@@ -85,11 +95,14 @@ NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache*
   r.loads = net.loads;
   r.nodes = net.tree.size();
   try {
+    robust::fault::maybe_sleep("engine.net.analyze");
+    robust::fault::maybe_throw("engine.net.analyze", robust::Code::kTaskFailure);
     if (net.tree.empty())
-      throw std::invalid_argument("net '" + net.name + "' has an empty RC tree");
+      throw robust::Error(robust::Code::kEmptyTree,
+                          "net '" + net.name + "' has an empty RC tree");
     r.total_capacitance = net.tree.total_capacitance();
     if (cache != nullptr) {
-      const NetKey key = NetKey::of(net.tree, options.report);
+      const NetKey key = NetKey::of(net.tree, report);
       if (auto hit = cache->lookup(key, net.tree)) {
         r.rows = std::move(*hit);
         r.from_cache = true;
@@ -111,7 +124,7 @@ NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache*
         else
           ec.context_reuses.add();  // lost the insert race
       }
-      r.rows = core::build_report(*ctx, options.report);
+      r.rows = core::build_report(*ctx, report);
       // A donor context computed the rows under its own tree's names.
       if (&ctx->tree() != &net.tree) rebind_report_names(r.rows, net.tree);
       cache->insert(key, r.rows);
@@ -119,12 +132,76 @@ NetResult analyze_one(const SpefNet& net, const BatchOptions& options, NetCache*
       ec.tasks_run.add();
       ec.contexts_built.add();
       const analysis::TreeContext ctx(net.tree);
-      r.rows = core::build_report(ctx, options.report);
+      r.rows = core::build_report(ctx, report);
     }
-  } catch (const std::exception& e) {
+  } catch (const robust::Error& e) {
     r.rows.clear();
     r.error = e.what();
+    r.code = e.code();
+  } catch (const std::exception& e) {
+    // Untyped escapee (lower-layer solver, allocator, ...): record it as a
+    // task failure so it still gets a structured code and a retry shot.
+    r.rows.clear();
+    r.error = e.what();
+    r.code = robust::Code::kTaskFailure;
   }
+  return r;
+}
+
+/// Full per-net policy: first attempt under the configured options, then —
+/// when the exact path failed for a non-structural reason — one automatic
+/// retry on the moments path with a fresh deadline.
+NetResult run_net(const SpefNet& net, const BatchOptions& options, NetCache* cache) {
+  EngineCounters& ec = EngineCounters::get();
+  core::ReportOptions report = options.report;
+  const robust::Deadline deadline = robust::Deadline::after_ms(options.net_timeout_ms);
+  if (deadline.armed()) report.deadline = &deadline;
+
+  NetResult r = analyze_one(net, report, cache);
+  if (!r.ok()) {
+    r.phase = "analyze";
+    if (r.code == robust::Code::kTimeout) {
+      r.timed_out = true;
+      ec.nets_timed_out.add();
+    }
+    // Parse/topology defects fail identically on any path; everything else
+    // (non-convergence, NaN, timeout, task failure) deserves the cheap
+    // O(N) moments path before we give up on the net.
+    const robust::Category cat = robust::category_of(r.code);
+    const bool retryable = options.retry_on_failure && report.with_exact &&
+                           cat != robust::Category::kParse &&
+                           cat != robust::Category::kTopology;
+    if (retryable) {
+      ec.nets_retried.add();
+      core::ReportOptions moments = report;
+      moments.with_exact = false;
+      const robust::Deadline retry_deadline = robust::Deadline::after_ms(options.net_timeout_ms);
+      moments.deadline = retry_deadline.armed() ? &retry_deadline : nullptr;
+      NetResult second = analyze_one(net, moments, cache);
+      second.retried = true;
+      second.timed_out = r.timed_out;
+      if (second.ok()) {
+        r = std::move(second);
+      } else {
+        // Keep the retry's record: it is the failure that made the net
+        // unsalvageable.
+        second.phase = "retry";
+        if (second.code == robust::Code::kTimeout) {
+          second.timed_out = true;
+          ec.nets_timed_out.add();
+        }
+        r = std::move(second);
+      }
+    }
+  }
+  if (r.retried) r.degraded = true;
+  for (const core::NodeReport& row : r.rows) {
+    if (row.degraded) {
+      r.degraded = true;
+      break;
+    }
+  }
+  if (r.degraded) ec.nets_degraded.add();
   return r;
 }
 
@@ -159,7 +236,7 @@ void append_json_double(std::string& out, double v) {
 
 std::string EngineStats::summary() const {
   std::ostringstream os;
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "engine: %zu net(s), %zu analyzed, %zu cache hit(s), %zu failed, %zu thread(s); "
                 "contexts %zu built / %zu reused; "
@@ -167,6 +244,13 @@ std::string EngineStats::summary() const {
                 nets, tasks_run, cache_hits, failures, threads, contexts_built, context_reuses,
                 analyze.wall_s, analyze.cpu_s, total.wall_s);
   os << buf;
+  // Robustness line items only when something actually went sideways.
+  if (degraded != 0 || retried != 0 || timed_out != 0 || cancelled != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "; robustness: %zu degraded, %zu retried, %zu timed out, %zu cancelled",
+                  degraded, retried, timed_out, cancelled);
+    os << buf;
+  }
   return os.str();
 }
 
@@ -193,6 +277,13 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
   const std::size_t jobs =
       options.jobs == 0 ? 0 : std::min(options.jobs, std::max<std::size_t>(nets.size(), 1));
 
+  // Failure budget: once `budget` nets have failed, remaining tasks skip
+  // their analysis and record kCancelled instead (cooperative — running
+  // nets finish).  0 = unlimited.
+  const std::size_t budget =
+      options.fail_fast ? std::size_t{1} : options.max_failures;
+  std::atomic<std::size_t> failed_so_far{0};
+
   const PhaseTimer analyze;
   {
     const obs::Span span("engine.batch.analyze", "engine");
@@ -204,12 +295,28 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
       const SpefNet& net = nets[i];
       NetResult& slot = out.nets[i];
       const std::uint64_t enqueue_ns = obs::timestamp_ns();
-      pool.submit([&net, &slot, &options, cache_ptr, &ec, enqueue_ns] {
+      pool.submit([&net, &slot, &options, cache_ptr, &ec, enqueue_ns, budget, &failed_so_far] {
         if constexpr (obs::kTimingEnabled)
           queue_wait_histogram().observe(
               static_cast<double>(obs::timestamp_ns() - enqueue_ns) * 1e-9);
-        slot = analyze_one(net, options, cache_ptr);
-        if (!slot.ok()) ec.nets_failed.add();
+        if (budget != 0 && failed_so_far.load(std::memory_order_relaxed) >= budget) {
+          slot.name = net.name;
+          slot.driver = net.driver;
+          slot.loads = net.loads;
+          slot.nodes = net.tree.size();
+          slot.error = "cancelled: failure budget (" + std::to_string(budget) + ") exhausted";
+          slot.code = robust::Code::kCancelled;
+          slot.phase = "cancelled";
+          ec.nets_cancelled.add();
+          ec.nets_failed.add();
+          ec.nets_completed.add();
+          return;
+        }
+        slot = run_net(net, options, cache_ptr);
+        if (!slot.ok()) {
+          ec.nets_failed.add();
+          failed_so_far.fetch_add(1, std::memory_order_relaxed);
+        }
         ec.nets_completed.add();
       });
     }
@@ -224,8 +331,15 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
     out.stats.contexts_built = ec.contexts_built.value() - base_built;
     out.stats.context_reuses = ec.context_reuses.value() - base_reused;
     out.stats.cache_hits = ec.cache_hits.value() - base_hits;
-    for (const NetResult& r : out.nets)
+    // Deterministic robustness tallies straight from the merged results
+    // (the global counters feed --metrics-out; these feed the summary).
+    for (const NetResult& r : out.nets) {
       if (!r.ok()) ++out.stats.failures;
+      if (r.degraded) ++out.stats.degraded;
+      if (r.retried) ++out.stats.retried;
+      if (r.timed_out) ++out.stats.timed_out;
+      if (r.code == robust::Code::kCancelled) ++out.stats.cancelled;
+    }
   }
   out.stats.merge = merge.elapsed();
   out.stats.total = total.elapsed();
@@ -254,8 +368,13 @@ std::string format_batch(const BatchResult& result) {
        << " nodes, " << format_engineering(net.total_capacitance, "F") << " total)\n";
     if (!net.ok()) {
       os << "  error: " << net.error << "\n";
+      os << "  record: code=" << robust::code_name(net.code)
+         << " category=" << robust::category_name(robust::category_of(net.code))
+         << " phase=" << net.phase << " net=" << net.name << "\n";
       continue;
     }
+    if (net.retried)
+      os << "  note: exact path failed; rows are moment bounds from the automatic retry\n";
     for (const NodeId load : net.loads) {
       const core::NodeReport& r = net.rows[load];
       char buf[256];
@@ -264,6 +383,7 @@ std::string format_batch(const BatchResult& result) {
                     format_time(r.lower_bound).c_str(), format_time(r.elmore).c_str());
       os << buf;
       if (r.exact_delay) os << "  exact " << format_time(*r.exact_delay);
+      if (r.degraded) os << "  degraded";
       os << "\n";
     }
   }
@@ -286,9 +406,22 @@ std::string format_batch_json(const BatchResult& result) {
     out += ",\"nodes\":" + std::to_string(net.nodes);
     out += ",\"total_capacitance_f\":";
     append_json_double(out, net.total_capacitance);
+    out += ",\"degraded\":";
+    out += net.degraded ? "true" : "false";
+    out += ",\"retried\":";
+    out += net.retried ? "true" : "false";
+    out += ",\"timed_out\":";
+    out += net.timed_out ? "true" : "false";
     if (!net.ok()) {
       out += ",\"error\":";
       append_json_string(out, net.error);
+      out += ",\"code\":";
+      append_json_string(out, std::string(robust::code_name(net.code)));
+      out += ",\"category\":";
+      append_json_string(out,
+                         std::string(robust::category_name(robust::category_of(net.code))));
+      out += ",\"phase\":";
+      append_json_string(out, net.phase);
       out += ",\"loads\":[]}";
       continue;
     }
@@ -311,6 +444,8 @@ std::string format_batch_json(const BatchResult& result) {
         append_json_double(out, *r.exact_delay);
       else
         out += "null";
+      out += ",\"degraded\":";
+      out += r.degraded ? "true" : "false";
       out += '}';
     }
     out += "]}";

@@ -9,16 +9,22 @@
 // macros) skip recomputation, and merge results deterministically in input
 // order: the output is bit-identical for any thread count.
 //
-// Failures are per-net, never process-fatal: a net that throws gets its
-// error string recorded and every other net still completes.
+// Failures are per-net, never process-fatal: a net that throws gets a
+// structured failure record (typed robust::Code, phase, message) and every
+// other net still completes.  Nets whose exact path fails get one automatic
+// retry on the cheap moments path; rows produced that way are flagged
+// `degraded`.  A cooperative per-net deadline (net_timeout_ms) and a
+// failure budget (max_failures / fail_fast) bound runaway batches.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/report.hpp"
 #include "rctree/spef.hpp"
+#include "robust/error.hpp"
 
 namespace rct::engine {
 
@@ -27,6 +33,22 @@ struct BatchOptions {
   std::size_t jobs = 0;        ///< worker threads; 0 = hardware concurrency
   core::ReportOptions report;  ///< shared per-net report options
   bool use_cache = true;       ///< skip recomputation of content-identical nets
+  /// Cooperative per-net deadline in milliseconds; 0 disables.  Checked at
+  /// analysis checkpoints (threads are never killed), so overshoot is
+  /// bounded by the longest uninterruptible step, not by luck.
+  std::uint64_t net_timeout_ms = 0;
+  /// Stop scheduling new nets once this many have failed; 0 = unlimited.
+  /// Skipped nets get a kCancelled record.  WHICH nets get cancelled is
+  /// scheduling-dependent, so — unlike the default path — stdout is not
+  /// byte-identical across --jobs values once the budget trips.
+  std::size_t max_failures = 0;
+  /// Shorthand for max_failures = 1: cancel everything after the first
+  /// failure.
+  bool fail_fast = false;
+  /// One automatic retry of a failed exact-path net on the moments path
+  /// (with_exact = false, fresh deadline).  Parse/topology failures are
+  /// not retried — they would fail identically.
+  bool retry_on_failure = true;
 };
 
 /// Outcome for one input net.
@@ -38,6 +60,16 @@ struct NetResult {
   double total_capacitance = 0.0;       ///< farads
   std::vector<core::NodeReport> rows;   ///< empty when error is set
   std::string error;                    ///< per-net failure message, if any
+  /// Typed failure code (kNone when ok); category via robust::category_of.
+  robust::Code code = robust::Code::kNone;
+  /// Where the final failure happened: "analyze", "retry" or "cancelled".
+  /// Empty when ok.
+  std::string phase;
+  bool retried = false;    ///< rows (or final failure) came from the moments retry
+  bool timed_out = false;  ///< a deadline expired (even if the retry then succeeded)
+  /// Any row degraded (exact result discarded, see core::NodeReport), or
+  /// the whole net fell back to the moments retry.
+  bool degraded = false;
   bool from_cache = false;
 
   [[nodiscard]] bool ok() const { return error.empty(); }
@@ -58,10 +90,14 @@ struct PhaseTime {
 /// per-run stats matter.
 struct EngineStats {
   std::size_t nets = 0;       ///< input nets
-  std::size_t tasks_run = 0;  ///< nets actually analyzed (cache misses)
+  std::size_t tasks_run = 0;  ///< analyze attempts (cache misses; retries count)
   std::size_t cache_hits = 0;
-  std::size_t failures = 0;
-  std::size_t threads = 0;  ///< pool size used
+  std::size_t failures = 0;   ///< nets with a failure record (cancelled included)
+  std::size_t degraded = 0;   ///< nets with any degraded row or a moments retry
+  std::size_t retried = 0;    ///< nets that took the automatic moments retry
+  std::size_t timed_out = 0;  ///< nets that hit the cooperative deadline
+  std::size_t cancelled = 0;  ///< nets skipped after the failure budget tripped
+  std::size_t threads = 0;    ///< pool size used
   /// Derived-array (TreeContext) accounting: every analyzed net either
   /// built its context or adopted one from a content-identical net, so
   /// contexts_built + context_reuses == tasks_run.
@@ -92,7 +128,8 @@ struct BatchResult {
 
 /// Plain-text renderer used by `rct batch`.  Deterministic: no timings,
 /// thread counts or cache provenance, so output is byte-identical for any
-/// --jobs value.
+/// --jobs value (except under max_failures/fail_fast, where the set of
+/// cancelled nets is scheduling-dependent).
 [[nodiscard]] std::string format_batch(const BatchResult& result);
 
 /// JSON renderer (schema documented in README.md), same determinism

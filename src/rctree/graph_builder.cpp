@@ -5,7 +5,7 @@ namespace rct::detail {
 BuiltTree build_tree_from_elements(const std::vector<ResistorEdge>& resistors,
                                    std::map<std::string, double> cap_at,
                                    const std::string& input_node) {
-  if (resistors.empty()) throw GraphBuildError("no resistors", 0);
+  if (resistors.empty()) throw GraphBuildError("no resistors", 0, robust::Code::kEmptyTree);
 
   std::map<std::string, std::vector<std::size_t>> adj;
   for (std::size_t i = 0; i < resistors.size(); ++i) {
@@ -13,7 +13,8 @@ BuiltTree build_tree_from_elements(const std::vector<ResistorEdge>& resistors,
     adj[resistors[i].b].push_back(i);
   }
   if (!adj.contains(input_node))
-    throw GraphBuildError("input node '" + input_node + "' touches no resistor", 0);
+    throw GraphBuildError("input node '" + input_node + "' touches no resistor", 0,
+                          robust::Code::kDisconnected);
 
   BuiltTree out;
   if (const auto it = cap_at.find(input_node); it != cap_at.end()) {
@@ -36,7 +37,7 @@ BuiltTree build_tree_from_elements(const std::vector<ResistorEdge>& resistors,
         const std::string& v = (r.a == u) ? r.b : r.a;
         if (id_of.contains(v) || v == input_node)
           throw GraphBuildError("resistor closes a loop at node '" + v + "' (not a tree)",
-                                r.tag);
+                                r.tag, robust::Code::kCycle);
         const NodeId parent = (u == input_node) ? kSource : id_of.at(u);
         double cap = 0.0;
         if (const auto it = cap_at.find(v); it != cap_at.end()) {
@@ -54,10 +55,12 @@ BuiltTree build_tree_from_elements(const std::vector<ResistorEdge>& resistors,
 
   for (std::size_t i = 0; i < resistors.size(); ++i)
     if (!used[i])
-      throw GraphBuildError("resistor is disconnected from the input node", resistors[i].tag);
+      throw GraphBuildError("resistor is disconnected from the input node", resistors[i].tag,
+                            robust::Code::kDisconnected);
   if (!cap_at.empty())
     throw GraphBuildError(
-        "capacitor at node '" + cap_at.begin()->first + "' is not connected to the tree", 0);
+        "capacitor at node '" + cap_at.begin()->first + "' is not connected to the tree", 0,
+        robust::Code::kDisconnected);
 
   out.tree = std::move(builder).build();
   return out;

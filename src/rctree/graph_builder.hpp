@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "rctree/rctree.hpp"
+#include "robust/error.hpp"
 
 namespace rct::detail {
 
@@ -24,11 +25,14 @@ struct ResistorEdge {
 };
 
 /// Raised when the element graph is not a tree rooted at the input node.
-/// `tag` is the offending resistor's tag, or 0 for global problems.
+/// `tag` is the offending resistor's tag, or 0 for global problems; `code`
+/// is the topology code the caller folds into its own typed error.
 struct GraphBuildError : std::runtime_error {
-  GraphBuildError(const std::string& msg, std::size_t tag_in)
-      : std::runtime_error(msg), tag(tag_in) {}
+  GraphBuildError(const std::string& msg, std::size_t tag_in,
+                  robust::Code code_in = robust::Code::kDisconnected)
+      : std::runtime_error(msg), tag(tag_in), code(code_in) {}
   std::size_t tag;
+  robust::Code code;
 };
 
 /// Result of tree construction.

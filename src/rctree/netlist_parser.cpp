@@ -32,10 +32,6 @@ std::vector<std::string> tokenize(std::string_view line) {
   return toks;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  throw NetlistError("netlist line " + std::to_string(line_no) + ": " + msg);
-}
-
 struct Resistor {
   std::string a;
   std::string b;
@@ -49,9 +45,12 @@ struct Capacitor {
   std::size_t line;
 };
 
-}  // namespace
+ParsedNetlist parse_netlist_impl(std::string_view text, const std::string& path) {
+  const auto fail = [&path](std::size_t line_no, robust::Code code,
+                            const std::string& msg) -> void {
+    throw NetlistError(code, msg, {path, line_no}, "netlist");
+  };
 
-ParsedNetlist parse_netlist(std::string_view text) {
   std::vector<Resistor> resistors;
   std::vector<Capacitor> capacitors;
   std::string input_node;
@@ -86,42 +85,55 @@ ParsedNetlist parse_netlist(std::string_view text) {
       continue;
     }
     if (head == ".input") {
-      if (toks.size() != 2) fail(line_no, ".input requires exactly one node");
-      if (!input_node.empty()) fail(line_no, "duplicate .input directive");
+      if (toks.size() != 2)
+        fail(line_no, robust::Code::kSyntax, ".input requires exactly one node");
+      if (!input_node.empty())
+        fail(line_no, robust::Code::kSyntax, "duplicate .input directive");
       input_node = toks[1];
       continue;
     }
     if (head == ".probe") {
-      if (toks.size() != 2) fail(line_no, ".probe requires exactly one node");
+      if (toks.size() != 2)
+        fail(line_no, robust::Code::kSyntax, ".probe requires exactly one node");
       probe_names.push_back(toks[1]);
       continue;
     }
-    if (head[0] == '.') fail(line_no, "unknown directive '" + toks[0] + "'");
+    if (head[0] == '.')
+      fail(line_no, robust::Code::kSyntax, "unknown directive '" + toks[0] + "'");
 
     if (head[0] == 'r') {
-      if (toks.size() != 4) fail(line_no, "resistor requires: Rname nodeA nodeB value");
+      if (toks.size() != 4)
+        fail(line_no, robust::Code::kSyntax, "resistor requires: Rname nodeA nodeB value");
       const auto v = parse_engineering(toks[3]);
-      if (!v || *v <= 0.0) fail(line_no, "bad resistor value '" + toks[3] + "'");
+      if (!v || *v <= 0.0)
+        fail(line_no, robust::Code::kBadNumber, "bad resistor value '" + toks[3] + "'");
       if (is_ground(toks[1]) || is_ground(toks[2]))
-        fail(line_no, "RC trees admit no resistors to ground");
-      if (toks[1] == toks[2]) fail(line_no, "resistor shorts a node to itself");
+        fail(line_no, robust::Code::kNonPhysicalValue, "RC trees admit no resistors to ground");
+      if (toks[1] == toks[2])
+        fail(line_no, robust::Code::kDuplicateNode, "resistor shorts a node to itself");
       resistors.push_back({toks[1], toks[2], *v, line_no});
       continue;
     }
     if (head[0] == 'c') {
-      if (toks.size() != 4) fail(line_no, "capacitor requires: Cname node 0 value");
+      if (toks.size() != 4)
+        fail(line_no, robust::Code::kSyntax, "capacitor requires: Cname node 0 value");
       const auto v = parse_engineering(toks[3]);
-      if (!v || *v < 0.0) fail(line_no, "bad capacitor value '" + toks[3] + "'");
+      if (!v || *v < 0.0)
+        fail(line_no, robust::Code::kBadNumber, "bad capacitor value '" + toks[3] + "'");
       const bool g1 = is_ground(toks[1]);
       const bool g2 = is_ground(toks[2]);
-      if (g1 == g2) fail(line_no, "capacitor must connect a node to ground");
+      if (g1 == g2)
+        fail(line_no, robust::Code::kNonPhysicalValue,
+             "capacitor must connect a node to ground");
       capacitors.push_back({g1 ? toks[2] : toks[1], *v, line_no});
       continue;
     }
-    fail(line_no, "unrecognized statement '" + toks[0] + "'");
+    fail(line_no, robust::Code::kSyntax, "unrecognized statement '" + toks[0] + "'");
   }
 
-  if (input_node.empty()) throw NetlistError("netlist: missing .input directive");
+  if (input_node.empty())
+    throw NetlistError(robust::Code::kNoDriver, "missing .input directive", {path, 0},
+                       "netlist");
 
   std::vector<detail::ResistorEdge> edges;
   edges.reserve(resistors.size());
@@ -133,25 +145,32 @@ ParsedNetlist parse_netlist(std::string_view text) {
   try {
     built = detail::build_tree_from_elements(edges, std::move(cap_at), input_node);
   } catch (const detail::GraphBuildError& e) {
-    if (e.tag != 0) fail(e.tag, e.what());
-    throw NetlistError(std::string("netlist: ") + e.what());
+    throw NetlistError(e.code, e.what(), {path, e.tag}, "netlist");
   }
   out.tree = std::move(built.tree);
   for (std::string& w : built.warnings) out.warnings.push_back(std::move(w));
   for (const std::string& p : probe_names) {
     const auto id = out.tree.find(p);
-    if (!id) throw NetlistError("netlist: .probe node '" + p + "' does not exist");
+    if (!id)
+      throw NetlistError(robust::Code::kDanglingLoad,
+                         ".probe node '" + p + "' does not exist", {path, 0}, "netlist");
     out.probes.push_back(*id);
   }
   return out;
 }
 
+}  // namespace
+
+ParsedNetlist parse_netlist(std::string_view text) { return parse_netlist_impl(text, ""); }
+
 ParsedNetlist parse_netlist_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw NetlistError("netlist: cannot open '" + path + "'");
+  if (!in)
+    throw NetlistError(robust::Code::kFileOpen, "cannot open '" + path + "'", {path, 0},
+                       "netlist");
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_netlist(ss.str());
+  return parse_netlist_impl(ss.str(), path);
 }
 
 }  // namespace rct

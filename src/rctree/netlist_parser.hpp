@@ -16,12 +16,12 @@
 // semantics); a capacitor on the input node is ignored with a warning (an
 // ideal source clamps that node).
 
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "rctree/rctree.hpp"
+#include "robust/error.hpp"
 
 namespace rct {
 
@@ -33,9 +33,13 @@ struct ParsedNetlist {
   std::vector<std::string> warnings;  ///< non-fatal issues (ignored input cap, capless nodes)
 };
 
-/// Error thrown on malformed decks; message includes the 1-based line number.
-struct NetlistError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+/// Error thrown on malformed decks — a robust::Error with a typed code
+/// plus the file path (when parsed from disk) and 1-based line number.
+struct NetlistError : robust::Error {
+  using robust::Error::Error;
+  /// Pre-taxonomy convenience: a bare message is a syntax error.
+  explicit NetlistError(const std::string& message)
+      : robust::Error(robust::Code::kSyntax, message, {}, "netlist") {}
 };
 
 /// Parses a deck from text.  Throws NetlistError on malformed input.

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "rctree/graph_builder.hpp"
+#include "robust/fault.hpp"
 
 namespace rct {
 namespace {
@@ -27,74 +31,179 @@ std::vector<std::string> tokenize(std::string_view line) {
   return toks;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  throw SpefError("spef line " + std::to_string(line_no) + ": " + msg);
-}
-
-double unit_scale(std::size_t line_no, const std::string& unit) {
-  static const std::map<std::string, double> kUnits = {
-      {"S", 1.0},    {"MS", 1e-3},  {"US", 1e-6},  {"NS", 1e-9},  {"PS", 1e-12},
-      {"F", 1.0},    {"UF", 1e-6},  {"NF", 1e-9},  {"PF", 1e-12}, {"FF", 1e-15},
-      {"OHM", 1.0},  {"KOHM", 1e3}, {"MOHM", 1e6},
-  };
-  const auto it = kUnits.find(to_upper(unit));
-  if (it == kUnits.end()) fail(line_no, "unknown unit '" + unit + "'");
-  return it->second;
-}
-
-double parse_number(std::size_t line_no, const std::string& text) {
-  char* end = nullptr;
-  const double v = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0') fail(line_no, "bad number '" + text + "'");
-  return v;
+obs::Counter& diagnostics_counter() {
+  static obs::Counter& c = obs::registry().counter("parse.diagnostics");
+  return c;
 }
 
 enum class Section { kNone, kConn, kCap, kRes };
 
-}  // namespace
+/// Thrown inside the parser to signal "defect in the current *D_NET"; in
+/// lenient mode it is converted to a Diagnostic and the net is skipped.
+struct NetDefect {
+  robust::Code code;
+  std::size_t line;
+  std::string message;
+};
 
-SpefFile parse_spef(std::string_view text) {
-  SpefFile file;
-  std::vector<detail::ResistorEdge> edges;
-  std::map<std::string, double> caps;
-  std::string net_name;
-  std::string driver;
-  std::vector<std::string> load_names;
-  Section section = Section::kNone;
-  bool in_net = false;
+/// Shared parse state: strict mode throws SpefError at `fail`, lenient
+/// mode records a Diagnostic and lets the caller recover.
+class Parser {
+ public:
+  Parser(std::string_view text, const SpefParseOptions& options)
+      : text_(text), options_(options) {}
 
-  auto finish_net = [&](std::size_t line_no) {
-    if (!in_net) return;
-    if (driver.empty()) fail(line_no, "net '" + net_name + "' has no *P driving port");
+  SpefFile run();
+
+ private:
+  [[noreturn]] void fail(std::size_t line_no, robust::Code code, const std::string& msg) {
+    if (options_.lenient) throw NetDefect{code, line_no, msg};
+    throw SpefError(code, msg, {options_.path, line_no}, "spef");
+  }
+
+  void diagnose(std::size_t line_no, robust::Code code, std::string msg,
+                std::string net = {}) {
+    diagnostics_counter().add();
+    file_.diagnostics.push_back(
+        {code, std::move(msg), {options_.path, line_no}, std::move(net)});
+  }
+
+  /// File-scope defect: strict throws, lenient records and carries on.
+  void defect(std::size_t line_no, robust::Code code, const std::string& msg) {
+    if (!options_.lenient) throw SpefError(code, msg, {options_.path, line_no}, "spef");
+    diagnose(line_no, code, msg);
+  }
+
+  double unit_scale(std::size_t line_no, const std::string& unit) {
+    static const std::map<std::string, double> kUnits = {
+        {"S", 1.0},    {"MS", 1e-3},  {"US", 1e-6},  {"NS", 1e-9},  {"PS", 1e-12},
+        {"F", 1.0},    {"UF", 1e-6},  {"NF", 1e-9},  {"PF", 1e-12}, {"FF", 1e-15},
+        {"OHM", 1.0},  {"KOHM", 1e3}, {"MOHM", 1e6},
+    };
+    const auto it = kUnits.find(to_upper(unit));
+    if (it == kUnits.end()) fail(line_no, robust::Code::kBadUnit, "unknown unit '" + unit + "'");
+    return it->second;
+  }
+
+  double parse_number(std::size_t line_no, const std::string& text) {
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+      fail(line_no, robust::Code::kBadNumber, "bad number '" + text + "'");
+    return v;
+  }
+
+  /// Validated resistance: finite and strictly positive, or a typed defect.
+  double parse_resistance(std::size_t line_no, const std::string& text) {
+    const double v = parse_number(line_no, text) * file_.res_unit;
+    if (std::isnan(v) || std::isinf(v))
+      fail(line_no, robust::Code::kNanValue, "resistance '" + text + "' is not finite");
+    if (v <= 0.0)
+      fail(line_no, robust::Code::kNonPhysicalValue,
+           "non-physical resistance " + text + " (must be > 0)");
+    return v;
+  }
+
+  /// Validated capacitance: finite; a finite negative value is repaired to
+  /// 0F in lenient mode (diagnostic), rejected in strict mode.
+  double parse_capacitance(std::size_t line_no, const std::string& node,
+                           const std::string& text) {
+    const double v = parse_number(line_no, text) * file_.cap_unit;
+    if (std::isnan(v) || std::isinf(v))
+      fail(line_no, robust::Code::kNanValue, "capacitance '" + text + "' is not finite");
+    if (v < 0.0) {
+      if (!options_.lenient)
+        fail(line_no, robust::Code::kNonPhysicalValue,
+             "non-physical capacitance " + text + " at node '" + node + "' (must be >= 0)");
+      diagnose(line_no, robust::Code::kNonPhysicalValue,
+               "repaired negative capacitance " + text + " at node '" + node + "' to 0F",
+               net_name_);
+      return 0.0;
+    }
+    return v;
+  }
+
+  void finish_net(std::size_t line_no);
+  void reset_net() {
+    edges_.clear();
+    caps_.clear();
+    load_names_.clear();
+    driver_.clear();
+    in_net_ = false;
+    skipping_net_ = false;
+  }
+
+  std::string_view text_;
+  const SpefParseOptions& options_;
+  SpefFile file_;
+
+  std::vector<detail::ResistorEdge> edges_;
+  std::map<std::string, double> caps_;
+  std::string net_name_;
+  std::string driver_;
+  std::vector<std::pair<std::string, std::size_t>> load_names_;  ///< name, line
+  Section section_ = Section::kNone;
+  bool in_net_ = false;
+  /// Lenient recovery: the current *D_NET had a defect; ignore its
+  /// remaining lines until *D_NET/*END.
+  bool skipping_net_ = false;
+};
+
+void Parser::finish_net(std::size_t line_no) {
+  if (!in_net_) return;
+  if (skipping_net_) {
+    ++file_.nets_rejected;
+    reset_net();
+    return;
+  }
+  try {
+    robust::fault::maybe_throw("parse.spef.net", robust::Code::kSyntax);
+    if (driver_.empty())
+      fail(line_no, robust::Code::kNoDriver, "net '" + net_name_ + "' has no *P driving port");
     SpefNet net;
-    net.name = net_name;
-    net.driver = driver;
+    net.name = net_name_;
+    net.driver = driver_;
     try {
-      auto built = detail::build_tree_from_elements(edges, std::move(caps), driver);
+      auto built = detail::build_tree_from_elements(edges_, std::move(caps_), driver_);
       net.tree = std::move(built.tree);
     } catch (const detail::GraphBuildError& e) {
-      fail(e.tag ? e.tag : line_no, "net '" + net_name + "': " + e.what());
+      fail(e.tag ? e.tag : line_no, e.code, "net '" + net_name_ + "': " + e.what());
     }
-    for (const std::string& l : load_names) {
-      const auto id = net.tree.find(l);
-      if (!id) fail(line_no, "net '" + net_name + "': load pin '" + l + "' not in parasitics");
+    for (const auto& [load, load_line] : load_names_) {
+      const auto id = net.tree.find(load);
+      if (!id) {
+        const std::string msg =
+            "net '" + net_name_ + "': load pin '" + load + "' not in parasitics";
+        if (!options_.lenient)
+          fail(load_line, robust::Code::kDanglingLoad, msg);
+        diagnose(load_line, robust::Code::kDanglingLoad, "dropped dangling load: " + msg,
+                 net_name_);
+        continue;
+      }
       net.loads.push_back(*id);
     }
-    file.nets.push_back(std::move(net));
-    edges.clear();
-    caps.clear();
-    load_names.clear();
-    driver.clear();
-    in_net = false;
-  };
+    file_.nets.push_back(std::move(net));
+  } catch (const NetDefect& d) {
+    // Lenient only (fail() throws SpefError in strict mode).
+    diagnose(d.line, d.code, d.message, net_name_);
+    ++file_.nets_rejected;
+  } catch (const robust::Error& e) {
+    // Injected parse faults and other typed failures inside the net.
+    if (!options_.lenient) throw;
+    diagnose(line_no, e.code(), e.message(), net_name_);
+    ++file_.nets_rejected;
+  }
+  reset_net();
+}
 
+SpefFile Parser::run() {
   std::size_t line_no = 0;
   std::size_t pos = 0;
-  while (pos <= text.size()) {
-    const std::size_t nl = text.find('\n', pos);
+  while (pos <= text_.size()) {
+    const std::size_t nl = text_.find('\n', pos);
     std::string_view line =
-        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
-    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+        text_.substr(pos, nl == std::string_view::npos ? text_.size() - pos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text_.size() + 1 : nl + 1;
     ++line_no;
     if (const auto comment = line.find("//"); comment != std::string_view::npos)
       line = line.substr(0, comment);
@@ -109,93 +218,150 @@ SpefFile parse_spef(std::string_view text) {
     }
     if (head == "*DESIGN") {
       if (toks.size() >= 2) {
-        file.design = toks[1];
-        file.design.erase(std::remove(file.design.begin(), file.design.end(), '"'),
-                          file.design.end());
+        file_.design = toks[1];
+        file_.design.erase(std::remove(file_.design.begin(), file_.design.end(), '"'),
+                           file_.design.end());
       }
       continue;
     }
     if (head == "*T_UNIT" || head == "*C_UNIT" || head == "*R_UNIT") {
-      if (toks.size() != 3) fail(line_no, head + " requires: value unit");
-      const double scale = parse_number(line_no, toks[1]) * unit_scale(line_no, toks[2]);
-      if (head == "*T_UNIT") file.time_unit = scale;
-      if (head == "*C_UNIT") file.cap_unit = scale;
-      if (head == "*R_UNIT") file.res_unit = scale;
+      if (toks.size() != 3) {
+        defect(line_no, robust::Code::kSyntax, head + " requires: value unit");
+        continue;
+      }
+      try {
+        const double scale = parse_number(line_no, toks[1]) * unit_scale(line_no, toks[2]);
+        if (head == "*T_UNIT") file_.time_unit = scale;
+        if (head == "*C_UNIT") file_.cap_unit = scale;
+        if (head == "*R_UNIT") file_.res_unit = scale;
+      } catch (const NetDefect& d) {
+        diagnose(d.line, d.code, d.message);  // keep the default unit
+      }
       continue;
     }
     if (head == "*D_NET") {
       finish_net(line_no);
-      if (toks.size() < 2) fail(line_no, "*D_NET requires a net name");
-      net_name = toks[1];
-      in_net = true;
-      section = Section::kNone;
+      if (toks.size() < 2) {
+        defect(line_no, robust::Code::kSyntax, "*D_NET requires a net name");
+        continue;
+      }
+      net_name_ = toks[1];
+      in_net_ = true;
+      section_ = Section::kNone;
       continue;
     }
     if (head == "*CONN") {
-      section = Section::kConn;
+      section_ = Section::kConn;
       continue;
     }
     if (head == "*CAP") {
-      section = Section::kCap;
+      section_ = Section::kCap;
       continue;
     }
     if (head == "*RES") {
-      section = Section::kRes;
+      section_ = Section::kRes;
       continue;
     }
     if (head == "*END") {
       finish_net(line_no);
-      section = Section::kNone;
+      section_ = Section::kNone;
       continue;
     }
-    if (head == "*INDUC") fail(line_no, "*INDUC sections are not supported (RC trees only)");
+    if (skipping_net_) continue;  // lenient: discard the rest of a bad net
 
-    if (!in_net) fail(line_no, "unexpected statement '" + toks[0] + "' outside *D_NET");
-    switch (section) {
-      case Section::kConn: {
-        if (head == "*P") {
-          if (toks.size() < 2) fail(line_no, "*P requires a port name");
-          if (!driver.empty()) fail(line_no, "multiple *P driving ports on one net");
-          driver = toks[1];
-        } else if (head == "*I") {
-          if (toks.size() < 2) fail(line_no, "*I requires a pin name");
-          load_names.push_back(toks[1]);
-        } else {
-          fail(line_no, "unsupported *CONN entry '" + toks[0] + "'");
+    try {
+      if (head == "*INDUC")
+        fail(line_no, robust::Code::kUnsupported,
+             "*INDUC sections are not supported (RC trees only)");
+
+      if (!in_net_) {
+        defect(line_no, robust::Code::kSyntax,
+               "unexpected statement '" + toks[0] + "' outside *D_NET");
+        continue;
+      }
+      switch (section_) {
+        case Section::kConn: {
+          if (head == "*P") {
+            if (toks.size() < 2) fail(line_no, robust::Code::kSyntax, "*P requires a port name");
+            if (!driver_.empty())
+              fail(line_no, robust::Code::kSyntax, "multiple *P driving ports on one net");
+            driver_ = toks[1];
+          } else if (head == "*I") {
+            if (toks.size() < 2) fail(line_no, robust::Code::kSyntax, "*I requires a pin name");
+            load_names_.emplace_back(toks[1], line_no);
+          } else {
+            fail(line_no, robust::Code::kUnsupported,
+                 "unsupported *CONN entry '" + toks[0] + "'");
+          }
+          break;
         }
-        break;
-      }
-      case Section::kCap: {
-        if (toks.size() == 3) {
-          caps[toks[1]] += parse_number(line_no, toks[2]) * file.cap_unit;
-        } else if (toks.size() == 4) {
-          fail(line_no, "coupling capacitors are not supported (RC trees only)");
-        } else {
-          fail(line_no, "*CAP entry requires: index node value");
+        case Section::kCap: {
+          if (toks.size() == 3) {
+            caps_[toks[1]] += parse_capacitance(line_no, toks[1], toks[2]);
+          } else if (toks.size() == 4) {
+            fail(line_no, robust::Code::kUnsupported,
+                 "coupling capacitors are not supported (RC trees only)");
+          } else {
+            fail(line_no, robust::Code::kSyntax, "*CAP entry requires: index node value");
+          }
+          break;
         }
-        break;
+        case Section::kRes: {
+          if (toks.size() != 4)
+            fail(line_no, robust::Code::kSyntax, "*RES entry requires: index nodeA nodeB value");
+          if (toks[1] == toks[2])
+            fail(line_no, robust::Code::kDuplicateNode,
+                 "resistor shorts node '" + toks[1] + "' to itself");
+          edges_.push_back({toks[1], toks[2], parse_resistance(line_no, toks[3]), line_no});
+          break;
+        }
+        case Section::kNone:
+          fail(line_no, robust::Code::kSyntax, "statement before any *CONN/*CAP/*RES section");
       }
-      case Section::kRes: {
-        if (toks.size() != 4) fail(line_no, "*RES entry requires: index nodeA nodeB value");
-        edges.push_back(
-            {toks[1], toks[2], parse_number(line_no, toks[3]) * file.res_unit, line_no});
-        break;
-      }
-      case Section::kNone:
-        fail(line_no, "statement before any *CONN/*CAP/*RES section");
+    } catch (const NetDefect& d) {
+      // Lenient recovery: the whole current net is suspect; skip it.
+      diagnose(d.line, d.code, d.message, net_name_);
+      if (in_net_)
+        skipping_net_ = true;
     }
   }
   finish_net(line_no);
-  if (file.nets.empty()) throw SpefError("spef: no *D_NET sections found");
-  return file;
+  if (in_net_ && options_.lenient) {
+    // Truncated input: the final *D_NET never saw its *END.
+    diagnose(line_no, robust::Code::kSyntax,
+             "net '" + net_name_ + "' truncated (missing *END)", net_name_);
+  }
+  if (file_.nets.empty()) {
+    if (!options_.lenient)
+      throw SpefError(robust::Code::kEmptyInput, "no *D_NET sections found",
+                      {options_.path, 0}, "spef");
+    if (file_.diagnostics.empty())
+      diagnose(0, robust::Code::kEmptyInput, "no *D_NET sections found");
+  }
+  return file_;
+}
+
+}  // namespace
+
+SpefFile parse_spef(std::string_view text, const SpefParseOptions& options) {
+  return Parser(text, options).run();
+}
+
+SpefFile parse_spef(std::string_view text) { return parse_spef(text, SpefParseOptions{}); }
+
+SpefFile parse_spef_file(const std::string& path, const SpefParseOptions& options) {
+  std::ifstream in(path);
+  if (!in)
+    throw SpefError(robust::Code::kFileOpen, "cannot open '" + path + "'", {path, 0}, "spef");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  SpefParseOptions with_path = options;
+  if (with_path.path.empty()) with_path.path = path;
+  return parse_spef(ss.str(), with_path);
 }
 
 SpefFile parse_spef_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw SpefError("spef: cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return parse_spef(ss.str());
+  return parse_spef_file(path, SpefParseOptions{});
 }
 
 std::string write_spef(const SpefFile& file) {

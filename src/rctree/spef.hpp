@@ -20,20 +20,33 @@
 //   *END
 //
 // Unsupported constructs (coupling caps `node1 node2 cap` inside *CAP,
-// *INDUC, name maps) raise SpefError with the line number.
+// *INDUC, name maps) raise SpefError — a robust::Error carrying a typed
+// code plus the file path and 1-based line number.
+//
+// Two parse modes (SpefParseOptions):
+//   strict  (default) — the first defect throws SpefError.
+//   lenient           — defects become robust::Diagnostic records on the
+//     returned SpefFile and the parser recovers: a malformed *D_NET section
+//     is skipped whole, a negative finite capacitance is clamped to 0F
+//     (repair), a load pin missing from the parasitics is dropped, and
+//     non-finite or non-positive resistances reject just that net.  Good
+//     nets always survive bad siblings.
 
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "rctree/rctree.hpp"
+#include "robust/error.hpp"
 
 namespace rct {
 
-/// Error raised on malformed or unsupported SPEF text.
-struct SpefError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+/// Error raised on malformed or unsupported SPEF text (strict mode).
+struct SpefError : robust::Error {
+  using robust::Error::Error;
+  /// Pre-taxonomy convenience: a bare message is a syntax error.
+  explicit SpefError(const std::string& message)
+      : robust::Error(robust::Code::kSyntax, message, {}, "spef") {}
 };
 
 /// One parasitic net parsed from SPEF.
@@ -51,13 +64,27 @@ struct SpefFile {
   double cap_unit = 1e-12;        ///< farads per SPEF cap unit
   double res_unit = 1.0;          ///< ohms per SPEF res unit
   std::vector<SpefNet> nets;
+  /// Lenient mode only: every recovered defect, in input order (strict
+  /// parses throw at the first one instead).
+  std::vector<robust::Diagnostic> diagnostics;
+  /// Lenient mode only: *D_NET sections dropped whole because of defects.
+  std::size_t nets_rejected = 0;
 };
 
-/// Parses SPEF text.  Throws SpefError with a 1-based line number on
-/// malformed input.
+/// Parse-mode knobs.
+struct SpefParseOptions {
+  bool lenient = false;  ///< collect diagnostics + recover instead of throwing
+  std::string path;      ///< source file for error locations ("" = in-memory)
+};
+
+/// Parses SPEF text.  Strict mode throws SpefError (typed code, 1-based
+/// line) on malformed input; lenient mode records diagnostics and recovers.
+[[nodiscard]] SpefFile parse_spef(std::string_view text, const SpefParseOptions& options);
 [[nodiscard]] SpefFile parse_spef(std::string_view text);
 
-/// Parses a SPEF file from disk.
+/// Parses a SPEF file from disk; errors and diagnostics carry `path`.
+[[nodiscard]] SpefFile parse_spef_file(const std::string& path,
+                                       const SpefParseOptions& options);
 [[nodiscard]] SpefFile parse_spef_file(const std::string& path);
 
 /// Serializes nets back to SPEF-lite (units: NS / PF / OHM).

@@ -1,0 +1,48 @@
+#pragma once
+// Cooperative deadlines.  A Deadline is a wall-clock point checked at safe
+// points in long computations (before an eigensolve, every few report
+// rows); check() throws robust::Error(kTimeout), so a net that blows its
+// budget unwinds to the engine's per-net failure handler instead of
+// stalling the whole batch.  Cooperative means exactly that: code between
+// checkpoints runs to completion, no thread is ever killed.
+
+#include <chrono>
+#include <string>
+
+#include "robust/error.hpp"
+
+namespace rct::robust {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires.
+  Deadline() = default;
+
+  /// Expires `timeout_ms` milliseconds from now; 0 means no deadline.
+  static Deadline after_ms(std::uint64_t timeout_ms) {
+    Deadline d;
+    if (timeout_ms > 0) {
+      d.armed_ = true;
+      d.expires_at_ = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] bool expired() const { return armed_ && Clock::now() >= expires_at_; }
+
+  /// Throws robust::Error(kTimeout) naming the checkpoint when expired.
+  void check(std::string_view where) const {
+    if (expired())
+      throw Error(Code::kTimeout,
+                  "deadline exceeded at " + std::string(where));
+  }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point expires_at_{};
+};
+
+}  // namespace rct::robust

@@ -1,0 +1,106 @@
+#include "robust/error.hpp"
+
+namespace rct::robust {
+
+std::string_view code_name(Code code) {
+  switch (code) {
+    case Code::kNone: return "none";
+    case Code::kFileOpen: return "file-open";
+    case Code::kSyntax: return "syntax";
+    case Code::kBadNumber: return "bad-number";
+    case Code::kBadUnit: return "bad-unit";
+    case Code::kUnsupported: return "unsupported";
+    case Code::kNoDriver: return "no-driver";
+    case Code::kEmptyInput: return "empty-input";
+    case Code::kDuplicateNode: return "duplicate-node";
+    case Code::kCycle: return "cycle";
+    case Code::kDisconnected: return "disconnected";
+    case Code::kDanglingLoad: return "dangling-load";
+    case Code::kEmptyTree: return "empty-tree";
+    case Code::kNonPhysicalValue: return "non-physical-value";
+    case Code::kNanValue: return "nan-value";
+    case Code::kNonConvergence: return "non-convergence";
+    case Code::kBoundViolation: return "bound-violation";
+    case Code::kTimeout: return "timeout";
+    case Code::kTaskFailure: return "task-failure";
+    case Code::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+Category category_of(Code code) {
+  switch (code) {
+    case Code::kNone:
+    case Code::kFileOpen:
+    case Code::kSyntax:
+    case Code::kBadNumber:
+    case Code::kBadUnit:
+    case Code::kUnsupported:
+    case Code::kNoDriver:
+    case Code::kEmptyInput:
+      return Category::kParse;
+    case Code::kDuplicateNode:
+    case Code::kCycle:
+    case Code::kDisconnected:
+    case Code::kDanglingLoad:
+    case Code::kEmptyTree:
+      return Category::kTopology;
+    case Code::kNonPhysicalValue:
+    case Code::kNanValue:
+    case Code::kNonConvergence:
+    case Code::kBoundViolation:
+      return Category::kNumeric;
+    case Code::kTimeout:
+    case Code::kTaskFailure:
+      return Category::kResource;
+    case Code::kCancelled:
+      return Category::kCancelled;
+  }
+  return Category::kParse;
+}
+
+std::string_view category_name(Category category) {
+  switch (category) {
+    case Category::kParse: return "parse";
+    case Category::kTopology: return "topology";
+    case Category::kNumeric: return "numeric";
+    case Category::kResource: return "resource";
+    case Category::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string format_message(Code code, const std::string& message,
+                           const SourceLocation& location, std::string_view stream_name) {
+  std::string out;
+  if (!location.file.empty())
+    out += location.file;
+  else if (!stream_name.empty())
+    out += stream_name;
+  if (location.line != 0) {
+    if (!out.empty()) out += ' ';
+    out += "line " + std::to_string(location.line);
+  }
+  if (!out.empty()) out += ": ";
+  out += message;
+  if (code != Code::kNone) {
+    out += " [";
+    out += category_name(category_of(code));
+    out += '/';
+    out += code_name(code);
+    out += ']';
+  }
+  return out;
+}
+
+std::string format_diagnostics(const std::vector<Diagnostic>& diagnostics,
+                               std::string_view stream_name) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.to_string(stream_name);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rct::robust

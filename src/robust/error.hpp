@@ -1,0 +1,144 @@
+#pragma once
+// robust — structured error taxonomy for the whole pipeline.
+//
+// Every failure the toolkit can produce carries a machine-readable code, a
+// category (parse / topology / numeric / resource / cancelled) and, when
+// known, a source location (file + 1-based line).  Parsers, core::report
+// and the batch engine throw robust::Error (or a thin subclass kept for
+// existing catch sites) instead of ad-hoc std::runtime_error strings, so
+// batch failure records, JSON output and exit codes can dispatch on the
+// code instead of substring-matching messages.
+//
+// Lenient parsing does not throw at all: defects are collected as
+// Diagnostic values (same code/category/location vocabulary) and the
+// parser recovers at the next safe point.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rct::robust {
+
+/// Coarse failure class; the batch engine and exit-code policy dispatch on
+/// this.
+enum class Category {
+  kParse,      ///< malformed input text
+  kTopology,   ///< element graph is not a rooted RC tree
+  kNumeric,    ///< non-physical values, NaN/Inf, non-convergence
+  kResource,   ///< deadlines, I/O, capacity
+  kCancelled,  ///< work abandoned by policy (fail-fast, max-failures)
+};
+
+/// Specific failure code.  category_of() maps each code to its Category.
+enum class Code {
+  kNone = 0,
+  // parse
+  kFileOpen,
+  kSyntax,
+  kBadNumber,
+  kBadUnit,
+  kUnsupported,
+  kNoDriver,
+  kEmptyInput,
+  // topology
+  kDuplicateNode,
+  kCycle,
+  kDisconnected,
+  kDanglingLoad,
+  kEmptyTree,
+  // numeric
+  kNonPhysicalValue,
+  kNanValue,
+  kNonConvergence,
+  kBoundViolation,
+  // resource
+  kTimeout,
+  kTaskFailure,
+  // cancelled
+  kCancelled,
+};
+
+/// Stable kebab-case name ("bad-number", "timeout"...) for JSON output.
+[[nodiscard]] std::string_view code_name(Code code);
+
+/// Category of a code (kNone maps to kParse; never emitted for successes).
+[[nodiscard]] Category category_of(Code code);
+
+/// Stable lowercase category name ("parse", "numeric"...).
+[[nodiscard]] std::string_view category_name(Category category);
+
+/// Where in the input a defect sits.  line == 0 means "whole file / not
+/// line-addressable"; file may be empty for in-memory text (the formatted
+/// message then falls back to the parser's stream name, e.g. "spef").
+struct SourceLocation {
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// Renders "<file-or-stream> line <N>: <message> [<category>/<code>]" —
+/// the one message format every error and diagnostic uses.
+[[nodiscard]] std::string format_message(Code code, const std::string& message,
+                                         const SourceLocation& location,
+                                         std::string_view stream_name);
+
+/// The toolkit-wide typed exception.  Derives from std::runtime_error so
+/// pre-taxonomy catch sites keep working; what() is format_message().
+class Error : public std::runtime_error {
+ public:
+  Error(Code code, const std::string& message, SourceLocation location = {},
+        std::string_view stream_name = {})
+      : std::runtime_error(format_message(code, message, location, stream_name)),
+        code_(code),
+        message_(message),
+        location_(std::move(location)),
+        stream_name_(stream_name) {}
+
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] Category category() const { return category_of(code_); }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] const SourceLocation& location() const { return location_; }
+
+  /// Copy of this error with the location's file filled in (used by the
+  /// *_file parser wrappers, which know the path their line-level callees
+  /// do not).
+  [[nodiscard]] Error with_file(const std::string& file) const {
+    Error e = *this;
+    e.rebind_file(file);
+    return e;
+  }
+
+ protected:
+  void rebind_file(const std::string& file) {
+    location_.file = file;
+    static_cast<std::runtime_error&>(*this) =
+        std::runtime_error(format_message(code_, message_, location_, stream_name_));
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+  SourceLocation location_;
+  std::string stream_name_;
+};
+
+/// One recovered defect from a lenient parse (same vocabulary as Error,
+/// minus the stack unwind).
+struct Diagnostic {
+  Code code = Code::kNone;
+  std::string message;
+  SourceLocation location;
+  std::string net;  ///< *D_NET name the defect belongs to ("" = file scope)
+
+  /// Same rendering as Error::what().
+  [[nodiscard]] std::string to_string(std::string_view stream_name = {}) const {
+    return format_message(code, message, location, stream_name);
+  }
+};
+
+/// Renders diagnostics one per line ("path line N: msg [cat/code]").
+[[nodiscard]] std::string format_diagnostics(const std::vector<Diagnostic>& diagnostics,
+                                             std::string_view stream_name = {});
+
+}  // namespace rct::robust

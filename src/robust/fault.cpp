@@ -1,0 +1,199 @@
+#include "robust/fault.hpp"
+
+#if RCT_FAULT_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rct::robust::fault {
+namespace {
+
+struct FaultSpec {
+  Action action;
+  std::uint64_t arg_ms;
+  int remaining;  ///< hits left; -1 = unlimited
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FaultSpec, std::less<>> armed;
+  std::map<std::string, std::uint64_t, std::less<>> fired;
+  std::atomic<int> armed_count{0};
+};
+
+Registry& storage() {
+  static Registry r;
+  return r;
+}
+
+void arm_locked(Registry& r, std::string_view site, Action action, std::uint64_t arg_ms,
+                int count) {
+  auto [it, inserted] = r.armed.insert_or_assign(std::string(site),
+                                                 FaultSpec{action, arg_ms, count});
+  if (inserted) r.armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Strips ASCII blanks so "site = action x1" parses like "site=actionx1".
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+std::size_t arm_from_string_locked(Registry& r, std::string_view spec) {
+  std::size_t armed = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry = trim(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw Error(Code::kSyntax, "fault spec entry '" + std::string(entry) +
+                                     "' is not site=action[:ms][xN]");
+    const std::string_view site = trim(entry.substr(0, eq));
+    std::string_view rhs = trim(entry.substr(eq + 1));
+    // Optional trailing xN hit limit.
+    int count = -1;
+    if (const std::size_t x = rhs.find_last_of('x');
+        x != std::string_view::npos && x + 1 < rhs.size() &&
+        rhs.find_first_not_of("0123456789", x + 1) == std::string_view::npos) {
+      count = std::atoi(std::string(rhs.substr(x + 1)).c_str());
+      rhs = trim(rhs.substr(0, x));
+    }
+    // Optional :arg (sleep duration in ms).
+    std::uint64_t arg_ms = 0;
+    if (const std::size_t colon = rhs.find(':'); colon != std::string_view::npos) {
+      arg_ms = std::strtoull(std::string(rhs.substr(colon + 1)).c_str(), nullptr, 10);
+      rhs = trim(rhs.substr(0, colon));
+    }
+    Action action;
+    if (rhs == "throw")
+      action = Action::kThrow;
+    else if (rhs == "nan")
+      action = Action::kNan;
+    else if (rhs == "sleep")
+      action = Action::kSleep;
+    else
+      throw Error(Code::kSyntax,
+                  "unknown fault action '" + std::string(rhs) + "' (throw|nan|sleep)");
+    arm_locked(r, site, action, arg_ms, count);
+    ++armed;
+  }
+  return armed;
+}
+
+/// Loads RCT_FAULT once, before the first registry access, so CLI runs can
+/// inject faults without code changes.  A malformed plan must not pass
+/// silently: the parse error propagates out of the first checkpoint hit.
+void ensure_env_loaded() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("RCT_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    Registry& r = storage();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    arm_from_string_locked(r, env);
+  });
+}
+
+/// Looks up `site` armed with `action`; consumes one hit and returns the
+/// spec when it fires.
+bool consume(std::string_view site, Action action, std::uint64_t* arg_ms = nullptr) {
+  ensure_env_loaded();
+  Registry& r = storage();
+  if (r.armed_count.load(std::memory_order_relaxed) == 0) return false;
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.armed.find(site);
+  if (it == r.armed.end() || it->second.action != action) return false;
+  if (arg_ms != nullptr) *arg_ms = it->second.arg_ms;
+  ++r.fired[std::string(site)];
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    r.armed.erase(it);
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace
+
+void arm(std::string_view site, Action action, std::uint64_t arg_ms, int count) {
+  ensure_env_loaded();
+  Registry& r = storage();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  arm_locked(r, site, action, arg_ms, count);
+}
+
+void disarm(std::string_view site) {
+  ensure_env_loaded();
+  Registry& r = storage();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (const auto it = r.armed.find(site); it != r.armed.end()) {
+    r.armed.erase(it);
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  ensure_env_loaded();
+  Registry& r = storage();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed.clear();
+  r.armed_count.store(0, std::memory_order_relaxed);
+}
+
+std::size_t arm_from_string(std::string_view spec) {
+  ensure_env_loaded();
+  Registry& r = storage();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return arm_from_string_locked(r, spec);
+}
+
+std::uint64_t fired_count(std::string_view site) {
+  ensure_env_loaded();
+  Registry& r = storage();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.fired.find(site);
+  return it == r.fired.end() ? 0 : it->second;
+}
+
+void reset_fired() {
+  ensure_env_loaded();
+  Registry& r = storage();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.fired.clear();
+}
+
+bool any_armed() {
+  ensure_env_loaded();
+  return storage().armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+void maybe_throw(std::string_view site, Code code) {
+  if (consume(site, Action::kThrow))
+    throw Error(code, "injected fault at " + std::string(site));
+}
+
+void maybe_sleep(std::string_view site) {
+  std::uint64_t ms = 0;
+  if (consume(site, Action::kSleep, &ms) && ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+double corrupt(std::string_view site, double value) {
+  if (consume(site, Action::kNan))
+    return std::numeric_limits<double>::quiet_NaN();
+  return value;
+}
+
+}  // namespace rct::robust::fault
+
+#endif  // RCT_FAULT_ENABLED

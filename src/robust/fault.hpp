@@ -1,0 +1,93 @@
+#pragma once
+// robust::fault — deterministic fault injection at named sites.
+//
+// Production code plants cheap checkpoints:
+//
+//   robust::fault::maybe_throw("core.report.eigensolve", Code::kNonConvergence);
+//   robust::fault::maybe_sleep("engine.net.analyze");
+//   x = robust::fault::corrupt("core.report.exact_delay", x);   // NaN when armed
+//
+// Tests arm them programmatically (arm / disarm_all) or, for end-to-end
+// CLI tests, via the RCT_FAULT environment variable:
+//
+//   RCT_FAULT="site=throw;site2=sleep:50;site3=nanx2"
+//
+// where the optional `:ARG` is the sleep duration in ms and the optional
+// `xN` suffix limits the fault to the first N hits of the site.  The
+// robustness tests use this to prove that isolation, timeout, retry and
+// degradation paths actually fire.
+//
+// Like the obs timing layer, the whole mechanism compiles out with
+// -DRCT_FAULT=OFF (RCT_FAULT_ENABLED=0): every checkpoint collapses to a
+// constant-false branch with zero runtime cost, and arm() becomes a no-op.
+// The default build keeps it on so the shipped test suite exercises the
+// degraded paths; the hot-path cost while disarmed is one relaxed atomic
+// load per checkpoint.
+
+#include <cstdint>
+#include <string_view>
+
+#include "robust/error.hpp"
+
+#ifndef RCT_FAULT_ENABLED
+#define RCT_FAULT_ENABLED 1
+#endif
+
+namespace rct::robust::fault {
+
+enum class Action {
+  kThrow,  ///< throw robust::Error at the site
+  kNan,    ///< corrupt() returns quiet NaN
+  kSleep,  ///< sleep arg_ms milliseconds
+};
+
+#if RCT_FAULT_ENABLED
+
+/// Arms `site`; the fault fires on its next `count` hits (-1 = every hit).
+void arm(std::string_view site, Action action, std::uint64_t arg_ms = 0, int count = -1);
+
+/// Disarms one site / every site.  fired counters survive disarm_all()
+/// until reset_fired().
+void disarm(std::string_view site);
+void disarm_all();
+
+/// Parses "site=action[:arg][xN][;...]" (also accepts ',' separators) and
+/// arms each entry; returns the number of entries armed.  Unknown actions
+/// throw robust::Error(kSyntax) — a mistyped fault plan must not silently
+/// test nothing.
+std::size_t arm_from_string(std::string_view spec);
+
+/// Times a site fired (for test assertions).
+[[nodiscard]] std::uint64_t fired_count(std::string_view site);
+void reset_fired();
+
+/// True when any site is armed (fast path: one relaxed atomic load).
+[[nodiscard]] bool any_armed();
+
+// --- checkpoints (no-ops while nothing is armed) -------------------------
+
+/// Throws robust::Error(code, "injected fault at <site>") when armed.
+void maybe_throw(std::string_view site, Code code = Code::kTaskFailure);
+
+/// Sleeps the armed duration when armed.
+void maybe_sleep(std::string_view site);
+
+/// Returns NaN when armed with kNan, `value` otherwise.
+[[nodiscard]] double corrupt(std::string_view site, double value);
+
+#else  // RCT_FAULT_ENABLED == 0: every checkpoint is a constant no-op.
+
+inline void arm(std::string_view, Action, std::uint64_t = 0, int = -1) {}
+inline void disarm(std::string_view) {}
+inline void disarm_all() {}
+inline std::size_t arm_from_string(std::string_view) { return 0; }
+[[nodiscard]] inline std::uint64_t fired_count(std::string_view) { return 0; }
+inline void reset_fired() {}
+[[nodiscard]] inline bool any_armed() { return false; }
+inline void maybe_throw(std::string_view, Code = Code::kTaskFailure) {}
+inline void maybe_sleep(std::string_view) {}
+[[nodiscard]] inline double corrupt(std::string_view, double value) { return value; }
+
+#endif
+
+}  // namespace rct::robust::fault

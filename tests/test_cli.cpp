@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string>
 
+#include "robust/fault.hpp"  // for the RCT_FAULT_ENABLED build flag
+
 #ifndef RCT_CLI_PATH
 #define RCT_CLI_PATH "./rct"
 #endif
@@ -236,5 +238,115 @@ TEST(Cli, BadNodeFailsCleanly) {
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.output.find("error:"), std::string::npos);
 }
+
+// ------------------------------------------------- robustness subcommands
+
+std::string bad_data(const char* file) { return data(("malformed/" + std::string(file)).c_str()); }
+
+TEST(Cli, ValidateCleanSpefExitsZero) {
+  const auto r = run("validate " + data("two_nets.spef"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("0 diagnostic(s)"), std::string::npos);
+}
+
+TEST(Cli, ValidateMalformedSpefListsTypedDiagnostics) {
+  const auto r = run("validate " + bad_data("mixed_good_bad.spef"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[numeric/non-physical-value]"), std::string::npos);
+  EXPECT_NE(r.output.find("1 net section(s) rejected"), std::string::npos);
+}
+
+TEST(Cli, BatchStrictRejectsMalformedWithLineNumber) {
+  const auto r = run("batch " + bad_data("mixed_good_bad.spef"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("line 24"), std::string::npos);
+}
+
+TEST(Cli, BatchLenientKeepsGoodNetsByteIdenticalAcrossJobs) {
+  const auto r1 = run_stdout("batch " + bad_data("mixed_good_bad.spef") + " --lenient --jobs 1");
+  EXPECT_EQ(r1.exit_code, 0);  // the bad net was skipped at parse, not failed
+  EXPECT_NE(r1.output.find("*D_NET good"), std::string::npos);
+  EXPECT_NE(r1.output.find("*D_NET good2"), std::string::npos);
+  EXPECT_EQ(r1.output.find("broken"), std::string::npos);
+  for (const char* jobs : {"2", "8"}) {
+    const auto rn =
+        run_stdout("batch " + bad_data("mixed_good_bad.spef") + " --lenient --jobs " + jobs);
+    EXPECT_EQ(rn.exit_code, 0);
+    EXPECT_EQ(r1.output, rn.output) << "--jobs " << jobs;
+  }
+}
+
+TEST(Cli, MalformedCorpusNeverCrashesEitherMode) {
+  const char* corpus[] = {
+      "truncated_dnet.spef", "negative_r.spef",     "nan_cap.spef",
+      "negative_cap.spef",   "duplicate_node.spef", "dangling_load.spef",
+      "empty.spef",          "no_driver.spef",      "cycle.spef",
+      "bad_unit.spef",       "mixed_good_bad.spef",
+  };
+  for (const char* name : corpus) {
+    SCOPED_TRACE(name);
+    const auto strict = run("batch " + bad_data(name));
+    EXPECT_EQ(strict.exit_code, 1);  // clean failure, never a signal
+    EXPECT_NE(strict.output.find("error:"), std::string::npos);
+    const auto lenient = run("validate " + bad_data(name));
+    EXPECT_EQ(lenient.exit_code, 1);
+    EXPECT_NE(lenient.output.find("diagnostic(s)"), std::string::npos);
+  }
+}
+
+#if RCT_FAULT_ENABLED
+
+/// Same popen harness with an environment prefix (sh syntax), for driving
+/// the binary's RCT_FAULT injection points end to end.
+RunResult run_with_env(const std::string& env, const std::string& args) {
+  const std::string cmd =
+      env + " " + std::string(RCT_CLI_PATH) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 4096> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  const int status = pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, std::move(out)};
+}
+
+TEST(Cli, FaultEnvSlowNetYieldsTimeoutRecordAndExitOne) {
+  const auto r = run_with_env("RCT_FAULT='engine.net.analyze=sleep:80'",
+                              "batch " + data("two_nets.spef") +
+                                  " --net-timeout-ms 10 --jobs 1 --json");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"code\":\"timeout\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"timed_out\":true"), std::string::npos);
+}
+
+TEST(Cli, FaultEnvNanExactDegradesButSucceeds) {
+  const auto r = run_with_env("RCT_FAULT='core.report.exact_delay=nan'",
+                              "batch " + data("two_nets.spef") + " --json");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("\"error\":null"), std::string::npos);
+}
+
+TEST(Cli, FaultEnvEigensolveThrowRetriesOnMomentsPath) {
+  const auto r = run_with_env("RCT_FAULT='core.report.eigensolve=throw'",
+                              "batch " + data("two_nets.spef") + " --json");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("\"retried\":true"), std::string::npos);
+  EXPECT_EQ(r.output.find("\"exact_delay_s\":1"), std::string::npos);
+}
+
+TEST(Cli, FaultEnvMetricsOutCarriesRobustnessCounters) {
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_robust_metrics.json";
+  const auto r = run_with_env("RCT_FAULT='core.report.exact_delay=nan'",
+                              "batch " + data("two_nets.spef") + " --metrics-out " + metrics);
+  EXPECT_EQ(r.exit_code, 0);
+  const std::string snapshot = slurp(metrics);
+  EXPECT_NE(snapshot.find("engine.nets.degraded"), std::string::npos);
+  EXPECT_NE(snapshot.find("core.report.degraded_rows"), std::string::npos);
+  std::remove(metrics.c_str());
+}
+
+#endif  // RCT_FAULT_ENABLED
 
 }  // namespace

@@ -3,11 +3,16 @@
 //   rct report <deck.sp>                 bound report for every node
 //   rct spef <file.spef>                 per-net load-pin bound report
 //   rct batch <file.spef>                parallel per-net report (thread pool)
+//   rct validate <file.spef>             lint a SPEF file, print diagnostics
 //   rct convert <deck.sp> <out.spef>     netlist -> SPEF-lite
 //   rct delay-curve <deck.sp> <node>     50-50 delay vs rise time (CSV)
 //   rct bode <deck.sp> <node>            magnitude/phase sweep (CSV)
 //
 // Deck format: see README (SPICE-like, .input/.probe directives).
+//
+// Exit codes: 0 = success (batch: every net analyzed cleanly; validate: no
+// diagnostics), 1 = runtime failure (parse error, or batch with >= 1 failed
+// net, or validate with diagnostics), 2 = usage error.
 
 #include <chrono>
 #include <condition_variable>
@@ -31,6 +36,7 @@
 #include "rctree/netlist_parser.hpp"
 #include "rctree/spef.hpp"
 #include "rctree/units.hpp"
+#include "robust/error.hpp"
 #include "sim/ac.hpp"
 #include "sim/exact.hpp"
 
@@ -42,13 +48,18 @@ int usage() {
   std::fprintf(stderr,
                "usage: rct report <deck.sp>\n"
                "       rct dot <deck.sp>\n"
-               "       rct spef <file.spef> [--exact-limit N] [--metrics-out FILE]\n"
+               "       rct spef <file.spef> [--exact-limit N] [--lenient] "
+               "[--metrics-out FILE]\n"
                "       rct batch <file.spef> [--jobs N] [--json] [--no-cache] "
                "[--exact-limit N]\n"
+               "                 [--lenient] [--net-timeout-ms N] [--max-failures N] "
+               "[--fail-fast]\n"
                "                 [--progress] [--trace-out FILE] [--metrics-out FILE]\n"
+               "       rct validate <file.spef>\n"
                "       rct convert <deck.sp> <out.spef>\n"
                "       rct delay-curve <deck.sp> <node>\n"
-               "       rct bode <deck.sp> <node>\n");
+               "       rct bode <deck.sp> <node>\n"
+               "exit codes: 0 ok, 1 runtime/net failures or diagnostics, 2 usage\n");
   return 2;
 }
 
@@ -56,8 +67,9 @@ int usage() {
 /// `positional`; unknown flags abort with usage.
 struct SpefFlags {
   std::vector<std::string> positional;
-  engine::BatchOptions batch;  // carries jobs/use_cache and the ReportOptions
+  engine::BatchOptions batch;  // carries jobs/use_cache/deadlines and the ReportOptions
   bool json = false;
+  bool lenient = false;      ///< skip malformed *D_NET sections with diagnostics
   bool progress = false;     ///< single-line stderr heartbeat (batch only)
   std::string trace_out;     ///< Chrome trace-event JSON path ("" = off)
   std::string metrics_out;   ///< metrics snapshot JSON path ("" = off)
@@ -85,6 +97,16 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first) {
       f.json = true;
     } else if (arg == "--no-cache") {
       f.batch.use_cache = false;
+    } else if (arg == "--lenient") {
+      f.lenient = true;
+    } else if (arg == "--net-timeout-ms") {
+      if (const char* v = value("--net-timeout-ms"))
+        f.batch.net_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-failures") {
+      if (const char* v = value("--max-failures"))
+        f.batch.max_failures = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--fail-fast") {
+      f.batch.fail_fast = true;
     } else if (arg == "--progress") {
       f.progress = true;
     } else if (arg == "--trace-out") {
@@ -100,6 +122,21 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first) {
     if (!f.ok) break;
   }
   return f;
+}
+
+/// Parses the command's SPEF input honoring --lenient; lenient diagnostics
+/// go to stderr (stdout stays reserved for the deterministic report).
+SpefFile parse_spef_input(const SpefFlags& flags) {
+  const obs::Span span("cli.spef.parse", "cli", flags.positional[0]);
+  SpefParseOptions opt;
+  opt.lenient = flags.lenient;
+  SpefFile file = parse_spef_file(flags.positional[0], opt);
+  if (!file.diagnostics.empty()) {
+    std::fprintf(stderr, "%s", robust::format_diagnostics(file.diagnostics).c_str());
+    std::fprintf(stderr, "lenient parse: %zu diagnostic(s), %zu net section(s) rejected\n",
+                 file.diagnostics.size(), file.nets_rejected);
+  }
+  return file;
 }
 
 int cmd_report(const std::string& path) {
@@ -158,6 +195,8 @@ class ProgressMeter {
   void print_line() const {
     const auto& reg = obs::registry();
     const std::uint64_t done_nets = reg.counter_value("engine.nets.completed");
+    const std::uint64_t failed = reg.counter_value("engine.nets.failed");
+    const std::uint64_t degraded = reg.counter_value("engine.nets.degraded");
     const std::uint64_t hits = reg.counter_value("engine.cache.hits");
     const std::uint64_t misses = reg.counter_value("engine.cache.misses");
     const double elapsed =
@@ -171,8 +210,11 @@ class ProgressMeter {
       std::snprintf(eta, sizeof(eta), "%.1fs",
                     elapsed * static_cast<double>(total_ - done_nets) /
                         static_cast<double>(done_nets));
-    std::fprintf(stderr, "\rbatch: %llu/%zu nets, cache hit %s, eta %s   ",
-                 static_cast<unsigned long long>(done_nets), total_, hit_rate, eta);
+    std::fprintf(stderr, "\rbatch: %llu/%zu nets, %llu failed, %llu degraded, "
+                 "cache hit %s, eta %s   ",
+                 static_cast<unsigned long long>(done_nets), total_,
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(degraded), hit_rate, eta);
     std::fflush(stderr);
   }
 
@@ -187,10 +229,7 @@ class ProgressMeter {
 
 int cmd_spef(const SpefFlags& flags) {
   obs_begin(flags);
-  const SpefFile file = [&flags] {
-    const obs::Span span("cli.spef.parse", "cli", flags.positional[0]);
-    return parse_spef_file(flags.positional[0]);
-  }();
+  const SpefFile file = parse_spef_input(flags);
   std::printf("design '%s': %zu net(s)\n", file.design.c_str(), file.nets.size());
   for (const SpefNet& net : file.nets) {
     const obs::Span span("cli.spef.net", "cli", net.name);
@@ -213,10 +252,7 @@ int cmd_spef(const SpefFlags& flags) {
 
 int cmd_batch(const SpefFlags& flags) {
   obs_begin(flags);
-  const SpefFile file = [&flags] {
-    const obs::Span span("cli.spef.parse", "cli", flags.positional[0]);
-    return parse_spef_file(flags.positional[0]);
-  }();
+  const SpefFile file = parse_spef_input(flags);
   engine::BatchResult result;
   {
     const ProgressMeter progress(flags.progress, file.nets.size());
@@ -234,6 +270,20 @@ int cmd_batch(const SpefFlags& flags) {
   }
   obs_end(flags);
   return result.stats.failures == 0 ? 0 : 1;
+}
+
+/// `rct validate <file.spef>`: lenient parse, one diagnostic per line on
+/// stdout, human summary on stderr.  Exit 0 = clean, 1 = any diagnostic.
+int cmd_validate(const std::string& path) {
+  SpefParseOptions opt;
+  opt.lenient = true;
+  const SpefFile file = parse_spef_file(path, opt);
+  std::printf("%s", robust::format_diagnostics(file.diagnostics).c_str());
+  std::fprintf(stderr, "%s: %zu net(s) parsed, %zu net section(s) rejected, "
+               "%zu diagnostic(s)\n",
+               path.c_str(), file.nets.size(), file.nets_rejected,
+               file.diagnostics.size());
+  return file.diagnostics.empty() ? 0 : 1;
 }
 
 int cmd_convert(const std::string& in_path, const std::string& out_path) {
@@ -301,6 +351,7 @@ int main(int argc, char** argv) {
       if (!flags.ok || flags.positional.size() != 1) return usage();
       return cmd == "spef" ? cmd_spef(flags) : cmd_batch(flags);
     }
+    if (cmd == "validate") return cmd_validate(argv[2]);
     if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
     if (cmd == "delay-curve" && argc >= 4) return cmd_delay_curve(argv[2], argv[3]);
     if (cmd == "bode" && argc >= 4) return cmd_bode(argv[2], argv[3]);
