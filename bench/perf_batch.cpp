@@ -4,10 +4,15 @@
 // the speedup over --jobs 1; on multi-core hardware --jobs 4 is expected
 // to clear 2x.
 //
-//   perf_batch [nets] [nodes_per_net] [max_jobs]
+//   perf_batch [nets] [nodes_per_net] [max_jobs] [--benchmark_out=FILE]
+//
+// Datapoints also land in google-benchmark-shaped JSON (default
+// BENCH_batch.json) so scripts/perf_compare.py can diff runs.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,14 +42,56 @@ std::vector<rct::SpefNet> generate_workload(std::size_t count, std::size_t nodes
   return nets;
 }
 
+/// One datapoint for the JSON report (google-benchmark field names, so one
+/// comparison tool serves both bench binaries).
+struct Datapoint {
+  std::string name;
+  double real_time_s;
+  double nets_per_second;
+};
+
+bool write_benchmark_json(const std::string& path, const std::vector<Datapoint>& points,
+                          std::size_t net_count, std::size_t nodes) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"context\": {\n"
+      << "    \"executable\": \"perf_batch\",\n"
+      << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "    \"workload_nets\": " << net_count << ",\n"
+      << "    \"workload_nodes_per_net\": " << nodes << "\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"run_type\": \"iteration\", \"iterations\": 1, "
+                  "\"real_time\": %.6e, \"time_unit\": \"s\", \"nets_per_second\": %.1f}%s\n",
+                  points[i].name.c_str(), points[i].real_time_s, points[i].nets_per_second,
+                  i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t net_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1000;
-  const std::size_t nodes = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 50;
-  std::size_t max_jobs = argc > 3 ? std::strtoul(argv[3], nullptr, 10)
-                                  : std::thread::hardware_concurrency();
+  // --benchmark_out=FILE may appear anywhere; positionals keep their order.
+  std::string out_path = "BENCH_batch.json";
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+      out_path = argv[i] + 16;
+    else
+      positional.push_back(argv[i]);
+  }
+  const std::size_t net_count =
+      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 1000;
+  const std::size_t nodes = positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 50;
+  std::size_t max_jobs = positional.size() > 2 ? std::strtoul(positional[2], nullptr, 10)
+                                               : std::thread::hardware_concurrency();
   if (max_jobs == 0) max_jobs = 1;
+  std::vector<Datapoint> points;
 
   rct::bench::header("batch engine throughput: 1 thread vs N threads",
                      "engine scaling (no paper counterpart; production-scale substrate)");
@@ -70,6 +117,8 @@ int main(int argc, char** argv) {
     if (jobs == 1) base_wall = wall;
     std::printf("%8zu %12.4f %14.1f %9.2fx\n", jobs, wall,
                 static_cast<double>(net_count) / wall, base_wall / wall);
+    points.push_back({"BM_BatchThroughput/jobs:" + std::to_string(jobs), wall,
+                      static_cast<double>(net_count) / wall});
   }
 
   rct::bench::rule();
@@ -86,6 +135,15 @@ int main(int argc, char** argv) {
     const rct::engine::BatchResult r = rct::engine::analyze_nets(stamped, opt);
     std::printf("# cache %-3s  wall %.4fs  analyzed %zu  hits %zu\n", use_cache ? "on" : "off",
                 r.stats.total.wall_s, r.stats.tasks_run, r.stats.cache_hits);
+    points.push_back({std::string("BM_BatchStamped/cache:") + (use_cache ? "on" : "off"),
+                      r.stats.total.wall_s,
+                      static_cast<double>(stamped.size()) / r.stats.total.wall_s});
   }
+
+  if (!write_benchmark_json(out_path, points, net_count, nodes)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("# datapoints: %s\n", out_path.c_str());
   return 0;
 }

@@ -42,6 +42,18 @@ if [[ -n "$LINT_HITS" ]]; then
   exit 1
 fi
 
+# --- lint: raw stderr writes in the engine ----------------------------------
+# The engine reports through obs::log (structured, rate-limited, routable);
+# a raw fprintf(stderr, ...) bypasses --log-out, breaks JSON-lines consumers
+# and dodges the rate limiter.
+echo "== lint: raw fprintf(stderr, ...) in src/engine =="
+STDERR_HITS=$(grep -rn 'fprintf(stderr' src/engine || true)
+if [[ -n "$STDERR_HITS" ]]; then
+  echo "$STDERR_HITS"
+  echo "lint: use obs::log::{debug,info,warn,error} instead of fprintf(stderr, ...)"
+  exit 1
+fi
+
 # --- lint: untyped runtime_error throws in the robustness-covered layers ----
 # Parsers, core analysis and the engine report failures as robust::Error so
 # per-net records carry a code and category.  Lower layers (sim, linalg)
@@ -111,6 +123,50 @@ for name in ("engine.net.analyze_seconds", "analysis.context.build_seconds"):
     assert sum(b["count"] for b in hist["buckets"]) == hist["count"], f"{name}: counts"
 print(f"trace OK ({len(events)} events, layers: {sorted(cats)}); metrics OK "
       f"({len(metrics['counters'])} counters, {len(metrics['histograms'])} histograms)")
+PY
+
+  echo "== Prometheus exposition validation (TSan-built CLI) =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct batch testdata/two_nets.spef \
+    --jobs 4 --metrics-format prom --metrics-out build-tsan/metrics.prom \
+    > /dev/null 2> /dev/null
+  python3 - build-tsan/metrics.prom <<'PY'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
+helps, types, samples = set(), {}, {}
+for ln in lines:
+    if not ln:
+        continue
+    if ln.startswith("# HELP "):
+        helps.add(ln.split()[2])
+    elif ln.startswith("# TYPE "):
+        _, _, name, kind = ln.split()
+        types[name] = kind
+    else:
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', ln)
+        assert m, f"malformed sample line: {ln!r}"
+        samples.setdefault(m.group(1), []).append((m.group(2) or "", float(m.group(3))))
+assert types, "no TYPE lines"
+for name, kind in types.items():
+    assert name in helps, f"{name}: TYPE without HELP"
+    assert re.fullmatch(r"rct_[a-z0-9_]+", name), f"unsanitized name: {name}"
+    assert kind in ("counter", "gauge", "histogram"), f"{name}: bad type {kind}"
+hist = [n for n, k in types.items() if k == "histogram"]
+assert hist, "no histograms in exposition"
+for name in hist:
+    buckets = [(l, v) for l, v in samples.get(name + "_bucket", [])]
+    assert buckets, f"{name}: no _bucket samples"
+    les = [re.search(r'le="([^"]+)"', l).group(1) for l, _ in buckets]
+    assert les[-1] == "+Inf", f"{name}: last bucket le={les[-1]}, want +Inf"
+    bounds = [float("inf") if le == "+Inf" else float(le) for le in les]
+    assert bounds == sorted(bounds), f"{name}: le bounds not sorted"
+    counts = [v for _, v in buckets]
+    assert counts == sorted(counts), f"{name}: cumulative bucket counts not monotone"
+    (_, total), = samples[name + "_count"]
+    assert counts[-1] == total, f"{name}: +Inf bucket {counts[-1]} != _count {total}"
+    (_, s), = samples[name + "_sum"]
+    assert s >= 0 or total == 0, f"{name}: negative _sum"
+print(f"prometheus OK ({len(types)} metrics, {len(hist)} histograms, "
+      f"{sum(len(v) for v in samples.values())} samples)")
 PY
 fi
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and flag regressions.
+
+Usage:
+    scripts/perf_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Accepts the JSON written by bench/perf_report (google-benchmark's native
+--benchmark_out format) and bench/perf_batch (the same shape, hand-emitted).
+Benchmarks are matched by name; for each pair the relative change in
+real_time is reported.  A benchmark whose real_time grew by more than the
+threshold (default 10%) is flagged as a regression and the exit code is 1.
+
+Benchmarks present in only one file are listed but never flagged — adding
+or retiring a benchmark is not a regression.
+
+Exit codes: 0 = no regressions, 1 = at least one regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_seconds} for one benchmark JSON file."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"error: cannot read '{path}': {e}\n")
+        sys.exit(2)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list):
+        sys.stderr.write(f"error: '{path}' has no 'benchmarks' array\n")
+        sys.exit(2)
+    out = {}
+    for b in benches:
+        name = b.get("name")
+        time = b.get("real_time")
+        if name is None or time is None:
+            continue
+        # Aggregate entries (mean/median/stddev) would double-count; keep
+        # plain iterations plus explicit means when present.
+        run_type = b.get("run_type", "iteration")
+        if run_type == "aggregate" and b.get("aggregate_name") != "mean":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}.get(unit)
+        if scale is None:
+            sys.stderr.write(f"error: unknown time_unit '{unit}' in '{path}'\n")
+            sys.exit(2)
+        out[name] = time * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative real_time growth that counts as a regression "
+                         "(default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+
+    shared = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    regressions = []
+    print(f"{'benchmark':<48} {'baseline':>12} {'current':>12} {'change':>9}")
+    for name in shared:
+        b, c = base[name], cur[name]
+        change = (c - b) / b if b > 0 else float("inf")
+        flag = ""
+        if change > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append(name)
+        elif change < -args.threshold:
+            flag = "  improved"
+        print(f"{name:<48} {b:>11.4g}s {c:>11.4g}s {change:>+8.1%}{flag}")
+
+    for name in only_base:
+        print(f"{name:<48} {base[name]:>11.4g}s {'-':>12}   (removed)")
+    for name in only_cur:
+        print(f"{name:<48} {'-':>12} {cur[name]:>11.4g}s   (new)")
+
+    if not shared:
+        sys.stderr.write("warning: no shared benchmarks between the two files\n")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) over "
+              f"{args.threshold:.0%}: " + ", ".join(regressions))
+        return 1
+    print(f"\nno regressions over {args.threshold:.0%} "
+          f"({len(shared)} shared benchmark(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

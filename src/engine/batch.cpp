@@ -12,6 +12,8 @@
 
 #include "engine/net_cache.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rctree/units.hpp"
@@ -85,7 +87,8 @@ obs::Histogram& merge_phase_histogram() {
 /// a typed code).  `report` is the per-attempt option set — the deadline
 /// pointer and the retry's with_exact flip live there, not in
 /// options.report.
-NetResult analyze_one(const SpefNet& net, const core::ReportOptions& report, NetCache* cache) {
+NetResult analyze_one_impl(const SpefNet& net, const core::ReportOptions& report,
+                           NetCache* cache) {
   const obs::Span span("engine.net.analyze", "engine", net.name);
   const obs::ScopedTimer timer(net_analyze_histogram());
   EngineCounters& ec = EngineCounters::get();
@@ -148,6 +151,28 @@ NetResult analyze_one(const SpefNet& net, const core::ReportOptions& report, Net
   return r;
 }
 
+/// analyze_one_impl plus the per-attempt observability shell: a flight
+/// recorder event covering the attempt (named by `phase`) and plain-chrono
+/// wall timing into NetResult::analyze_seconds.  The chrono clock is
+/// deliberately independent of RCT_OBS so `--top-slow` works in every
+/// build.
+NetResult analyze_one(const SpefNet& net, const core::ReportOptions& report, NetCache* cache,
+                      const char* phase) {
+  obs::flight::Recorder& fr = obs::flight::recorder();
+  obs::flight::Recorder::Handle flight = fr.begin(net.name, phase);
+  const auto wall_start = std::chrono::steady_clock::now();
+  NetResult r = analyze_one_impl(net, report, cache);
+  r.analyze_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  obs::flight::Outcome outcome = obs::flight::Outcome::kOk;
+  if (!r.ok()) {
+    outcome = r.code == robust::Code::kTimeout ? obs::flight::Outcome::kTimeout
+                                               : obs::flight::Outcome::kFailed;
+  }
+  fr.end(flight, outcome, r.code);
+  return r;
+}
+
 /// Full per-net policy: first attempt under the configured options, then —
 /// when the exact path failed for a non-structural reason — one automatic
 /// retry on the moments path with a fresh deadline.
@@ -157,12 +182,16 @@ NetResult run_net(const SpefNet& net, const BatchOptions& options, NetCache* cac
   const robust::Deadline deadline = robust::Deadline::after_ms(options.net_timeout_ms);
   if (deadline.armed()) report.deadline = &deadline;
 
-  NetResult r = analyze_one(net, report, cache);
+  NetResult r = analyze_one(net, report, cache, "analyze");
   if (!r.ok()) {
     r.phase = "analyze";
     if (r.code == robust::Code::kTimeout) {
       r.timed_out = true;
       ec.nets_timed_out.add();
+      obs::log::warn("engine.net.timeout",
+                     {{"net", net.name},
+                      {"phase", "analyze"},
+                      {"timeout_ms", options.net_timeout_ms}});
     }
     // Parse/topology defects fail identically on any path; everything else
     // (non-convergence, NaN, timeout, task failure) deserves the cheap
@@ -173,13 +202,16 @@ NetResult run_net(const SpefNet& net, const BatchOptions& options, NetCache* cac
                            cat != robust::Category::kTopology;
     if (retryable) {
       ec.nets_retried.add();
+      obs::log::info("engine.net.retry",
+                     {{"net", net.name}, {"code", robust::code_name(r.code)}});
       core::ReportOptions moments = report;
       moments.with_exact = false;
       const robust::Deadline retry_deadline = robust::Deadline::after_ms(options.net_timeout_ms);
       moments.deadline = retry_deadline.armed() ? &retry_deadline : nullptr;
-      NetResult second = analyze_one(net, moments, cache);
+      NetResult second = analyze_one(net, moments, cache, "retry");
       second.retried = true;
       second.timed_out = r.timed_out;
+      second.analyze_seconds += r.analyze_seconds;  // both attempts cost this net
       if (second.ok()) {
         r = std::move(second);
       } else {
@@ -189,10 +221,20 @@ NetResult run_net(const SpefNet& net, const BatchOptions& options, NetCache* cac
         if (second.code == robust::Code::kTimeout) {
           second.timed_out = true;
           ec.nets_timed_out.add();
+          obs::log::warn("engine.net.timeout",
+                         {{"net", net.name},
+                          {"phase", "retry"},
+                          {"timeout_ms", options.net_timeout_ms}});
         }
         r = std::move(second);
       }
     }
+  }
+  if (!r.ok()) {
+    obs::log::warn("engine.net.failed", {{"net", net.name},
+                                         {"code", robust::code_name(r.code)},
+                                         {"phase", r.phase},
+                                         {"error", r.error}});
   }
   if (r.retried) r.degraded = true;
   for (const core::NodeReport& row : r.rows) {
@@ -251,6 +293,15 @@ std::string EngineStats::summary() const {
                   degraded, retried, timed_out, cancelled);
     os << buf;
   }
+  // Per-net latency quantiles from the global histogram (process-lifetime,
+  // not per-run — runs are sequential in practice, see the struct comment).
+  // Absent when nothing was observed, which is also the -DRCT_OBS=OFF path:
+  // scoped timers compile out, so the histogram stays empty.
+  if (const obs::Histogram* h = obs::registry().find_histogram("engine.net.analyze_seconds");
+      h != nullptr && h->count() > 0) {
+    os << "; analyze latency p50 " << format_time(h->quantile(0.50)) << " / p95 "
+       << format_time(h->quantile(0.95)) << " / p99 " << format_time(h->quantile(0.99));
+  }
   return os.str();
 }
 
@@ -284,6 +335,12 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
       options.fail_fast ? std::size_t{1} : options.max_failures;
   std::atomic<std::size_t> failed_so_far{0};
 
+  obs::log::info("engine.batch.start",
+                 {{"nets", static_cast<std::uint64_t>(nets.size())},
+                  {"jobs", static_cast<std::uint64_t>(jobs)},
+                  {"use_cache", options.use_cache},
+                  {"net_timeout_ms", options.net_timeout_ms}});
+
   const PhaseTimer analyze;
   {
     const obs::Span span("engine.batch.analyze", "engine");
@@ -310,6 +367,9 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
           ec.nets_cancelled.add();
           ec.nets_failed.add();
           ec.nets_completed.add();
+          obs::flight::recorder().record(net.name, "cancelled", obs::flight::Outcome::kCancelled,
+                                         robust::Code::kCancelled, 0);
+          obs::log::debug("engine.net.cancelled", {{"net", net.name}});
           return;
         }
         slot = run_net(net, options, cache_ptr);
@@ -347,6 +407,11 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
     analyze_phase_histogram().observe(out.stats.analyze.wall_s);
     merge_phase_histogram().observe(out.stats.merge.wall_s);
   }
+  obs::log::info("engine.batch.done",
+                 {{"nets", static_cast<std::uint64_t>(out.stats.nets)},
+                  {"failures", static_cast<std::uint64_t>(out.stats.failures)},
+                  {"cache_hits", static_cast<std::uint64_t>(out.stats.cache_hits)},
+                  {"wall_s", out.stats.total.wall_s}});
   // Every analyzed (non-cache-hit) net either built its TreeContext or
   // adopted one from a content-identical sibling — nothing else.
   assert(out.stats.contexts_built + out.stats.context_reuses == out.stats.tasks_run);

@@ -67,6 +67,10 @@ struct NetResult {
   std::string phase;
   bool retried = false;    ///< rows (or final failure) came from the moments retry
   bool timed_out = false;  ///< a deadline expired (even if the retry then succeeded)
+  /// Wall time spent analyzing this net, summed across attempts (0 for
+  /// cancelled nets).  Feeds the CLI's `--top-slow` table; deliberately
+  /// absent from the deterministic stdout renderers.
+  double analyze_seconds = 0.0;
   /// Any row degraded (exact result discarded, see core::NodeReport), or
   /// the whole net fell back to the moments retry.
   bool degraded = false;

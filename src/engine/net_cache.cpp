@@ -1,8 +1,10 @@
 #include "engine/net_cache.hpp"
 
 #include <bit>
+#include <cstdint>
 #include <memory>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace rct::engine {
@@ -145,6 +147,8 @@ std::shared_ptr<const analysis::TreeContext> NetCache::insert_context(
     if (e.key == key) {
       ctx_hits_.fetch_add(1);  // lost the race; caller adopts the winner
       context_hit_counter().add();
+      obs::log::debug("engine.cache.context_race",
+                      {{"hash", static_cast<std::uint64_t>(key.hash)}});
       return e.context;
     }
   }

@@ -1,5 +1,8 @@
 #include "engine/thread_pool.hpp"
 
+#include <exception>
+
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -86,8 +89,13 @@ bool ThreadPool::try_run_one(std::size_t home) {
   try {
     const obs::Span span("pool.task.run", "pool");
     task();
+  } catch (const std::exception& e) {
+    // Tasks own their exceptions; never let one kill the pool.  The engine
+    // wraps analysis in its own catch, so anything landing here escaped a
+    // task's OWN handling — worth a log line, since it used to vanish.
+    obs::log::warn("pool.task.exception", {{"what", e.what()}});
   } catch (...) {
-    // Tasks own their exceptions; never let one kill the pool.
+    obs::log::warn("pool.task.exception", {{"what", "non-std exception"}});
   }
   {
     std::lock_guard<std::mutex> lock(sleep_mutex_);

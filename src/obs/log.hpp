@@ -1,0 +1,154 @@
+#pragma once
+// obs::log — leveled, thread-safe, rate-limited structured event log.
+//
+// Events are JSON lines with a fixed envelope plus flat caller fields:
+//
+//   {"ts_us":1754640000000000,"level":"warn","event":"engine.net.failed",
+//    "net":"clk_mesh_17","code":"timeout","phase":"analyze"}
+//
+// Event names follow the registry/span convention (`layer.component.op`),
+// so a metrics counter, a trace span and a log event about the same
+// operation line up by name.  The sink is opt-in at runtime: until
+// logger().open() succeeds (the CLI arms it for --log-out) every call site
+// is one relaxed atomic load and an early return — no clock read, no field
+// materialization beyond building the initializer list, no allocation.
+// Call sites that construct expensive field values should guard with
+// enabled(level) first; the engine's adoption sites are all on cold paths
+// (batch boundaries and failure records), not per-row loops.
+//
+// Rate limiting: a token bucket (default 10000 events/s, burst = 1s of
+// rate) sheds load instead of stalling the engine when a pathological deck
+// fails on every net.  Dropped events are counted (obs.log.dropped in the
+// metrics registry) and reported as one `obs.log.dropped` event when the
+// bucket refills and at close(), so a postmortem can see that — and how
+// much — the log lied by omission.
+//
+// Unlike spans, logging is NOT compiled out by -DRCT_OBS=OFF: like
+// counters, it stays runtime-opt-in in every build (the disabled cost is
+// one atomic load; the paid cost only exists when the user asked for a
+// log).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rct::obs::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Stable lowercase name ("debug", "info", "warn", "error").
+[[nodiscard]] std::string_view level_name(Level level);
+
+/// Parses a --log-level value; returns false (leaving `out` untouched) on
+/// an unknown name.
+[[nodiscard]] bool parse_level(std::string_view text, Level& out);
+
+/// One structured field.  Keys must be string literals (stored by
+/// pointer); string values are captured by view and serialized before the
+/// emitting call returns.
+struct Field {
+  enum class Kind { kString, kFloat, kUint, kInt, kBool };
+
+  constexpr Field(const char* k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  constexpr Field(const char* k, const char* v) : key(k), kind(Kind::kString), str(v) {}
+  constexpr Field(const char* k, double v) : key(k), kind(Kind::kFloat), f(v) {}
+  constexpr Field(const char* k, std::uint64_t v) : key(k), kind(Kind::kUint), u(v) {}
+  constexpr Field(const char* k, int v)
+      : key(k), kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+  constexpr Field(const char* k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+
+  const char* key;
+  Kind kind;
+  std::string_view str{};
+  double f = 0.0;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  bool b = false;
+};
+
+class Logger {
+ public:
+  Logger() = default;
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Opens the sink: a file path, or "-" for stderr.  Returns false (sink
+  /// unchanged) when the path cannot be opened.  Reopening closes the
+  /// previous sink first.
+  bool open(const std::string& path);
+
+  /// Emits the pending drop summary (if any), flushes and detaches the
+  /// sink.  Safe to call with no sink.
+  void close();
+
+  void set_level(Level level) { level_.store(static_cast<int>(level), std::memory_order_relaxed); }
+  [[nodiscard]] Level level() const {
+    return static_cast<Level>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// Token-bucket rate limit in events/second; 0 disables the limit.
+  void set_rate_limit(std::uint64_t events_per_second);
+
+  /// True when an event at `level` would actually be written.  The cheap
+  /// guard for call sites whose fields are expensive to build.
+  [[nodiscard]] bool enabled(Level level) const {
+    return sink_armed_.load(std::memory_order_relaxed) &&
+           static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes one event (a JSON line).  `event` must be a static string in
+  /// `layer.component.op` form.  No-op when not enabled(level).
+  void emit(Level level, const char* event, std::initializer_list<Field> fields = {});
+
+  /// Events shed by the rate limiter since the logger was opened.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Serializes and writes under sink_mutex_; assumes enabled() was checked.
+  void write_line(Level level, const char* event, const Field* fields, std::size_t n_fields);
+  /// Takes one token; false = shed this event.  Caller holds sink_mutex_.
+  bool take_token_locked();
+  /// Emits the obs.log.dropped summary event.  Caller holds sink_mutex_.
+  void report_drops_locked();
+
+  std::atomic<bool> sink_armed_{false};
+  std::atomic<int> level_{static_cast<int>(Level::kInfo)};
+  std::atomic<std::uint64_t> dropped_total_{0};
+
+  mutable std::mutex sink_mutex_;
+  std::FILE* sink_ = nullptr;   ///< owned unless sink_is_stderr_
+  bool sink_is_stderr_ = false;
+  // Token bucket (guarded by sink_mutex_): refilled from the steady clock
+  // at rate_ tokens/s, capped at a 1-second burst.
+  std::uint64_t rate_ = 10000;
+  double tokens_ = 0.0;
+  std::uint64_t last_refill_ns_ = 0;
+  std::uint64_t dropped_unreported_ = 0;
+};
+
+/// The process-global logger every layer emits into.
+[[nodiscard]] Logger& logger();
+
+// Convenience wrappers over logger().emit().
+inline void debug(const char* event, std::initializer_list<Field> fields = {}) {
+  logger().emit(Level::kDebug, event, fields);
+}
+inline void info(const char* event, std::initializer_list<Field> fields = {}) {
+  logger().emit(Level::kInfo, event, fields);
+}
+inline void warn(const char* event, std::initializer_list<Field> fields = {}) {
+  logger().emit(Level::kWarn, event, fields);
+}
+inline void error(const char* event, std::initializer_list<Field> fields = {}) {
+  logger().emit(Level::kError, event, fields);
+}
+
+}  // namespace rct::obs::log

@@ -64,6 +64,31 @@ void atomic_max(std::atomic<double>& a, double v) {
   }
 }
 
+/// Prometheus metric name for a dotted registry name: `rct_` prefix, every
+/// character outside [a-zA-Z0-9_] mapped to '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "rct_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Writes `body` to `path`, with "-" meaning stderr (pipelines capture
+/// telemetry without temp files); false on I/O error.
+bool write_text(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::fwrite(body.data(), 1, body.size(), stderr);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
@@ -102,6 +127,40 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // One coherent local copy of the counts: the total is derived from the
+  // same loads that position the rank, so a concurrent observe() can only
+  // shift the estimate by the in-flight samples, never corrupt it.
+  const std::size_t n = bounds_.size();
+  std::vector<std::uint64_t> counts(n + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double lo_obs = min();
+  const double hi_obs = max();
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cum + counts[i]) >= rank) {
+      // The open edges of the distribution (below the first bound, above
+      // the last) have no finite bucket width; the observed extrema are
+      // the tightest monotone caps available.
+      const double lo = i == 0 ? std::min(lo_obs, bounds_.empty() ? lo_obs : bounds_[0])
+                               : bounds_[i - 1];
+      const double hi = i < n ? bounds_[i] : hi_obs;
+      const double frac = (rank - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return std::clamp(lo + (hi - lo) * frac, lo_obs, hi_obs);
+    }
+    cum += counts[i];
+  }
+  return hi_obs;
 }
 
 const std::vector<double>& Histogram::default_latency_bounds() {
@@ -150,6 +209,12 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 void MetricsRegistry::reset() {
@@ -202,17 +267,69 @@ std::string MetricsRegistry::to_json() const {
     append_json_double(out, h->min());
     out += ",\"max\":";
     append_json_double(out, h->max());
+    out += ",\"p50\":";
+    append_json_double(out, h->quantile(0.50));
+    out += ",\"p95\":";
+    append_json_double(out, h->quantile(0.95));
+    out += ",\"p99\":";
+    append_json_double(out, h->quantile(0.99));
     out += '}';
   }
   out += "}}";
   return out;
 }
 
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  const auto emit_header = [&out](const std::string& prom_name, const std::string& raw_name,
+                                  const char* type) {
+    out += "# HELP " + prom_name + " rct " + type + " " + raw_name + "\n";
+    out += "# TYPE " + prom_name + " " + type + "\n";
+  };
+  const auto number = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = prometheus_name(name);
+    emit_header(prom, name, "counter");
+    out += prom + ' ' + std::to_string(c->value()) + '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = prometheus_name(name);
+    emit_header(prom, name, "gauge");
+    out += prom + ' ' + number(g->value()) + '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = prometheus_name(name);
+    emit_header(prom, name, "histogram");
+    // Prometheus buckets are cumulative, ours are per-bucket: accumulate.
+    const auto bounds = h->bounds();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += h->bucket_count(i);
+      char le[40];
+      std::snprintf(le, sizeof(le), "%g", bounds[i]);
+      out += prom + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + '\n';
+    }
+    cum += h->bucket_count(bounds.size());
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + '\n';
+    out += prom + "_sum " + number(h->sum()) + '\n';
+    // _count repeats the +Inf cumulative count (required equal by the
+    // exposition format), not a separate count_ load that could race ahead.
+    out += prom + "_count " + std::to_string(cum) + '\n';
+  }
+  return out;
+}
+
 bool MetricsRegistry::write_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << to_json() << '\n';
-  return static_cast<bool>(out);
+  return write_text(path, to_json() + '\n');
+}
+
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  return write_text(path, to_prometheus());
 }
 
 MetricsRegistry& registry() {

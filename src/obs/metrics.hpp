@@ -98,6 +98,17 @@ class Histogram {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
+  /// Quantile estimate (q in [0,1], clamped) by monotone linear
+  /// interpolation over the bucket counts, Prometheus histogram_quantile
+  /// style: the rank q*count is located in the cumulative distribution and
+  /// interpolated between the bucket's edges.  The +inf bucket and the
+  /// first bucket's open lower edge are capped at the observed max/min, and
+  /// the result is clamped to [min(), max()] so degenerate distributions
+  /// (all samples equal) come back exact.  Returns 0 for an empty
+  /// histogram.  Safe to call concurrently with observe(): the estimate is
+  /// computed from one coherent copy of the bucket counts.
+  [[nodiscard]] double quantile(double q) const;
+
   void reset();
 
   /// Default bounds for `_seconds` latency histograms: a 1-2-5 series from
@@ -133,18 +144,36 @@ class MetricsRegistry {
   /// readers need not create instruments the writers never touched).
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
 
+  /// Read-only histogram lookup: nullptr when no such histogram exists, so
+  /// display paths (--progress, summaries) never create instruments.
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
   /// Zeroes every instrument.  References handed out earlier stay valid.
   void reset();
 
   /// Full snapshot, schema_version 1:
   ///   {"schema_version":1,"counters":{...},"gauges":{...},
   ///    "histograms":{name:{"buckets":[{"le":b,"count":n}...],
-  ///                        "count":n,"sum":s,"min":m,"max":M}}}
+  ///                        "count":n,"sum":s,"min":m,"max":M,
+  ///                        "p50":q,"p95":q,"p99":q}}}
   /// Keys are sorted, so the layout is stable for a given instrument set.
+  /// (p50/p95/p99 were added additively; consumers of the version-1 schema
+  /// ignore unknown keys.)
   [[nodiscard]] std::string to_json() const;
 
-  /// Writes to_json() (plus a trailing newline) to `path`; false on I/O error.
+  /// Prometheus text exposition (version 0.0.4): one `# HELP` + `# TYPE`
+  /// pair per instrument, names prefixed `rct_` with dots mapped to
+  /// underscores, histograms rendered with CUMULATIVE `le` buckets plus
+  /// `_sum`/`_count`.  This is the `rct serve` scrape format; `rct batch
+  /// --metrics-format prom` writes it instead of the JSON snapshot.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// Writes to_json() (plus a trailing newline) to `path`; "-" means
+  /// stderr.  False on I/O error.
   bool write_json(const std::string& path) const;
+
+  /// Writes to_prometheus() to `path` ("-" = stderr); false on I/O error.
+  bool write_prometheus(const std::string& path) const;
 
  private:
   mutable std::mutex mutex_;

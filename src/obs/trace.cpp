@@ -144,6 +144,12 @@ std::string TraceCollector::to_chrome_json() const {
 }
 
 bool TraceCollector::write_chrome_json(const std::string& path) const {
+  if (path == "-") {  // stderr, so pipelines capture the trace without temp files
+    const std::string body = to_chrome_json();
+    std::fwrite(body.data(), 1, body.size(), stderr);
+    std::fputc('\n', stderr);
+    return true;
+  }
   std::ofstream out(path);
   if (!out) return false;
   out << to_chrome_json() << '\n';

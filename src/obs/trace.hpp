@@ -69,7 +69,8 @@ class TraceCollector {
   /// {"displayTimeUnit":"ms","traceEvents":[...]} — "X" events with
   /// microsecond ts/dur plus one thread_name metadata event per thread.
   [[nodiscard]] std::string to_chrome_json() const;
-  /// Writes to_chrome_json() (plus a trailing newline); false on I/O error.
+  /// Writes to_chrome_json() (plus a trailing newline) to `path`; "-"
+  /// means stderr.  False on I/O error.
   bool write_chrome_json(const std::string& path) const;
 
  private:

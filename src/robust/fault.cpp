@@ -11,8 +11,19 @@
 #include <string>
 #include <thread>
 
+#include "obs/log.hpp"
+
 namespace rct::robust::fault {
 namespace {
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kThrow: return "throw";
+    case Action::kNan: return "nan";
+    case Action::kSleep: return "sleep";
+  }
+  return "?";
+}
 
 struct FaultSpec {
   Action action;
@@ -116,6 +127,9 @@ bool consume(std::string_view site, Action action, std::uint64_t* arg_ms = nullp
   if (it == r.armed.end() || it->second.action != action) return false;
   if (arg_ms != nullptr) *arg_ms = it->second.arg_ms;
   ++r.fired[std::string(site)];
+  // Injected faults masquerade as organic failures downstream; this line is
+  // what lets a postmortem tell the two apart.
+  obs::log::warn("robust.fault.fired", {{"site", site}, {"action", action_name(action)}});
   if (it->second.remaining > 0 && --it->second.remaining == 0) {
     r.armed.erase(it);
     r.armed_count.fetch_sub(1, std::memory_order_relaxed);

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.hpp"   // for the RCT_OBS_ENABLED build flag
 #include "robust/fault.hpp"  // for the RCT_FAULT_ENABLED build flag
 
 #ifndef RCT_CLI_PATH
@@ -128,20 +129,28 @@ TEST(Cli, BatchExactLimitSuppressesEigensolve) {
 }
 
 TEST(Cli, BatchStdoutByteIdenticalWithObservabilityOn) {
-  // The observability satellite's determinism guarantee: tracing, metrics
-  // export and the progress heartbeat never touch stdout.
+  // The observability determinism guarantee: tracing, metrics export (both
+  // formats, with periodic re-flush), the progress heartbeat, the event
+  // log, the flight recorder and the top-slow table never touch stdout.
   const auto base = run_stdout("batch " + data("two_nets.spef") + " --jobs 1");
   EXPECT_EQ(base.exit_code, 0);
   const std::string trace = ::testing::TempDir() + "/rct_cli_obs_trace.json";
   const std::string metrics = ::testing::TempDir() + "/rct_cli_obs_metrics.json";
+  const std::string log = ::testing::TempDir() + "/rct_cli_obs_log.jsonl";
+  const std::string flight = ::testing::TempDir() + "/rct_cli_obs_flight.json";
   for (const char* jobs : {"1", "2", "8"}) {
     const auto rn = run_stdout("batch " + data("two_nets.spef") + " --jobs " + jobs +
-                               " --progress --trace-out " + trace + " --metrics-out " + metrics);
+                               " --progress --trace-out " + trace + " --metrics-out " + metrics +
+                               " --metrics-format prom --metrics-interval-ms 20" +
+                               " --log-out " + log + " --log-level debug" +
+                               " --flight-recorder-out " + flight + " --top-slow 2");
     EXPECT_EQ(rn.exit_code, 0);
     EXPECT_EQ(base.output, rn.output) << "--jobs " << jobs;
   }
   std::remove(trace.c_str());
   std::remove(metrics.c_str());
+  std::remove(log.c_str());
+  std::remove(flight.c_str());
 }
 
 TEST(Cli, BatchTraceOutIsChromeTraceWithAllLayers) {
@@ -151,11 +160,13 @@ TEST(Cli, BatchTraceOutIsChromeTraceWithAllLayers) {
   const std::string body = slurp(trace);
   EXPECT_EQ(body.rfind("{\"displayTimeUnit\":", 0), 0u);
   EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
-  // Spans from every instrumented layer.
+#if RCT_OBS_ENABLED
+  // Spans from every instrumented layer (compiled out under -DRCT_OBS=OFF).
   for (const char* cat : {"\"cat\":\"cli\"", "\"cat\":\"engine\"", "\"cat\":\"pool\"",
                           "\"cat\":\"analysis\"", "\"cat\":\"core\""})
     EXPECT_NE(body.find(cat), std::string::npos) << cat;
   EXPECT_NE(body.find("\"engine.net.analyze\""), std::string::npos);
+#endif
   std::remove(trace.c_str());
 }
 
@@ -168,9 +179,13 @@ TEST(Cli, BatchMetricsOutHasCacheContextPoolAndLatency) {
   for (const char* key :
        {"\"engine.cache.hits\"", "\"engine.cache.misses\"", "\"engine.context.built\"",
         "\"engine.context.reused\"", "\"pool.tasks.run\"", "\"engine.nets.completed\"",
-        "\"engine.net.analyze_seconds\"", "\"engine.task.queue_wait_seconds\"",
+        "\"engine.net.analyze_seconds\"",
         "\"analysis.context.build_seconds\"", "\"core.report.build_seconds\""})
     EXPECT_NE(body.find(key), std::string::npos) << key;
+#if RCT_OBS_ENABLED
+  // Registered from inside timing-gated code, so absent under -DRCT_OBS=OFF.
+  EXPECT_NE(body.find("\"engine.task.queue_wait_seconds\""), std::string::npos);
+#endif
   std::remove(metrics.c_str());
 }
 
@@ -192,6 +207,103 @@ TEST(Cli, SpefMetricsOut) {
   EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos);
   EXPECT_NE(body.find("\"core.report.build_seconds\""), std::string::npos);
   std::remove(metrics.c_str());
+}
+
+TEST(Cli, BatchMetricsPromFormatIsValidExposition) {
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_metrics.prom";
+  const auto r = run_stdout("batch " + data("two_nets.spef") + " --metrics-out " + metrics +
+                            " --metrics-format prom");
+  EXPECT_EQ(r.exit_code, 0);
+  const std::string body = slurp(metrics);
+  EXPECT_NE(body.find("# HELP rct_engine_nets_completed "), std::string::npos);
+  EXPECT_NE(body.find("# TYPE rct_engine_nets_completed counter"), std::string::npos);
+  EXPECT_NE(body.find("rct_engine_nets_completed 2\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE rct_engine_net_analyze_seconds histogram"), std::string::npos);
+  EXPECT_NE(body.find("rct_engine_net_analyze_seconds_bucket{le=\"+Inf\"} "),
+            std::string::npos);
+  EXPECT_NE(body.find("rct_engine_net_analyze_seconds_sum "), std::string::npos);
+  EXPECT_NE(body.find("rct_engine_net_analyze_seconds_count "), std::string::npos);
+  // Raw dotted names never leak into the exposition's metric names.
+  EXPECT_EQ(body.find("\nengine."), std::string::npos);
+  std::remove(metrics.c_str());
+}
+
+TEST(Cli, BatchMetricsFormatRejectsUnknownValue) {
+  const auto r = run("batch " + data("two_nets.spef") + " --metrics-format xml");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--metrics-format"), std::string::npos);
+}
+
+TEST(Cli, BatchQuantilesInSnapshotAndStderrSummary) {
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_quantile_metrics.json";
+  const auto r = run("batch " + data("two_nets.spef") + " --metrics-out " + metrics);
+  EXPECT_EQ(r.exit_code, 0);
+#if RCT_OBS_ENABLED
+  // stderr one-line summary carries the latency quantiles (the histogram
+  // is only populated when the timing instrumentation is compiled in)...
+  EXPECT_NE(r.output.find("analyze latency p50 "), std::string::npos);
+  EXPECT_NE(r.output.find("/ p95 "), std::string::npos);
+  EXPECT_NE(r.output.find("/ p99 "), std::string::npos);
+#endif
+  // ...and so does the JSON snapshot's histogram entry.
+  const std::string body = slurp(metrics);
+  const std::size_t hist = body.find("\"engine.net.analyze_seconds\"");
+  ASSERT_NE(hist, std::string::npos);
+  for (const char* key : {"\"p50\":", "\"p95\":", "\"p99\":"})
+    EXPECT_NE(body.find(key, hist), std::string::npos) << key;
+  std::remove(metrics.c_str());
+}
+
+TEST(Cli, BatchLogOutEmitsStructuredJsonLines) {
+  const std::string log = ::testing::TempDir() + "/rct_cli_log.jsonl";
+  const auto r = run_stdout("batch " + data("two_nets.spef") + " --log-out " + log);
+  EXPECT_EQ(r.exit_code, 0);
+  const std::string body = slurp(log);
+  EXPECT_NE(body.find("\"event\":\"engine.batch.start\""), std::string::npos);
+  EXPECT_NE(body.find("\"event\":\"engine.batch.done\""), std::string::npos);
+  EXPECT_NE(body.find("\"nets\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"ts_us\":"), std::string::npos);
+  EXPECT_NE(body.find("\"level\":\"info\""), std::string::npos);
+  std::remove(log.c_str());
+}
+
+TEST(Cli, BatchDashSinksGoToStderrNotStdout) {
+  // '-' means stderr for every observability output path.
+  const auto all = run("batch " + data("two_nets.spef") +
+                       " --log-out - --metrics-out - --metrics-format prom");
+  EXPECT_EQ(all.exit_code, 0);
+  EXPECT_NE(all.output.find("\"event\":\"engine.batch.start\""), std::string::npos);
+  EXPECT_NE(all.output.find("# TYPE rct_engine_nets_completed counter"), std::string::npos);
+  const auto out_only = run_stdout("batch " + data("two_nets.spef") +
+                                   " --log-out - --metrics-out - --metrics-format prom");
+  EXPECT_EQ(out_only.output.find("\"event\":"), std::string::npos);
+  EXPECT_EQ(out_only.output.find("# TYPE"), std::string::npos);
+}
+
+TEST(Cli, BatchTopSlowTableOnStderr) {
+  const auto r = run("batch " + data("two_nets.spef") + " --top-slow 5");
+  EXPECT_EQ(r.exit_code, 0);
+  // Only 2 nets exist; the table reports what it actually has.
+  EXPECT_NE(r.output.find("top 2 slowest net(s):"), std::string::npos);
+  const std::size_t table = r.output.find("top 2 slowest");
+  EXPECT_NE(r.output.find("net_a", table), std::string::npos);
+  EXPECT_NE(r.output.find("net_b", table), std::string::npos);
+  const auto clean = run_stdout("batch " + data("two_nets.spef") + " --top-slow 5");
+  EXPECT_EQ(clean.output.find("slowest"), std::string::npos);  // stderr only
+}
+
+TEST(Cli, BatchFlightRecorderOutIsJsonWithPerNetEvents) {
+  const std::string flight = ::testing::TempDir() + "/rct_cli_flight.json";
+  const auto r = run_stdout("batch " + data("two_nets.spef") + " --flight-recorder-out " +
+                            flight);
+  EXPECT_EQ(r.exit_code, 0);
+  const std::string body = slurp(flight);
+  EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"net\":\"net_a\""), std::string::npos);
+  EXPECT_NE(body.find("\"net\":\"net_b\""), std::string::npos);
+  EXPECT_NE(body.find("\"phase\":\"analyze\""), std::string::npos);
+  EXPECT_NE(body.find("\"outcome\":\"ok\""), std::string::npos);
+  std::remove(flight.c_str());
 }
 
 TEST(Cli, BatchMissingFileFailsCleanly) {
@@ -334,6 +446,61 @@ TEST(Cli, FaultEnvEigensolveThrowRetriesOnMomentsPath) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("\"retried\":true"), std::string::npos);
   EXPECT_EQ(r.output.find("\"exact_delay_s\":1"), std::string::npos);
+}
+
+/// Env-prefixed run that keeps stderr (for flight-recorder dump checks).
+RunResult run_with_env_all(const std::string& env, const std::string& args) {
+  const std::string cmd =
+      env + " " + std::string(RCT_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 4096> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  const int status = pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, std::move(out)};
+}
+
+TEST(Cli, FaultEnvThrowDumpsFlightRecorderNamingNet) {
+  // Killing a batch with injected per-net throws must leave a postmortem on
+  // stderr: the flight-recorder tape naming the offending nets with their
+  // phase timings.
+  const auto r = run_with_env_all("RCT_FAULT='engine.net.analyze=throw'",
+                                  "batch " + data("two_nets.spef") + " --jobs 1");
+  EXPECT_EQ(r.exit_code, 1);
+  const std::size_t dump = r.output.find("flight recorder:");
+  ASSERT_NE(dump, std::string::npos);
+  EXPECT_NE(r.output.find("net_a", dump), std::string::npos);
+  EXPECT_NE(r.output.find("net_b", dump), std::string::npos);
+  EXPECT_NE(r.output.find("analyze", dump), std::string::npos);
+  EXPECT_NE(r.output.find("retry", dump), std::string::npos);  // the moments retry also failed
+  EXPECT_NE(r.output.find("failed", dump), std::string::npos);
+  EXPECT_NE(r.output.find("dur", dump), std::string::npos);  // phase timings
+}
+
+TEST(Cli, FaultEnvTimeoutDumpsFlightRecorderWithTimeoutOutcome) {
+  const auto r = run_with_env_all("RCT_FAULT='engine.net.analyze=sleep:80'",
+                                  "batch " + data("two_nets.spef") +
+                                      " --net-timeout-ms 10 --jobs 1");
+  EXPECT_EQ(r.exit_code, 1);
+  const std::size_t dump = r.output.find("flight recorder:");
+  ASSERT_NE(dump, std::string::npos);
+  EXPECT_NE(r.output.find("timeout", dump), std::string::npos);
+}
+
+TEST(Cli, FaultEnvLogRecordsFaultFiringAndNetFailure) {
+  const std::string log = ::testing::TempDir() + "/rct_cli_fault_log.jsonl";
+  const auto r = run_with_env("RCT_FAULT='engine.net.analyze=throw'",
+                              "batch " + data("two_nets.spef") + " --log-out " + log);
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string body = slurp(log);
+  // The injected fault is distinguishable from an organic failure...
+  EXPECT_NE(body.find("\"event\":\"robust.fault.fired\""), std::string::npos);
+  EXPECT_NE(body.find("\"site\":\"engine.net.analyze\""), std::string::npos);
+  // ...and the per-net failure record follows with code and phase.
+  EXPECT_NE(body.find("\"event\":\"engine.net.failed\""), std::string::npos);
+  EXPECT_NE(body.find("\"code\":\"task-failure\""), std::string::npos);
+  std::remove(log.c_str());
 }
 
 TEST(Cli, FaultEnvMetricsOutCarriesRobustnessCounters) {

@@ -8,16 +8,24 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/error.hpp"
 
 namespace {
 
@@ -352,6 +360,11 @@ TEST(ObsSnapshot, SchemaIsStableAndParsesBack) {
   EXPECT_NEAR(hist.at("sum").number, 1e-3, 1e-12);
   EXPECT_TRUE(hist.has("min"));
   EXPECT_TRUE(hist.has("max"));
+  // Quantile summaries ride along (additive — still schema_version 1).
+  EXPECT_TRUE(hist.has("p50"));
+  EXPECT_TRUE(hist.has("p95"));
+  EXPECT_TRUE(hist.has("p99"));
+  EXPECT_NEAR(hist.at("p50").number, 1e-3, 1e-9);
 }
 
 // --- tracing ----------------------------------------------------------------
@@ -447,5 +460,340 @@ TEST(ObsTrace, ClearDropsEvents) {
 }
 
 #endif  // RCT_OBS_ENABLED
+
+// --- quantile estimation ----------------------------------------------------
+
+TEST(ObsQuantile, EmptyHistogramIsZero) {
+  const obs::Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(ObsQuantile, AllSamplesInOneBucketClampToObservedValue) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  for (int i = 0; i < 4; ++i) h.observe(1.5);
+  // Interpolation inside the (1, 2] bucket is clamped to [min, max] = [1.5, 1.5].
+  for (const double q : {0.01, 0.5, 0.99, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 1.5);
+}
+
+TEST(ObsQuantile, SampleExactlyOnBucketUpperBound) {
+  obs::Histogram h({1.0, 2.0, 5.0});
+  h.observe(2.0);  // le semantics: lands in the (1, 2] bucket, not (2, 5]
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(ObsQuantile, MassInOverflowBucketStaysWithinObservedRange) {
+  obs::Histogram h({1.0});
+  h.observe(5.0);
+  h.observe(10.0);  // both land in the +Inf bucket, which has no upper bound
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 5.0);
+  EXPECT_LE(p50, 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // capped at the observed max
+}
+
+TEST(ObsQuantile, MonotoneInQ) {
+  obs::Histogram h({1.0, 2.0, 5.0, 10.0});
+  for (const double v : {0.5, 1.5, 1.7, 3.0, 4.0, 7.0, 9.0, 12.0}) h.observe(v);
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+    prev = cur;
+  }
+  EXPECT_GE(h.quantile(0.0), 0.5);
+  EXPECT_LE(h.quantile(1.0), 12.0);
+}
+
+TEST(ObsConcurrency, QuantileIsSaneUnder8ConcurrentObservers) {
+  obs::Histogram& h = obs::registry().histogram("test.obs.concurrent_quantile");
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i)
+        h.observe(1e-6 * static_cast<double>(i % 1000 + 1));
+    });
+  // Read quantiles while the observers hammer the histogram: the estimate
+  // may lag in-flight samples but must stay inside the possible range.
+  for (int i = 0; i < 200; ++i) {
+    const double p95 = h.quantile(0.95);
+    EXPECT_GE(p95, 0.0);
+    EXPECT_LE(p95, 1e-3 + 1e-9);
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1e-3 + 1e-9);
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(ObsPrometheus, CountersGaugesAndHistogramsExposeSanitizedNames) {
+  obs::registry().reset();
+  obs::registry().counter("test.prom.counter").add(7);
+  obs::registry().gauge("test.prom.gauge").set(1.5);
+  obs::Histogram& h = obs::registry().histogram("test.prom.hist_seconds");
+  h.observe(3e-6);
+  h.observe(100.0);  // overflow bucket
+
+  const std::string text = obs::registry().to_prometheus();
+  EXPECT_NE(text.find("# HELP rct_test_prom_counter rct counter test.prom.counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rct_test_prom_counter counter\n"), std::string::npos);
+  EXPECT_NE(text.find("rct_test_prom_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("rct_test_prom_gauge 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rct_test_prom_hist_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("rct_test_prom_hist_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rct_test_prom_hist_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(ObsPrometheus, HistogramBucketsAreCumulative) {
+  obs::registry().reset();
+  obs::Histogram& h = obs::registry().histogram("test.prom.cumulative");
+  (void)h;
+  obs::registry().histogram("test.prom.cumulative");  // same instrument
+  h.observe(1.5e-6);
+  h.observe(3e-6);
+  h.observe(3e-6);
+
+  const std::string text = obs::registry().to_prometheus();
+  // Parse every bucket line of this histogram and check the counts never
+  // decrease as le increases (exposition order is ascending le).
+  std::uint64_t prev = 0;
+  std::size_t buckets = 0;
+  std::size_t pos = 0;
+  const std::string needle = "rct_test_prom_cumulative_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const std::size_t count_at = text.find("} ", pos);
+    ASSERT_NE(count_at, std::string::npos);
+    const std::uint64_t count = std::strtoull(text.c_str() + count_at + 2, nullptr, 10);
+    EXPECT_GE(count, prev);
+    prev = count;
+    ++buckets;
+    ++pos;
+  }
+  EXPECT_GT(buckets, 2u);
+  EXPECT_EQ(prev, 3u);  // +Inf bucket holds every sample
+}
+
+// --- structured log ---------------------------------------------------------
+
+TEST(ObsLog, ParseLevelRoundTrips) {
+  obs::log::Level level = obs::log::Level::kOff;
+  EXPECT_TRUE(obs::log::parse_level("debug", level));
+  EXPECT_EQ(level, obs::log::Level::kDebug);
+  EXPECT_TRUE(obs::log::parse_level("warn", level));
+  EXPECT_EQ(level, obs::log::Level::kWarn);
+  EXPECT_FALSE(obs::log::parse_level("verbose", level));
+  EXPECT_EQ(level, obs::log::Level::kWarn);  // untouched on failure
+}
+
+/// Reads a whole file into a string.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    if (end > pos) lines.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+TEST(ObsLog, EmitsParseableJsonLinesAndFiltersByLevel) {
+  const std::string path = testing::TempDir() + "rct_obs_log_test.jsonl";
+  obs::log::Logger& log = obs::log::logger();
+  ASSERT_TRUE(log.open(path));
+  log.set_level(obs::log::Level::kInfo);
+  EXPECT_TRUE(log.enabled(obs::log::Level::kWarn));
+  EXPECT_FALSE(log.enabled(obs::log::Level::kDebug));
+
+  obs::log::debug("test.log.suppressed", {{"n", std::uint64_t{1}}});
+  obs::log::info("test.log.kept",
+                 {{"net", "clk\"quoted\""}, {"count", std::uint64_t{3}}, {"ok", true},
+                  {"ratio", 0.5}});
+  obs::log::warn("test.log.warned", {});
+  log.close();
+  EXPECT_FALSE(log.enabled(obs::log::Level::kError));  // sink detached
+
+  const std::vector<std::string> lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 2u);
+  const Json first = parse_json(lines[0]);
+  EXPECT_EQ(first.at("event").str, "test.log.kept");
+  EXPECT_EQ(first.at("level").str, "info");
+  EXPECT_GT(first.at("ts_us").number, 0.0);
+  EXPECT_EQ(first.at("net").str, "clk\"quoted\"");  // escaping round-trips
+  EXPECT_DOUBLE_EQ(first.at("count").number, 3.0);
+  EXPECT_EQ(first.at("ok").kind, Json::Kind::Bool);
+  EXPECT_DOUBLE_EQ(first.at("ratio").number, 0.5);
+  EXPECT_EQ(parse_json(lines[1]).at("event").str, "test.log.warned");
+  std::remove(path.c_str());
+}
+
+TEST(ObsLog, RateLimiterShedsAndReportsDrops) {
+  const std::string path = testing::TempDir() + "rct_obs_log_rate_test.jsonl";
+  obs::log::Logger& log = obs::log::logger();
+  ASSERT_TRUE(log.open(path));
+  log.set_level(obs::log::Level::kInfo);
+  log.set_rate_limit(10);  // tiny budget: the burst is 10 events
+  const std::uint64_t dropped_before = log.dropped();
+  for (int i = 0; i < 1000; ++i) obs::log::info("test.log.flood", {});
+  log.close();
+  log.set_rate_limit(10000);  // restore the default for other tests
+
+  EXPECT_GT(log.dropped(), dropped_before);
+  const std::vector<std::string> lines = lines_of(slurp(path));
+  // Far fewer lines than emits, and the tail records the shed count.
+  EXPECT_LT(lines.size(), 1000u);
+  ASSERT_FALSE(lines.empty());
+  bool saw_drop_report = false;
+  for (const std::string& line : lines)
+    if (parse_json(line).at("event").str == "obs.log.dropped") saw_drop_report = true;
+  EXPECT_TRUE(saw_drop_report);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLog, ConcurrentEmittersProduceWholeLines) {
+  const std::string path = testing::TempDir() + "rct_obs_log_mt_test.jsonl";
+  obs::log::Logger& log = obs::log::logger();
+  ASSERT_TRUE(log.open(path));
+  log.set_level(obs::log::Level::kInfo);
+  log.set_rate_limit(0);  // unlimited: this test wants every line
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        obs::log::info("test.log.mt", {{"thread", static_cast<std::uint64_t>(t)}});
+    });
+  for (std::thread& t : threads) t.join();
+  log.close();
+  log.set_rate_limit(10000);
+
+  const std::vector<std::string> lines = lines_of(slurp(path));
+  EXPECT_EQ(lines.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (const std::string& line : lines) EXPECT_NO_THROW((void)parse_json(line));
+  std::remove(path.c_str());
+}
+
+// --- flight recorder --------------------------------------------------------
+
+TEST(ObsFlight, DisarmedRecorderRecordsNothing) {
+  obs::flight::Recorder rec(8);
+  auto h = rec.begin("net_a", "analyze");
+  rec.end(h, obs::flight::Outcome::kOk);
+  rec.record("net_b", "analyze", obs::flight::Outcome::kFailed, robust::Code::kTaskFailure, 5);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(ObsFlight, BeginEndCompletesEventInPlace) {
+  obs::flight::Recorder rec(8);
+  rec.set_enabled(true);
+  auto h = rec.begin("net_a", "analyze");
+  {
+    const auto running = rec.events();
+    ASSERT_EQ(running.size(), 1u);
+    EXPECT_EQ(running[0].outcome, obs::flight::Outcome::kRunning);
+  }
+  rec.end(h, obs::flight::Outcome::kTimeout, robust::Code::kTimeout);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].net, "net_a");
+  EXPECT_STREQ(events[0].phase, "analyze");
+  EXPECT_EQ(events[0].outcome, obs::flight::Outcome::kTimeout);
+  EXPECT_EQ(events[0].code, robust::Code::kTimeout);
+}
+
+TEST(ObsFlight, RingEvictsOldestAndCounts) {
+  obs::flight::Recorder rec(4);
+  rec.set_enabled(true);
+  for (int i = 0; i < 10; ++i)
+    rec.record("net_" + std::to_string(i), "analyze", obs::flight::Outcome::kOk,
+               robust::Code::kNone, 1);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);  // ring capacity
+  EXPECT_EQ(rec.evicted(), 6u);
+  // The survivors are the newest four, still in begin order.
+  EXPECT_STREQ(events[0].net, "net_6");
+  EXPECT_STREQ(events[3].net, "net_9");
+}
+
+TEST(ObsFlight, LongNetNamesAreTruncatedNotOverflowed) {
+  obs::flight::Recorder rec(4);
+  rec.set_enabled(true);
+  const std::string lang(200, 'x');
+  rec.record(lang, "analyze", obs::flight::Outcome::kOk, robust::Code::kNone, 1);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].net).size(), obs::flight::Event::kNetCapacity - 1);
+}
+
+TEST(ObsFlight, JsonDumpParsesBackWithSchemaVersion) {
+  obs::flight::Recorder rec(8);
+  rec.set_enabled(true);
+  rec.record("net_a", "analyze", obs::flight::Outcome::kFailed, robust::Code::kNanValue, 42);
+  const Json dump = parse_json(rec.to_json());
+  EXPECT_DOUBLE_EQ(dump.at("schema_version").number, 1.0);
+  EXPECT_DOUBLE_EQ(dump.at("evicted").number, 0.0);
+  ASSERT_EQ(dump.at("events").array.size(), 1u);
+  const Json& e = dump.at("events").array[0];
+  EXPECT_EQ(e.at("net").str, "net_a");
+  EXPECT_EQ(e.at("phase").str, "analyze");
+  EXPECT_EQ(e.at("outcome").str, "failed");
+  EXPECT_EQ(e.at("code").str, "nan-value");
+  EXPECT_DOUBLE_EQ(e.at("dur_ns").number, 42.0);
+}
+
+TEST(ObsFlight, EventsMergeAcrossThreadsBySequence) {
+  obs::flight::Recorder rec(64);
+  rec.set_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < 8; ++i)
+        rec.record("net_t" + std::to_string(t), "analyze", obs::flight::Outcome::kOk,
+                   robust::Code::kNone, 1);
+    });
+  for (std::thread& t : threads) t.join();
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 8);
+  for (std::size_t i = 1; i < events.size(); ++i) EXPECT_LT(events[i - 1].seq, events[i].seq);
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ObsFlight, FormatTextNamesFailedNets) {
+  obs::flight::Recorder rec(8);
+  rec.set_enabled(true);
+  rec.record("net_bad", "retry", obs::flight::Outcome::kFailed, robust::Code::kTaskFailure, 1000);
+  const std::string text = rec.format_text();
+  EXPECT_NE(text.find("net_bad"), std::string::npos);
+  EXPECT_NE(text.find("retry"), std::string::npos);
+  EXPECT_NE(text.find("failed"), std::string::npos);
+  EXPECT_NE(text.find("task-failure"), std::string::npos);
+}
 
 }  // namespace

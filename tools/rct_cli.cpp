@@ -14,8 +14,10 @@
 // diagnostics), 1 = runtime failure (parse error, or batch with >= 1 failed
 // net, or validate with diagnostics), 2 = usage error.
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +32,8 @@
 #include "core/report.hpp"
 #include "engine/batch.hpp"
 #include "moments/path_tracing.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rctree/dot_export.hpp"
@@ -55,6 +59,10 @@ int usage() {
                "                 [--lenient] [--net-timeout-ms N] [--max-failures N] "
                "[--fail-fast]\n"
                "                 [--progress] [--trace-out FILE] [--metrics-out FILE]\n"
+               "                 [--metrics-format json|prom] [--metrics-interval-ms N]\n"
+               "                 [--log-out FILE] [--log-level debug|info|warn|error]\n"
+               "                 [--flight-recorder-out FILE] [--top-slow N]\n"
+               "                 (FILE arguments accept '-' for stderr)\n"
                "       rct validate <file.spef>\n"
                "       rct convert <deck.sp> <out.spef>\n"
                "       rct delay-curve <deck.sp> <node>\n"
@@ -72,7 +80,13 @@ struct SpefFlags {
   bool lenient = false;      ///< skip malformed *D_NET sections with diagnostics
   bool progress = false;     ///< single-line stderr heartbeat (batch only)
   std::string trace_out;     ///< Chrome trace-event JSON path ("" = off)
-  std::string metrics_out;   ///< metrics snapshot JSON path ("" = off)
+  std::string metrics_out;   ///< metrics snapshot path ("" = off, "-" = stderr)
+  bool metrics_prom = false; ///< --metrics-format prom (default json)
+  std::uint64_t metrics_interval_ms = 0;  ///< periodic metrics re-flush (0 = only at exit)
+  std::string log_out;       ///< structured JSON-lines event log ("" = off, "-" = stderr)
+  obs::log::Level log_level = obs::log::Level::kInfo;
+  std::string flight_out;    ///< flight-recorder JSON dump ("" = off, "-" = stderr)
+  std::size_t top_slow = 0;  ///< stderr table of the N slowest nets (0 = off)
   bool ok = true;
 };
 
@@ -113,6 +127,32 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first) {
       if (const char* v = value("--trace-out")) f.trace_out = v;
     } else if (arg == "--metrics-out") {
       if (const char* v = value("--metrics-out")) f.metrics_out = v;
+    } else if (arg == "--metrics-format") {
+      if (const char* v = value("--metrics-format")) {
+        if (std::strcmp(v, "prom") == 0) {
+          f.metrics_prom = true;
+        } else if (std::strcmp(v, "json") != 0) {
+          std::fprintf(stderr, "error: --metrics-format expects json|prom, got '%s'\n", v);
+          f.ok = false;
+        }
+      }
+    } else if (arg == "--metrics-interval-ms") {
+      if (const char* v = value("--metrics-interval-ms"))
+        f.metrics_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--log-out") {
+      if (const char* v = value("--log-out")) f.log_out = v;
+    } else if (arg == "--log-level") {
+      if (const char* v = value("--log-level")) {
+        if (!obs::log::parse_level(v, f.log_level)) {
+          std::fprintf(stderr, "error: --log-level expects debug|info|warn|error, got '%s'\n",
+                       v);
+          f.ok = false;
+        }
+      }
+    } else if (arg == "--flight-recorder-out") {
+      if (const char* v = value("--flight-recorder-out")) f.flight_out = v;
+    } else if (arg == "--top-slow") {
+      if (const char* v = value("--top-slow")) f.top_slow = std::strtoul(v, nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       f.ok = false;
@@ -147,20 +187,87 @@ int cmd_report(const std::string& path) {
   return 0;
 }
 
-/// Arms the tracer / resets the registry for one observed CLI run.
+/// Writes the metrics snapshot in the format --metrics-format selected.
+bool write_metrics(const SpefFlags& flags) {
+  return flags.metrics_prom ? obs::registry().write_prometheus(flags.metrics_out)
+                            : obs::registry().write_json(flags.metrics_out);
+}
+
+/// Arms the tracer / logger / flight recorder and resets the registry for
+/// one observed CLI run.
 void obs_begin(const SpefFlags& flags) {
   obs::registry().reset();
   if (!flags.trace_out.empty()) obs::tracer().set_enabled(true);
+  if (!flags.log_out.empty()) {
+    if (obs::log::logger().open(flags.log_out))
+      obs::log::logger().set_level(flags.log_level);
+    else
+      std::fprintf(stderr, "warning: cannot open log sink '%s'\n", flags.log_out.c_str());
+  }
+  // The flight recorder is always armed: recording is allocation-free and
+  // a few tens of KB, and the whole point is having the tape when a run
+  // dies that nobody expected to die.
+  obs::flight::recorder().set_enabled(true);
 }
 
-/// Writes the requested trace / metrics files.  Failures warn on stderr
-/// (observability must never change the command's outcome).
+/// Writes the requested trace / metrics / flight files and closes the log
+/// sink.  Failures warn on stderr (observability must never change the
+/// command's outcome).
 void obs_end(const SpefFlags& flags) {
-  if (!flags.metrics_out.empty() && !obs::registry().write_json(flags.metrics_out))
+  if (!flags.metrics_out.empty() && !write_metrics(flags))
     std::fprintf(stderr, "warning: cannot write metrics to '%s'\n", flags.metrics_out.c_str());
   if (!flags.trace_out.empty() && !obs::tracer().write_chrome_json(flags.trace_out))
     std::fprintf(stderr, "warning: cannot write trace to '%s'\n", flags.trace_out.c_str());
+  if (!flags.flight_out.empty() && !obs::flight::recorder().write(flags.flight_out))
+    std::fprintf(stderr, "warning: cannot write flight recorder to '%s'\n",
+                 flags.flight_out.c_str());
+  obs::log::logger().close();
 }
+
+/// SIGTERM: dump the flight recorder to stderr, then die by the default
+/// disposition so the exit status still says "killed by SIGTERM".
+extern "C" void flight_signal_handler(int sig) {
+  obs::flight::recorder().dump_signal(2);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+/// `--metrics-interval-ms`: re-writes --metrics-out on a fixed cadence from
+/// its own thread, so a scraper (or a human with `watch`) can follow a
+/// long batch live.  The final authoritative write stays in obs_end.
+class MetricsFlusher {
+ public:
+  explicit MetricsFlusher(const SpefFlags& flags)
+      : flags_(flags),
+        enabled_(flags.metrics_interval_ms > 0 && !flags.metrics_out.empty()) {
+    if (enabled_) thread_ = std::thread([this] { loop(); });
+  }
+
+  ~MetricsFlusher() {
+    if (!enabled_) return;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto interval = std::chrono::milliseconds(flags_.metrics_interval_ms);
+    while (!cv_.wait_for(lock, interval, [this] { return done_; }))
+      (void)write_metrics(flags_);  // transient I/O failures: retried next tick
+  }
+
+  const SpefFlags& flags_;
+  const bool enabled_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 /// `--progress`: a single-line stderr heartbeat driven by the registry's
 /// engine counters, refreshed at most every 100 ms on its own thread.
@@ -210,11 +317,19 @@ class ProgressMeter {
       std::snprintf(eta, sizeof(eta), "%.1fs",
                     elapsed * static_cast<double>(total_ - done_nets) /
                         static_cast<double>(done_nets));
+    // Live latency quantiles ride along once the histogram has samples
+    // (absent under -DRCT_OBS=OFF, where the scoped timers compile out).
+    char quantiles[64] = "";
+    if (const obs::Histogram* h = reg.find_histogram("engine.net.analyze_seconds");
+        h != nullptr && h->count() > 0)
+      std::snprintf(quantiles, sizeof(quantiles), ", p50 %s / p95 %s",
+                    format_time(h->quantile(0.50)).c_str(),
+                    format_time(h->quantile(0.95)).c_str());
     std::fprintf(stderr, "\rbatch: %llu/%zu nets, %llu failed, %llu degraded, "
-                 "cache hit %s, eta %s   ",
+                 "cache hit %s%s, eta %s   ",
                  static_cast<unsigned long long>(done_nets), total_,
                  static_cast<unsigned long long>(failed),
-                 static_cast<unsigned long long>(degraded), hit_rate, eta);
+                 static_cast<unsigned long long>(degraded), hit_rate, quantiles, eta);
     std::fflush(stderr);
   }
 
@@ -250,17 +365,46 @@ int cmd_spef(const SpefFlags& flags) {
   return 0;
 }
 
+/// `--top-slow N`: stderr table of the slowest analyzed nets by wall time
+/// (cache hits and cancelled nets excluded — they did no analysis work).
+void print_top_slow(const engine::BatchResult& result, std::size_t n) {
+  std::vector<const engine::NetResult*> nets;
+  for (const engine::NetResult& net : result.nets)
+    if (!net.from_cache && net.code != robust::Code::kCancelled) nets.push_back(&net);
+  std::sort(nets.begin(), nets.end(),
+            [](const engine::NetResult* a, const engine::NetResult* b) {
+              if (a->analyze_seconds != b->analyze_seconds)
+                return a->analyze_seconds > b->analyze_seconds;
+              return a->name < b->name;  // stable tie-break for tests
+            });
+  if (nets.size() > n) nets.resize(n);
+  std::fprintf(stderr, "top %zu slowest net(s):\n", nets.size());
+  for (const engine::NetResult* net : nets) {
+    std::fprintf(stderr, "  %-24s %10s  %zu nodes%s%s%s\n", net->name.c_str(),
+                 format_time(net->analyze_seconds).c_str(), net->nodes,
+                 net->retried ? "  retried" : "", net->timed_out ? "  timed-out" : "",
+                 net->ok() ? "" : "  FAILED");
+  }
+}
+
 int cmd_batch(const SpefFlags& flags) {
   obs_begin(flags);
+  std::signal(SIGTERM, flight_signal_handler);
   const SpefFile file = parse_spef_input(flags);
   engine::BatchResult result;
   {
+    const MetricsFlusher flusher(flags);
     const ProgressMeter progress(flags.progress, file.nets.size());
     result = engine::analyze_batch(file, flags.batch);
   }
   // Timings and thread counts go to stderr so stdout stays byte-identical
   // for every --jobs value (and with observability on or off).
   std::fprintf(stderr, "%s\n", result.stats.summary().c_str());
+  if (flags.top_slow > 0) print_top_slow(result, flags.top_slow);
+  // Postmortem on any fatal-ish outcome: the flight recorder tape names
+  // the nets that failed or timed out, with phases and durations.
+  if (result.stats.failures > 0 || result.stats.timed_out > 0)
+    std::fprintf(stderr, "%s", obs::flight::recorder().format_text().c_str());
   {
     const obs::Span span("cli.batch.render", "cli");
     if (flags.json)
