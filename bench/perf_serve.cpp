@@ -1,0 +1,203 @@
+// perf_serve — query throughput and warm-vs-cold latency of the timing
+// server on a generated 1000-net deck, driven in-process through
+// Server::handle_line (exactly what connection threads call), so the
+// numbers isolate parse/compute/cache cost from socket noise.
+//
+//   perf_serve [nets] [nodes_per_net] [clients] [--benchmark_out=FILE]
+//
+// Three phases over the same deck and one shared on-disk store:
+//   cold        fresh server, empty store: every report computes + persists
+//   warm-mem    same server again: every report served from memory
+//   warm-store  NEW server, same store: every report served from disk —
+//               the restart scenario the store exists for; expected >=10x
+//               faster than cold
+//
+// Datapoints land in google-benchmark-shaped JSON (default
+// BENCH_serve.json) so scripts/perf_compare.py can diff runs.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rctree/generators.hpp"
+#include "rctree/spef.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Writes a deck of `count` distinct random nets as a SPEF file.
+std::vector<std::string> write_deck(const fs::path& path, std::size_t count, std::size_t nodes) {
+  rct::SpefFile file;
+  file.design = "perf_serve";
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    rct::SpefNet net;
+    net.name = "net" + std::to_string(i);
+    net.driver = "drv";  // separate port name; the tree root is its far end
+    net.tree = rct::gen::random_tree(nodes, /*seed=*/9000 + i);
+    net.loads = net.tree.leaves();
+    names.push_back(net.name);
+    file.nets.push_back(std::move(net));
+  }
+  std::ofstream out(path);
+  out << rct::write_spef(file);
+  if (!out.flush()) {
+    std::fprintf(stderr, "error: cannot write deck '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  return names;
+}
+
+/// Issues one `report` per net, split across `clients` threads, and
+/// returns the wall time.  Every response must be ok and come from
+/// `expect_source`; the first response is spot-checked for actual rows.
+double run_phase(rct::server::Server& server, const std::vector<std::string>& names,
+                 std::size_t clients, const char* expect_source) {
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string want = std::string("\"source\":\"") + expect_source + "\"";
+      for (std::size_t i = c; i < names.size(); i += clients) {
+        rct::server::Request request;
+        request.id = i + 1;
+        request.cmd = "report";
+        request.net = names[i];
+        const std::string response = server.handle_line(rct::server::encode_request(request));
+        if (!rct::server::response_ok(response) ||
+            response.find(want) == std::string::npos ||
+            (i == 0 && response.find("\"elmore\":") == std::string::npos)) {
+          failures[c] = response;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  for (const std::string& f : failures)
+    if (!f.empty()) {
+      std::fprintf(stderr, "error: unexpected response in %s phase: %s\n", expect_source,
+                   f.c_str());
+      std::exit(1);
+    }
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Datapoint {
+  std::string name;
+  double real_time_s;
+  double requests_per_second;
+};
+
+bool write_benchmark_json(const std::string& path, const std::vector<Datapoint>& points,
+                          std::size_t net_count, std::size_t nodes, std::size_t clients) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"context\": {\n"
+      << "    \"executable\": \"perf_serve\",\n"
+      << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "    \"workload_nets\": " << net_count << ",\n"
+      << "    \"workload_nodes_per_net\": " << nodes << ",\n"
+      << "    \"clients\": " << clients << "\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"run_type\": \"iteration\", \"iterations\": 1, "
+                  "\"real_time\": %.6e, \"time_unit\": \"s\", "
+                  "\"requests_per_second\": %.1f}%s\n",
+                  points[i].name.c_str(), points[i].real_time_s, points[i].requests_per_second,
+                  i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serve.json";
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+      out_path = argv[i] + 16;
+    else
+      positional.push_back(argv[i]);
+  }
+  const std::size_t net_count =
+      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 1000;
+  const std::size_t nodes = positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 96;
+  std::size_t clients = positional.size() > 2 ? std::strtoul(positional[2], nullptr, 10) : 4;
+  if (clients == 0) clients = 1;
+  const double count = static_cast<double>(net_count);
+
+  rct::bench::header("timing server: cold vs warm-memory vs warm-store restart",
+                     "serve-mode query latency (no paper counterpart; deployment substrate)");
+  std::printf("# workload: %zu nets x %zu nodes, %zu concurrent clients, exact on\n", net_count,
+              nodes, clients);
+  std::printf("# hardware_concurrency: %u\n", std::thread::hardware_concurrency());
+  rct::bench::rule();
+
+  const fs::path scratch =
+      fs::temp_directory_path() / ("perf_serve_" + std::to_string(::getpid()));
+  fs::create_directories(scratch);
+  const fs::path deck = scratch / "deck.spef";
+  const fs::path store = scratch / "store";
+  const std::vector<std::string> names = write_deck(deck, net_count, nodes);
+
+  std::vector<Datapoint> points;
+  std::printf("%-14s %12s %16s %10s\n", "phase", "wall_s", "requests_per_s", "speedup");
+  double cold_wall = 0.0;
+  {
+    rct::server::ServeOptions options;
+    options.store_dir = store.string();
+    rct::server::Server server(options);
+    (void)server.load_design(deck.string(), /*lenient=*/false);
+
+    cold_wall = run_phase(server, names, clients, "computed");
+    std::printf("%-14s %12.4f %16.1f %9.2fx\n", "cold", cold_wall, count / cold_wall, 1.0);
+    points.push_back({"BM_ServeCold", cold_wall, count / cold_wall});
+
+    const double warm_mem = run_phase(server, names, clients, "memory");
+    std::printf("%-14s %12.4f %16.1f %9.2fx\n", "warm-memory", warm_mem, count / warm_mem,
+                cold_wall / warm_mem);
+    points.push_back({"BM_ServeWarmMemory", warm_mem, count / warm_mem});
+  }
+  {
+    // Restart: a fresh server over the same store answers from disk.
+    rct::server::ServeOptions options;
+    options.store_dir = store.string();
+    rct::server::Server server(options);
+    (void)server.load_design(deck.string(), /*lenient=*/false);
+
+    const double warm_store = run_phase(server, names, clients, "store");
+    std::printf("%-14s %12.4f %16.1f %9.2fx\n", "warm-store", warm_store, count / warm_store,
+                cold_wall / warm_store);
+    points.push_back({"BM_ServeWarmStore", warm_store, count / warm_store});
+    if (cold_wall / warm_store < 10.0)
+      std::printf("# WARNING: warm-store speedup %.2fx below the 10x expectation\n",
+                  cold_wall / warm_store);
+  }
+
+  fs::remove_all(scratch);
+  if (!write_benchmark_json(out_path, points, net_count, nodes, clients)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("# datapoints: %s\n", out_path.c_str());
+  return 0;
+}

@@ -8,16 +8,21 @@
 #      std::runtime_error — the engine's failure records depend on codes.
 #   1. ThreadSanitizer build; runs the engine tests (thread pool, net cache,
 #      batch analyzer), the shared-TreeContext tests, the obs registry/tracer
-#      tests, the robustness tests (deadline/retry/fault injection) and the
-#      CLI batch end-to-end tests under TSan.
+#      tests, the robustness tests (deadline/retry/fault injection), the
+#      timing-server tests (concurrent clients, disk store) and the CLI
+#      batch/serve end-to-end tests under TSan.
 #   2. Trace validation: the TSan-built CLI emits a Chrome trace + metrics
 #      snapshot, checked against a small JSON schema (python3).
 #   3. AddressSanitizer+UBSan build; runs the full ctest suite, then drives
 #      the ASan CLI over every deck in testdata/malformed (strict + lenient):
 #      each must exit 1 with a diagnostic — never crash, never succeed.
+#   4. Perf gate (full runs only): rebuilds the benches in Release, re-runs
+#      perf_batch / perf_report / perf_serve on the baseline workloads and
+#      diffs against the committed BENCH_*.json with scripts/perf_compare.py;
+#      a >PERF_THRESHOLD (default 10%) real_time growth fails the gate.
 #
-# Usage: scripts/check.sh [--tsan-only|--asan-only]
-# Build trees land in build-tsan/ and build-asan/ (gitignored).
+# Usage: scripts/check.sh [--tsan-only|--asan-only|--perf-only]
+# Build trees land in build-tsan/, build-asan/ and build-perf/ (gitignored).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -77,18 +82,20 @@ configure_and_build() {
   cmake --build "$dir" -j"$JOBS" "$@"
 }
 
-if [[ "$MODE" != "--asan-only" ]]; then
-  echo "== ThreadSanitizer: engine + analysis + obs tests =="
+if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
+  echo "== ThreadSanitizer: engine + analysis + obs + server tests =="
   configure_and_build build-tsan thread --target test_engine --target test_analysis \
     --target test_obs --target test_report_equivalence --target test_robust \
-    --target test_cli --target rct_cli
+    --target test_server --target test_cli --target rct_cli
   (cd build-tsan &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_engine &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_analysis &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_obs &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_report_equivalence &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_robust &&
-    TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli --gtest_filter='Cli.Batch*:Cli.SpefMetricsOut:Cli.Fault*')
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_server &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_cli \
+      --gtest_filter='Cli.Batch*:Cli.SpefMetricsOut:Cli.Fault*:Cli.Serve*:Cli.Client*')
 
   echo "== trace/metrics schema validation (TSan-built CLI) =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct batch testdata/two_nets.spef \
@@ -170,7 +177,7 @@ print(f"prometheus OK ({len(types)} metrics, {len(hist)} histograms, "
 PY
 fi
 
-if [[ "$MODE" != "--tsan-only" ]]; then
+if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then
   echo "== AddressSanitizer+UBSan: full suite =="
   configure_and_build build-asan address,undefined
   (cd build-asan &&
@@ -194,6 +201,30 @@ if [[ "$MODE" != "--tsan-only" ]]; then
     done
   done
   echo "malformed corpus: every deck handled without a crash"
+fi
+
+if [[ "$MODE" == "all" || "$MODE" == "--perf-only" ]]; then
+  PERF_THRESHOLD="${PERF_THRESHOLD:-0.10}"
+  echo "== perf gate: committed BENCH_*.json baselines (threshold ${PERF_THRESHOLD}) =="
+  cmake -B build-perf -S . \
+    -DCMAKE_BUILD_TYPE=Release -DRCT_SANITIZE="" -DRCT_BUILD_BENCH=ON > /dev/null
+  cmake --build build-perf -j"$JOBS" \
+    --target perf_batch --target perf_report --target perf_serve
+  # Workloads must match the ones the committed baselines were generated
+  # with — see each BENCH_*.json "context" block.  BENCH_obs.json is a
+  # metrics snapshot, not a perf_compare-compatible benchmark file, so it
+  # is deliberately not gated here.
+  ./build-perf/bench/perf_batch 200 40 2 \
+    --benchmark_out=build-perf/BENCH_batch.json > /dev/null
+  ./build-perf/bench/perf_report \
+    --benchmark_out=build-perf/BENCH_report.json > /dev/null
+  ./build-perf/bench/perf_serve \
+    --benchmark_out=build-perf/BENCH_serve.json > /dev/null
+  for bench in batch report serve; do
+    echo "-- perf_compare: BENCH_${bench}.json --"
+    python3 scripts/perf_compare.py "BENCH_${bench}.json" \
+      "build-perf/BENCH_${bench}.json" --threshold "$PERF_THRESHOLD"
+  done
 fi
 
 echo "check.sh: all sanitizer passes green"

@@ -1,7 +1,10 @@
 #include "core/report.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "core/bounds.hpp"
@@ -135,6 +138,126 @@ std::vector<NodeReport> build_report(const analysis::TreeContext& context,
     if (r.degraded) degraded_rows_counter().add();
     rows.push_back(std::move(r));
   }
+  return rows;
+}
+
+namespace {
+
+// Little-endian framing helpers for the binary row blob.  Explicit byte
+// writes (not memcpy-of-struct) keep the format layout-stable across
+// compilers; doubles round-trip through their raw bit patterns.
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out += static_cast<char>((v >> shift) & 0xffULL);
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+/// Bounds-checked sequential reader over the serialized blob.  Every take_*
+/// clears `ok` instead of reading past the end, so a truncated or corrupted
+/// blob can never fault — it just fails to decode.
+struct BlobReader {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  explicit BlobReader(std::string_view bytes)
+      : p(bytes.data()), end(bytes.data() + bytes.size()) {}
+
+  std::uint64_t take_u64() {
+    if (!ok || end - p < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(*p++)) << shift;
+    return v;
+  }
+
+  double take_f64() { return std::bit_cast<double>(take_u64()); }
+
+  std::uint8_t take_u8() {
+    if (!ok || p == end) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(*p++);
+  }
+
+  std::string take_string(std::uint64_t n) {
+    if (!ok || static_cast<std::uint64_t>(end - p) < n) {
+      ok = false;
+      return {};
+    }
+    std::string s(p, p + n);
+    p += n;
+    return s;
+  }
+};
+
+constexpr std::uint8_t kHasExactDelay = 1u << 0;
+constexpr std::uint8_t kHasExactRise = 1u << 1;
+constexpr std::uint8_t kDegraded = 1u << 2;
+
+}  // namespace
+
+std::string serialize_report(const std::vector<NodeReport>& rows) {
+  std::string out;
+  out.reserve(16 + rows.size() * 96);
+  put_u64(out, rows.size());
+  for (const NodeReport& r : rows) {
+    put_u64(out, r.name.size());
+    out += r.name;
+    put_u64(out, r.depth);
+    put_f64(out, r.elmore);
+    put_f64(out, r.sigma);
+    put_f64(out, r.skewness);
+    put_f64(out, r.lower_bound);
+    put_f64(out, r.single_pole);
+    put_f64(out, r.prh_tmin);
+    put_f64(out, r.prh_tmax);
+    std::uint8_t flags = 0;
+    if (r.exact_delay) flags |= kHasExactDelay;
+    if (r.exact_rise) flags |= kHasExactRise;
+    if (r.degraded) flags |= kDegraded;
+    out += static_cast<char>(flags);
+    if (r.exact_delay) put_f64(out, *r.exact_delay);
+    if (r.exact_rise) put_f64(out, *r.exact_rise);
+  }
+  return out;
+}
+
+std::optional<std::vector<NodeReport>> deserialize_report(std::string_view bytes) {
+  BlobReader in(bytes);
+  const std::uint64_t n_rows = in.take_u64();
+  if (!in.ok) return std::nullopt;
+  // A row costs at least 81 bytes; reject counts the blob cannot hold so a
+  // corrupted length field never triggers a huge allocation.
+  if (n_rows > static_cast<std::uint64_t>(in.end - in.p) / 81) return std::nullopt;
+  std::vector<NodeReport> rows;
+  rows.reserve(n_rows);
+  for (std::uint64_t i = 0; i < n_rows; ++i) {
+    NodeReport r;
+    const std::uint64_t name_len = in.take_u64();
+    if (!in.ok || name_len > static_cast<std::uint64_t>(in.end - in.p)) return std::nullopt;
+    r.name = in.take_string(name_len);
+    r.depth = in.take_u64();
+    r.elmore = in.take_f64();
+    r.sigma = in.take_f64();
+    r.skewness = in.take_f64();
+    r.lower_bound = in.take_f64();
+    r.single_pole = in.take_f64();
+    r.prh_tmin = in.take_f64();
+    r.prh_tmax = in.take_f64();
+    const std::uint8_t flags = in.take_u8();
+    if (flags & kHasExactDelay) r.exact_delay = in.take_f64();
+    if (flags & kHasExactRise) r.exact_rise = in.take_f64();
+    r.degraded = (flags & kDegraded) != 0;
+    if (!in.ok) return std::nullopt;
+    rows.push_back(std::move(r));
+  }
+  if (in.p != in.end) return std::nullopt;  // trailing garbage = damage
   return rows;
 }
 

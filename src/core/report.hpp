@@ -5,6 +5,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/tree_context.hpp"
@@ -66,5 +67,20 @@ struct ReportOptions {
 
 /// Renders reports as an aligned text table (times in ns).
 [[nodiscard]] std::string format_report(const std::vector<NodeReport>& rows);
+
+/// Binary row serialization — the persistence format the content-addressed
+/// on-disk store (src/server) writes under each NetKey.  Little-endian,
+/// fixed layout: u64 row count, then per row a length-prefixed name, the
+/// u64 depth, the seven double metrics as raw bit patterns (bit-exact
+/// round trip, NaN/Inf safe) and one flag byte (exact_delay / exact_rise
+/// presence, degraded) followed by the optional exact values.  The blob
+/// itself is unversioned; the store's envelope carries version + checksum.
+[[nodiscard]] std::string serialize_report(const std::vector<NodeReport>& rows);
+
+/// Inverse of serialize_report().  Returns nullopt on any truncation or
+/// malformed framing (never throws, never reads out of bounds) so callers
+/// can treat a damaged cache entry as a miss and recompute.
+[[nodiscard]] std::optional<std::vector<NodeReport>> deserialize_report(
+    std::string_view bytes);
 
 }  // namespace rct::core

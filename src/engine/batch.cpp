@@ -311,7 +311,8 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
   out.nets.resize(nets.size());
   out.stats.nets = nets.size();
 
-  NetCache cache;
+  NetCache cache(16, options.cache_max_entries);
+  if (options.cache_backend != nullptr) cache.set_backend(options.cache_backend);
   NetCache* cache_ptr = options.use_cache ? &cache : nullptr;
 
   // EngineStats is a per-run delta over the process-global registry: runs

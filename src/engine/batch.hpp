@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,11 +29,21 @@
 
 namespace rct::engine {
 
+class CacheBackend;  // net_cache.hpp
+
 /// Knobs for one batch run.
 struct BatchOptions {
   std::size_t jobs = 0;        ///< worker threads; 0 = hardware concurrency
   core::ReportOptions report;  ///< shared per-net report options
   bool use_cache = true;       ///< skip recomputation of content-identical nets
+  /// LRU cap on the in-memory NetCache (rows and contexts each); 0 keeps
+  /// the pre-cap unbounded behavior (stdout stays byte-identical).  Maps to
+  /// the CLI's --cache-max-entries.
+  std::size_t cache_max_entries = 0;
+  /// Optional second-level persistent store consulted on cache misses and
+  /// written through on inserts (e.g. server::DiskStore via `--store DIR`);
+  /// nullptr = memory only.  Ignored when use_cache is false.
+  std::shared_ptr<CacheBackend> cache_backend;
   /// Cooperative per-net deadline in milliseconds; 0 disables.  Checked at
   /// analysis checkpoints (threads are never killed), so overshoot is
   /// bounded by the longest uninterruptible step, not by luck.

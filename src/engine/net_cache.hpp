@@ -12,13 +12,28 @@
 // Thread safety: the map is sharded by hash, one mutex per shard, so
 // concurrent lookups/inserts from a thread pool contend only when they land
 // on the same shard.
+//
+// Bounding: an optional LRU cap (`max_entries`, 0 = unbounded) limits how
+// many row entries — and, independently, how many contexts — the cache
+// retains.  The cap is split evenly across shards, so it is approximate:
+// a shard evicts its own least-recently-used entry once it exceeds
+// ceil(max_entries / shards), regardless of what other shards hold.
+// Evictions are counted (`engine.cache.evictions`).  The default (0)
+// preserves the unbounded, byte-identical pre-cap behavior.
+//
+// Persistence: a CacheBackend is the hook a second-level store plugs into
+// (src/server's content-addressed DiskStore is the shipping
+// implementation).  Misses consult the backend before reporting a miss;
+// inserts write through.  Backend I/O happens outside the shard locks.
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/tree_context.hpp"
@@ -47,16 +62,47 @@ struct NetKey {
 /// Used after computing rows from a content-identical donor tree/context.
 void rebind_report_names(std::vector<core::NodeReport>& rows, const RCTree& tree);
 
+/// Second-level store interface the NetCache consults on a memory miss and
+/// writes through to on insert.  Implementations must be safe to call from
+/// many threads concurrently and must never throw: a failed load is a
+/// nullopt (the caller recomputes), a failed save is dropped.  The cache
+/// never holds a shard lock across a backend call, so implementations are
+/// free to do real I/O.
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+  /// Rows stored under `key`, or nullopt (missing, damaged, unreadable).
+  [[nodiscard]] virtual std::optional<std::vector<core::NodeReport>> load(const NetKey& key) = 0;
+  /// Persists rows under `key`; best-effort.
+  virtual void save(const NetKey& key, const std::vector<core::NodeReport>& rows) = 0;
+};
+
+/// Where a NetCache::lookup() hit was served from.
+enum class CacheSource {
+  kMiss,
+  kMemory,   ///< in-memory entry
+  kBackend,  ///< second-level store (entry promoted into memory)
+};
+
 class NetCache {
  public:
-  explicit NetCache(std::size_t shards = 16);
+  /// `max_entries` == 0 leaves the cache unbounded.
+  explicit NetCache(std::size_t shards = 16, std::size_t max_entries = 0);
+
+  /// Attaches the second-level store.  Set before the cache is shared
+  /// across threads (the pointer itself is not synchronized).
+  void set_backend(std::shared_ptr<CacheBackend> backend) { backend_ = std::move(backend); }
 
   /// Returns a copy of the cached rows with names re-bound to `tree`, or
   /// nullopt on a miss.  `tree` must be the tree the key was built from.
-  [[nodiscard]] std::optional<std::vector<core::NodeReport>> lookup(const NetKey& key,
-                                                                    const RCTree& tree);
+  /// A hit refreshes the entry's LRU position; a memory miss consults the
+  /// backend and promotes a backend hit into memory.  `source` (optional)
+  /// reports which level served the hit.
+  [[nodiscard]] std::optional<std::vector<core::NodeReport>> lookup(
+      const NetKey& key, const RCTree& tree, CacheSource* source = nullptr);
 
-  /// Stores rows under `key`; a concurrent duplicate insert keeps the first.
+  /// Stores rows under `key` (write-through to the backend); a concurrent
+  /// duplicate insert keeps the first.
   void insert(const NetKey& key, std::vector<core::NodeReport> rows);
 
   /// Returns the shared TreeContext stored under the *content* key, or
@@ -71,12 +117,21 @@ class NetCache {
   /// callers can switch to the shared instance.  The cached context must
   /// remain valid for the cache's lifetime: either it owns its tree, or the
   /// borrowed tree outlives the cache (the engine's per-batch caches borrow
-  /// from the batch's nets, which do).
+  /// from the batch's nets, which do; the long-lived server caches contexts
+  /// that own copies of their trees).
   std::shared_ptr<const analysis::TreeContext> insert_context(
       const NetKey& key, std::shared_ptr<const analysis::TreeContext> context);
 
+  /// Drops every row entry and context (the backend is untouched).  Not
+  /// counted as evictions.  Returns {row entries dropped, contexts dropped}.
+  std::pair<std::size_t, std::size_t> clear();
+
   [[nodiscard]] std::size_t hits() const { return hits_.load(); }
   [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// Memory misses served by the backend store.
+  [[nodiscard]] std::size_t backend_hits() const { return backend_hits_.load(); }
+  /// Row entries + contexts displaced by the LRU cap (clear() excluded).
+  [[nodiscard]] std::size_t evictions() const { return evictions_.load(); }
   /// Number of context cache hits (lookup_context successes plus
   /// insert_context races lost to an earlier writer).
   [[nodiscard]] std::size_t context_hits() const { return ctx_hits_.load(); }
@@ -94,17 +149,29 @@ class NetCache {
     NetKey key;
     std::shared_ptr<const analysis::TreeContext> context;
   };
+  /// Per-shard storage: intrusive recency lists (front = most recent) with
+  /// hash-indexed iterator chains for O(1) lookup, splice and eviction.
   struct Shard {
     std::mutex mutex;
-    std::unordered_map<std::uint64_t, std::vector<Entry>> map;  // hash -> collision chain
-    std::unordered_map<std::uint64_t, std::vector<CtxEntry>> ctx_map;
+    std::list<Entry> entries;  // MRU at front
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> index;
+    std::list<CtxEntry> contexts;  // MRU at front
+    std::unordered_map<std::uint64_t, std::vector<std::list<CtxEntry>::iterator>> ctx_index;
   };
 
   Shard& shard_for(std::uint64_t hash) { return *shards_[hash % shards_.size()]; }
 
+  /// Inserts rows into the in-memory tier only (no backend write-through).
+  /// Returns false when the key was already present.
+  bool insert_memory(const NetKey& key, std::vector<core::NodeReport> rows);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t cap_per_shard_ = 0;  ///< 0 = unbounded
+  std::shared_ptr<CacheBackend> backend_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> backend_hits_{0};
+  std::atomic<std::size_t> evictions_{0};
   std::atomic<std::size_t> ctx_hits_{0};
 };
 

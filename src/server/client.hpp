@@ -1,0 +1,41 @@
+#pragma once
+// server::Client — the thin connection `rct client` (and the tests and
+// bench/perf_serve) use to talk to a running `rct serve`.
+//
+// One blocking socket, one buffered line reader.  The target spec mirrors
+// the server's listen spec: a unix socket path, or an all-digits TCP port
+// on 127.0.0.1.  No retries, no reconnects — callers that need
+// wait-for-server semantics loop on connect() themselves.
+
+#include <string>
+
+namespace rct::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to `target` (unix path, or all-digits port on 127.0.0.1).
+  /// False (with error()) on failure; never throws.
+  [[nodiscard]] bool connect(const std::string& target);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Sends one request line (newline appended) and blocks for the one
+  /// response line (stripped of its newline).  False on any socket error
+  /// or a server that hung up mid-response.
+  [[nodiscard]] bool roundtrip(const std::string& request_line, std::string& response_line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last consumed line
+  std::string error_;
+};
+
+}  // namespace rct::server

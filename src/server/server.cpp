@@ -1,0 +1,604 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "robust/error.hpp"
+#include "robust/fault.hpp"
+
+namespace rct::server {
+namespace {
+
+obs::Counter& request_counter() {
+  static obs::Counter& c = obs::registry().counter("server.requests");
+  return c;
+}
+obs::Counter& request_error_counter() {
+  static obs::Counter& c = obs::registry().counter("server.request.errors");
+  return c;
+}
+obs::Counter& connection_counter() {
+  static obs::Counter& c = obs::registry().counter("server.connections");
+  return c;
+}
+obs::Histogram& request_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("server.request.seconds");
+  return h;
+}
+
+bool is_all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+std::uint64_t fnv1a_text(std::string_view text) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// 12-hex content handle of a design (FNV-1a of the raw file bytes,
+/// truncated — short enough to type, long enough that two designs loaded
+/// into one server never collide in practice).
+std::string design_handle(std::string_view file_bytes) {
+  char buf[13];
+  std::snprintf(buf, sizeof(buf), "%012llx",
+                static_cast<unsigned long long>(fnv1a_text(file_bytes) & 0xffffffffffffULL));
+  return buf;
+}
+
+const char* source_name(engine::CacheSource source) {
+  switch (source) {
+    case engine::CacheSource::kMemory: return "memory";
+    case engine::CacheSource::kBackend: return "store";
+    case engine::CacheSource::kMiss: return "computed";
+  }
+  return "computed";
+}
+
+/// Sends all of `data`; false on any socket error.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void append_row_json(std::string& out, const core::NodeReport& row, bool bounds_only) {
+  out += "{\"name\":";
+  append_json_string(out, row.name);
+  out += ",\"depth\":" + std::to_string(row.depth);
+  out += ",\"elmore\":";
+  append_json_double(out, row.elmore);
+  out += ",\"lower_bound\":";
+  append_json_double(out, row.lower_bound);
+  out += ",\"prh_tmin\":";
+  append_json_double(out, row.prh_tmin);
+  out += ",\"prh_tmax\":";
+  append_json_double(out, row.prh_tmax);
+  if (!bounds_only) {
+    out += ",\"sigma\":";
+    append_json_double(out, row.sigma);
+    out += ",\"skewness\":";
+    append_json_double(out, row.skewness);
+    out += ",\"single_pole\":";
+    append_json_double(out, row.single_pole);
+    if (row.exact_delay.has_value()) {
+      out += ",\"exact_delay\":";
+      append_json_double(out, *row.exact_delay);
+    }
+    if (row.exact_rise.has_value()) {
+      out += ",\"exact_rise\":";
+      append_json_double(out, *row.exact_rise);
+    }
+  }
+  if (row.degraded) out += ",\"degraded\":true";
+  out.push_back('}');
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      pool_(options_.jobs),
+      cache_(16, options_.cache_max_entries) {
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_shared<DiskStore>(options_.store_dir);
+    if (store_->ok()) {
+      cache_.set_backend(store_);
+    } else {
+      obs::log::warn("server.store_disabled", {{"error", std::string_view(store_->error())}});
+      store_.reset();
+    }
+  }
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  const std::string& spec = options_.listen;
+  if (is_all_digits(spec)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      error_ = "socket: " + std::string(std::strerror(errno));
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(std::strtoul(spec.c_str(), nullptr, 10)));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error_ = "bind 127.0.0.1:" + spec + ": " + std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+    address_ = "tcp:127.0.0.1:" + std::to_string(port_);
+  } else {
+    sockaddr_un addr{};
+    if (spec.size() >= sizeof(addr.sun_path)) {
+      error_ = "unix socket path too long: " + spec;
+      return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      error_ = "socket: " + std::string(std::strerror(errno));
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, spec.c_str(), spec.size() + 1);
+    ::unlink(spec.c_str());  // stale socket from a dead server
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error_ = "bind " + spec + ": " + std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    address_ = "unix:" + spec;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    error_ = "listen: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  obs::log::info("server.start", {{"address", std::string_view(address_)},
+                                  {"threads", static_cast<std::uint64_t>(pool_.thread_count())}});
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  return true;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    // Someone else is (or finished) stopping; wait for them.
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stopped_; });
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    shutdown_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  reap_connections(true);
+  pool_.wait_idle();
+  if (!address_.empty() && address_.compare(0, 5, "unix:") == 0)
+    ::unlink(options_.listen.c_str());
+  obs::log::info("server.stop", {{"requests", requests_.load(std::memory_order_relaxed)}});
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 200);
+    reap_connections(false);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Bound sends so a client that stops reading cannot hang stop().
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    connection_counter().add();
+    obs::log::info("server.connect", {{"fd", static_cast<std::uint64_t>(fd)}});
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(std::make_unique<Connection>());
+    Connection* conn = conns_.back().get();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn, fd] {
+      serve_connection(fd);
+      conn->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::reap_connections(bool all) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  if (all) {
+    // Read-side shutdown only: blocked recv()s return 0, but an in-flight
+    // response (e.g. the shutdown ack) still drains before the close.
+    for (const auto& conn : conns_)
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  }
+  std::erase_if(conns_, [all](const std::unique_ptr<Connection>& conn) {
+    if (!all && !conn->done.load(std::memory_order_acquire)) return false;
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+    return true;
+  });
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (line.empty()) continue;
+      std::string response = handle_line(line);
+      response.push_back('\n');
+      if (!send_all(fd, response)) {
+        open = false;
+        break;
+      }
+      // A shutdown request was acknowledged above; drop the connection so
+      // stop() (triggered via wait()) does not have to race our recv.
+      if (stopping_.load(std::memory_order_relaxed)) {
+        open = false;
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        if (shutdown_requested_) open = false;
+      }
+      if (!open) break;
+    }
+  }
+  obs::log::info("server.disconnect", {{"fd", static_cast<std::uint64_t>(fd)}});
+}
+
+std::string Server::handle_line(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  request_counter().add();
+  obs::ScopedTimer timer(request_histogram());
+  ParsedRequest parsed = parse_request(line);
+  if (!parsed.ok) {
+    request_error_counter().add();
+    return error_response(0, "syntax", parsed.error);
+  }
+  const Request& request = parsed.request;
+  obs::Span span("server.request", "server", request.cmd);
+  auto flight = obs::flight::recorder().begin(
+      request.net.empty() ? std::string_view(request.cmd) : std::string_view(request.net),
+      "serve");
+  try {
+    std::string response = dispatch(request);
+    obs::flight::recorder().end(flight, obs::flight::Outcome::kOk);
+    return response;
+  } catch (const robust::Error& e) {
+    request_error_counter().add();
+    obs::flight::recorder().end(flight,
+                                e.code() == robust::Code::kTimeout
+                                    ? obs::flight::Outcome::kTimeout
+                                    : obs::flight::Outcome::kFailed,
+                                e.code());
+    obs::log::warn("server.request_failed",
+                   {{"cmd", std::string_view(request.cmd)},
+                    {"code", robust::code_name(e.code())},
+                    {"error", std::string_view(e.what())}});
+    if (!options_.flight_out.empty()) obs::flight::recorder().write(options_.flight_out);
+    return error_response(request.id, robust::code_name(e.code()), e.what());
+  } catch (const std::exception& e) {
+    request_error_counter().add();
+    obs::flight::recorder().end(flight, obs::flight::Outcome::kFailed,
+                                robust::Code::kTaskFailure);
+    obs::log::warn("server.request_failed", {{"cmd", std::string_view(request.cmd)},
+                                             {"code", "task-failure"},
+                                             {"error", std::string_view(e.what())}});
+    if (!options_.flight_out.empty()) obs::flight::recorder().write(options_.flight_out);
+    return error_response(request.id, "task-failure", e.what());
+  }
+}
+
+std::string Server::dispatch(const Request& request) {
+  if (request.cmd == "ping") return cmd_ping(request);
+  if (request.cmd == "load") return cmd_load(request);
+  if (request.cmd == "report") return cmd_report(request, /*bounds_only=*/false);
+  if (request.cmd == "bounds") return cmd_report(request, /*bounds_only=*/true);
+  if (request.cmd == "stats") return cmd_stats(request);
+  if (request.cmd == "evict") return cmd_evict(request);
+  if (request.cmd == "shutdown") return cmd_shutdown(request);
+  throw robust::Error(robust::Code::kUnsupported, "unknown command '" + request.cmd + "'");
+}
+
+std::string Server::run_on_pool(std::function<std::string()> fn) {
+  auto task = std::make_shared<std::packaged_task<std::string()>>(std::move(fn));
+  std::future<std::string> future = task->get_future();
+  pool_.submit([task] { (*task)(); });
+  return future.get();  // rethrows what the task threw
+}
+
+std::string Server::cmd_ping(const Request& request) {
+  return "{\"id\":" + std::to_string(request.id) + ",\"ok\":true}";
+}
+
+std::string Server::load_design(const std::string& path, bool lenient) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw robust::Error(robust::Code::kFileOpen, "cannot open '" + path + "'", {path}, "spef");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string bytes = text.str();
+  const std::string handle = design_handle(bytes);
+  {
+    std::lock_guard<std::mutex> lock(designs_mutex_);
+    const auto it = designs_.find(handle);
+    if (it != designs_.end()) {
+      last_design_ = handle;  // cheap rebind: same content already resident
+      return handle;
+    }
+  }
+  SpefParseOptions parse_options;
+  parse_options.lenient = lenient;
+  parse_options.path = path;
+  auto design = std::make_shared<Design>();
+  design->handle = handle;
+  design->path = path;
+  design->file = parse_spef(bytes, parse_options);
+  design->net_index.reserve(design->file.nets.size());
+  for (std::size_t i = 0; i < design->file.nets.size(); ++i)
+    design->net_index.emplace(design->file.nets[i].name, i);
+  obs::log::info("server.load", {{"design", std::string_view(design->file.design)},
+                                 {"handle", std::string_view(handle)},
+                                 {"path", std::string_view(path)},
+                                 {"nets", static_cast<std::uint64_t>(design->file.nets.size())}});
+  std::lock_guard<std::mutex> lock(designs_mutex_);
+  designs_.emplace(handle, std::move(design));
+  last_design_ = handle;
+  return handle;
+}
+
+std::shared_ptr<const Server::Design> Server::find_design(const std::string& ref) {
+  std::lock_guard<std::mutex> lock(designs_mutex_);
+  const std::string& key = ref.empty() ? last_design_ : ref;
+  const auto it = designs_.find(key);
+  if (it != designs_.end()) return it->second;
+  // Fall back to the SPEF *DESIGN name (first match).
+  for (const auto& [handle, design] : designs_)
+    if (design->file.design == ref) return design;
+  return nullptr;
+}
+
+std::string Server::cmd_load(const Request& request) {
+  if (request.path.empty())
+    throw robust::Error(robust::Code::kUnsupported, "load needs \"path\"");
+  const bool lenient = request.lenient || options_.lenient;
+  return run_on_pool([this, &request, lenient]() -> std::string {
+    const std::string handle = load_design(request.path, lenient);
+    const std::shared_ptr<const Design> design = find_design(handle);
+    std::size_t nodes = 0;
+    for (const auto& net : design->file.nets) nodes += net.tree.size();
+    std::string out = "{\"id\":" + std::to_string(request.id) + ",\"ok\":true,\"design\":";
+    append_json_string(out, handle);
+    out += ",\"name\":";
+    append_json_string(out, design->file.design);
+    out += ",\"nets\":" + std::to_string(design->file.nets.size()) +
+           ",\"nodes\":" + std::to_string(nodes);
+    if (!design->file.diagnostics.empty())
+      out += ",\"diagnostics\":" + std::to_string(design->file.diagnostics.size());
+    out.push_back('}');
+    return out;
+  });
+}
+
+std::string Server::cmd_report(const Request& request, bool bounds_only) {
+  if (request.net.empty())
+    throw robust::Error(robust::Code::kUnsupported, "report needs \"net\"");
+  const std::shared_ptr<const Design> design = find_design(request.design);
+  if (design == nullptr)
+    throw robust::Error(robust::Code::kUnsupported,
+                        request.design.empty() ? "no design loaded"
+                                               : "unknown design '" + request.design + "'");
+  const auto net_it = design->net_index.find(request.net);
+  if (net_it == design->net_index.end())
+    throw robust::Error(robust::Code::kUnsupported,
+                        "unknown net '" + request.net + "' in design " + design->handle);
+  const SpefNet& net = design->file.nets[net_it->second];
+
+  core::ReportOptions report = options_.report;
+  if (request.has_with_exact) report.with_exact = request.with_exact;
+  if (request.leaves_only) report.leaves_only = true;
+  if (bounds_only) {
+    report.with_exact = false;
+    report.leaves_only = true;
+  }
+  if (request.exact_limit != 0) report.exact_node_limit = request.exact_limit;
+  if (request.fraction > 0.0) report.fraction = request.fraction;
+  const std::uint64_t timeout_ms =
+      request.timeout_ms != 0 ? request.timeout_ms : options_.request_timeout_ms;
+
+  return run_on_pool([this, design, &net, &request, report, timeout_ms,
+                      bounds_only]() -> std::string {
+    const robust::Deadline deadline = robust::Deadline::after_ms(timeout_ms);
+    core::ReportOptions effective = report;
+    effective.deadline = deadline.armed() ? &deadline : nullptr;
+    robust::fault::maybe_sleep("server.report");
+    robust::fault::maybe_throw("server.report");
+    deadline.check("server.report");
+
+    const engine::NetKey key = engine::NetKey::of(net.tree, effective);
+    engine::CacheSource source = engine::CacheSource::kMiss;
+    std::optional<std::vector<core::NodeReport>> rows = cache_.lookup(key, net.tree, &source);
+    if (!rows.has_value()) {
+      const engine::NetKey content_key = engine::NetKey::content_of(net.tree);
+      std::shared_ptr<const analysis::TreeContext> context =
+          cache_.lookup_context(content_key);
+      if (context == nullptr) {
+        // The cached context owns a copy of the tree: evicting the design
+        // later cannot dangle it.
+        auto owned = std::make_shared<const RCTree>(net.tree);
+        context = cache_.insert_context(
+            content_key, std::make_shared<const analysis::TreeContext>(std::move(owned)));
+      }
+      rows = core::build_report(*context, effective);
+      // The context may have been donated by a content-identical net with
+      // different node names; bind the rows to the requested net.
+      engine::rebind_report_names(*rows, net.tree);
+      cache_.insert(key, *rows);
+    }
+
+    std::string out = "{\"id\":" + std::to_string(request.id) + ",\"ok\":true,\"design\":";
+    append_json_string(out, design->handle);
+    out += ",\"net\":";
+    append_json_string(out, request.net);
+    out += ",\"source\":\"";
+    out += source_name(source);
+    out += "\",\"rows\":[";
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+      if (i > 0) out.push_back(',');
+      append_row_json(out, (*rows)[i], bounds_only);
+    }
+    out += "]}";
+    return out;
+  });
+}
+
+std::string Server::cmd_stats(const Request& request) {
+  std::size_t n_designs = 0;
+  std::size_t n_nets = 0;
+  {
+    std::lock_guard<std::mutex> lock(designs_mutex_);
+    n_designs = designs_.size();
+    for (const auto& [handle, design] : designs_) n_nets += design->file.nets.size();
+  }
+  std::string out = "{\"id\":" + std::to_string(request.id) + ",\"ok\":true";
+  out += ",\"designs\":" + std::to_string(n_designs);
+  out += ",\"nets\":" + std::to_string(n_nets);
+  out += ",\"requests\":" + std::to_string(requests_.load(std::memory_order_relaxed));
+  out += ",\"threads\":" + std::to_string(pool_.thread_count());
+  out += ",\"cache\":{\"entries\":" + std::to_string(cache_.size());
+  out += ",\"contexts\":" + std::to_string(cache_.context_count());
+  out += ",\"hits\":" + std::to_string(cache_.hits());
+  out += ",\"misses\":" + std::to_string(cache_.misses());
+  out += ",\"store_hits\":" + std::to_string(cache_.backend_hits());
+  out += ",\"evictions\":" + std::to_string(cache_.evictions()) + "}";
+  if (store_ != nullptr) {
+    out += ",\"store\":{\"dir\":";
+    append_json_string(out, store_->dir());
+    out += ",\"entries\":" + std::to_string(store_->entry_count()) + "}";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string Server::cmd_evict(const Request& request) {
+  std::size_t designs_evicted = 0;
+  std::size_t entries_dropped = 0;
+  std::size_t contexts_dropped = 0;
+  if (!request.design.empty()) {
+    std::lock_guard<std::mutex> lock(designs_mutex_);
+    const auto it = designs_.find(request.design);
+    if (it == designs_.end())
+      throw robust::Error(robust::Code::kUnsupported,
+                          "unknown design '" + request.design + "'");
+    if (last_design_ == it->first) last_design_.clear();
+    designs_.erase(it);
+    designs_evicted = 1;
+    // Cached rows/contexts are content-addressed and name-independent;
+    // they stay until the LRU (or a full evict) displaces them.
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(designs_mutex_);
+      designs_evicted = designs_.size();
+      designs_.clear();
+      last_design_.clear();
+    }
+    const auto [entries, contexts] = cache_.clear();
+    entries_dropped = entries;
+    contexts_dropped = contexts;
+  }
+  obs::log::info("server.evict",
+                 {{"designs", static_cast<std::uint64_t>(designs_evicted)},
+                  {"entries", static_cast<std::uint64_t>(entries_dropped)},
+                  {"contexts", static_cast<std::uint64_t>(contexts_dropped)}});
+  return "{\"id\":" + std::to_string(request.id) +
+         ",\"ok\":true,\"designs_evicted\":" + std::to_string(designs_evicted) +
+         ",\"entries_dropped\":" + std::to_string(entries_dropped) +
+         ",\"contexts_dropped\":" + std::to_string(contexts_dropped) + "}";
+}
+
+std::string Server::cmd_shutdown(const Request& request) {
+  obs::log::info("server.shutdown", {{"id", request.id}});
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    shutdown_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  return "{\"id\":" + std::to_string(request.id) + ",\"ok\":true,\"shutdown\":true}";
+}
+
+}  // namespace rct::server

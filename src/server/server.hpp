@@ -1,0 +1,184 @@
+#pragma once
+// server::Server — the long-running timing daemon behind `rct serve`.
+//
+// One process holds parsed designs and their warm analysis::TreeContexts in
+// memory and answers newline-delimited JSON requests (see protocol.hpp)
+// from many concurrent clients, so interactive queries against a large
+// extracted design cost microseconds instead of a full parse + analysis
+// per invocation.
+//
+// Threading model:
+//   - one accept thread (poll with a short timeout so stop() is prompt),
+//   - one thread per connection reading lines and writing responses
+//     (finished connections are reaped by the accept loop, all joined at
+//     stop()),
+//   - report/load work is dispatched onto the shared work-stealing
+//     engine::ThreadPool, so N chatty clients contend for `jobs` workers
+//     instead of spawning unbounded computation threads.
+//
+// State and consistency:
+//   - designs_: content-handle → parsed SPEF.  The handle is a 12-hex FNV
+//     of the file bytes, so re-loading an unchanged file is a cheap rebind
+//     and two servers pointed at one store agree on identity.
+//   - cache_: the engine's sharded NetCache (rows + contexts, optional LRU
+//     cap), backed by an optional server::DiskStore.  Contexts cached here
+//     own copies of their trees, so evicting a design never dangles a
+//     cached context.
+//   - The disk store is multi-writer safe (atomic renames); entries are
+//     immutable once written, so cross-server sharing needs no locking.
+//
+// Every request runs under an obs::Span ("server.request"), lands in the
+// `server.request.seconds` histogram, and is recorded in the flight
+// recorder (phase "serve"); failures optionally dump the recorder to
+// `flight_out`.  Connect/disconnect/evict/shutdown emit structured log
+// events.
+//
+// Listening: `listen` is a unix-domain socket path, or — when it is all
+// digits — a TCP port on 127.0.0.1 (0 picks an ephemeral port, reported
+// by address()/port() for tests).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "engine/net_cache.hpp"
+#include "engine/thread_pool.hpp"
+#include "rctree/spef.hpp"
+#include "server/protocol.hpp"
+#include "server/store.hpp"
+
+namespace rct::server {
+
+/// Configuration for one Server instance (CLI: `rct serve`).
+struct ServeOptions {
+  /// Unix socket path, or an all-digits TCP port on 127.0.0.1.
+  std::string listen = "rct.sock";
+  /// On-disk store directory; empty = memory-only cache.
+  std::string store_dir;
+  /// Worker threads for report/load work; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  /// LRU cap for the in-memory cache (0 = unbounded).
+  std::size_t cache_max_entries = 0;
+  /// Default per-request deadline; requests may override; 0 = none.
+  std::uint64_t request_timeout_ms = 0;
+  /// Default report options (with_exact / fraction / leaves_only /
+  /// exact_node_limit); requests override per-field.
+  core::ReportOptions report;
+  /// Parse preloaded/loaded SPEF leniently by default.
+  bool lenient = false;
+  /// Flight-recorder dump target on request failure ("" = no dump,
+  /// "-" = stderr).
+  std::string flight_out;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept thread.  False (with error())
+  /// when the address cannot be bound.
+  [[nodiscard]] bool start();
+
+  /// Human-readable bound address: "unix:<path>" or "tcp:127.0.0.1:<port>".
+  [[nodiscard]] const std::string& address() const { return address_; }
+  /// Bound TCP port (after start(); 0 for unix sockets).
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Blocks until a client issues `shutdown` or stop() is called.
+  void wait();
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Parses and registers a design (the `--preload` path and the worker
+  /// behind the `load` command).  Returns its content handle; throws
+  /// robust::Error on parse failure.
+  std::string load_design(const std::string& path, bool lenient);
+
+  /// Handles one protocol line and returns the response line (no trailing
+  /// newline).  Public so tests and in-process benchmarks can drive the
+  /// full command surface without sockets; connection threads call exactly
+  /// this.  Thread-safe.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Requests served so far (all commands, failures included).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One parsed design held in memory.
+  struct Design {
+    std::string handle;  ///< 12-hex FNV-1a of the file bytes
+    std::string path;
+    SpefFile file;
+    std::unordered_map<std::string, std::size_t> net_index;  ///< name → nets[i]
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  [[nodiscard]] std::string dispatch(const Request& request);
+  [[nodiscard]] std::string cmd_ping(const Request& request);
+  [[nodiscard]] std::string cmd_load(const Request& request);
+  [[nodiscard]] std::string cmd_report(const Request& request, bool bounds_only);
+  [[nodiscard]] std::string cmd_stats(const Request& request);
+  [[nodiscard]] std::string cmd_evict(const Request& request);
+  [[nodiscard]] std::string cmd_shutdown(const Request& request);
+
+  /// Resolves a design by handle, SPEF design name, or "" (most recently
+  /// loaded).  nullptr when unknown.
+  [[nodiscard]] std::shared_ptr<const Design> find_design(const std::string& ref);
+
+  /// Runs `fn` on the pool and waits; exceptions cross back to the caller.
+  [[nodiscard]] std::string run_on_pool(std::function<std::string()> fn);
+
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Joins finished connection threads; `all` also joins live ones
+  /// (call with conns_mutex_ held only for the reap-finished case).
+  void reap_connections(bool all);
+
+  ServeOptions options_;
+  std::string address_;
+  int port_ = 0;
+  std::string error_;
+
+  engine::ThreadPool pool_;
+  engine::NetCache cache_;
+  std::shared_ptr<DiskStore> store_;  ///< nullptr when store_dir is empty
+
+  std::mutex designs_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Design>> designs_;
+  std::string last_design_;  ///< handle of the most recent load
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool shutdown_requested_ = false;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  ///< guarded by stop_mutex_; stop() ran to completion
+
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace rct::server

@@ -1,0 +1,230 @@
+#include "server/store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace rct::server {
+namespace {
+
+obs::Counter& load_hit_counter() {
+  static obs::Counter& c = obs::registry().counter("store.load.hits");
+  return c;
+}
+obs::Counter& load_miss_counter() {
+  static obs::Counter& c = obs::registry().counter("store.load.misses");
+  return c;
+}
+obs::Counter& load_corrupt_counter() {
+  static obs::Counter& c = obs::registry().counter("store.load.corrupt");
+  return c;
+}
+obs::Counter& save_write_counter() {
+  static obs::Counter& c = obs::registry().counter("store.save.writes");
+  return c;
+}
+obs::Counter& save_error_counter() {
+  static obs::Counter& c = obs::registry().counter("store.save.errors");
+  return c;
+}
+
+constexpr char kMagic[4] = {'R', 'C', 'T', 'S'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t fnv1a_bytes(const unsigned char* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// mmap'd read-only view of one entry file; unmaps on destruction.
+struct MappedFile {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+  int fd = -1;
+
+  explicit MappedFile(const std::string& path) {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) return;
+    void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) return;
+    data = static_cast<const unsigned char*>(p);
+    size = static_cast<std::size_t>(st.st_size);
+  }
+  ~MappedFile() {
+    if (data != nullptr) ::munmap(const_cast<unsigned char*>(data), size);
+    if (fd >= 0) ::close(fd);
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] bool open() const { return fd >= 0; }
+  [[nodiscard]] bool mapped() const { return data != nullptr; }
+};
+
+}  // namespace
+
+DiskStore::DiskStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    error_ = "cannot create store directory '" + dir_ + "': " + ec.message();
+    return;
+  }
+  if (!std::filesystem::is_directory(dir_, ec) || ec) {
+    error_ = "store path '" + dir_ + "' is not a directory";
+    return;
+  }
+  ok_ = true;
+}
+
+std::string DiskStore::path_for(const engine::NetKey& key) const {
+  const std::string hex = hash_hex(key.hash);
+  return dir_ + "/" + hex.substr(0, 2) + "/" + hex + ".rct";
+}
+
+std::optional<std::vector<core::NodeReport>> DiskStore::load(const engine::NetKey& key) {
+  if (!ok_) return std::nullopt;
+  const std::string path = path_for(key);
+  MappedFile file(path);
+  if (!file.open()) {
+    load_miss_counter().add();
+    return std::nullopt;
+  }
+  const auto corrupt = [&](const char* why) -> std::optional<std::vector<core::NodeReport>> {
+    load_corrupt_counter().add();
+    obs::log::warn("store.corrupt", {{"path", std::string_view(path)}, {"reason", why}});
+    return std::nullopt;
+  };
+  // Fixed header: magic(4) version(4) hash(8) n_words(8).
+  if (!file.mapped() || file.size < 24) return corrupt("truncated header");
+  const unsigned char* p = file.data;
+  if (std::memcmp(p, kMagic, 4) != 0) return corrupt("bad magic");
+  if (get_u32(p + 4) != kVersion) return corrupt("unsupported version");
+  // Checksum covers everything before the trailing 8 bytes.
+  if (file.size < 24 + 8) return corrupt("truncated checksum");
+  const std::size_t body = file.size - 8;
+  if (get_u64(p + body) != fnv1a_bytes(p, body)) return corrupt("checksum mismatch");
+  const std::uint64_t stored_hash = get_u64(p + 8);
+  const std::uint64_t n_words = get_u64(p + 16);
+  if (n_words > (body - 24) / 8) return corrupt("key overruns file");
+  std::size_t off = 24;
+  // Exact key comparison: a hash-colliding foreign key is a miss, not an
+  // error — the slot just belongs to someone else.
+  bool key_matches = stored_hash == key.hash && n_words == key.words.size();
+  for (std::uint64_t i = 0; i < n_words; ++i, off += 8) {
+    if (key_matches && get_u64(p + off) != key.words[i]) key_matches = false;
+  }
+  if (off + 8 > body) return corrupt("truncated payload length");
+  const std::uint64_t payload_len = get_u64(p + off);
+  off += 8;
+  if (payload_len != body - off) return corrupt("payload length mismatch");
+  if (!key_matches) {
+    load_miss_counter().add();
+    return std::nullopt;
+  }
+  auto rows = core::deserialize_report(
+      std::string_view(reinterpret_cast<const char*>(p + off), payload_len));
+  if (!rows) return corrupt("payload deserialization failed");
+  load_hit_counter().add();
+  return rows;
+}
+
+void DiskStore::save(const engine::NetKey& key, const std::vector<core::NodeReport>& rows) {
+  if (!ok_) return;
+  const std::string path = path_for(key);
+  const auto slash = path.rfind('/');
+  std::error_code ec;
+  std::filesystem::create_directories(path.substr(0, slash), ec);
+  if (ec) {
+    save_error_counter().add();
+    return;
+  }
+
+  std::string blob;
+  blob.append(kMagic, 4);
+  put_u32(blob, kVersion);
+  put_u64(blob, key.hash);
+  put_u64(blob, key.words.size());
+  for (const std::uint64_t w : key.words) put_u64(blob, w);
+  const std::string payload = core::serialize_report(rows);
+  put_u64(blob, payload.size());
+  blob += payload;
+  put_u64(blob, fnv1a_bytes(reinterpret_cast<const unsigned char*>(blob.data()), blob.size()));
+
+  // Unique temp name per process + call so concurrent writers (threads or
+  // separate server instances sharing the store) never clobber each
+  // other's in-flight file; rename() makes publication atomic.
+  static std::atomic<std::uint64_t> write_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(static_cast<std::uint64_t>(::getpid())) +
+                          "." + std::to_string(write_seq.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    save_error_counter().add();
+    return;
+  }
+  const bool wrote = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    save_error_counter().add();
+    std::remove(tmp.c_str());
+    return;
+  }
+  save_write_counter().add();
+}
+
+std::size_t DiskStore::entry_count() const {
+  if (!ok_) return 0;
+  std::size_t n = 0;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(dir_, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec) && entry.path().extension() == ".rct") ++n;
+  }
+  return n;
+}
+
+}  // namespace rct::server

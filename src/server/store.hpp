@@ -1,0 +1,70 @@
+#pragma once
+// server::DiskStore — a versioned, content-addressed on-disk backend for
+// the engine's NetCache (the second level behind the in-memory tier).
+//
+// Layout: one file per NetKey under `dir`, sharded by the first byte of
+// the key hash so no directory grows unbounded:
+//
+//   <dir>/ab/abcdef0123456789.rct
+//
+// Each file is a self-validating envelope: magic "RCTS", format version,
+// the full key material (hash + packed words, so a hit is exact even
+// across hash collisions — a colliding key reads as a miss), the
+// serialized report rows (core::serialize_report) and a trailing FNV-1a
+// checksum over everything before it.  Any mismatch — bad magic, wrong
+// version, truncation, bit flips, foreign key — makes load() return
+// nullopt; the caller recomputes and the damaged entry is simply
+// overwritten by the next save.  Corrupt (as opposed to missing) entries
+// are counted (`store.load.corrupt`) and logged (`store.corrupt`).
+//
+// Writes go to a per-process temp file followed by an atomic rename, so
+// concurrent servers sharing one store directory never observe a torn
+// entry: readers see the old file, the new file, or no file.  Reads mmap
+// the entry and validate in place — no heap copy until the rows
+// deserialize.
+//
+// DiskStore never throws past its interface: the constructor reports an
+// unusable directory via ok()/error(), and load()/save() degrade to
+// miss/no-op, matching the CacheBackend contract.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "engine/net_cache.hpp"
+
+namespace rct::server {
+
+class DiskStore final : public engine::CacheBackend {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`.
+  explicit DiskStore(std::string dir);
+
+  /// False when the root directory could not be created/used; load() then
+  /// always misses and save() is a no-op.
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  [[nodiscard]] std::optional<std::vector<core::NodeReport>> load(
+      const engine::NetKey& key) override;
+  void save(const engine::NetKey& key, const std::vector<core::NodeReport>& rows) override;
+
+  /// Entry files currently present (walks the shard dirs; for stats/tests).
+  [[nodiscard]] std::size_t entry_count() const;
+
+  /// On-disk envelope format version this build reads and writes.
+  static constexpr std::uint32_t kVersion = 1;
+
+ private:
+  [[nodiscard]] std::string path_for(const engine::NetKey& key) const;
+
+  std::string dir_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace rct::server

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -405,6 +408,113 @@ TEST(Cli, MalformedCorpusNeverCrashesEitherMode) {
     EXPECT_EQ(lenient.exit_code, 1);
     EXPECT_NE(lenient.output.find("diagnostic(s)"), std::string::npos);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Server daemon and client
+// ---------------------------------------------------------------------------
+
+TEST(Cli, ServeRejectsPositionalArguments) {
+  const auto r = run("serve stray.spef");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, ClientWithoutCommandPrintsUsage) {
+  const auto r = run("client");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, ClientConnectFailureIsCleanError) {
+  const auto r = run("client /nonexistent/rct.sock ping");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, ServeClientRoundTrip) {
+  const std::string sock = ::testing::TempDir() + "/rct_cli_serve.sock";
+  std::remove(sock.c_str());
+  const std::string launch =
+      std::string(RCT_CLI_PATH) + " serve --listen " + sock + " >/dev/null 2>&1 &";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+  // The daemon needs a beat to bind; poll with ping until it answers.
+  RunResult ping{1, ""};
+  for (int i = 0; i < 250 && ping.exit_code != 0; ++i) {
+    usleep(20 * 1000);
+    ping = run("client " + sock + " ping");
+  }
+  ASSERT_EQ(ping.exit_code, 0) << ping.output;
+  EXPECT_NE(ping.output.find("\"ok\":true"), std::string::npos);
+
+  const auto load = run("client " + sock + " load " + data("two_nets.spef"));
+  EXPECT_EQ(load.exit_code, 0) << load.output;
+  EXPECT_NE(load.output.find("\"nets\":2"), std::string::npos);
+
+  const auto report = run("client " + sock + " report net_a");
+  EXPECT_EQ(report.exit_code, 0) << report.output;
+  EXPECT_NE(report.output.find("\"source\":\"computed\""), std::string::npos);
+  EXPECT_NE(report.output.find("\"elmore\":"), std::string::npos);
+
+  // Second ask is served from the warm cache.
+  const auto again = run("client " + sock + " report net_a");
+  EXPECT_EQ(again.exit_code, 0) << again.output;
+  EXPECT_NE(again.output.find("\"source\":\"memory\""), std::string::npos);
+
+  // Application-level failures surface as ok:false and a nonzero client exit.
+  const auto bad = run("client " + sock + " report no_such_net");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.output.find("\"ok\":false"), std::string::npos);
+
+  const auto down = run("client " + sock + " shutdown");
+  EXPECT_EQ(down.exit_code, 0) << down.output;
+  EXPECT_NE(down.output.find("\"shutdown\":true"), std::string::npos);
+  // The daemon unlinks its socket on the way out.
+  for (int i = 0; i < 250 && access(sock.c_str(), F_OK) == 0; ++i) usleep(20 * 1000);
+  EXPECT_NE(access(sock.c_str(), F_OK), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Batch with the second-level store and the cache cap
+// ---------------------------------------------------------------------------
+
+TEST(Cli, BatchStoreStdoutByteIdenticalColdAndWarm) {
+  const std::string dir = ::testing::TempDir() + "/rct_cli_batch_store";
+  (void)std::system(("rm -rf " + dir).c_str());
+  const auto plain = run_stdout("batch " + data("two_nets.spef") + " --json");
+  ASSERT_EQ(plain.exit_code, 0);
+  const auto cold = run_stdout("batch " + data("two_nets.spef") + " --json --store " + dir);
+  EXPECT_EQ(cold.exit_code, 0);
+  EXPECT_EQ(cold.output, plain.output);
+  const auto warm = run_stdout("batch " + data("two_nets.spef") + " --json --store " + dir);
+  EXPECT_EQ(warm.exit_code, 0);
+  // ...and the warm run, served from it, still prints the same bytes.
+  EXPECT_EQ(warm.output, plain.output);
+  (void)std::system(("rm -rf " + dir).c_str());
+}
+
+TEST(Cli, BatchCacheMaxEntriesStdoutByteIdentical) {
+  const auto plain = run_stdout("batch " + data("two_nets.spef") + " --json");
+  ASSERT_EQ(plain.exit_code, 0);
+  const auto capped =
+      run_stdout("batch " + data("two_nets.spef") + " --json --cache-max-entries 1");
+  EXPECT_EQ(capped.exit_code, 0);
+  EXPECT_EQ(capped.output, plain.output);
+}
+
+TEST(Cli, MetricsIntervalErrorPathStillJoinsAndWritesSnapshot) {
+  // A parse failure with the periodic flusher armed must exit 1 promptly
+  // (the flusher thread joins on the error path, no hang, no crash) and
+  // obs_end still writes the final snapshot.
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_interval_err.json";
+  std::remove(metrics.c_str());
+  const auto r = run("batch /nonexistent/missing.spef --metrics-out " + metrics +
+                     " --metrics-interval-ms 10");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  const std::string snapshot = slurp(metrics);
+  EXPECT_FALSE(snapshot.empty());
+  std::remove(metrics.c_str());
 }
 
 #if RCT_FAULT_ENABLED

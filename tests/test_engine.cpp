@@ -195,6 +195,55 @@ TEST(NetCache, ContextInsertFirstWriterWins) {
   EXPECT_EQ(cache.context_hits(), 2u);  // one lost race + one lookup hit
 }
 
+TEST(NetCache, LruCapEvictsOldestAndCountsEvictions) {
+  // One shard so the cap is exact, not split.
+  NetCache cache(/*shards=*/1, /*max_entries=*/2);
+  const core::ReportOptions opt;
+  std::vector<RCTree> trees;
+  std::vector<NetKey> keys;
+  for (std::size_t i = 0; i < 3; ++i) {
+    trees.push_back(gen::random_tree(20, /*seed=*/500 + i));
+    keys.push_back(NetKey::of(trees[i], opt));
+    cache.insert(keys[i], core::build_report(trees[i], opt));
+  }
+  // Third insert displaced the oldest (tree 0); the two newest remain.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.lookup(keys[0], trees[0]).has_value());
+  EXPECT_TRUE(cache.lookup(keys[1], trees[1]).has_value());
+  EXPECT_TRUE(cache.lookup(keys[2], trees[2]).has_value());
+}
+
+TEST(NetCache, LruLookupRefreshesRecency) {
+  NetCache cache(/*shards=*/1, /*max_entries=*/2);
+  const core::ReportOptions opt;
+  std::vector<RCTree> trees;
+  std::vector<NetKey> keys;
+  for (std::size_t i = 0; i < 2; ++i) {
+    trees.push_back(gen::random_tree(20, /*seed=*/600 + i));
+    keys.push_back(NetKey::of(trees[i], opt));
+    cache.insert(keys[i], core::build_report(trees[i], opt));
+  }
+  // Touch tree 0 so tree 1 becomes the LRU victim of the next insert.
+  EXPECT_TRUE(cache.lookup(keys[0], trees[0]).has_value());
+  const RCTree third = gen::random_tree(20, /*seed=*/700);
+  cache.insert(NetKey::of(third, opt), core::build_report(third, opt));
+  EXPECT_TRUE(cache.lookup(keys[0], trees[0]).has_value());
+  EXPECT_FALSE(cache.lookup(keys[1], trees[1]).has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(NetCache, UnboundedDefaultNeverEvicts) {
+  NetCache cache(/*shards=*/1);  // max_entries defaults to 0 = unbounded
+  const core::ReportOptions opt;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const RCTree t = gen::random_tree(15, /*seed=*/800 + i);
+    cache.insert(NetKey::of(t, opt), core::build_report(t, opt));
+  }
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
 TEST(NetCache, RebindReportNamesRewritesOnlyNames) {
   const RCTree a = gen::random_tree(15, 21);
   const RCTree b = renamed(a, "other_");

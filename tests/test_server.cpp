@@ -1,0 +1,593 @@
+// src/server tests: the NDJSON protocol codec, the content-addressed
+// DiskStore (round trip, restart, corruption), and the Server itself —
+// driven both in-process through handle_line() and end-to-end over real
+// sockets with concurrent clients (the TSan workload).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "engine/net_cache.hpp"
+#include "obs/metrics.hpp"
+#include "rctree/generators.hpp"
+#include "rctree/spef.hpp"
+#include "robust/fault.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/store.hpp"
+
+#ifndef RCT_TESTDATA_DIR
+#define RCT_TESTDATA_DIR "testdata"
+#endif
+
+namespace {
+
+using namespace rct;
+
+/// Fresh scratch directory under /tmp, removed on destruction.
+struct ScratchDir {
+  std::string path;
+  explicit ScratchDir(const char* tag) {
+    path = "/tmp/rct_server_test_" + std::string(tag) + "_" +
+           std::to_string(static_cast<unsigned long>(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+};
+
+/// Writes a small generated SPEF deck (deterministic content per seed).
+std::string write_deck(const std::string& dir, const char* name, std::size_t nets,
+                       std::size_t nodes, std::uint64_t seed) {
+  SpefFile file;
+  file.design = name;
+  for (std::size_t i = 0; i < nets; ++i) {
+    SpefNet net;
+    net.name = "net_" + std::to_string(i);
+    net.tree = gen::random_tree(nodes, seed + i);
+    net.driver = "drv";  // separate port name; the tree root is its far end
+    for (const NodeId leaf : net.tree.leaves()) net.loads.push_back(leaf);
+    file.nets.push_back(std::move(net));
+  }
+  const std::string path = dir + "/" + name + ".spef";
+  std::ofstream out(path);
+  out << write_spef(file);
+  return path;
+}
+
+std::vector<core::NodeReport> sample_rows(std::size_t nodes, std::uint64_t seed) {
+  const RCTree tree = gen::random_tree(nodes, seed);
+  return core::build_report(tree);
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, EncodeParseRoundTrip) {
+  server::Request request;
+  request.id = 42;
+  request.cmd = "report";
+  request.design = "a1b2c3d4e5f6";
+  request.net = "clk \"7\"\n";  // quotes and newline must survive escaping
+  request.leaves_only = true;
+  request.with_exact = false;
+  request.has_with_exact = true;
+  request.exact_limit = 500;
+  request.timeout_ms = 250;
+  request.fraction = 0.9;
+
+  const std::string line = server::encode_request(request);
+  const server::ParsedRequest parsed = server::parse_request(line);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const server::Request& r = parsed.request;
+  EXPECT_EQ(r.id, 42u);
+  EXPECT_EQ(r.cmd, "report");
+  EXPECT_EQ(r.design, "a1b2c3d4e5f6");
+  EXPECT_EQ(r.net, request.net);
+  EXPECT_TRUE(r.leaves_only);
+  EXPECT_TRUE(r.has_with_exact);
+  EXPECT_FALSE(r.with_exact);
+  EXPECT_EQ(r.exact_limit, 500u);
+  EXPECT_EQ(r.timeout_ms, 250u);
+  EXPECT_DOUBLE_EQ(r.fraction, 0.9);
+  // encode(parse(encode(x))) is a fixed point.
+  EXPECT_EQ(server::encode_request(r), line);
+}
+
+TEST(Protocol, DefaultsOmittedAndAbsentFieldsStayDefault) {
+  server::Request request;
+  request.id = 1;
+  request.cmd = "ping";
+  const std::string line = server::encode_request(request);
+  EXPECT_EQ(line, "{\"id\":1,\"cmd\":\"ping\"}");
+  const server::ParsedRequest parsed = server::parse_request(line);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_FALSE(parsed.request.has_with_exact);
+  EXPECT_TRUE(parsed.request.with_exact);  // default stays on
+  EXPECT_EQ(parsed.request.timeout_ms, 0u);
+}
+
+TEST(Protocol, ToleratesWhitespaceUnknownKeysAndNull) {
+  const server::ParsedRequest parsed = server::parse_request(
+      "  { \"cmd\" : \"load\" , \"path\" : \"a.spef\", \"future_knob\": 17,"
+      " \"nested\": {\"x\": [1,2]}, \"design\": null }  ");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.cmd, "load");
+  EXPECT_EQ(parsed.request.path, "a.spef");
+  EXPECT_TRUE(parsed.request.design.empty());
+}
+
+TEST(Protocol, RejectsMalformedLines) {
+  EXPECT_FALSE(server::parse_request("").ok);
+  EXPECT_FALSE(server::parse_request("not json").ok);
+  EXPECT_FALSE(server::parse_request("{\"cmd\":\"ping\"").ok);        // unterminated
+  EXPECT_FALSE(server::parse_request("{\"id\":1}").ok);               // missing cmd
+  EXPECT_FALSE(server::parse_request("{\"cmd\":\"x\"} trailing").ok); // trailing bytes
+  EXPECT_FALSE(server::parse_request("{\"cmd\":\"x\",\"id\":\"seven\"}").ok);  // bad type
+}
+
+TEST(Protocol, ErrorResponseShape) {
+  const std::string line = server::error_response(7, "timeout", "deadline \"exceeded\"");
+  EXPECT_NE(line.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"code\":\"timeout\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"exceeded\\\""), std::string::npos);
+  EXPECT_FALSE(server::response_ok(line));
+  EXPECT_TRUE(server::response_ok("{\"id\":1,\"ok\":true}"));
+}
+
+// ------------------------------------------------------------- serialization
+
+TEST(ReportSerialization, RoundTripsBitExact) {
+  std::vector<core::NodeReport> rows = sample_rows(24, 7);
+  ASSERT_FALSE(rows.empty());
+  rows[0].degraded = true;
+  rows[1].exact_delay.reset();  // mixed optional presence
+  const std::string blob = core::serialize_report(rows);
+  const auto back = core::deserialize_report(blob);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*back)[i].name, rows[i].name);
+    EXPECT_EQ((*back)[i].depth, rows[i].depth);
+    EXPECT_EQ((*back)[i].elmore, rows[i].elmore);  // bit-exact, not approx
+    EXPECT_EQ((*back)[i].sigma, rows[i].sigma);
+    EXPECT_EQ((*back)[i].exact_delay.has_value(), rows[i].exact_delay.has_value());
+    if (rows[i].exact_delay) {
+      EXPECT_EQ(*(*back)[i].exact_delay, *rows[i].exact_delay);
+    }
+    EXPECT_EQ((*back)[i].degraded, rows[i].degraded);
+  }
+}
+
+TEST(ReportSerialization, RejectsTruncationAndGarbage) {
+  const std::vector<core::NodeReport> rows = sample_rows(8, 3);
+  const std::string blob = core::serialize_report(rows);
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{4}, blob.size() / 2,
+                                blob.size() - 1}) {
+    EXPECT_FALSE(core::deserialize_report(std::string_view(blob).substr(0, cut)).has_value())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(core::deserialize_report(blob + "x").has_value());  // trailing garbage
+  std::string huge = blob;
+  huge[0] = '\xff';  // row count far beyond the payload
+  EXPECT_FALSE(core::deserialize_report(huge).has_value());
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(DiskStore, SaveLoadRoundTripAndRestart) {
+  const ScratchDir dir("store_rt");
+  const RCTree tree = gen::random_tree(16, 11);
+  const core::ReportOptions options;
+  const engine::NetKey key = engine::NetKey::of(tree, options);
+  const std::vector<core::NodeReport> rows = core::build_report(tree, options);
+  {
+    server::DiskStore store(dir.path);
+    ASSERT_TRUE(store.ok()) << store.error();
+    EXPECT_FALSE(store.load(key).has_value());  // cold
+    store.save(key, rows);
+    EXPECT_EQ(store.entry_count(), 1u);
+    const auto back = store.load(key);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->size(), rows.size());
+    EXPECT_EQ((*back)[1].elmore, rows[1].elmore);
+  }
+  // A new store instance over the same directory (a "restart") still hits.
+  server::DiskStore reopened(dir.path);
+  ASSERT_TRUE(reopened.ok());
+  const auto back = reopened.load(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), rows.size());
+  // A different key (different options) misses without touching the entry.
+  core::ReportOptions other;
+  other.leaves_only = true;
+  EXPECT_FALSE(reopened.load(engine::NetKey::of(tree, other)).has_value());
+}
+
+TEST(DiskStore, CorruptEntriesReadAsMissesWithDiagnostic) {
+  const ScratchDir dir("store_corrupt");
+  const RCTree tree = gen::random_tree(16, 13);
+  const engine::NetKey key = engine::NetKey::of(tree, {});
+  const std::vector<core::NodeReport> rows = core::build_report(tree);
+  server::DiskStore store(dir.path);
+  ASSERT_TRUE(store.ok());
+  store.save(key, rows);
+
+  // Locate the one entry file.
+  std::string entry;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(dir.path))
+    if (e.is_regular_file()) entry = e.path().string();
+  ASSERT_FALSE(entry.empty());
+  const auto corrupt_before = obs::registry().counter_value("store.load.corrupt");
+
+  // Bit-flip in the middle: checksum mismatch.
+  {
+    std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(entry) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(store.load(key).has_value());
+
+  // Truncation: shorter than its framing claims.
+  store.save(key, rows);
+  std::filesystem::resize_file(entry, std::filesystem::file_size(entry) / 2);
+  EXPECT_FALSE(store.load(key).has_value());
+
+  // Garbage magic.
+  {
+    std::ofstream f(entry, std::ios::binary | std::ios::trunc);
+    f << "not an rct store entry";
+  }
+  EXPECT_FALSE(store.load(key).has_value());
+
+  EXPECT_GE(obs::registry().counter_value("store.load.corrupt"), corrupt_before + 3);
+
+  // A save over the damaged slot repairs it.
+  store.save(key, rows);
+  EXPECT_TRUE(store.load(key).has_value());
+}
+
+TEST(DiskStore, UnusableDirectoryDegradesToNoop) {
+  server::DiskStore store("/proc/definitely/not/writable");
+  EXPECT_FALSE(store.ok());
+  EXPECT_FALSE(store.error().empty());
+  const engine::NetKey key = engine::NetKey::of(gen::random_tree(4, 1), {});
+  store.save(key, sample_rows(4, 1));  // must not throw
+  EXPECT_FALSE(store.load(key).has_value());
+}
+
+// ---------------------------------------------------- server (in-process)
+
+TEST(Server, HandleLineCommandSurface) {
+  const ScratchDir dir("inproc");
+  const std::string deck = write_deck(dir.path, "alpha", 3, 12, 100);
+  server::ServeOptions options;
+  options.jobs = 2;
+  server::Server server(options);
+
+  // Unknown command and malformed line fail without killing the server.
+  EXPECT_NE(server.handle_line("{\"id\":1,\"cmd\":\"frobnicate\"}")
+                .find("\"code\":\"unsupported\""),
+            std::string::npos);
+  EXPECT_NE(server.handle_line("garbage").find("\"code\":\"syntax\""), std::string::npos);
+
+  // Report before any load: a clean typed error.
+  EXPECT_NE(server.handle_line("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}")
+                .find("no design loaded"),
+            std::string::npos);
+
+  server::Request load;
+  load.id = 3;
+  load.cmd = "load";
+  load.path = deck;
+  const std::string loaded = server.handle_line(server::encode_request(load));
+  ASSERT_TRUE(server::response_ok(loaded)) << loaded;
+  EXPECT_NE(loaded.find("\"nets\":3"), std::string::npos);
+
+  // First report computes, the repeat is served from memory.
+  server::Request report;
+  report.id = 4;
+  report.cmd = "report";
+  report.net = "net_1";
+  const std::string first = server.handle_line(server::encode_request(report));
+  ASSERT_TRUE(server::response_ok(first)) << first;
+  EXPECT_NE(first.find("\"source\":\"computed\""), std::string::npos);
+  EXPECT_NE(first.find("\"exact_delay\":"), std::string::npos);
+  const std::string second = server.handle_line(server::encode_request(report));
+  EXPECT_NE(second.find("\"source\":\"memory\""), std::string::npos);
+  EXPECT_EQ(first.substr(first.find("\"rows\"")), second.substr(second.find("\"rows\"")));
+
+  // bounds: leaves only, no exact columns.
+  server::Request bounds;
+  bounds.id = 5;
+  bounds.cmd = "bounds";
+  bounds.net = "net_1";
+  const std::string b = server.handle_line(server::encode_request(bounds));
+  ASSERT_TRUE(server::response_ok(b)) << b;
+  EXPECT_EQ(b.find("\"exact_delay\""), std::string::npos);
+  EXPECT_NE(b.find("\"prh_tmax\""), std::string::npos);
+
+  // Unknown net.
+  EXPECT_NE(server.handle_line("{\"id\":6,\"cmd\":\"report\",\"net\":\"nope\"}")
+                .find("unknown net"),
+            std::string::npos);
+
+  // stats sees the design and the cache traffic.
+  const std::string stats = server.handle_line("{\"id\":7,\"cmd\":\"stats\"}");
+  EXPECT_NE(stats.find("\"designs\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"hits\":1"), std::string::npos);
+
+  // evict clears everything; the net is gone until the next load.
+  const std::string evicted = server.handle_line("{\"id\":8,\"cmd\":\"evict\"}");
+  EXPECT_NE(evicted.find("\"designs_evicted\":1"), std::string::npos);
+  EXPECT_NE(server.handle_line(server::encode_request(report)).find("no design loaded"),
+            std::string::npos);
+}
+
+TEST(Server, RequestDeadlineTimesOutViaFaultInjection) {
+  const ScratchDir dir("deadline");
+  const std::string deck = write_deck(dir.path, "slow", 1, 10, 200);
+  server::Server server({});
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+
+  robust::fault::arm("server.report", robust::fault::Action::kSleep, 30, 1);
+  server::Request report;
+  report.id = 2;
+  report.cmd = "report";
+  report.net = "net_0";
+  report.timeout_ms = 5;
+  const std::string response = server.handle_line(server::encode_request(report));
+  robust::fault::disarm_all();
+  EXPECT_FALSE(server::response_ok(response));
+  EXPECT_NE(response.find("\"code\":\"timeout\""), std::string::npos) << response;
+
+  // Same request without the fault completes.
+  const std::string ok = server.handle_line(server::encode_request(report));
+  EXPECT_TRUE(server::response_ok(ok)) << ok;
+}
+
+TEST(Server, ContentIdenticalNetsShareCacheAcrossDesigns) {
+  const ScratchDir dir("shared");
+  // Two decks, same seeds => content-identical trees under different names.
+  const std::string deck_a = write_deck(dir.path, "one", 2, 14, 300);
+  const std::string deck_b = write_deck(dir.path, "two", 2, 14, 300);
+  server::Server server({});
+  server::Request load;
+  load.cmd = "load";
+  load.id = 1;
+  load.path = deck_a;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+  const std::string first =
+      server.handle_line("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}");
+  EXPECT_NE(first.find("\"source\":\"computed\""), std::string::npos);
+
+  load.id = 3;
+  load.path = deck_b;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+  // Identical content, new design: the rows come straight from memory.
+  const std::string second =
+      server.handle_line("{\"id\":4,\"cmd\":\"report\",\"net\":\"net_0\"}");
+  EXPECT_NE(second.find("\"source\":\"memory\""), std::string::npos) << second;
+}
+
+// ------------------------------------------------- server (over sockets)
+
+TEST(Server, UnixSocketEndToEnd) {
+  const ScratchDir dir("sock");
+  const std::string deck = write_deck(dir.path, "e2e", 2, 10, 400);
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  EXPECT_EQ(server.address(), "unix:" + options.listen);
+
+  server::Client client;
+  ASSERT_TRUE(client.connect(options.listen)) << client.error();
+  std::string response;
+  ASSERT_TRUE(client.roundtrip("{\"id\":1,\"cmd\":\"ping\"}", response));
+  EXPECT_EQ(response, "{\"id\":1,\"ok\":true}");
+
+  server::Request load;
+  load.id = 2;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(client.roundtrip(server::encode_request(load), response));
+  ASSERT_TRUE(server::response_ok(response)) << response;
+
+  ASSERT_TRUE(client.roundtrip("{\"id\":3,\"cmd\":\"report\",\"net\":\"net_1\"}", response));
+  EXPECT_NE(response.find("\"source\":\"computed\""), std::string::npos);
+
+  // A second client sees the same server state.
+  server::Client other;
+  ASSERT_TRUE(other.connect(options.listen));
+  ASSERT_TRUE(other.roundtrip("{\"id\":4,\"cmd\":\"report\",\"net\":\"net_1\"}", response));
+  EXPECT_NE(response.find("\"source\":\"memory\""), std::string::npos);
+
+  ASSERT_TRUE(client.roundtrip("{\"id\":5,\"cmd\":\"shutdown\"}", response));
+  EXPECT_NE(response.find("\"shutdown\":true"), std::string::npos);
+  server.wait();  // returns because the client asked for shutdown
+  server.stop();
+  // The socket file is gone after stop().
+  EXPECT_FALSE(std::filesystem::exists(options.listen));
+}
+
+TEST(Server, TcpEphemeralPortEndToEnd) {
+  server::ServeOptions options;
+  options.listen = "0";  // ephemeral
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  ASSERT_GT(server.port(), 0);
+  server::Client client;
+  ASSERT_TRUE(client.connect(std::to_string(server.port()))) << client.error();
+  std::string response;
+  ASSERT_TRUE(client.roundtrip("{\"id\":1,\"cmd\":\"ping\"}", response));
+  EXPECT_TRUE(server::response_ok(response));
+  server.stop();
+}
+
+TEST(Server, WarmStoreSurvivesRestart) {
+  const ScratchDir dir("warm");
+  const std::string deck = write_deck(dir.path, "warm", 3, 12, 500);
+  const std::string store_dir = dir.path + "/store";
+  server::Request load;
+  load.cmd = "load";
+  load.id = 1;
+  load.path = deck;
+  {
+    server::ServeOptions options;
+    options.store_dir = store_dir;
+    server::Server first(options);
+    ASSERT_TRUE(server::response_ok(first.handle_line(server::encode_request(load))));
+    for (int i = 0; i < 3; ++i) {
+      const std::string response = first.handle_line(
+          "{\"id\":2,\"cmd\":\"report\",\"net\":\"net_" + std::to_string(i) + "\"}");
+      ASSERT_TRUE(server::response_ok(response)) << response;
+      EXPECT_NE(response.find("\"source\":\"computed\""), std::string::npos);
+    }
+  }
+  // New server, same store: every net is served from disk, not recomputed.
+  server::ServeOptions options;
+  options.store_dir = store_dir;
+  server::Server second(options);
+  ASSERT_TRUE(server::response_ok(second.handle_line(server::encode_request(load))));
+  for (int i = 0; i < 3; ++i) {
+    const std::string response = second.handle_line(
+        "{\"id\":3,\"cmd\":\"report\",\"net\":\"net_" + std::to_string(i) + "\"}");
+    ASSERT_TRUE(server::response_ok(response)) << response;
+    EXPECT_NE(response.find("\"source\":\"store\""), std::string::npos) << response;
+  }
+}
+
+TEST(Server, CorruptStoreEntryFallsBackToRecompute) {
+  const ScratchDir dir("fallback");
+  const std::string deck = write_deck(dir.path, "fb", 1, 12, 600);
+  const std::string store_dir = dir.path + "/store";
+  server::Request load;
+  load.cmd = "load";
+  load.id = 1;
+  load.path = deck;
+  std::string expected_rows;
+  {
+    server::ServeOptions options;
+    options.store_dir = store_dir;
+    server::Server first(options);
+    ASSERT_TRUE(server::response_ok(first.handle_line(server::encode_request(load))));
+    const std::string response =
+        first.handle_line("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}");
+    ASSERT_TRUE(server::response_ok(response));
+    expected_rows = response.substr(response.find("\"rows\""));
+  }
+  // Flip one payload byte in every stored entry.
+  std::size_t corrupted = 0;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(store_dir)) {
+    if (!e.is_regular_file()) continue;
+    std::fstream f(e.path(), std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(e.path()) - 12));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.write(&byte, 1);
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  const auto corrupt_before = obs::registry().counter_value("store.load.corrupt");
+  server::ServeOptions options;
+  options.store_dir = store_dir;
+  server::Server second(options);
+  ASSERT_TRUE(server::response_ok(second.handle_line(server::encode_request(load))));
+  const std::string response =
+      second.handle_line("{\"id\":3,\"cmd\":\"report\",\"net\":\"net_0\"}");
+  // Not a crash, not an error: the damaged entry reads as a miss, the rows
+  // are recomputed and byte-identical to the pre-corruption answer.
+  ASSERT_TRUE(server::response_ok(response)) << response;
+  EXPECT_NE(response.find("\"source\":\"computed\""), std::string::npos) << response;
+  EXPECT_EQ(response.substr(response.find("\"rows\"")), expected_rows);
+  EXPECT_GT(obs::registry().counter_value("store.load.corrupt"), corrupt_before);
+}
+
+TEST(Server, ConcurrentClientsMixedWorkload) {
+  const ScratchDir dir("concurrent");
+  const std::string store_dir = dir.path + "/store";
+  std::vector<std::string> decks;
+  for (int d = 0; d < 2; ++d)
+    decks.push_back(write_deck(dir.path, ("deck" + std::to_string(d)).c_str(), 4, 10,
+                               700 + static_cast<std::uint64_t>(d) * 10));
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.store_dir = store_dir;
+  options.jobs = 4;
+  options.cache_max_entries = 64;
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> failures{0};
+  std::atomic<int> responses{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      server::Client client;
+      if (!client.connect(options.listen)) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        server::Request request;
+        request.id = static_cast<std::uint64_t>(c) * 1000 + static_cast<std::uint64_t>(i);
+        switch (i % 5) {
+          case 0:
+            request.cmd = "load";
+            request.path = decks[static_cast<std::size_t>(c) % decks.size()];
+            break;
+          case 4:
+            request.cmd = "stats";
+            break;
+          default:
+            request.cmd = "report";
+            request.design = "";  // last loaded — races with other clients by design
+            request.net = "net_" + std::to_string(i % 4);
+            break;
+        }
+        std::string response;
+        if (!client.roundtrip(server::encode_request(request), response)) {
+          failures.fetch_add(1);
+          return;
+        }
+        responses.fetch_add(1);
+        // "report" may legitimately fail while another client's evict/load
+        // races it, but only with a clean typed error, never a broken line.
+        if (!server::response_ok(response) &&
+            response.find("\"code\":") == std::string::npos)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(responses.load(), kClients * kRequestsPerClient);
+  server.stop();
+  EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+}
+
+}  // namespace

@@ -3,6 +3,8 @@
 //   rct report <deck.sp>                 bound report for every node
 //   rct spef <file.spef>                 per-net load-pin bound report
 //   rct batch <file.spef>                parallel per-net report (thread pool)
+//   rct serve [--listen P] [--store D]   persistent timing-server daemon
+//   rct client <target> <cmd> [...]      one request against a running server
 //   rct validate <file.spef>             lint a SPEF file, print diagnostics
 //   rct convert <deck.sp> <out.spef>     netlist -> SPEF-lite
 //   rct delay-curve <deck.sp> <node>     50-50 delay vs rise time (CSV)
@@ -15,6 +17,7 @@
 // net, or validate with diagnostics), 2 = usage error.
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
@@ -41,6 +44,10 @@
 #include "rctree/spef.hpp"
 #include "rctree/units.hpp"
 #include "robust/error.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/store.hpp"
 #include "sim/ac.hpp"
 #include "sim/exact.hpp"
 
@@ -58,11 +65,26 @@ int usage() {
                "[--exact-limit N]\n"
                "                 [--lenient] [--net-timeout-ms N] [--max-failures N] "
                "[--fail-fast]\n"
+               "                 [--store DIR] [--cache-max-entries N]\n"
                "                 [--progress] [--trace-out FILE] [--metrics-out FILE]\n"
                "                 [--metrics-format json|prom] [--metrics-interval-ms N]\n"
                "                 [--log-out FILE] [--log-level debug|info|warn|error]\n"
                "                 [--flight-recorder-out FILE] [--top-slow N]\n"
                "                 (FILE arguments accept '-' for stderr)\n"
+               "       rct serve [--listen PATH|PORT] [--store DIR] [--jobs N]\n"
+               "                 [--cache-max-entries N] [--request-timeout-ms N]\n"
+               "                 [--preload FILE]... [--lenient] [--exact-limit N]\n"
+               "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
+               "                 [--metrics-interval-ms N] [--log-out FILE] "
+               "[--flight-recorder-out FILE]\n"
+               "       rct client <PATH|PORT> ping|stats|shutdown\n"
+               "       rct client <PATH|PORT> load <file.spef> [--lenient]\n"
+               "       rct client <PATH|PORT> report|bounds <net> [--design D] "
+               "[--leaves-only]\n"
+               "                 [--no-exact] [--exact-limit N] [--timeout-ms N] "
+               "[--fraction F]\n"
+               "       rct client <PATH|PORT> evict [--design D]\n"
+               "       rct client <PATH|PORT> --batch FILE   (one command per line)\n"
                "       rct validate <file.spef>\n"
                "       rct convert <deck.sp> <out.spef>\n"
                "       rct delay-curve <deck.sp> <node>\n"
@@ -87,10 +109,14 @@ struct SpefFlags {
   obs::log::Level log_level = obs::log::Level::kInfo;
   std::string flight_out;    ///< flight-recorder JSON dump ("" = off, "-" = stderr)
   std::size_t top_slow = 0;  ///< stderr table of the N slowest nets (0 = off)
+  std::string store_dir;     ///< on-disk content-addressed net cache ("" = off)
+  std::string listen;        ///< serve: unix socket path or all-digits TCP port
+  std::uint64_t request_timeout_ms = 0;   ///< serve: default per-request deadline
+  std::vector<std::string> preload;       ///< serve: SPEF files loaded at startup
   bool ok = true;
 };
 
-SpefFlags parse_spef_flags(int argc, char** argv, int first) {
+SpefFlags parse_spef_flags(int argc, char** argv, int first, bool serve_mode = false) {
   SpefFlags f;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -153,6 +179,18 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first) {
       if (const char* v = value("--flight-recorder-out")) f.flight_out = v;
     } else if (arg == "--top-slow") {
       if (const char* v = value("--top-slow")) f.top_slow = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--store") {
+      if (const char* v = value("--store")) f.store_dir = v;
+    } else if (arg == "--cache-max-entries") {
+      if (const char* v = value("--cache-max-entries"))
+        f.batch.cache_max_entries = std::strtoul(v, nullptr, 10);
+    } else if (serve_mode && arg == "--listen") {
+      if (const char* v = value("--listen")) f.listen = v;
+    } else if (serve_mode && arg == "--request-timeout-ms") {
+      if (const char* v = value("--request-timeout-ms"))
+        f.request_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (serve_mode && arg == "--preload") {
+      if (const char* v = value("--preload")) f.preload.push_back(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       f.ok = false;
@@ -344,25 +382,35 @@ class ProgressMeter {
 
 int cmd_spef(const SpefFlags& flags) {
   obs_begin(flags);
-  const SpefFile file = parse_spef_input(flags);
-  std::printf("design '%s': %zu net(s)\n", file.design.c_str(), file.nets.size());
-  for (const SpefNet& net : file.nets) {
-    const obs::Span span("cli.spef.net", "cli", net.name);
-    std::printf("\n*D_NET %s  (driver %s, %zu nodes, %s total)\n", net.name.c_str(),
-                net.driver.c_str(), net.tree.size(),
-                format_engineering(net.tree.total_capacitance(), "F").c_str());
-    const auto rows = core::build_report(net.tree, flags.batch.report);
-    for (NodeId load : net.loads) {
-      const auto& r = rows[load];
-      std::printf("  load %-12s elmore %-10s bounds [%s, %s]", r.name.c_str(),
-                  format_time(r.elmore).c_str(), format_time(r.lower_bound).c_str(),
-                  format_time(r.elmore).c_str());
-      if (r.exact_delay) std::printf("  exact %s", format_time(*r.exact_delay).c_str());
-      std::printf("\n");
+  int rc = 0;
+  // The try block owns the flusher: on ANY exit — clean, parse error,
+  // analysis throw — its destructor joins the flusher thread before
+  // obs_end() writes the final (authoritative) metrics snapshot.
+  try {
+    const MetricsFlusher flusher(flags);
+    const SpefFile file = parse_spef_input(flags);
+    std::printf("design '%s': %zu net(s)\n", file.design.c_str(), file.nets.size());
+    for (const SpefNet& net : file.nets) {
+      const obs::Span span("cli.spef.net", "cli", net.name);
+      std::printf("\n*D_NET %s  (driver %s, %zu nodes, %s total)\n", net.name.c_str(),
+                  net.driver.c_str(), net.tree.size(),
+                  format_engineering(net.tree.total_capacitance(), "F").c_str());
+      const auto rows = core::build_report(net.tree, flags.batch.report);
+      for (NodeId load : net.loads) {
+        const auto& r = rows[load];
+        std::printf("  load %-12s elmore %-10s bounds [%s, %s]", r.name.c_str(),
+                    format_time(r.elmore).c_str(), format_time(r.lower_bound).c_str(),
+                    format_time(r.elmore).c_str());
+        if (r.exact_delay) std::printf("  exact %s", format_time(*r.exact_delay).c_str());
+        std::printf("\n");
+      }
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
   }
   obs_end(flags);
-  return 0;
+  return rc;
 }
 
 /// `--top-slow N`: stderr table of the slowest analyzed nets by wall time
@@ -390,30 +438,223 @@ void print_top_slow(const engine::BatchResult& result, std::size_t n) {
 int cmd_batch(const SpefFlags& flags) {
   obs_begin(flags);
   std::signal(SIGTERM, flight_signal_handler);
-  const SpefFile file = parse_spef_input(flags);
-  engine::BatchResult result;
-  {
+  int rc = 1;
+  // The flusher starts before the parse (so --metrics-interval-ms covers
+  // the whole run) and its destructor joins deterministically on every
+  // path out of this block, including a parse error; obs_end() then still
+  // writes the final snapshot / trace / flight dump.
+  try {
     const MetricsFlusher flusher(flags);
-    const ProgressMeter progress(flags.progress, file.nets.size());
-    result = engine::analyze_batch(file, flags.batch);
-  }
-  // Timings and thread counts go to stderr so stdout stays byte-identical
-  // for every --jobs value (and with observability on or off).
-  std::fprintf(stderr, "%s\n", result.stats.summary().c_str());
-  if (flags.top_slow > 0) print_top_slow(result, flags.top_slow);
-  // Postmortem on any fatal-ish outcome: the flight recorder tape names
-  // the nets that failed or timed out, with phases and durations.
-  if (result.stats.failures > 0 || result.stats.timed_out > 0)
-    std::fprintf(stderr, "%s", obs::flight::recorder().format_text().c_str());
-  {
-    const obs::Span span("cli.batch.render", "cli");
-    if (flags.json)
-      std::printf("%s\n", engine::format_batch_json(result).c_str());
-    else
-      std::printf("%s", engine::format_batch(result).c_str());
+    const SpefFile file = parse_spef_input(flags);
+    engine::BatchOptions batch = flags.batch;
+    if (!flags.store_dir.empty()) {
+      auto store = std::make_shared<server::DiskStore>(flags.store_dir);
+      if (!store->ok()) throw robust::Error(robust::Code::kFileOpen, store->error());
+      batch.cache_backend = std::move(store);
+    }
+    engine::BatchResult result;
+    {
+      const ProgressMeter progress(flags.progress, file.nets.size());
+      result = engine::analyze_batch(file, batch);
+    }
+    // Timings and thread counts go to stderr so stdout stays byte-identical
+    // for every --jobs value (and with observability on or off).
+    std::fprintf(stderr, "%s\n", result.stats.summary().c_str());
+    if (flags.top_slow > 0) print_top_slow(result, flags.top_slow);
+    // Postmortem on any fatal-ish outcome: the flight recorder tape names
+    // the nets that failed or timed out, with phases and durations.
+    if (result.stats.failures > 0 || result.stats.timed_out > 0)
+      std::fprintf(stderr, "%s", obs::flight::recorder().format_text().c_str());
+    {
+      const obs::Span span("cli.batch.render", "cli");
+      if (flags.json)
+        std::printf("%s\n", engine::format_batch_json(result).c_str());
+      else
+        std::printf("%s", engine::format_batch(result).c_str());
+    }
+    rc = result.stats.failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
   }
   obs_end(flags);
-  return result.stats.failures == 0 ? 0 : 1;
+  return rc;
+}
+
+int cmd_serve(const SpefFlags& flags) {
+  obs_begin(flags);
+  std::signal(SIGTERM, flight_signal_handler);
+  int rc = 0;
+  try {
+    const MetricsFlusher flusher(flags);
+    server::ServeOptions options;
+    if (!flags.listen.empty()) options.listen = flags.listen;
+    options.store_dir = flags.store_dir;
+    options.jobs = flags.batch.jobs;
+    options.cache_max_entries = flags.batch.cache_max_entries;
+    options.request_timeout_ms =
+        flags.request_timeout_ms != 0 ? flags.request_timeout_ms : flags.batch.net_timeout_ms;
+    options.report = flags.batch.report;
+    options.lenient = flags.lenient;
+    options.flight_out = flags.flight_out;
+    server::Server server(options);
+    for (const std::string& path : flags.preload) {
+      const std::string handle = server.load_design(path, flags.lenient);
+      std::fprintf(stderr, "preloaded %s as %s\n", path.c_str(), handle.c_str());
+    }
+    if (!server.start()) throw robust::Error(robust::Code::kFileOpen, server.error());
+    // Announce the bound address on stdout (tests and scripts wait for this
+    // line; with --listen 0 it is the only place the ephemeral port shows).
+    std::printf("listening on %s\n", server.address().c_str());
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+    std::fprintf(stderr, "served %llu request(s)\n",
+                 static_cast<unsigned long long>(server.requests_served()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  obs_end(flags);
+  return rc;
+}
+
+/// Builds one protocol request from client-command tokens (`report clk_1
+/// --design a1b2 --leaves-only`).  Shared verbatim by the one-shot and
+/// --batch forms, so both speak exactly the protocol.hpp encoder.
+bool build_client_request(const std::vector<std::string>& tokens, server::Request& request,
+                          std::string& error) {
+  if (tokens.empty()) {
+    error = "empty command";
+    return false;
+  }
+  request.cmd = tokens[0];
+  std::vector<std::string> positional;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& arg = tokens[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= tokens.size()) {
+        error = std::string(flag) + " expects a value";
+        return nullptr;
+      }
+      return &tokens[++i];
+    };
+    if (arg == "--design") {
+      if (const std::string* v = value("--design")) request.design = *v;
+      else return false;
+    } else if (arg == "--lenient") {
+      request.lenient = true;
+    } else if (arg == "--leaves-only") {
+      request.leaves_only = true;
+    } else if (arg == "--no-exact") {
+      request.with_exact = false;
+      request.has_with_exact = true;
+    } else if (arg == "--with-exact") {
+      request.with_exact = true;
+      request.has_with_exact = true;
+    } else if (arg == "--exact-limit") {
+      if (const std::string* v = value("--exact-limit"))
+        request.exact_limit = std::strtoull(v->c_str(), nullptr, 10);
+      else return false;
+    } else if (arg == "--timeout-ms") {
+      if (const std::string* v = value("--timeout-ms"))
+        request.timeout_ms = std::strtoull(v->c_str(), nullptr, 10);
+      else return false;
+    } else if (arg == "--fraction") {
+      if (const std::string* v = value("--fraction"))
+        request.fraction = std::strtod(v->c_str(), nullptr);
+      else return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      error = "unknown client flag '" + arg + "'";
+      return false;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (request.cmd == "load") {
+    if (positional.size() != 1) {
+      error = "load expects exactly one file";
+      return false;
+    }
+    request.path = positional[0];
+  } else if (request.cmd == "report" || request.cmd == "bounds") {
+    if (positional.size() != 1) {
+      error = request.cmd + " expects exactly one net name";
+      return false;
+    }
+    request.net = positional[0];
+  } else if (!positional.empty()) {
+    error = request.cmd + " takes no positional arguments";
+    return false;
+  }
+  return true;
+}
+
+/// Splits a --batch line into whitespace-separated tokens ('#' comments).
+std::vector<std::string> tokenize_client_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!token.empty()) tokens.push_back(std::move(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+int cmd_client(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string target = argv[2];
+  server::Client client;
+  if (!client.connect(target)) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  std::uint64_t next_id = 1;
+  bool all_ok = true;
+  const auto run_one = [&](const std::vector<std::string>& tokens) -> bool {
+    server::Request request;
+    std::string build_error;
+    if (!build_client_request(tokens, request, build_error)) {
+      std::fprintf(stderr, "error: %s\n", build_error.c_str());
+      all_ok = false;
+      return true;  // a bad batch line does not kill the session
+    }
+    request.id = next_id++;
+    std::string response;
+    if (!client.roundtrip(server::encode_request(request), response)) {
+      std::fprintf(stderr, "error: %s\n", client.error().c_str());
+      all_ok = false;
+      return false;
+    }
+    std::printf("%s\n", response.c_str());
+    if (!server::response_ok(response)) all_ok = false;
+    return true;
+  };
+  if (std::strcmp(argv[3], "--batch") == 0) {
+    if (argc < 5) return usage();
+    std::ifstream in(argv[4]);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", argv[4]);
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::vector<std::string> tokens = tokenize_client_line(line);
+      if (tokens.empty()) continue;
+      if (!run_one(tokens)) break;
+    }
+  } else {
+    std::vector<std::string> tokens;
+    for (int i = 3; i < argc; ++i) tokens.emplace_back(argv[i]);
+    run_one(tokens);
+  }
+  return all_ok ? 0 : 1;
 }
 
 /// `rct validate <file.spef>`: lenient parse, one diagnostic per line on
@@ -485,8 +726,11 @@ int cmd_bode(const std::string& path, const std::string& node_name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // `serve` and `client` carry their own argument checks; everything else
+  // needs at least one positional argument.
+  if (argc < 3 && cmd != "serve" && cmd != "client") return usage();
   try {
     if (cmd == "report") return cmd_report(argv[2]);
     if (cmd == "dot") return cmd_dot(argv[2]);
@@ -495,6 +739,12 @@ int main(int argc, char** argv) {
       if (!flags.ok || flags.positional.size() != 1) return usage();
       return cmd == "spef" ? cmd_spef(flags) : cmd_batch(flags);
     }
+    if (cmd == "serve") {
+      const SpefFlags flags = parse_spef_flags(argc, argv, 2, /*serve_mode=*/true);
+      if (!flags.ok || !flags.positional.empty()) return usage();
+      return cmd_serve(flags);
+    }
+    if (cmd == "client") return cmd_client(argc, argv);
     if (cmd == "validate") return cmd_validate(argv[2]);
     if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
     if (cmd == "delay-curve" && argc >= 4) return cmd_delay_curve(argv[2], argv[3]);
