@@ -1,0 +1,203 @@
+// perf_parse — SPEF ingestion throughput of the mmap + indexed-section
+// pipeline on a generated deck, measured end to end through
+// engine::parse_spef_parallel_file (exactly what `rct spef/batch/validate`
+// call), so the numbers include the mmap, the index pass, section parsing
+// and the file-order merge.
+//
+//   perf_parse [nets] [nodes_per_net] [jobs] [--benchmark_out=FILE]
+//
+// Three phases over the same on-disk deck:
+//   serial     jobs=1: the whole pipeline on the calling thread
+//   parallel   jobs=N (default hardware concurrency): section fan-out
+//              across the work-stealing pool
+//   fused      engine::analyze_spef_file at jobs=N: parse + Elmore
+//              analysis overlapped in the same per-section tasks
+//
+// Wall time on a loaded 1-CPU box is noisy, so each row also reports
+// process CPU time (getrusage user+sys delta) — cpu_s is the honest
+// single-thread cost; see EXPERIMENTS.md for the seed-parser comparison.
+//
+// Datapoints land in google-benchmark-shaped JSON (default
+// BENCH_parse.json) so scripts/perf_compare.py can diff runs.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/batch.hpp"
+#include "engine/parallel_parse.hpp"
+#include "rctree/generators.hpp"
+#include "rctree/spef.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Writes a deck of `count` distinct random nets as SPEF; returns its size.
+std::size_t write_deck(const fs::path& path, std::size_t count, std::size_t nodes) {
+  rct::SpefFile file;
+  file.design = "perf_parse";
+  for (std::size_t i = 0; i < count; ++i) {
+    rct::SpefNet net;
+    net.name = "net" + std::to_string(i);
+    net.driver = "drv";
+    net.tree = rct::gen::random_tree(nodes, /*seed=*/7000 + i);
+    net.loads = net.tree.leaves();
+    file.nets.push_back(std::move(net));
+  }
+  const std::string text = rct::write_spef(file);
+  std::ofstream out(path);
+  out << text;
+  if (!out.flush()) {
+    std::fprintf(stderr, "error: cannot write deck '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  return text.size();
+}
+
+/// Process CPU time (user + system) in seconds.
+double cpu_seconds() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const auto to_s = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_s(usage.ru_utime) + to_s(usage.ru_stime);
+}
+
+struct Datapoint {
+  std::string name;
+  double real_time_s;
+  double cpu_time_s;
+  double mb_per_second;
+  double nets_per_second;
+};
+
+bool write_benchmark_json(const std::string& path, const std::vector<Datapoint>& points,
+                          std::size_t net_count, std::size_t nodes, std::size_t bytes,
+                          std::size_t jobs) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"context\": {\n"
+      << "    \"executable\": \"perf_parse\",\n"
+      << "    \"num_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+      << "    \"workload_nets\": " << net_count << ",\n"
+      << "    \"workload_nodes_per_net\": " << nodes << ",\n"
+      << "    \"workload_bytes\": " << bytes << ",\n"
+      << "    \"jobs\": " << jobs << "\n"
+      << "  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"run_type\": \"iteration\", \"iterations\": 1, "
+                  "\"real_time\": %.6e, \"cpu_time\": %.6e, \"time_unit\": \"s\", "
+                  "\"mb_per_second\": %.1f, \"nets_per_second\": %.1f}%s\n",
+                  points[i].name.c_str(), points[i].real_time_s, points[i].cpu_time_s,
+                  points[i].mb_per_second, points[i].nets_per_second,
+                  i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_parse.json";
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+      out_path = argv[i] + 16;
+    else
+      positional.push_back(argv[i]);
+  }
+  const std::size_t net_count =
+      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 100000;
+  const std::size_t nodes = positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 16;
+  std::size_t jobs = positional.size() > 2 ? std::strtoul(positional[2], nullptr, 10)
+                                           : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+
+  rct::bench::header("SPEF ingestion: mmap + indexed sections, serial vs parallel vs fused",
+                     "parse throughput (no paper counterpart; ingestion substrate)");
+  std::printf("# workload: %zu nets x %zu nodes, parallel jobs=%zu\n", net_count, nodes, jobs);
+  std::printf("# hardware_concurrency: %u\n", std::thread::hardware_concurrency());
+  rct::bench::rule();
+
+  const fs::path scratch =
+      fs::temp_directory_path() / ("perf_parse_" + std::to_string(::getpid()));
+  fs::create_directories(scratch);
+  const fs::path deck = scratch / "deck.spef";
+  const std::size_t bytes = write_deck(deck, net_count, nodes);
+  const double mb = static_cast<double>(bytes) / 1e6;
+  const double count = static_cast<double>(net_count);
+
+  std::vector<Datapoint> points;
+  std::printf("%-10s %10s %10s %10s %12s %10s\n", "phase", "wall_s", "cpu_s", "mb_per_s",
+              "nets_per_s", "index_s");
+
+  const auto run_parse = [&](const char* label, const char* bench_name, std::size_t phase_jobs) {
+    rct::engine::ParseOptions options;
+    options.jobs = phase_jobs;
+    const double cpu0 = cpu_seconds();
+    const rct::engine::ParsedSpef parsed =
+        rct::engine::parse_spef_parallel_file(deck.string(), options);
+    const double cpu = cpu_seconds() - cpu0;
+    if (parsed.file.nets.size() != net_count) {
+      std::fprintf(stderr, "error: %s parse produced %zu nets, expected %zu\n", label,
+                   parsed.file.nets.size(), net_count);
+      std::exit(1);
+    }
+    const double wall = parsed.stats.total_seconds;
+    std::printf("%-10s %10.4f %10.4f %10.1f %12.1f %10.4f\n", label, wall, cpu, mb / wall,
+                count / wall, parsed.stats.index_seconds);
+    points.push_back({bench_name, wall, cpu, mb / wall, count / wall});
+    return wall;
+  };
+
+  const double serial_wall = run_parse("serial", "BM_ParseSerial", 1);
+  const double parallel_wall = run_parse("parallel", "BM_ParseParallel", jobs);
+
+  {
+    // Fused: parse + Elmore analysis overlapped in the same section tasks.
+    rct::engine::BatchOptions batch;
+    batch.jobs = jobs;
+    const double cpu0 = cpu_seconds();
+    const auto t0 = std::chrono::steady_clock::now();
+    const rct::engine::FileBatchResult result =
+        rct::engine::analyze_spef_file(deck.string(), batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double cpu = cpu_seconds() - cpu0;
+    if (result.batch.nets.size() != net_count) {
+      std::fprintf(stderr, "error: fused run produced %zu nets, expected %zu\n",
+                   result.batch.nets.size(), net_count);
+      std::exit(1);
+    }
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    std::printf("%-10s %10.4f %10.4f %10.1f %12.1f %10.4f\n", "fused", wall, cpu, mb / wall,
+                count / wall, result.parse.index_seconds);
+    points.push_back({"BM_ParseFusedAnalyze", wall, cpu, mb / wall, count / wall});
+  }
+
+  std::printf("# deck: %.1f MB; parallel speedup %.2fx over serial (wall; on a 1-CPU host\n",
+              mb, serial_wall / parallel_wall);
+  std::printf("#   expect ~1x wall — compare cpu_s across runs instead)\n");
+
+  fs::remove_all(scratch);
+  if (!write_benchmark_json(out_path, points, net_count, nodes, bytes, jobs)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("# datapoints: %s\n", out_path.c_str());
+  return 0;
+}

@@ -17,9 +17,10 @@
 #      the ASan CLI over every deck in testdata/malformed (strict + lenient):
 #      each must exit 1 with a diagnostic — never crash, never succeed.
 #   4. Perf gate (full runs only): rebuilds the benches in Release, re-runs
-#      perf_batch / perf_report / perf_serve on the baseline workloads and
-#      diffs against the committed BENCH_*.json with scripts/perf_compare.py;
-#      a >PERF_THRESHOLD (default 10%) real_time growth fails the gate.
+#      perf_batch / perf_report / perf_serve / perf_parse on the baseline
+#      workloads and diffs against the committed BENCH_*.json with
+#      scripts/perf_compare.py; a >PERF_THRESHOLD (default 10%) real_time
+#      growth fails the gate.
 #
 # Usage: scripts/check.sh [--tsan-only|--asan-only|--perf-only]
 # Build trees land in build-tsan/, build-asan/ and build-perf/ (gitignored).
@@ -86,9 +87,10 @@ if [[ "$MODE" == "all" || "$MODE" == "--tsan-only" ]]; then
   echo "== ThreadSanitizer: engine + analysis + obs + server tests =="
   configure_and_build build-tsan thread --target test_engine --target test_analysis \
     --target test_obs --target test_report_equivalence --target test_robust \
-    --target test_server --target test_cli --target rct_cli
+    --target test_server --target test_cli --target test_spef_parallel --target rct_cli
   (cd build-tsan &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_engine &&
+    TSAN_OPTIONS="halt_on_error=1" ./tests/test_spef_parallel &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_analysis &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_obs &&
     TSAN_OPTIONS="halt_on_error=1" ./tests/test_report_equivalence &&
@@ -186,7 +188,9 @@ if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then
 
   echo "== malformed corpus through the ASan CLI (strict + lenient) =="
   for deck in testdata/malformed/*.spef; do
-    for args in "batch $deck" "batch $deck --lenient --jobs 4" "validate $deck"; do
+    for args in "batch $deck" "batch $deck --lenient --jobs 4" \
+                "batch $deck --lenient --parse-jobs 2" "validate $deck" \
+                "validate $deck --parse-jobs 4"; do
       set +e
       ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
         ./build-asan/tools/rct $args > /dev/null 2> /dev/null
@@ -209,7 +213,7 @@ if [[ "$MODE" == "all" || "$MODE" == "--perf-only" ]]; then
   cmake -B build-perf -S . \
     -DCMAKE_BUILD_TYPE=Release -DRCT_SANITIZE="" -DRCT_BUILD_BENCH=ON > /dev/null
   cmake --build build-perf -j"$JOBS" \
-    --target perf_batch --target perf_report --target perf_serve
+    --target perf_batch --target perf_report --target perf_serve --target perf_parse
   # Workloads must match the ones the committed baselines were generated
   # with — see each BENCH_*.json "context" block.  BENCH_obs.json is a
   # metrics snapshot, not a perf_compare-compatible benchmark file, so it
@@ -220,7 +224,9 @@ if [[ "$MODE" == "all" || "$MODE" == "--perf-only" ]]; then
     --benchmark_out=build-perf/BENCH_report.json > /dev/null
   ./build-perf/bench/perf_serve \
     --benchmark_out=build-perf/BENCH_serve.json > /dev/null
-  for bench in batch report serve; do
+  ./build-perf/bench/perf_parse 20000 16 4 \
+    --benchmark_out=build-perf/BENCH_parse.json > /dev/null
+  for bench in batch report serve parse; do
     echo "-- perf_compare: BENCH_${bench}.json --"
     python3 scripts/perf_compare.py "BENCH_${bench}.json" \
       "build-perf/BENCH_${bench}.json" --threshold "$PERF_THRESHOLD"

@@ -16,6 +16,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rctree/mapped_file.hpp"
 #include "rctree/units.hpp"
 #include "robust/deadline.hpp"
 #include "robust/fault.hpp"
@@ -247,6 +248,41 @@ NetResult run_net(const SpefNet& net, const BatchOptions& options, NetCache* cac
   return r;
 }
 
+/// The complete per-net task: queue-wait sample, failure-budget
+/// cancellation, run_net, completion counters.  Shared by analyze_nets()
+/// (as the task body) and analyze_spef_file() (run inline right after the
+/// net's section is parsed).
+void run_net_slot(const SpefNet& net, NetResult& slot, const BatchOptions& options,
+                  NetCache* cache, std::size_t budget, std::atomic<std::size_t>& failed_so_far,
+                  std::uint64_t enqueue_ns) {
+  EngineCounters& ec = EngineCounters::get();
+  if constexpr (obs::kTimingEnabled)
+    queue_wait_histogram().observe(static_cast<double>(obs::timestamp_ns() - enqueue_ns) *
+                                   1e-9);
+  if (budget != 0 && failed_so_far.load(std::memory_order_relaxed) >= budget) {
+    slot.name = net.name;
+    slot.driver = net.driver;
+    slot.loads = net.loads;
+    slot.nodes = net.tree.size();
+    slot.error = "cancelled: failure budget (" + std::to_string(budget) + ") exhausted";
+    slot.code = robust::Code::kCancelled;
+    slot.phase = "cancelled";
+    ec.nets_cancelled.add();
+    ec.nets_failed.add();
+    ec.nets_completed.add();
+    obs::flight::recorder().record(net.name, "cancelled", obs::flight::Outcome::kCancelled,
+                                   robust::Code::kCancelled, 0);
+    obs::log::debug("engine.net.cancelled", {{"net", net.name}});
+    return;
+  }
+  slot = run_net(net, options, cache);
+  if (!slot.ok()) {
+    ec.nets_failed.add();
+    failed_so_far.fetch_add(1, std::memory_order_relaxed);
+  }
+  ec.nets_completed.add();
+}
+
 void append_json_string(std::string& out, const std::string& s) {
   out += '"';
   for (const char c : s) {
@@ -353,32 +389,8 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
       const SpefNet& net = nets[i];
       NetResult& slot = out.nets[i];
       const std::uint64_t enqueue_ns = obs::timestamp_ns();
-      pool.submit([&net, &slot, &options, cache_ptr, &ec, enqueue_ns, budget, &failed_so_far] {
-        if constexpr (obs::kTimingEnabled)
-          queue_wait_histogram().observe(
-              static_cast<double>(obs::timestamp_ns() - enqueue_ns) * 1e-9);
-        if (budget != 0 && failed_so_far.load(std::memory_order_relaxed) >= budget) {
-          slot.name = net.name;
-          slot.driver = net.driver;
-          slot.loads = net.loads;
-          slot.nodes = net.tree.size();
-          slot.error = "cancelled: failure budget (" + std::to_string(budget) + ") exhausted";
-          slot.code = robust::Code::kCancelled;
-          slot.phase = "cancelled";
-          ec.nets_cancelled.add();
-          ec.nets_failed.add();
-          ec.nets_completed.add();
-          obs::flight::recorder().record(net.name, "cancelled", obs::flight::Outcome::kCancelled,
-                                         robust::Code::kCancelled, 0);
-          obs::log::debug("engine.net.cancelled", {{"net", net.name}});
-          return;
-        }
-        slot = run_net(net, options, cache_ptr);
-        if (!slot.ok()) {
-          ec.nets_failed.add();
-          failed_so_far.fetch_add(1, std::memory_order_relaxed);
-        }
-        ec.nets_completed.add();
+      pool.submit([&net, &slot, &options, cache_ptr, enqueue_ns, budget, &failed_so_far] {
+        run_net_slot(net, slot, options, cache_ptr, budget, failed_so_far, enqueue_ns);
       });
     }
     pool.wait_idle();
@@ -422,6 +434,119 @@ BatchResult analyze_nets(std::span<const SpefNet> nets, const BatchOptions& opti
 BatchResult analyze_batch(const SpefFile& file, const BatchOptions& options) {
   BatchResult out = analyze_nets(file.nets, options);
   out.design = file.design;
+  return out;
+}
+
+FileBatchResult analyze_spef_file(const std::string& path, const BatchOptions& options,
+                                  const ParseOptions& parse_options) {
+  const PhaseTimer total;
+  FileBatchResult out;
+
+  MappedFile mapped;
+  if (!mapped.open(path))
+    throw SpefError(robust::Code::kFileOpen, "cannot open '" + path + "'", {path, 0}, "spef");
+  SpefParseOptions spef_opts = parse_options.spef;
+  if (spef_opts.path.empty()) spef_opts.path = path;
+  const std::string_view text = mapped.view();
+  out.parse.bytes = text.size();
+
+  const PhaseTimer index_timer;
+  spef::ParsePlan plan = spef::prepare_spef(text, spef_opts);
+  out.parse.index_seconds = index_timer.elapsed().wall_s;
+  if constexpr (obs::kTimingEnabled)
+    obs::registry().histogram("parse.index.seconds").observe(out.parse.index_seconds);
+
+  const std::size_t n = plan.layout.sections.size();
+  out.parse.sections = n;
+  obs::registry().counter("parse.sections.total").add(n);
+
+  NetCache cache(16, options.cache_max_entries);
+  if (options.cache_backend != nullptr) cache.set_backend(options.cache_backend);
+  NetCache* cache_ptr = options.use_cache ? &cache : nullptr;
+
+  EngineCounters& ec = EngineCounters::get();
+  const std::uint64_t base_tasks = ec.tasks_run.value();
+  const std::uint64_t base_built = ec.contexts_built.value();
+  const std::uint64_t base_reused = ec.context_reuses.value();
+  const std::uint64_t base_hits = ec.cache_hits.value();
+
+  const std::size_t budget = options.fail_fast ? std::size_t{1} : options.max_failures;
+  std::atomic<std::size_t> failed_so_far{0};
+  const std::size_t jobs =
+      options.jobs == 0 ? 0 : std::min(options.jobs, std::max<std::size_t>(n, 1));
+
+  // Same event names as analyze_nets() — log consumers see one batch
+  // lifecycle either way; "sections"/"bytes" mark the fused file path.
+  obs::log::info("engine.batch.start",
+                 {{"sections", static_cast<std::uint64_t>(n)},
+                  {"bytes", static_cast<std::uint64_t>(text.size())},
+                  {"jobs", static_cast<std::uint64_t>(jobs)},
+                  {"use_cache", options.use_cache}});
+
+  // One fused task per *D_NET section: parse it, then immediately analyze
+  // the net it produced on the same worker — early nets are being timed
+  // while late sections are still being tokenized.  Each task writes only
+  // its own preassigned slots, and the compaction below walks them in file
+  // order, so the output matches parse + analyze_batch() exactly.
+  std::vector<spef::ShardResult> sections(n);
+  std::vector<NetResult> slots(n);
+  std::vector<unsigned char> has_net(n, 0);
+  const PhaseTimer analyze;
+  {
+    const obs::Span span("engine.batch.analyze", "engine");
+    ThreadPool pool(jobs);
+    out.batch.stats.threads = pool.thread_count();
+    out.parse.threads = pool.thread_count();
+    pool.parallel_for(n, [&](std::size_t i) {
+      sections[i] = detail::parse_section_task(text, plan, i, spef_opts);
+      if (!sections[i].error && !sections[i].nets.empty()) {
+        ec.nets_total.add();
+        has_net[i] = 1;
+        run_net_slot(sections[i].nets.front(), slots[i], options, cache_ptr, budget,
+                     failed_so_far, obs::timestamp_ns());
+      }
+    });
+  }
+  out.batch.stats.analyze = analyze.elapsed();
+  out.parse.sections_seconds = out.batch.stats.analyze.wall_s;
+
+  // File-order merge: rethrows the earliest strict-mode error (discarding
+  // any analysis the overlap already did for later sections) and assembles
+  // the lenient diagnostics exactly as the serial parser ordered them.
+  SpefFile parsed = spef::merge_spef(std::move(plan), std::move(sections), spef_opts);
+  out.batch.design = parsed.design;
+  out.diagnostics = std::move(parsed.diagnostics);
+  out.nets_rejected = parsed.nets_rejected;
+  out.parse.nets = parsed.nets.size();
+  out.parse.nets_rejected = parsed.nets_rejected;
+
+  const PhaseTimer merge;
+  {
+    const obs::Span span("engine.batch.merge", "engine");
+    out.batch.nets.reserve(parsed.nets.size());
+    for (std::size_t i = 0; i < n; ++i)
+      if (has_net[i]) out.batch.nets.push_back(std::move(slots[i]));
+    out.batch.stats.nets = out.batch.nets.size();
+    out.batch.stats.tasks_run = ec.tasks_run.value() - base_tasks;
+    out.batch.stats.contexts_built = ec.contexts_built.value() - base_built;
+    out.batch.stats.context_reuses = ec.context_reuses.value() - base_reused;
+    out.batch.stats.cache_hits = ec.cache_hits.value() - base_hits;
+    for (const NetResult& r : out.batch.nets) {
+      if (!r.ok()) ++out.batch.stats.failures;
+      if (r.degraded) ++out.batch.stats.degraded;
+      if (r.retried) ++out.batch.stats.retried;
+      if (r.timed_out) ++out.batch.stats.timed_out;
+      if (r.code == robust::Code::kCancelled) ++out.batch.stats.cancelled;
+    }
+  }
+  out.batch.stats.merge = merge.elapsed();
+  out.batch.stats.total = total.elapsed();
+  out.parse.total_seconds = out.batch.stats.total.wall_s;
+  obs::log::info("engine.batch.done",
+                 {{"nets", static_cast<std::uint64_t>(out.batch.stats.nets)},
+                  {"failures", static_cast<std::uint64_t>(out.batch.stats.failures)},
+                  {"cache_hits", static_cast<std::uint64_t>(out.batch.stats.cache_hits)},
+                  {"wall_s", out.batch.stats.total.wall_s}});
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "engine/parallel_parse.hpp"
 #include "rctree/spef.hpp"
 #include "robust/error.hpp"
 
@@ -140,6 +141,30 @@ struct BatchResult {
 
 /// Analyzes every net of a parsed SPEF file.
 [[nodiscard]] BatchResult analyze_batch(const SpefFile& file, const BatchOptions& options = {});
+
+/// A batch run that parsed its own input: the BatchResult plus the
+/// file-level parse outcome (lenient diagnostics in file order, rejected
+/// section count, parse accounting).
+struct FileBatchResult {
+  BatchResult batch;
+  std::vector<robust::Diagnostic> diagnostics;
+  std::size_t nets_rejected = 0;
+  ParseStats parse;
+};
+
+/// Maps `path` and overlaps parsing with analysis on one thread pool: each
+/// *D_NET section is one task that parses the section and immediately
+/// analyzes the net it produced, so early nets are being timed while late
+/// sections are still being tokenized — there is no parse/analyze barrier.
+/// Results land in per-section slots and are merged in file order, so
+/// nets, rows, diagnostics and the strict-mode error choice are identical
+/// to parse + analyze_batch() run back to back, for any thread count.
+/// `parse_options.jobs` is ignored (the shared pool uses `options.jobs`);
+/// its SpefParseOptions select strict/lenient.  Throws SpefError exactly
+/// where parse_spef_file() would.
+[[nodiscard]] FileBatchResult analyze_spef_file(const std::string& path,
+                                                const BatchOptions& options = {},
+                                                const ParseOptions& parse_options = {});
 
 /// Plain-text renderer used by `rct batch`.  Deterministic: no timings,
 /// thread counts or cache provenance, so output is byte-identical for any

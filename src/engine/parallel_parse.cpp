@@ -1,0 +1,171 @@
+#include "engine/parallel_parse.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "engine/thread_pool.hpp"
+#include "obs/flight.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rctree/arena.hpp"
+#include "rctree/mapped_file.hpp"
+
+namespace rct::engine {
+namespace {
+
+obs::Counter& sections_total_counter() {
+  static obs::Counter& c = obs::registry().counter("parse.sections.total");
+  return c;
+}
+obs::Counter& sections_completed_counter() {
+  static obs::Counter& c = obs::registry().counter("parse.sections.completed");
+  return c;
+}
+obs::Histogram& index_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("parse.index.seconds");
+  return h;
+}
+obs::Histogram& section_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("parse.nets.seconds");
+  return h;
+}
+
+double wall_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Scratch arena reused across the sections a worker parses; its blocks are
+/// released when the worker thread exits (pool destruction).
+Arena& worker_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+/// Typed code of a shard's strict-mode error, for the flight recorder.
+robust::Code error_code_of(const std::exception_ptr& error) {
+  if (!error) return robust::Code::kNone;
+  try {
+    std::rethrow_exception(error);
+  } catch (const robust::Error& e) {
+    return e.code();
+  } catch (...) {
+    return robust::Code::kTaskFailure;
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+spef::ShardResult parse_section_task(std::string_view text, const spef::ParsePlan& plan,
+                                     std::size_t index, const SpefParseOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  Arena& arena = worker_arena();
+  spef::ShardResult result = spef::parse_spef_section(text, plan, index, options, arena);
+  arena.reset();
+  const double seconds = wall_since(start);
+  if constexpr (obs::kTimingEnabled) section_histogram().observe(seconds);
+  sections_completed_counter().add();
+  // One flight event per section: named by the net it carried (a section
+  // holds at most one *D_NET), or its first line when the net was rejected.
+  obs::flight::Recorder& fr = obs::flight::recorder();
+  if (fr.enabled()) {
+    char fallback[32];
+    std::string_view label;
+    if (!result.nets.empty()) {
+      label = result.nets.front().name;
+    } else {
+      std::snprintf(fallback, sizeof(fallback), "line %zu",
+                    plan.layout.sections[index].first_line);
+      label = fallback;
+    }
+    const bool failed = result.error != nullptr || result.nets_rejected != 0;
+    fr.record(label, "parse",
+              failed ? obs::flight::Outcome::kFailed : obs::flight::Outcome::kOk,
+              error_code_of(result.error),
+              static_cast<std::uint64_t>(seconds * 1e9));
+  }
+  return result;
+}
+
+}  // namespace detail
+
+std::string ParseStats::summary() const {
+  const double mb = static_cast<double>(bytes) / 1e6;
+  const double wall = total_seconds > 0.0 ? total_seconds : 1e-12;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "parse: %.1f MB, %zu net(s) from %zu section(s), %zu rejected, "
+                "%zu thread(s); index %.3fs, sections %.3fs, total %.3fs wall "
+                "(%.1f MB/s, %.0f nets/s)",
+                mb, nets, sections, nets_rejected, threads, index_seconds, sections_seconds,
+                total_seconds, mb / wall, static_cast<double>(nets) / wall);
+  return buf;
+}
+
+ParsedSpef parse_spef_parallel(std::string_view text, const ParseOptions& options) {
+  const auto total_start = std::chrono::steady_clock::now();
+  const obs::Span span("engine.parse", "engine", options.spef.path);
+
+  ParsedSpef out;
+  out.stats.bytes = text.size();
+
+  const auto index_start = std::chrono::steady_clock::now();
+  spef::ParsePlan plan = spef::prepare_spef(text, options.spef);
+  out.stats.index_seconds = wall_since(index_start);
+  if constexpr (obs::kTimingEnabled) index_histogram().observe(out.stats.index_seconds);
+
+  const std::size_t n = plan.layout.sections.size();
+  out.stats.sections = n;
+  sections_total_counter().add(n);
+  const std::size_t jobs =
+      options.jobs == 0 ? 0 : std::min(options.jobs, std::max<std::size_t>(n, 1));
+
+  const auto sections_start = std::chrono::steady_clock::now();
+  std::vector<spef::ShardResult> results(n);
+  if (jobs == 1 || n < 2) {
+    out.stats.threads = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = detail::parse_section_task(text, plan, i, options.spef);
+      if (results[i].error) break;  // strict: nothing later can be observed
+    }
+  } else {
+    ThreadPool pool(jobs);
+    out.stats.threads = pool.thread_count();
+    obs::log::info("engine.parse.start",
+                   {{"sections", static_cast<std::uint64_t>(n)},
+                    {"jobs", static_cast<std::uint64_t>(pool.thread_count())},
+                    {"bytes", static_cast<std::uint64_t>(text.size())}});
+    // One task per section writing its preassigned slot: the merge below
+    // walks slots in file order, so scheduling never shows in the output.
+    pool.parallel_for(n, [&](std::size_t i) {
+      results[i] = detail::parse_section_task(text, plan, i, options.spef);
+    });
+  }
+  out.stats.sections_seconds = wall_since(sections_start);
+
+  out.file = spef::merge_spef(std::move(plan), std::move(results), options.spef);
+  out.stats.nets = out.file.nets.size();
+  out.stats.nets_rejected = out.file.nets_rejected;
+  out.stats.total_seconds = wall_since(total_start);
+  obs::log::info("engine.parse.done",
+                 {{"nets", static_cast<std::uint64_t>(out.stats.nets)},
+                  {"rejected", static_cast<std::uint64_t>(out.stats.nets_rejected)},
+                  {"wall_s", out.stats.total_seconds}});
+  return out;
+}
+
+ParsedSpef parse_spef_parallel_file(const std::string& path, const ParseOptions& options) {
+  MappedFile file;
+  if (!file.open(path))
+    throw SpefError(robust::Code::kFileOpen, "cannot open '" + path + "'", {path, 0}, "spef");
+  ParseOptions with_path = options;
+  if (with_path.spef.path.empty()) with_path.spef.path = path;
+  return parse_spef_parallel(file.view(), with_path);
+}
+
+}  // namespace rct::engine

@@ -1,0 +1,124 @@
+#pragma once
+// Bump (arena) allocator for parser scratch: node-name tables, adjacency
+// arrays and per-net element lists live for exactly one parse and are freed
+// wholesale, so a pointer-bump over geometrically growing blocks replaces a
+// malloc/free pair per token.  reset() rewinds to the first block without
+// releasing it, so a parser that loops over many *D_NET sections reuses one
+// warm allocation.
+//
+// ArenaAllocator<T> adapts an Arena to the std allocator interface so
+// std::vector / std::unordered_map scratch can live in the arena too.
+// deallocate() is a no-op by design: geometric container growth wastes at
+// most the live size again, and everything dies at reset().  Arena is not
+// thread-safe; parallel parse tasks each own one.
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <vector>
+
+namespace rct {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 1 << 16)
+      : first_block_bytes_(first_block_bytes == 0 ? 1 : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    if (block_ < blocks_.size()) {
+      const std::size_t aligned = align_up(offset_, align);
+      if (aligned + bytes <= blocks_[block_].size) {
+        offset_ = aligned + bytes;
+        return blocks_[block_].data.get() + aligned;
+      }
+      // Try later blocks kept alive by a previous reset() before growing.
+      while (block_ + 1 < blocks_.size()) {
+        ++block_;
+        offset_ = 0;
+        if (bytes <= blocks_[block_].size) {
+          offset_ = bytes;
+          return blocks_[block_].data.get();
+        }
+      }
+    }
+    const std::size_t last = blocks_.empty() ? first_block_bytes_ / 2 : blocks_.back().size;
+    const std::size_t size = std::max(bytes, std::max(first_block_bytes_, last * 2));
+    blocks_.push_back({std::unique_ptr<char[]>(new char[size]), size});
+    block_ = blocks_.size() - 1;
+    offset_ = bytes;
+    return blocks_.back().data.get();
+  }
+
+  /// Copies `s` into the arena; the view stays valid until reset().
+  std::string_view intern(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = static_cast<char*>(allocate(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// Total capacity held (allocated from the system), for tests/metrics.
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  static std::size_t align_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size;
+  };
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< block currently bumping
+  std::size_t offset_ = 0;  ///< bump offset within blocks_[block_]
+};
+
+/// std-allocator adapter over a borrowed Arena (which must outlive every
+/// container using it).
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // freed wholesale at Arena::reset()
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  template <class U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace rct

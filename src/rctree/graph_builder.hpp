@@ -5,11 +5,16 @@
 // capacitors grounded on tree nodes).
 
 #include <cstddef>
+#include <functional>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "rctree/arena.hpp"
 #include "rctree/rctree.hpp"
 #include "robust/error.hpp"
 
@@ -47,5 +52,51 @@ struct BuiltTree {
 [[nodiscard]] BuiltTree build_tree_from_elements(const std::vector<ResistorEdge>& resistors,
                                                  std::map<std::string, double> cap_at,
                                                  const std::string& input_node);
+
+struct SvHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Arena-backed name -> value scratch map (node links die at Arena::reset()).
+template <class V>
+using ArenaSvMap = std::unordered_map<std::string_view, V, SvHash, std::equal_to<>,
+                                      ArenaAllocator<std::pair<const std::string_view, V>>>;
+
+/// Sentinel for "input node never mentioned in the parasitics".
+inline constexpr std::uint32_t kNoDenseNode = 0xffffffffu;
+
+/// A resistor between dense node ids (see DenseElements).
+struct DenseResistor {
+  std::uint32_t a;
+  std::uint32_t b;
+  double value;
+  std::size_t tag;  ///< opaque caller token (source line) echoed in errors
+};
+
+/// Element graph with node names already interned to dense ids
+/// 0..names.size()-1 by the caller (the SPEF shard parser), so tree
+/// construction does no hashing at all.  `caps[i]` / `has_cap[i]` carry the
+/// accumulated grounded capacitance at node i; names are views into the
+/// parse buffer.
+struct DenseElements {
+  std::span<const std::string_view> names;
+  std::span<const DenseResistor> resistors;
+  std::span<const double> caps;
+  std::span<const unsigned char> has_cap;
+};
+
+/// Zero-copy construction used by the SPEF section parsers: same traversal
+/// order, warnings and error messages as the std::string overload, but all
+/// intermediate topology state (CSR adjacency, BFS frontier, visit flags)
+/// lives in `arena`.  `input` is the dense id of the driving node, or
+/// kNoDenseNode when it never appeared (reported as "touches no resistor",
+/// with `input_name` in the message).  Only the returned BuiltTree owns
+/// heap memory.
+[[nodiscard]] BuiltTree build_tree_from_dense(const DenseElements& elements,
+                                              std::uint32_t input,
+                                              std::string_view input_name, Arena& arena);
 
 }  // namespace rct::detail

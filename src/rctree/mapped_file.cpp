@@ -1,0 +1,88 @@
+#include "rctree/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rct {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  close();
+  heap_ = std::move(other.heap_);
+  error_ = std::move(other.error_);
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  opened_ = other.opened_;
+  data_ = mapped_ ? other.data_ : heap_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  other.opened_ = false;
+  return *this;
+}
+
+bool MappedFile::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    error_ = "cannot open '" + path + "': " + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+                     fd, 0);
+    if (p != MAP_FAILED) {
+      // Sequential single-pass access pattern: let readahead run hot.
+      (void)::madvise(p, static_cast<std::size_t>(st.st_size), MADV_SEQUENTIAL);
+      data_ = static_cast<const char*>(p);
+      size_ = static_cast<std::size_t>(st.st_size);
+      mapped_ = true;
+      opened_ = true;
+      ::close(fd);
+      return true;
+    }
+  }
+  // Fallback: pipes, special files, empty files, or a failed mmap — read
+  // the bytes onto the heap instead.
+  heap_.clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = "cannot read '" + path + "': " + std::strerror(errno);
+      ::close(fd);
+      heap_.clear();
+      return false;
+    }
+    if (n == 0) break;
+    heap_.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  data_ = heap_.data();
+  size_ = heap_.size();
+  mapped_ = false;
+  opened_ = true;
+  return true;
+}
+
+void MappedFile::close() {
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<char*>(data_), size_);
+  heap_.clear();
+  heap_.shrink_to_fit();
+  error_.clear();
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  opened_ = false;
+}
+
+}  // namespace rct

@@ -1,0 +1,53 @@
+#pragma once
+// Zero-copy read-only file input.  MappedFile mmap()s a regular file and
+// exposes the bytes as a std::string_view, so a multi-GB SPEF deck is never
+// copied into a std::string before parsing; pages stream in on demand and
+// the kernel can drop clean ones under pressure.
+//
+// Non-regular inputs (pipes, sockets, /proc files, zero-length files — mmap
+// of length 0 is an error) and any mmap failure fall back transparently to
+// reading the bytes onto the heap: view() works the same either way, and
+// mapped() says which path was taken.  The view stays valid for the
+// lifetime of the MappedFile object; parsers that keep string_view slices
+// into it (SpefFile node names do not — they copy) must keep it alive.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rct {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { close(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// Maps (or, on fallback, reads) `path`.  Returns false and sets error()
+  /// when the file cannot be opened or read; a failed object stays empty.
+  bool open(const std::string& path);
+
+  /// Unmaps / frees; the object returns to the empty state.
+  void close();
+
+  [[nodiscard]] std::string_view view() const { return {data_, size_}; }
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  [[nodiscard]] bool ok() const { return data_ != nullptr || (opened_ && size_ == 0); }
+  /// True when view() is an mmap of the file, false on the heap fallback.
+  [[nodiscard]] bool mapped() const { return mapped_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  bool opened_ = false;  ///< open() succeeded (possibly on an empty file)
+  std::string heap_;     ///< fallback storage when !mapped_
+  std::string error_;
+};
+
+}  // namespace rct

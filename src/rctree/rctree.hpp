@@ -104,6 +104,20 @@ class RCTreeBuilder {
   /// or kSource.  Throws std::invalid_argument on constraint violations.
   NodeId add_node(std::string name, NodeId parent, double resistance, double capacitance);
 
+  /// Validation-free fast path for callers whose construction already
+  /// proves the invariants (graph_builder's BFS: names are unique and
+  /// non-empty, parents precede children, values are pre-validated).
+  /// Mixing with add_node() on the same builder is not supported: this
+  /// path does not register names for duplicate detection.
+  NodeId add_node_unchecked(std::string name, NodeId parent, double resistance,
+                            double capacitance) {
+    parent_.push_back(parent);
+    res_.push_back(resistance);
+    cap_.push_back(capacitance);
+    name_.push_back(std::move(name));
+    return parent_.size() - 1;
+  }
+
   [[nodiscard]] std::size_t size() const { return parent_.size(); }
 
   /// Finalizes the tree.  Throws std::invalid_argument if empty or if no

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <cstring>
 #include <map>
+#include <span>
 #include <sstream>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "rctree/graph_builder.hpp"
+#include "rctree/mapped_file.hpp"
+#include "rctree/spef_pipeline.hpp"
 #include "robust/fault.hpp"
 
 namespace rct {
@@ -23,11 +27,44 @@ std::string to_upper(std::string_view s) {
   return out;
 }
 
-std::vector<std::string> tokenize(std::string_view line) {
-  std::vector<std::string> toks;
-  std::istringstream is{std::string(line)};
-  std::string t;
-  while (is >> t) toks.push_back(t);
+/// Token separators istringstream's operator>> skips ('\n' cannot occur:
+/// lines are split on it first).
+constexpr bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' || c == '\n';
+}
+
+/// Case-insensitive (ASCII) equality against an UPPERCASE keyword literal.
+bool ieq(std::string_view s, std::string_view upper) {
+  if (s.size() != upper.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+    if (c != upper[i]) return false;
+  }
+  return true;
+}
+
+/// Zero-copy tokenization: views into the line, comment-stripped.  Only the
+/// first four token values are ever inspected; `n` still counts them all
+/// (the grammar distinguishes 3 vs 4 vs more tokens).
+struct Toks {
+  std::string_view t[4];
+  std::size_t n = 0;
+};
+
+Toks split_line(std::string_view line) {
+  if (const auto comment = line.find("//"); comment != std::string_view::npos)
+    line = line.substr(0, comment);
+  Toks toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_ws(line[i])) ++i;
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() && !is_ws(line[i])) ++i;
+    if (toks.n < 4) toks.t[toks.n] = line.substr(start, i - start);
+    ++toks.n;
+  }
   return toks;
 }
 
@@ -36,9 +73,9 @@ obs::Counter& diagnostics_counter() {
   return c;
 }
 
-enum class Section { kNone, kConn, kCap, kRes };
+enum class NetSection { kNone, kConn, kCap, kRes };
 
-/// Thrown inside the parser to signal "defect in the current *D_NET"; in
+/// Thrown inside a shard to signal "defect in the current *D_NET"; in
 /// lenient mode it is converted to a Diagnostic and the net is skipped.
 struct NetDefect {
   robust::Code code;
@@ -46,14 +83,49 @@ struct NetDefect {
   std::string message;
 };
 
-/// Shared parse state: strict mode throws SpefError at `fail`, lenient
-/// mode records a Diagnostic and lets the caller recover.
-class Parser {
+/// Parses one chunk of the file — a file-scope run or a *D_NET section —
+/// with the exact line dispatch of the old single-pass parser.  All net
+/// scratch (edges, cap map, load list) is arena-backed and the token values
+/// are views into the input buffer; nothing is copied until a net survives.
+class Shard {
  public:
-  Parser(std::string_view text, const SpefParseOptions& options)
-      : text_(text), options_(options) {}
+  Shard(const SpefParseOptions& options, spef::Units units, Arena& arena)
+      : options_(options),
+        units_(units),
+        arena_(arena),
+        nodes_(32, detail::SvHash{}, std::equal_to<>{},
+               ArenaAllocator<std::pair<const std::string_view, std::uint32_t>>{arena}),
+        names_(ArenaAllocator<std::string_view>{arena}),
+        cap_val_(ArenaAllocator<double>{arena}),
+        has_cap_(ArenaAllocator<unsigned char>{arena}),
+        res_(ArenaAllocator<detail::DenseResistor>{arena}),
+        load_names_(ArenaAllocator<std::pair<std::string_view, std::size_t>>{arena}) {}
 
-  SpefFile run();
+  /// Processes the lines of `slice` (whose first line is 1-based
+  /// `first_line`), then finishes any open net at `finish_line`.
+  spef::ShardResult run(std::string_view slice, std::size_t first_line,
+                        std::size_t finish_line) {
+    try {
+      std::size_t pos = 0;
+      std::size_t line_no = first_line == 0 ? 0 : first_line - 1;
+      while (pos < slice.size()) {
+        const std::size_t nl = slice.find('\n', pos);
+        const std::string_view line =
+            slice.substr(pos, nl == std::string_view::npos ? slice.size() - pos : nl - pos);
+        pos = (nl == std::string_view::npos) ? slice.size() : nl + 1;
+        ++line_no;
+        process_line(line, line_no);
+      }
+      finish_net(finish_line);
+    } catch (...) {
+      // Strict mode: the error the serial parser would have thrown at this
+      // point.  merge_spef() rethrows the earliest chunk's error.
+      result_.error = std::current_exception();
+    }
+    return std::move(result_);
+  }
+
+  [[nodiscard]] spef::Units units() const { return units_; }
 
  private:
   [[noreturn]] void fail(std::size_t line_no, robust::Code code, const std::string& msg) {
@@ -62,10 +134,10 @@ class Parser {
   }
 
   void diagnose(std::size_t line_no, robust::Code code, std::string msg,
-                std::string net = {}) {
+                std::string_view net = {}) {
     diagnostics_counter().add();
-    file_.diagnostics.push_back(
-        {code, std::move(msg), {options_.path, line_no}, std::move(net)});
+    result_.diagnostics.push_back(
+        {code, std::move(msg), {options_.path, line_no}, std::string(net)});
   }
 
   /// File-scope defect: strict throws, lenient records and carries on.
@@ -74,231 +146,199 @@ class Parser {
     diagnose(line_no, code, msg);
   }
 
-  double unit_scale(std::size_t line_no, const std::string& unit) {
+  double unit_scale(std::size_t line_no, std::string_view unit) {
     static const std::map<std::string, double> kUnits = {
         {"S", 1.0},    {"MS", 1e-3},  {"US", 1e-6},  {"NS", 1e-9},  {"PS", 1e-12},
         {"F", 1.0},    {"UF", 1e-6},  {"NF", 1e-9},  {"PF", 1e-12}, {"FF", 1e-15},
         {"OHM", 1.0},  {"KOHM", 1e3}, {"MOHM", 1e6},
     };
     const auto it = kUnits.find(to_upper(unit));
-    if (it == kUnits.end()) fail(line_no, robust::Code::kBadUnit, "unknown unit '" + unit + "'");
+    if (it == kUnits.end())
+      fail(line_no, robust::Code::kBadUnit, "unknown unit '" + std::string(unit) + "'");
     return it->second;
   }
 
-  double parse_number(std::size_t line_no, const std::string& text) {
+  double parse_number(std::size_t line_no, std::string_view text) {
+    double v{};
+    const char* const first = text.data();
+    const char* const last = first + text.size();
+    if (const auto [p, ec] = std::from_chars(first, last, v);
+        ec == std::errc() && p == last)
+      return v;
+    // Slow path keeping strtod's exact acceptance (the old parser's): '+'
+    // prefixes, hex floats, out-of-range -> HUGE_VAL / 0.
+    char buf[128];
+    std::string big;
+    const char* cstr;
+    if (text.size() < sizeof(buf)) {
+      std::memcpy(buf, text.data(), text.size());
+      buf[text.size()] = '\0';
+      cstr = buf;
+    } else {
+      big.assign(text);
+      cstr = big.c_str();
+    }
     char* end = nullptr;
-    const double v = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0')
-      fail(line_no, robust::Code::kBadNumber, "bad number '" + text + "'");
-    return v;
+    const double s = std::strtod(cstr, &end);
+    if (end == cstr || *end != '\0')
+      fail(line_no, robust::Code::kBadNumber, "bad number '" + std::string(text) + "'");
+    return s;
   }
 
   /// Validated resistance: finite and strictly positive, or a typed defect.
-  double parse_resistance(std::size_t line_no, const std::string& text) {
-    const double v = parse_number(line_no, text) * file_.res_unit;
+  double parse_resistance(std::size_t line_no, std::string_view text) {
+    const double v = parse_number(line_no, text) * units_.res;
     if (std::isnan(v) || std::isinf(v))
-      fail(line_no, robust::Code::kNanValue, "resistance '" + text + "' is not finite");
+      fail(line_no, robust::Code::kNanValue,
+           "resistance '" + std::string(text) + "' is not finite");
     if (v <= 0.0)
       fail(line_no, robust::Code::kNonPhysicalValue,
-           "non-physical resistance " + text + " (must be > 0)");
+           "non-physical resistance " + std::string(text) + " (must be > 0)");
     return v;
   }
 
   /// Validated capacitance: finite; a finite negative value is repaired to
   /// 0F in lenient mode (diagnostic), rejected in strict mode.
-  double parse_capacitance(std::size_t line_no, const std::string& node,
-                           const std::string& text) {
-    const double v = parse_number(line_no, text) * file_.cap_unit;
+  double parse_capacitance(std::size_t line_no, std::string_view node, std::string_view text) {
+    const double v = parse_number(line_no, text) * units_.cap;
     if (std::isnan(v) || std::isinf(v))
-      fail(line_no, robust::Code::kNanValue, "capacitance '" + text + "' is not finite");
+      fail(line_no, robust::Code::kNanValue,
+           "capacitance '" + std::string(text) + "' is not finite");
     if (v < 0.0) {
       if (!options_.lenient)
         fail(line_no, robust::Code::kNonPhysicalValue,
-             "non-physical capacitance " + text + " at node '" + node + "' (must be >= 0)");
+             "non-physical capacitance " + std::string(text) + " at node '" +
+                 std::string(node) + "' (must be >= 0)");
       diagnose(line_no, robust::Code::kNonPhysicalValue,
-               "repaired negative capacitance " + text + " at node '" + node + "' to 0F",
+               "repaired negative capacitance " + std::string(text) + " at node '" +
+                   std::string(node) + "' to 0F",
                net_name_);
       return 0.0;
     }
     return v;
   }
 
-  void finish_net(std::size_t line_no);
-  void reset_net() {
-    edges_.clear();
-    caps_.clear();
-    load_names_.clear();
-    driver_.clear();
-    in_net_ = false;
-    skipping_net_ = false;
+  /// Dense node id for `name` (a view into the parse buffer), minted on
+  /// first encounter.
+  std::uint32_t intern(std::string_view name) {
+    const auto [it, inserted] =
+        nodes_.try_emplace(name, static_cast<std::uint32_t>(names_.size()));
+    if (inserted) {
+      names_.push_back(name);
+      cap_val_.push_back(0.0);
+      has_cap_.push_back(0);
+    }
+    return it->second;
   }
 
-  std::string_view text_;
-  const SpefParseOptions& options_;
-  SpefFile file_;
-
-  std::vector<detail::ResistorEdge> edges_;
-  std::map<std::string, double> caps_;
-  std::string net_name_;
-  std::string driver_;
-  std::vector<std::pair<std::string, std::size_t>> load_names_;  ///< name, line
-  Section section_ = Section::kNone;
-  bool in_net_ = false;
-  /// Lenient recovery: the current *D_NET had a defect; ignore its
-  /// remaining lines until *D_NET/*END.
-  bool skipping_net_ = false;
-};
-
-void Parser::finish_net(std::size_t line_no) {
-  if (!in_net_) return;
-  if (skipping_net_) {
-    ++file_.nets_rejected;
-    reset_net();
-    return;
-  }
-  try {
-    robust::fault::maybe_throw("parse.spef.net", robust::Code::kSyntax);
-    if (driver_.empty())
-      fail(line_no, robust::Code::kNoDriver, "net '" + net_name_ + "' has no *P driving port");
-    SpefNet net;
-    net.name = net_name_;
-    net.driver = driver_;
-    try {
-      auto built = detail::build_tree_from_elements(edges_, std::move(caps_), driver_);
-      net.tree = std::move(built.tree);
-    } catch (const detail::GraphBuildError& e) {
-      fail(e.tag ? e.tag : line_no, e.code, "net '" + net_name_ + "': " + e.what());
-    }
-    for (const auto& [load, load_line] : load_names_) {
-      const auto id = net.tree.find(load);
-      if (!id) {
-        const std::string msg =
-            "net '" + net_name_ + "': load pin '" + load + "' not in parasitics";
-        if (!options_.lenient)
-          fail(load_line, robust::Code::kDanglingLoad, msg);
-        diagnose(load_line, robust::Code::kDanglingLoad, "dropped dangling load: " + msg,
-                 net_name_);
-        continue;
+  void process_line(std::string_view raw_line, std::size_t line_no) {
+    const Toks toks = split_line(raw_line);
+    if (toks.n == 0) return;
+    const std::string_view t0 = toks.t[0];
+    const bool star = t0[0] == '*';  // every keyword starts with '*', so
+                                     // data lines skip the whole ladder
+    // The keyword checks are mutually exclusive literal matches, so their
+    // order is free; net-structure keywords come first (they dominate) and
+    // 2-char tokens (*P / *I — the hottest keyword lines) skip the ladder
+    // entirely, falling straight through to the section dispatch.
+    if (star && t0.size() > 2) {
+      if (ieq(t0, "*D_NET")) {
+        finish_net(line_no);
+        if (toks.n < 2) {
+          defect(line_no, robust::Code::kSyntax, "*D_NET requires a net name");
+          return;
+        }
+        net_name_ = toks.t[1];
+        in_net_ = true;
+        section_ = NetSection::kNone;
+        return;
       }
-      net.loads.push_back(*id);
-    }
-    file_.nets.push_back(std::move(net));
-  } catch (const NetDefect& d) {
-    // Lenient only (fail() throws SpefError in strict mode).
-    diagnose(d.line, d.code, d.message, net_name_);
-    ++file_.nets_rejected;
-  } catch (const robust::Error& e) {
-    // Injected parse faults and other typed failures inside the net.
-    if (!options_.lenient) throw;
-    diagnose(line_no, e.code(), e.message(), net_name_);
-    ++file_.nets_rejected;
-  }
-  reset_net();
-}
-
-SpefFile Parser::run() {
-  std::size_t line_no = 0;
-  std::size_t pos = 0;
-  while (pos <= text_.size()) {
-    const std::size_t nl = text_.find('\n', pos);
-    std::string_view line =
-        text_.substr(pos, nl == std::string_view::npos ? text_.size() - pos : nl - pos);
-    pos = (nl == std::string_view::npos) ? text_.size() + 1 : nl + 1;
-    ++line_no;
-    if (const auto comment = line.find("//"); comment != std::string_view::npos)
-      line = line.substr(0, comment);
-    const auto toks = tokenize(line);
-    if (toks.empty()) continue;
-
-    const std::string head = to_upper(toks[0]);
-    if (head == "*SPEF" || head == "*DATE" || head == "*VENDOR" || head == "*PROGRAM" ||
-        head == "*VERSION" || head == "*DESIGN_FLOW" || head == "*DIVIDER" ||
-        head == "*DELIMITER" || head == "*BUS_DELIMITER" || head == "*L_UNIT") {
-      continue;  // opaque header metadata
-    }
-    if (head == "*DESIGN") {
-      if (toks.size() >= 2) {
-        file_.design = toks[1];
-        file_.design.erase(std::remove(file_.design.begin(), file_.design.end(), '"'),
-                           file_.design.end());
+      if (ieq(t0, "*CONN")) {
+        section_ = NetSection::kConn;
+        return;
       }
-      continue;
-    }
-    if (head == "*T_UNIT" || head == "*C_UNIT" || head == "*R_UNIT") {
-      if (toks.size() != 3) {
-        defect(line_no, robust::Code::kSyntax, head + " requires: value unit");
-        continue;
+      if (ieq(t0, "*CAP")) {
+        section_ = NetSection::kCap;
+        return;
       }
-      try {
-        const double scale = parse_number(line_no, toks[1]) * unit_scale(line_no, toks[2]);
-        if (head == "*T_UNIT") file_.time_unit = scale;
-        if (head == "*C_UNIT") file_.cap_unit = scale;
-        if (head == "*R_UNIT") file_.res_unit = scale;
-      } catch (const NetDefect& d) {
-        diagnose(d.line, d.code, d.message);  // keep the default unit
+      if (ieq(t0, "*RES")) {
+        section_ = NetSection::kRes;
+        return;
       }
-      continue;
-    }
-    if (head == "*D_NET") {
-      finish_net(line_no);
-      if (toks.size() < 2) {
-        defect(line_no, robust::Code::kSyntax, "*D_NET requires a net name");
-        continue;
+      if (ieq(t0, "*END")) {
+        finish_net(line_no);
+        section_ = NetSection::kNone;
+        return;
       }
-      net_name_ = toks[1];
-      in_net_ = true;
-      section_ = Section::kNone;
-      continue;
+      if (ieq(t0, "*SPEF") || ieq(t0, "*DATE") || ieq(t0, "*VENDOR") ||
+          ieq(t0, "*PROGRAM") || ieq(t0, "*VERSION") || ieq(t0, "*DESIGN_FLOW") ||
+          ieq(t0, "*DIVIDER") || ieq(t0, "*DELIMITER") || ieq(t0, "*BUS_DELIMITER") ||
+          ieq(t0, "*L_UNIT")) {
+        return;  // opaque header metadata
+      }
+      if (ieq(t0, "*DESIGN")) {
+        if (toks.n >= 2) {
+          std::string d(toks.t[1]);
+          d.erase(std::remove(d.begin(), d.end(), '"'), d.end());
+          result_.design = std::move(d);
+          result_.has_design = true;
+        }
+        return;
+      }
+      if (ieq(t0, "*T_UNIT") || ieq(t0, "*C_UNIT") || ieq(t0, "*R_UNIT")) {
+        if (toks.n != 3) {
+          defect(line_no, robust::Code::kSyntax, to_upper(t0) + " requires: value unit");
+          return;
+        }
+        try {
+          const double scale =
+              parse_number(line_no, toks.t[1]) * unit_scale(line_no, toks.t[2]);
+          if (ieq(t0, "*T_UNIT")) units_.time = scale;
+          if (ieq(t0, "*C_UNIT")) units_.cap = scale;
+          if (ieq(t0, "*R_UNIT")) units_.res = scale;
+        } catch (const NetDefect& d) {
+          diagnose(d.line, d.code, d.message);  // keep the default unit
+        }
+        return;
+      }
     }
-    if (head == "*CONN") {
-      section_ = Section::kConn;
-      continue;
-    }
-    if (head == "*CAP") {
-      section_ = Section::kCap;
-      continue;
-    }
-    if (head == "*RES") {
-      section_ = Section::kRes;
-      continue;
-    }
-    if (head == "*END") {
-      finish_net(line_no);
-      section_ = Section::kNone;
-      continue;
-    }
-    if (skipping_net_) continue;  // lenient: discard the rest of a bad net
+    if (skipping_net_) return;  // lenient: discard the rest of a bad net
 
     try {
-      if (head == "*INDUC")
+      if (star && ieq(t0, "*INDUC"))
         fail(line_no, robust::Code::kUnsupported,
              "*INDUC sections are not supported (RC trees only)");
 
       if (!in_net_) {
         defect(line_no, robust::Code::kSyntax,
-               "unexpected statement '" + toks[0] + "' outside *D_NET");
-        continue;
+               "unexpected statement '" + std::string(t0) + "' outside *D_NET");
+        return;
       }
       switch (section_) {
-        case Section::kConn: {
-          if (head == "*P") {
-            if (toks.size() < 2) fail(line_no, robust::Code::kSyntax, "*P requires a port name");
+        case NetSection::kConn: {
+          if (star && ieq(t0, "*P")) {
+            if (toks.n < 2) fail(line_no, robust::Code::kSyntax, "*P requires a port name");
             if (!driver_.empty())
               fail(line_no, robust::Code::kSyntax, "multiple *P driving ports on one net");
-            driver_ = toks[1];
-          } else if (head == "*I") {
-            if (toks.size() < 2) fail(line_no, robust::Code::kSyntax, "*I requires a pin name");
-            load_names_.emplace_back(toks[1], line_no);
+            driver_ = toks.t[1];
+          } else if (star && ieq(t0, "*I")) {
+            if (toks.n < 2) fail(line_no, robust::Code::kSyntax, "*I requires a pin name");
+            load_names_.emplace_back(toks.t[1], line_no);
           } else {
             fail(line_no, robust::Code::kUnsupported,
-                 "unsupported *CONN entry '" + toks[0] + "'");
+                 "unsupported *CONN entry '" + std::string(t0) + "'");
           }
           break;
         }
-        case Section::kCap: {
-          if (toks.size() == 3) {
-            caps_[toks[1]] += parse_capacitance(line_no, toks[1], toks[2]);
-          } else if (toks.size() == 4) {
+        case NetSection::kCap: {
+          if (toks.n == 3) {
+            // Value first: a bad number must not create the node entry
+            // (matching the legacy map's RHS-before-subscript evaluation).
+            const double v = parse_capacitance(line_no, toks.t[1], toks.t[2]);
+            const std::uint32_t id = intern(toks.t[1]);
+            cap_val_[id] += v;
+            has_cap_[id] = 1;
+          } else if (toks.n == 4) {
             fail(line_no, robust::Code::kUnsupported,
                  "coupling capacitors are not supported (RC trees only)");
           } else {
@@ -306,92 +346,264 @@ SpefFile Parser::run() {
           }
           break;
         }
-        case Section::kRes: {
-          if (toks.size() != 4)
+        case NetSection::kRes: {
+          if (toks.n != 4)
             fail(line_no, robust::Code::kSyntax, "*RES entry requires: index nodeA nodeB value");
-          if (toks[1] == toks[2])
+          if (toks.t[1] == toks.t[2])
             fail(line_no, robust::Code::kDuplicateNode,
-                 "resistor shorts node '" + toks[1] + "' to itself");
-          edges_.push_back({toks[1], toks[2], parse_resistance(line_no, toks[3]), line_no});
+                 "resistor shorts node '" + std::string(toks.t[1]) + "' to itself");
+          {
+            const double v = parse_resistance(line_no, toks.t[3]);
+            res_.push_back({intern(toks.t[1]), intern(toks.t[2]), v, line_no});
+          }
           break;
         }
-        case Section::kNone:
+        case NetSection::kNone:
           fail(line_no, robust::Code::kSyntax, "statement before any *CONN/*CAP/*RES section");
       }
     } catch (const NetDefect& d) {
       // Lenient recovery: the whole current net is suspect; skip it.
       diagnose(d.line, d.code, d.message, net_name_);
-      if (in_net_)
-        skipping_net_ = true;
+      if (in_net_) skipping_net_ = true;
     }
   }
-  finish_net(line_no);
-  if (in_net_ && options_.lenient) {
-    // Truncated input: the final *D_NET never saw its *END.
-    diagnose(line_no, robust::Code::kSyntax,
-             "net '" + net_name_ + "' truncated (missing *END)", net_name_);
+
+  void finish_net(std::size_t line_no) {
+    if (!in_net_) return;
+    if (skipping_net_) {
+      ++result_.nets_rejected;
+      reset_net();
+      return;
+    }
+    try {
+      robust::fault::maybe_throw("parse.spef.net", robust::Code::kSyntax);
+      if (driver_.empty())
+        fail(line_no, robust::Code::kNoDriver,
+             "net '" + std::string(net_name_) + "' has no *P driving port");
+      SpefNet net;
+      net.name = std::string(net_name_);
+      net.driver = std::string(driver_);
+      try {
+        const auto input_it = nodes_.find(driver_);
+        const std::uint32_t input =
+            input_it == nodes_.end() ? detail::kNoDenseNode : input_it->second;
+        const detail::DenseElements elements{{names_.data(), names_.size()},
+                                             {res_.data(), res_.size()},
+                                             {cap_val_.data(), cap_val_.size()},
+                                             {has_cap_.data(), has_cap_.size()}};
+        auto built = detail::build_tree_from_dense(elements, input, driver_, arena_);
+        net.tree = std::move(built.tree);
+      } catch (const detail::GraphBuildError& e) {
+        fail(e.tag ? e.tag : line_no, e.code,
+             "net '" + std::string(net_name_) + "': " + e.what());
+      }
+      for (const auto& [load, load_line] : load_names_) {
+        const auto id = net.tree.find(load);
+        if (!id) {
+          const std::string msg = "net '" + std::string(net_name_) + "': load pin '" +
+                                  std::string(load) + "' not in parasitics";
+          if (!options_.lenient) fail(load_line, robust::Code::kDanglingLoad, msg);
+          diagnose(load_line, robust::Code::kDanglingLoad, "dropped dangling load: " + msg,
+                   net_name_);
+          continue;
+        }
+        net.loads.push_back(*id);
+      }
+      result_.nets.push_back(std::move(net));
+    } catch (const NetDefect& d) {
+      // Lenient only (fail() throws SpefError in strict mode).
+      diagnose(d.line, d.code, d.message, net_name_);
+      ++result_.nets_rejected;
+    } catch (const robust::Error& e) {
+      // Injected parse faults and other typed failures inside the net.
+      if (!options_.lenient) throw;
+      diagnose(line_no, e.code(), e.message(), net_name_);
+      ++result_.nets_rejected;
+    }
+    reset_net();
   }
-  if (file_.nets.empty()) {
-    if (!options_.lenient)
-      throw SpefError(robust::Code::kEmptyInput, "no *D_NET sections found",
-                      {options_.path, 0}, "spef");
-    if (file_.diagnostics.empty())
-      diagnose(0, robust::Code::kEmptyInput, "no *D_NET sections found");
+
+  void reset_net() {
+    nodes_.clear();
+    names_.clear();
+    cap_val_.clear();
+    has_cap_.clear();
+    res_.clear();
+    load_names_.clear();
+    driver_ = {};
+    in_net_ = false;
+    skipping_net_ = false;
+    // net_name_ intentionally survives (legacy quirk: later file-scope
+    // defects in the same chunk attribute to the last net).
   }
-  return file_;
-}
+
+  const SpefParseOptions& options_;
+  spef::Units units_;
+  Arena& arena_;
+  spef::ShardResult result_;
+
+  // Per-net element graph with node names interned to dense ids as lines
+  // are parsed, so tree construction needs no hashing at all.
+  detail::ArenaSvMap<std::uint32_t> nodes_;
+  std::vector<std::string_view, ArenaAllocator<std::string_view>> names_;
+  std::vector<double, ArenaAllocator<double>> cap_val_;
+  std::vector<unsigned char, ArenaAllocator<unsigned char>> has_cap_;
+  std::vector<detail::DenseResistor, ArenaAllocator<detail::DenseResistor>> res_;
+  std::vector<std::pair<std::string_view, std::size_t>,
+              ArenaAllocator<std::pair<std::string_view, std::size_t>>>
+      load_names_;  ///< name, line
+  std::string_view net_name_;
+  std::string_view driver_;
+  NetSection section_ = NetSection::kNone;
+  bool in_net_ = false;
+  /// Lenient recovery: the current *D_NET had a defect; ignore its
+  /// remaining lines until *D_NET/*END.
+  bool skipping_net_ = false;
+};
 
 }  // namespace
 
+namespace spef {
+
+ParsePlan prepare_spef(std::string_view text, const SpefParseOptions& options) {
+  obs::registry().counter("parse.bytes").add(text.size());
+  ParsePlan plan;
+  plan.layout = index_spef(text);
+  plan.section_units.reserve(plan.layout.sections.size());
+  plan.run_results.resize(plan.layout.runs.size());
+  Arena arena;
+  Units units;
+  for (const Chunk& c : plan.layout.chunks) {
+    if (c.is_section) {
+      plan.section_units.push_back(units);
+      continue;
+    }
+    const FileScopeRun& run = plan.layout.runs[c.index];
+    const std::string_view slice = text.substr(run.offset, run.length);
+    // Most runs are the blank separator lines between *END and the next
+    // *D_NET; whitespace-only runs cannot produce any output.
+    if (slice.find_first_not_of(" \t\r\v\f\n") == std::string_view::npos) continue;
+    Shard shard(options, units, arena);
+    plan.run_results[c.index] = shard.run(slice, run.first_line, /*finish_line=*/0);
+    units = shard.units();
+    arena.reset();
+  }
+  plan.final_units = units;
+  return plan;
+}
+
+ShardResult parse_spef_section(std::string_view text, const ParsePlan& plan, std::size_t index,
+                               const SpefParseOptions& options, Arena& arena) {
+  const Section& s = plan.layout.sections[index];
+  Shard shard(options, plan.section_units[index], arena);
+  return shard.run(text.substr(s.offset, s.length), s.first_line, s.end_line);
+}
+
+SpefFile merge_spef(ParsePlan&& plan, std::vector<ShardResult>&& sections,
+                    const SpefParseOptions& options) {
+  SpefFile file;
+  file.time_unit = plan.final_units.time;
+  file.cap_unit = plan.final_units.cap;
+  file.res_unit = plan.final_units.res;
+  std::size_t net_count = 0;
+  std::size_t diag_count = 0;
+  for (const ShardResult& r : sections) {
+    net_count += r.nets.size();
+    diag_count += r.diagnostics.size();
+  }
+  file.nets.reserve(net_count);
+  file.diagnostics.reserve(diag_count);
+  for (const Chunk& c : plan.layout.chunks) {
+    ShardResult& r = c.is_section ? sections[c.index] : plan.run_results[c.index];
+    if (r.error) std::rethrow_exception(r.error);
+    if (r.has_design) file.design = std::move(r.design);
+    for (auto& d : r.diagnostics) file.diagnostics.push_back(std::move(d));
+    for (auto& n : r.nets) file.nets.push_back(std::move(n));
+    file.nets_rejected += r.nets_rejected;
+  }
+  if (file.nets.empty()) {
+    if (!options.lenient)
+      throw SpefError(robust::Code::kEmptyInput, "no *D_NET sections found",
+                      {options.path, 0}, "spef");
+    if (file.diagnostics.empty()) {
+      diagnostics_counter().add();
+      file.diagnostics.push_back(
+          {robust::Code::kEmptyInput, "no *D_NET sections found", {options.path, 0}, {}});
+    }
+  }
+  return file;
+}
+
+}  // namespace spef
+
 SpefFile parse_spef(std::string_view text, const SpefParseOptions& options) {
-  return Parser(text, options).run();
+  spef::ParsePlan plan = spef::prepare_spef(text, options);
+  Arena arena;
+  std::vector<spef::ShardResult> results;
+  results.reserve(plan.layout.sections.size());
+  for (std::size_t i = 0; i < plan.layout.sections.size(); ++i) {
+    results.push_back(spef::parse_spef_section(text, plan, i, options, arena));
+    arena.reset();
+    if (results.back().error) {
+      // Strict mode: nothing after the first error can be observed — the
+      // merge below rethrows at or before this chunk.
+      results.resize(plan.layout.sections.size());
+      break;
+    }
+  }
+  return spef::merge_spef(std::move(plan), std::move(results), options);
 }
 
 SpefFile parse_spef(std::string_view text) { return parse_spef(text, SpefParseOptions{}); }
 
 SpefFile parse_spef_file(const std::string& path, const SpefParseOptions& options) {
-  std::ifstream in(path);
-  if (!in)
+  MappedFile file;
+  if (!file.open(path))
     throw SpefError(robust::Code::kFileOpen, "cannot open '" + path + "'", {path, 0}, "spef");
-  std::ostringstream ss;
-  ss << in.rdbuf();
   SpefParseOptions with_path = options;
   if (with_path.path.empty()) with_path.path = path;
-  return parse_spef(ss.str(), with_path);
+  return parse_spef(file.view(), with_path);
 }
 
 SpefFile parse_spef_file(const std::string& path) {
   return parse_spef_file(path, SpefParseOptions{});
 }
 
+namespace {
+
+/// Shortest representation that round-trips exactly (std::to_chars).
+std::string_view format_shortest(char (&buf)[32], double v) {
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return {buf, static_cast<std::size_t>(p - buf)};
+}
+
+}  // namespace
+
 std::string write_spef(const SpefFile& file) {
   std::ostringstream os;
-  char buf[256];
+  char buf[32];
   os << "*SPEF \"IEEE 1481-1998\"\n";
   os << "*DESIGN \"" << (file.design.empty() ? "rct" : file.design) << "\"\n";
   os << "*T_UNIT 1 NS\n*C_UNIT 1 PF\n*R_UNIT 1 OHM\n\n";
   for (const SpefNet& net : file.nets) {
     const RCTree& t = net.tree;
-    std::snprintf(buf, sizeof(buf), "*D_NET %s %.6g\n", net.name.c_str(),
-                  t.total_capacitance() / 1e-12);
-    os << buf;
+    os << "*D_NET " << net.name << ' ' << format_shortest(buf, t.total_capacitance() / 1e-12)
+       << '\n';
     os << "*CONN\n*P " << net.driver << " I\n";
     for (NodeId l : net.loads) os << "*I " << t.name(l) << " O\n";
     os << "*CAP\n";
     std::size_t idx = 1;
     for (NodeId i = 0; i < t.size(); ++i) {
       if (t.capacitance(i) == 0.0) continue;
-      std::snprintf(buf, sizeof(buf), "%zu %s %.6g\n", idx++, t.name(i).c_str(),
-                    t.capacitance(i) / 1e-12);
-      os << buf;
+      os << idx++ << ' ' << t.name(i) << ' ' << format_shortest(buf, t.capacitance(i) / 1e-12)
+         << '\n';
     }
     os << "*RES\n";
     idx = 1;
     for (NodeId i = 0; i < t.size(); ++i) {
       const std::string up = (t.parent(i) == kSource) ? net.driver : t.name(t.parent(i));
-      std::snprintf(buf, sizeof(buf), "%zu %s %s %.6g\n", idx++, up.c_str(),
-                    t.name(i).c_str(), t.resistance(i));
-      os << buf;
+      os << idx++ << ' ' << up << ' ' << t.name(i) << ' '
+         << format_shortest(buf, t.resistance(i)) << '\n';
     }
     os << "*END\n\n";
   }

@@ -1,0 +1,129 @@
+#include "rctree/spef_index.hpp"
+
+#include <cstring>
+
+namespace rct::spef {
+namespace {
+
+inline bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+inline char lower(char c) { return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32) : c; }
+
+bool token_is(const char* token, std::uint8_t len, const char* keyword, std::uint8_t klen) {
+  if (len != klen) return false;
+  for (std::uint8_t i = 0; i < len; ++i)
+    if (lower(token[i]) != keyword[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+void Indexer::open_run(std::uint64_t offset, std::size_t line) {
+  layout_.runs.push_back({offset, 0, line});
+  layout_.chunks.push_back({false, static_cast<std::uint32_t>(layout_.runs.size() - 1)});
+  in_run_ = true;
+}
+
+void Indexer::close_run(std::uint64_t end_offset) {
+  if (!in_run_) return;
+  layout_.runs.back().length = end_offset - layout_.runs.back().offset;
+  in_run_ = false;
+}
+
+void Indexer::close_section(std::uint64_t end_offset, std::size_t finish_line, bool has_end) {
+  Section& s = layout_.sections.back();
+  s.length = end_offset - s.offset;
+  s.end_line = finish_line;
+  s.has_end = has_end;
+  in_section_ = false;
+}
+
+void Indexer::line_complete(std::uint64_t line_start, std::uint64_t line_end) {
+  ++line_;
+  const bool is_dnet = token_is(token_, token_len_, "*d_net", 6);
+  const bool is_end = token_is(token_, token_len_, "*end", 4);
+  if (is_dnet) {
+    if (in_section_)
+      close_section(line_start, line_, /*has_end=*/false);
+    else
+      close_run(line_start);
+    layout_.sections.push_back({line_start, 0, line_, 0, false});
+    layout_.chunks.push_back({true, static_cast<std::uint32_t>(layout_.sections.size() - 1)});
+    in_section_ = true;
+  } else if (is_end && in_section_) {
+    // The extent includes the *END line with its newline (when present).
+    close_section(line_end, line_, /*has_end=*/true);
+  } else if (!in_section_ && !in_run_) {
+    open_run(line_start, line_);
+  }
+  token_len_ = 0;
+  token_done_ = false;
+  in_leading_ws_ = true;
+}
+
+void Indexer::feed(std::string_view chunk) {
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    // Once the first token is decided the rest of the line is opaque:
+    // jump straight to the newline at memchr speed.
+    if (token_done_) {
+      const void* nl = std::memchr(chunk.data() + i, '\n', chunk.size() - i);
+      if (nl == nullptr) {
+        offset_ += chunk.size() - i;
+        return;
+      }
+      const std::size_t skipped = static_cast<const char*>(nl) - (chunk.data() + i);
+      offset_ += skipped;
+      i += skipped;
+    }
+    const char c = chunk[i];
+    if (c == '\n') {
+      line_complete(line_start_, offset_ + 1);
+      line_start_ = offset_ + 1;
+    } else if (!token_done_) {
+      if (in_leading_ws_) {
+        if (is_space(c)) {
+          ++offset_;
+          continue;
+        }
+        in_leading_ws_ = false;
+      }
+      if (is_space(c)) {
+        token_done_ = true;
+      } else if (c == '/' && token_len_ > 0 && token_[token_len_ - 1] == '/') {
+        --token_len_;  // the token ends where a `//` comment begins
+        token_done_ = true;
+      } else if (token_len_ < sizeof(token_)) {
+        token_[token_len_++] = c;
+      } else {
+        token_done_ = true;  // longer than any keyword; cannot match
+      }
+    }
+    ++offset_;
+  }
+}
+
+Layout Indexer::finish() {
+  if (finished_) return std::move(layout_);
+  finished_ = true;
+  const bool has_partial_line = offset_ > line_start_ || token_len_ > 0 || !in_leading_ws_;
+  if (has_partial_line) line_complete(line_start_, offset_);
+  // Legacy line accounting: a trailing newline yields a phantom final empty
+  // line, so total lines == #newlines + 1 whenever the file is non-empty.
+  layout_.lines = line_ + (has_partial_line ? 0 : 1);
+  if (in_section_)
+    close_section(offset_, layout_.lines, /*has_end=*/false);
+  else
+    close_run(offset_);
+  layout_.bytes = offset_;
+  return std::move(layout_);
+}
+
+Layout index_spef(std::string_view text) {
+  Indexer indexer;
+  indexer.feed(text);
+  return indexer.finish();
+}
+
+}  // namespace rct::spef

@@ -1,0 +1,100 @@
+#pragma once
+// SPEF index pass: one forward scan over the raw bytes that finds every
+// `*D_NET` ... `*END` section and the file-scope line runs between them,
+// recording byte offsets and 1-based line numbers — without tokenizing
+// values or allocating per line.  The section parsers (spef.cpp) then work
+// purely on std::string_view slices of the same buffer, and
+// engine::parse_spef_parallel fans the sections across a thread pool.
+//
+// The scanner only classifies each line's FIRST token (case-insensitive
+// `*D_NET` / `*END`, honoring `//` comments and CR/tab/space separators);
+// everything else — units, *DESIGN, defects — is the parsers' business, so
+// the index pass stays memchr-speed.
+//
+// Offsets and line counters are 64-bit and the Indexer is feed()-able in
+// chunks, so >4 GiB decks index correctly; the unit tests drive the
+// arithmetic past 2^31 bytes by refeeding one buffer instead of allocating
+// a giant fixture.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rct::spef {
+
+/// One *D_NET section: byte extent [offset, offset+length) covering the
+/// *D_NET line through the *END line (inclusive, with its newline) — or
+/// through the last line before the next *D_NET / EOF when *END is missing.
+struct Section {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::size_t first_line = 0;  ///< 1-based line number of the *D_NET line
+  /// Line number the net is "finished" at — the *END line, the next *D_NET
+  /// line, or the last line of the file — matching the legacy parser's
+  /// error locations exactly.
+  std::size_t end_line = 0;
+  bool has_end = false;  ///< terminated by *END (vs next *D_NET / EOF)
+};
+
+/// A maximal run of consecutive lines outside any section (header lines,
+/// stray statements between *END and the next *D_NET).
+struct FileScopeRun {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::size_t first_line = 0;
+};
+
+/// Sections and runs interleaved in file order; processing chunks in this
+/// order visits every line exactly once, in line order.
+struct Chunk {
+  bool is_section = false;
+  std::uint32_t index = 0;  ///< into Layout::sections or Layout::runs
+};
+
+struct Layout {
+  std::uint64_t bytes = 0;
+  /// Total line count as the legacy parser counted it: #newlines + 1 (a
+  /// trailing newline yields a phantom final empty line).
+  std::size_t lines = 0;
+  std::vector<Section> sections;
+  std::vector<FileScopeRun> runs;
+  std::vector<Chunk> chunks;
+};
+
+/// Incremental scanner.  feed() consumes any byte chunking (lines may span
+/// chunks); finish() closes the final section/run and returns the layout.
+/// When fed a single contiguous buffer, section/run extents are valid
+/// slices of it; when re-feeding buffers (offset-arithmetic tests), only
+/// offsets and line numbers are meaningful.
+class Indexer {
+ public:
+  void feed(std::string_view chunk);
+  [[nodiscard]] Layout finish();
+
+  [[nodiscard]] std::uint64_t bytes_consumed() const { return offset_; }
+  [[nodiscard]] std::size_t lines_seen() const { return line_; }
+
+ private:
+  void line_complete(std::uint64_t line_start, std::uint64_t line_end);
+  void open_run(std::uint64_t offset, std::size_t line);
+  void close_run(std::uint64_t end_offset);
+  void close_section(std::uint64_t end_offset, std::size_t finish_line, bool has_end);
+
+  Layout layout_;
+  std::uint64_t offset_ = 0;      ///< bytes consumed so far
+  std::size_t line_ = 0;          ///< lines completed so far
+  std::uint64_t line_start_ = 0;  ///< byte offset of the current line
+  // First-token capture for the current (possibly chunk-spanning) line.
+  char token_[16] = {};
+  std::uint8_t token_len_ = 0;
+  bool token_done_ = false;   ///< token ended (or line proved uninteresting)
+  bool in_leading_ws_ = true;
+  bool in_section_ = false;
+  bool in_run_ = false;
+  bool finished_ = false;
+};
+
+/// Indexes one contiguous buffer (the common case).
+[[nodiscard]] Layout index_spef(std::string_view text);
+
+}  // namespace rct::spef

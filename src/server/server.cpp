@@ -17,10 +17,12 @@
 #include <sstream>
 #include <utility>
 
+#include "engine/parallel_parse.hpp"
 #include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rctree/mapped_file.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
 
@@ -387,12 +389,12 @@ std::string Server::cmd_ping(const Request& request) {
 }
 
 std::string Server::load_design(const std::string& path, bool lenient) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in)
+  // Zero-copy ingestion: hash and parse straight out of the mapping; only
+  // the parsed SpefFile (and the handle) survive the load.
+  MappedFile mapped;
+  if (!mapped.open(path))
     throw robust::Error(robust::Code::kFileOpen, "cannot open '" + path + "'", {path}, "spef");
-  std::ostringstream text;
-  text << in.rdbuf();
-  const std::string bytes = text.str();
+  const std::string_view bytes = mapped.view();
   const std::string handle = design_handle(bytes);
   {
     std::lock_guard<std::mutex> lock(designs_mutex_);
@@ -402,13 +404,21 @@ std::string Server::load_design(const std::string& path, bool lenient) {
       return handle;
     }
   }
-  SpefParseOptions parse_options;
-  parse_options.lenient = lenient;
-  parse_options.path = path;
+  engine::ParseOptions parse_options;
+  parse_options.jobs = options_.parse_jobs;
+  parse_options.spef.lenient = lenient;
+  parse_options.spef.path = path;
   auto design = std::make_shared<Design>();
   design->handle = handle;
   design->path = path;
-  design->file = parse_spef(bytes, parse_options);
+  engine::ParsedSpef parsed = engine::parse_spef_parallel(bytes, parse_options);
+  design->file = std::move(parsed.file);
+  obs::log::info("server.load.parse",
+                 {{"path", std::string_view(path)},
+                  {"bytes", static_cast<std::uint64_t>(parsed.stats.bytes)},
+                  {"sections", static_cast<std::uint64_t>(parsed.stats.sections)},
+                  {"threads", static_cast<std::uint64_t>(parsed.stats.threads)},
+                  {"wall_s", parsed.stats.total_seconds}});
   design->net_index.reserve(design->file.nets.size());
   for (std::size_t i = 0; i < design->file.nets.size(); ++i)
     design->net_index.emplace(design->file.nets[i].name, i);

@@ -64,6 +64,9 @@ struct ServeOptions {
   std::string store_dir;
   /// Worker threads for report/load work; 0 = hardware concurrency.
   std::size_t jobs = 0;
+  /// Parser threads for `load` / --preload SPEF ingestion (CLI:
+  /// --parse-jobs); 0 = hardware concurrency.
+  std::size_t parse_jobs = 0;
   /// LRU cap for the in-memory cache (0 = unbounded).
   std::size_t cache_max_entries = 0;
   /// Default per-request deadline; requests may override; 0 = none.

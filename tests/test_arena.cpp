@@ -1,0 +1,103 @@
+#include "rctree/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rct {
+namespace {
+
+TEST(Arena, AllocationsAreDistinctAndWritable) {
+  Arena arena(64);
+  char* a = static_cast<char*>(arena.allocate(16));
+  char* b = static_cast<char*>(arena.allocate(16));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAA, 16);
+  std::memset(b, 0xBB, 16);
+  EXPECT_EQ(static_cast<unsigned char>(a[15]), 0xAA);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xBB);
+}
+
+TEST(Arena, RespectsAlignment) {
+  // Arena aligns bump offsets relative to the block base (itself new[]
+  // aligned for max_align_t), so any alignment up to that is honored.
+  Arena arena(128);
+  (void)arena.allocate(1, 1);  // misalign the bump offset
+  void* p = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+  (void)arena.allocate(3, 1);
+  void* q = arena.allocate(16, alignof(std::max_align_t));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % alignof(std::max_align_t), 0u);
+}
+
+TEST(Arena, GrowsBeyondFirstBlock) {
+  Arena arena(32);
+  for (int i = 0; i < 64; ++i) (void)arena.allocate(16);
+  EXPECT_GT(arena.block_count(), 1u);
+  EXPECT_GE(arena.capacity(), 64u * 16u);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnBlock) {
+  Arena arena(64);
+  char* big = static_cast<char*>(arena.allocate(4096));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 4096);  // must all be addressable
+  EXPECT_GE(arena.capacity(), 4096u);
+}
+
+TEST(Arena, ResetReusesBlocksWithoutNewCapacity) {
+  Arena arena(64);
+  for (int i = 0; i < 32; ++i) (void)arena.allocate(24);
+  const std::size_t blocks = arena.block_count();
+  const std::size_t capacity = arena.capacity();
+  for (int round = 0; round < 8; ++round) {
+    arena.reset();
+    for (int i = 0; i < 32; ++i) (void)arena.allocate(24);
+  }
+  EXPECT_EQ(arena.block_count(), blocks);
+  EXPECT_EQ(arena.capacity(), capacity);
+}
+
+TEST(Arena, InternCopiesAndSurvivesSourceDeath) {
+  Arena arena;
+  std::string_view view;
+  {
+    std::string source = "node:name:42";
+    view = arena.intern(source);
+    source.assign(source.size(), 'x');  // clobber the original
+  }
+  EXPECT_EQ(view, "node:name:42");
+  EXPECT_EQ(arena.intern(""), std::string_view{});
+}
+
+TEST(ArenaAllocator, WorksWithStdContainers) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> numbers{ArenaAllocator<int>{arena}};
+  for (int i = 0; i < 1000; ++i) numbers.push_back(i);
+  EXPECT_EQ(numbers[999], 999);
+
+  using Map = std::unordered_map<int, int, std::hash<int>, std::equal_to<>,
+                                 ArenaAllocator<std::pair<const int, int>>>;
+  Map map(8, std::hash<int>{}, std::equal_to<>{},
+          ArenaAllocator<std::pair<const int, int>>{arena});
+  for (int i = 0; i < 100; ++i) map[i] = i * i;
+  EXPECT_EQ(map.at(31), 961);
+}
+
+TEST(ArenaAllocator, EqualityTracksUnderlyingArena) {
+  Arena a, b;
+  ArenaAllocator<int> alloc_a(a), alloc_a2(a), alloc_b(b);
+  EXPECT_TRUE(alloc_a == alloc_a2);
+  EXPECT_FALSE(alloc_a == alloc_b);
+  ArenaAllocator<double> rebound(alloc_a);  // converting constructor
+  EXPECT_EQ(rebound.arena(), &a);
+}
+
+}  // namespace
+}  // namespace rct

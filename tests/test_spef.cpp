@@ -124,6 +124,34 @@ TEST(SpefWriter, RoundTripPreservesElmore) {
   }
 }
 
+TEST(SpefWriter, ShortestFormattingRoundTripsExactly) {
+  // write_spef emits shortest-round-trip decimals (std::to_chars), so
+  // resistances — written unscaled, OHM units — must survive write -> parse
+  // BIT-exactly, even for values the old "%.6g" truncated.
+  RCTreeBuilder builder;
+  const NodeId a = builder.add_node("a", kSource, 1.0 / 3.0, 0.1e-12);
+  const NodeId b = builder.add_node("b", a, 123.456789012345678, 2.5e-15);
+  (void)builder.add_node("c", b, 1e-3 + 1e-19, 7.000000000000001e-13);
+  const SpefFile out = spef_from_tree(std::move(builder).build(), "exact");
+  const RCTree& t = out.nets[0].tree;
+  const SpefFile back = parse_spef(write_spef(out));
+  const RCTree& u = back.nets[0].tree;
+  ASSERT_EQ(u.size(), t.size());
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const NodeId j = u.at(t.name(i));
+    EXPECT_EQ(u.resistance(j), t.resistance(i)) << t.name(i);
+  }
+  // Caps cross the PF scaling (c / 1e-12 on write, * 1e-12 on parse), so a
+  // single cycle may move the value by an ulp — but the cycle must be a
+  // fixed point: a second write/parse changes nothing.
+  const SpefFile twice = parse_spef(write_spef(back));
+  EXPECT_EQ(write_spef(back), write_spef(twice));
+  for (NodeId i = 0; i < u.size(); ++i) {
+    const NodeId j = twice.nets[0].tree.at(u.name(i));
+    EXPECT_EQ(twice.nets[0].tree.capacitance(j), u.capacitance(i)) << u.name(i);
+  }
+}
+
 TEST(SpefWriter, LoadsSurviveRoundTrip) {
   const RCTree t = testing::small_tree();
   const SpefFile back = parse_spef(write_spef(spef_from_tree(t, "n")));

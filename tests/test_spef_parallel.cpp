@@ -1,0 +1,399 @@
+// The parallel-ingestion contract: for ANY thread count, the mmap + index +
+// section-fan-out pipeline must be observably identical to the serial
+// parse_spef() — same nets, same diagnostics in the same order, same
+// strict-mode error — and engine::analyze_spef_file (fused parse+analyze)
+// must match parse-then-analyze_batch.  The corpus is the real testdata
+// plus the malformed decks, so every recovery path crosses the merge.
+
+#include "engine/parallel_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "rctree/mapped_file.hpp"
+#include "rctree/spef.hpp"
+#include "rctree/spef_index.hpp"
+
+namespace rct {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<fs::path> corpus() {
+  const fs::path root = RCT_TESTDATA_DIR;
+  std::vector<fs::path> decks = {root / "two_nets.spef"};
+  for (const auto& entry : fs::directory_iterator(root / "malformed"))
+    if (entry.path().extension() == ".spef") decks.push_back(entry.path());
+  std::sort(decks.begin(), decks.end());
+  return decks;
+}
+
+/// Deep observable equality: header, serialized nets, diagnostics, rejects.
+void expect_same_file(const SpefFile& expected, const SpefFile& actual,
+                      const std::string& context) {
+  EXPECT_EQ(expected.design, actual.design) << context;
+  EXPECT_EQ(expected.time_unit, actual.time_unit) << context;
+  EXPECT_EQ(expected.cap_unit, actual.cap_unit) << context;
+  EXPECT_EQ(expected.res_unit, actual.res_unit) << context;
+  EXPECT_EQ(write_spef(expected), write_spef(actual)) << context;
+  EXPECT_EQ(expected.nets_rejected, actual.nets_rejected) << context;
+  ASSERT_EQ(expected.diagnostics.size(), actual.diagnostics.size()) << context;
+  for (std::size_t i = 0; i < expected.diagnostics.size(); ++i) {
+    EXPECT_EQ(expected.diagnostics[i].to_string("spef"),
+              actual.diagnostics[i].to_string("spef"))
+        << context << " diagnostic " << i;
+    EXPECT_EQ(expected.diagnostics[i].net, actual.diagnostics[i].net) << context;
+  }
+}
+
+TEST(SpefParallel, LenientMatchesSerialOnWholeCorpusAtEveryJobCount) {
+  for (const fs::path& deck : corpus()) {
+    const std::string text = read_file(deck);
+    SpefParseOptions serial_options;
+    serial_options.lenient = true;
+    const SpefFile expected = parse_spef(text, serial_options);
+    for (const std::size_t jobs : {1u, 2u, 8u}) {
+      engine::ParseOptions options;
+      options.jobs = jobs;
+      options.spef.lenient = true;
+      const engine::ParsedSpef parsed = engine::parse_spef_parallel(text, options);
+      expect_same_file(expected, parsed.file,
+                       deck.filename().string() + " jobs=" + std::to_string(jobs));
+      EXPECT_EQ(parsed.stats.nets, parsed.file.nets.size());
+      EXPECT_EQ(parsed.stats.nets_rejected, parsed.file.nets_rejected);
+      EXPECT_EQ(parsed.stats.bytes, text.size());
+    }
+  }
+}
+
+TEST(SpefParallel, StrictThrowsTheSerialError) {
+  for (const fs::path& deck : corpus()) {
+    const std::string text = read_file(deck);
+    std::string serial_what, serial_code;
+    try {
+      (void)parse_spef(text, {});
+    } catch (const robust::Error& e) {
+      serial_what = e.what();
+      serial_code = robust::code_name(e.code());
+    }
+    for (const std::size_t jobs : {1u, 8u}) {
+      engine::ParseOptions options;
+      options.jobs = jobs;
+      std::string parallel_what, parallel_code;
+      try {
+        (void)engine::parse_spef_parallel(text, options);
+      } catch (const robust::Error& e) {
+        parallel_what = e.what();
+        parallel_code = robust::code_name(e.code());
+      }
+      EXPECT_EQ(serial_what, parallel_what) << deck.filename() << " jobs=" << jobs;
+      EXPECT_EQ(serial_code, parallel_code) << deck.filename() << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SpefParallel, RepeatedRunsAreDeterministic) {
+  const std::string text = read_file(fs::path(RCT_TESTDATA_DIR) / "malformed" /
+                                     "mixed_good_bad.spef");
+  engine::ParseOptions options;
+  options.jobs = 8;
+  options.spef.lenient = true;
+  const engine::ParsedSpef first = engine::parse_spef_parallel(text, options);
+  for (int round = 0; round < 5; ++round) {
+    const engine::ParsedSpef again = engine::parse_spef_parallel(text, options);
+    expect_same_file(first.file, again.file, "round " + std::to_string(round));
+  }
+}
+
+TEST(SpefParallel, FileEntryPointMatchesInMemoryParse) {
+  const fs::path deck = fs::path(RCT_TESTDATA_DIR) / "two_nets.spef";
+  engine::ParseOptions options;
+  options.jobs = 2;
+  const engine::ParsedSpef from_file = engine::parse_spef_parallel_file(deck.string(), options);
+  const engine::ParsedSpef from_text = engine::parse_spef_parallel(read_file(deck), options);
+  expect_same_file(from_text.file, from_file.file, "file vs text");
+  EXPECT_THROW((void)engine::parse_spef_parallel_file("/nonexistent/deck.spef"), SpefError);
+}
+
+TEST(SpefParallel, FusedAnalyzeMatchesParseThenBatch) {
+  for (const char* name : {"two_nets.spef", "malformed/mixed_good_bad.spef"}) {
+    const fs::path deck = fs::path(RCT_TESTDATA_DIR) / name;
+    engine::ParseOptions parse_options;
+    parse_options.spef.lenient = true;
+    engine::BatchOptions batch_options;
+    batch_options.jobs = 2;
+    batch_options.use_cache = false;
+
+    const engine::ParsedSpef parsed =
+        engine::parse_spef_parallel_file(deck.string(), parse_options);
+    const engine::BatchResult expected = engine::analyze_batch(parsed.file, batch_options);
+    const engine::FileBatchResult fused =
+        engine::analyze_spef_file(deck.string(), batch_options, parse_options);
+
+    EXPECT_EQ(engine::format_batch(expected), engine::format_batch(fused.batch)) << name;
+    EXPECT_EQ(parsed.file.nets_rejected, fused.nets_rejected) << name;
+    ASSERT_EQ(parsed.file.diagnostics.size(), fused.diagnostics.size()) << name;
+    for (std::size_t i = 0; i < fused.diagnostics.size(); ++i)
+      EXPECT_EQ(parsed.file.diagnostics[i].to_string("spef"),
+                fused.diagnostics[i].to_string("spef"))
+          << name;
+  }
+}
+
+TEST(SpefParallel, FusedAnalyzeStrictThrowsLikeTheParser) {
+  const fs::path deck = fs::path(RCT_TESTDATA_DIR) / "malformed" / "negative_r.spef";
+  std::string parse_what;
+  try {
+    (void)engine::parse_spef_parallel_file(deck.string(), {});
+  } catch (const SpefError& e) {
+    parse_what = e.what();
+  }
+  ASSERT_FALSE(parse_what.empty());
+  std::string fused_what;
+  try {
+    (void)engine::analyze_spef_file(deck.string());
+  } catch (const SpefError& e) {
+    fused_what = e.what();
+  }
+  EXPECT_EQ(parse_what, fused_what);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenization edge cases through the full pipeline.
+
+TEST(SpefParallel, CrlfLineEndingsParse) {
+  const std::string text =
+      "*DESIGN \"crlf\"\r\n*D_NET n 1\r\n*CONN\r\n*P a I\r\n*CAP\r\n1 b 5\r\n"
+      "*RES\r\n1 a b 2\r\n*END\r\n";
+  const SpefFile expected = parse_spef(text);
+  engine::ParseOptions options;
+  options.jobs = 2;
+  const engine::ParsedSpef parsed = engine::parse_spef_parallel(text, options);
+  expect_same_file(expected, parsed.file, "crlf");
+  ASSERT_EQ(parsed.file.nets.size(), 1u);
+  EXPECT_EQ(parsed.file.design, "crlf");
+  EXPECT_DOUBLE_EQ(parsed.file.nets[0].tree.capacitance(0), 5e-12);
+}
+
+TEST(SpefParallel, TabSeparatedTokensParse) {
+  const std::string text =
+      "*D_NET\tn\t1\n*CONN\n*P\ta\tI\n*CAP\n1\tb\t5\n*RES\n1\ta\tb\t2\n*END\n";
+  const engine::ParsedSpef parsed = engine::parse_spef_parallel(text, {});
+  ASSERT_EQ(parsed.file.nets.size(), 1u);
+  EXPECT_EQ(parsed.file.nets[0].name, "n");
+  EXPECT_DOUBLE_EQ(parsed.file.nets[0].tree.resistance(0), 2.0);
+  expect_same_file(parse_spef(text), parsed.file, "tabs");
+}
+
+TEST(SpefParallel, FinalSectionWithoutTrailingNewline) {
+  const std::string text =
+      "*D_NET n 1\n*CONN\n*P a I\n*CAP\n1 b 5\n*RES\n1 a b 2\n*END";  // no \n
+  const engine::ParsedSpef parsed = engine::parse_spef_parallel(text, {});
+  ASSERT_EQ(parsed.file.nets.size(), 1u);
+  expect_same_file(parse_spef(text), parsed.file, "no trailing newline");
+}
+
+TEST(SpefParallel, TruncatedFinalSectionMatchesSerial) {
+  const std::string text = "*D_NET n 1\n*CONN\n*P a I\n*CAP\n1 b 5";  // no *RES/*END
+  SpefParseOptions lenient;
+  lenient.lenient = true;
+  engine::ParseOptions options;
+  options.spef.lenient = true;
+  const engine::ParsedSpef parsed = engine::parse_spef_parallel(text, options);
+  expect_same_file(parse_spef(text, lenient), parsed.file, "truncated tail");
+}
+
+TEST(SpefParallel, FuzzSoupMatchesSerial) {
+  // Seeded pseudo-fuzz: random token soup must give the parallel pipeline
+  // the same lenient outcome (and the same strict error) as the serial
+  // parser — never a crash, never a divergence.
+  std::mt19937_64 rng(7);
+  static constexpr char kChars[] = "abcXYZ0189.*-+_ \t\n\r\"RCrpnlDNET()=;/";
+  std::uniform_int_distribution<std::size_t> pick(0, sizeof(kChars) - 2);
+  for (int i = 0; i < 150; ++i) {
+    std::string soup = "*SPEF\n";
+    const std::size_t len = 30 + (static_cast<std::size_t>(i) * 13) % 500;
+    for (std::size_t k = 0; k < len; ++k) soup.push_back(kChars[pick(rng)]);
+    SpefParseOptions lenient;
+    lenient.lenient = true;
+    engine::ParseOptions options;
+    options.jobs = 4;
+    options.spef.lenient = true;
+    const SpefFile expected = parse_spef(soup, lenient);
+    const engine::ParsedSpef parsed = engine::parse_spef_parallel(soup, options);
+    expect_same_file(expected, parsed.file, "soup seed " + std::to_string(i));
+  }
+}
+
+TEST(SpefParallel, FuzzTruncationsMatchSerial) {
+  const std::string base = read_file(fs::path(RCT_TESTDATA_DIR) / "two_nets.spef");
+  SpefParseOptions lenient;
+  lenient.lenient = true;
+  engine::ParseOptions options;
+  options.jobs = 4;
+  options.spef.lenient = true;
+  for (std::size_t cut = 1; cut < base.size(); cut += 7) {
+    const std::string text = base.substr(0, cut);
+    const SpefFile expected = parse_spef(text, lenient);
+    const engine::ParsedSpef parsed = engine::parse_spef_parallel(text, options);
+    expect_same_file(expected, parsed.file, "cut " + std::to_string(cut));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Index pass.
+
+TEST(SpefIndex, FindsSectionExtentsAndLines) {
+  const std::string text =
+      "*SPEF \"x\"\n"          // line 1   run
+      "*D_NET a 1\n"           // line 2   section 0
+      "*END\n"                 // line 3
+      "stray\n"                // line 4   run
+      "*D_NET b 1\n"           // line 5   section 1 (no *END: runs to EOF)
+      "1 n 2\n";               // line 6
+  const spef::Layout layout = spef::index_spef(text);
+  EXPECT_EQ(layout.bytes, text.size());
+  EXPECT_EQ(layout.lines, 7u);  // trailing newline => phantom empty line 7
+  ASSERT_EQ(layout.sections.size(), 2u);
+  EXPECT_EQ(layout.sections[0].first_line, 2u);
+  EXPECT_EQ(layout.sections[0].end_line, 3u);
+  EXPECT_TRUE(layout.sections[0].has_end);
+  EXPECT_EQ(text.substr(layout.sections[0].offset, layout.sections[0].length),
+            "*D_NET a 1\n*END\n");
+  EXPECT_EQ(layout.sections[1].first_line, 5u);
+  EXPECT_FALSE(layout.sections[1].has_end);
+  ASSERT_EQ(layout.runs.size(), 2u);
+  EXPECT_EQ(layout.runs[0].first_line, 1u);
+  EXPECT_EQ(layout.runs[1].first_line, 4u);
+  ASSERT_EQ(layout.chunks.size(), 4u);
+  EXPECT_FALSE(layout.chunks[0].is_section);
+  EXPECT_TRUE(layout.chunks[1].is_section);
+}
+
+TEST(SpefIndex, ChunkedFeedMatchesWholeBuffer) {
+  const std::string text =
+      "*SPEF \"x\"\r\n*D_NET alpha 1\n*END\n\n*D_NET beta 2\r\n*END\r\n";
+  const spef::Layout whole = spef::index_spef(text);
+  // Re-feed byte-by-byte: lines and the *D_NET/*END tokens span chunks.
+  spef::Indexer indexer;
+  for (char c : text) indexer.feed({&c, 1});
+  const spef::Layout chunked = indexer.finish();
+  EXPECT_EQ(whole.bytes, chunked.bytes);
+  EXPECT_EQ(whole.lines, chunked.lines);
+  ASSERT_EQ(whole.sections.size(), chunked.sections.size());
+  for (std::size_t i = 0; i < whole.sections.size(); ++i) {
+    EXPECT_EQ(whole.sections[i].offset, chunked.sections[i].offset);
+    EXPECT_EQ(whole.sections[i].length, chunked.sections[i].length);
+    EXPECT_EQ(whole.sections[i].first_line, chunked.sections[i].first_line);
+    EXPECT_EQ(whole.sections[i].end_line, chunked.sections[i].end_line);
+  }
+}
+
+TEST(SpefIndex, OffsetsPast2GiBStayExact) {
+  // Drive the byte/line counters past 2^31 by re-feeding one 8 MiB filler
+  // buffer instead of allocating a >2 GiB fixture.  Only offsets and line
+  // numbers are meaningful for re-fed buffers (the extents do not alias one
+  // live allocation), which is exactly what this test checks.
+  const std::string line = "// filler comment line to pad the deck\n";
+  std::string block;
+  const std::size_t block_bytes = 8u << 20;
+  while (block.size() + line.size() <= block_bytes) block += line;
+  const std::size_t lines_per_block = block.size() / line.size();
+
+  spef::Indexer indexer;
+  const std::uint64_t two_gib = std::uint64_t{1} << 31;
+  std::uint64_t fed = 0;
+  std::size_t blocks = 0;
+  while (fed <= two_gib) {
+    indexer.feed(block);
+    fed += block.size();
+    ++blocks;
+  }
+  EXPECT_EQ(indexer.bytes_consumed(), fed);
+  ASSERT_GT(fed, two_gib);
+
+  const std::string tail = "*D_NET deep 1\n*END\n";
+  indexer.feed(tail);
+  const spef::Layout layout = indexer.finish();
+  EXPECT_EQ(layout.bytes, fed + tail.size());
+  ASSERT_EQ(layout.sections.size(), 1u);
+  EXPECT_EQ(layout.sections[0].offset, fed);          // starts past 2 GiB
+  EXPECT_EQ(layout.sections[0].length, tail.size());
+  EXPECT_EQ(layout.sections[0].first_line, blocks * lines_per_block + 1);
+  EXPECT_EQ(layout.sections[0].end_line, blocks * lines_per_block + 2);
+  EXPECT_TRUE(layout.sections[0].has_end);
+}
+
+// ---------------------------------------------------------------------------
+// MappedFile.
+
+TEST(MappedFile, MapsRegularFiles) {
+  const fs::path path = fs::temp_directory_path() / "rct_mapped_file_test.spef";
+  const std::string content = "*D_NET n 1\n*END\n";
+  std::ofstream(path, std::ios::binary) << content;
+  MappedFile file;
+  ASSERT_TRUE(file.open(path.string())) << file.error();
+  EXPECT_TRUE(file.ok());
+  EXPECT_TRUE(file.mapped());
+  EXPECT_EQ(file.view(), content);
+  EXPECT_EQ(file.size(), content.size());
+  file.close();
+  EXPECT_EQ(file.size(), 0u);
+  fs::remove(path);
+}
+
+TEST(MappedFile, EmptyFileFallsBackAndIsOk) {
+  const fs::path path = fs::temp_directory_path() / "rct_mapped_empty_test.spef";
+  std::ofstream(path, std::ios::binary).flush();
+  MappedFile file;
+  ASSERT_TRUE(file.open(path.string())) << file.error();
+  EXPECT_TRUE(file.ok());
+  EXPECT_FALSE(file.mapped());  // mmap of length 0 is an error; heap path
+  EXPECT_EQ(file.view(), "");
+  fs::remove(path);
+}
+
+TEST(MappedFile, NonRegularFileUsesHeapFallback) {
+  MappedFile file;
+  if (!file.open("/proc/self/status")) GTEST_SKIP() << "/proc not available";
+  EXPECT_TRUE(file.ok());
+  EXPECT_FALSE(file.mapped());
+  EXPECT_NE(file.view().find("Name:"), std::string_view::npos);
+}
+
+TEST(MappedFile, MissingFileReportsError) {
+  MappedFile file;
+  EXPECT_FALSE(file.open("/nonexistent/rct/deck.spef"));
+  EXPECT_FALSE(file.ok());
+  EXPECT_FALSE(file.error().empty());
+}
+
+TEST(MappedFile, MoveTransfersTheMapping) {
+  const fs::path path = fs::temp_directory_path() / "rct_mapped_move_test.spef";
+  const std::string content = "*D_NET m 1\n*END\n";
+  std::ofstream(path, std::ios::binary) << content;
+  MappedFile a;
+  ASSERT_TRUE(a.open(path.string()));
+  MappedFile b(std::move(a));
+  EXPECT_EQ(b.view(), content);
+  EXPECT_FALSE(a.ok());  // NOLINT(bugprone-use-after-move): moved-from is empty
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace rct

@@ -60,9 +60,9 @@ int usage() {
                "usage: rct report <deck.sp>\n"
                "       rct dot <deck.sp>\n"
                "       rct spef <file.spef> [--exact-limit N] [--lenient] "
-               "[--metrics-out FILE]\n"
-               "       rct batch <file.spef> [--jobs N] [--json] [--no-cache] "
-               "[--exact-limit N]\n"
+               "[--parse-jobs N] [--metrics-out FILE]\n"
+               "       rct batch <file.spef> [--jobs N] [--parse-jobs N] [--json] "
+               "[--no-cache] [--exact-limit N]\n"
                "                 [--lenient] [--net-timeout-ms N] [--max-failures N] "
                "[--fail-fast]\n"
                "                 [--store DIR] [--cache-max-entries N]\n"
@@ -71,7 +71,8 @@ int usage() {
                "                 [--log-out FILE] [--log-level debug|info|warn|error]\n"
                "                 [--flight-recorder-out FILE] [--top-slow N]\n"
                "                 (FILE arguments accept '-' for stderr)\n"
-               "       rct serve [--listen PATH|PORT] [--store DIR] [--jobs N]\n"
+               "       rct serve [--listen PATH|PORT] [--store DIR] [--jobs N] "
+               "[--parse-jobs N]\n"
                "                 [--cache-max-entries N] [--request-timeout-ms N]\n"
                "                 [--preload FILE]... [--lenient] [--exact-limit N]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
@@ -85,7 +86,7 @@ int usage() {
                "[--fraction F]\n"
                "       rct client <PATH|PORT> evict [--design D]\n"
                "       rct client <PATH|PORT> --batch FILE   (one command per line)\n"
-               "       rct validate <file.spef>\n"
+               "       rct validate <file.spef> [--jobs N] [--parse-jobs N]\n"
                "       rct convert <deck.sp> <out.spef>\n"
                "       rct delay-curve <deck.sp> <node>\n"
                "       rct bode <deck.sp> <node>\n"
@@ -98,6 +99,9 @@ int usage() {
 struct SpefFlags {
   std::vector<std::string> positional;
   engine::BatchOptions batch;  // carries jobs/use_cache/deadlines and the ReportOptions
+  /// --parse-jobs: SPEF parser threads.  SIZE_MAX = "not given, follow
+  /// --jobs"; 0 = hardware concurrency.
+  std::size_t parse_jobs = SIZE_MAX;
   bool json = false;
   bool lenient = false;      ///< skip malformed *D_NET sections with diagnostics
   bool progress = false;     ///< single-line stderr heartbeat (batch only)
@@ -130,6 +134,8 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first, bool serve_mode = f
     };
     if (arg == "--jobs") {
       if (const char* v = value("--jobs")) f.batch.jobs = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--parse-jobs") {
+      if (const char* v = value("--parse-jobs")) f.parse_jobs = std::strtoul(v, nullptr, 10);
     } else if (arg == "--exact-limit") {
       if (const char* v = value("--exact-limit"))
         f.batch.report.exact_node_limit = std::strtoul(v, nullptr, 10);
@@ -202,19 +208,31 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first, bool serve_mode = f
   return f;
 }
 
-/// Parses the command's SPEF input honoring --lenient; lenient diagnostics
-/// go to stderr (stdout stays reserved for the deterministic report).
+/// Parser threads for a command: --parse-jobs when given, else --jobs.
+std::size_t effective_parse_jobs(const SpefFlags& flags) {
+  return flags.parse_jobs == SIZE_MAX ? flags.batch.jobs : flags.parse_jobs;
+}
+
+/// Prints lenient parse diagnostics to stderr (stdout stays reserved for
+/// the deterministic report).
+void print_parse_diagnostics(const std::vector<robust::Diagnostic>& diagnostics,
+                             std::size_t nets_rejected) {
+  if (diagnostics.empty()) return;
+  std::fprintf(stderr, "%s", robust::format_diagnostics(diagnostics).c_str());
+  std::fprintf(stderr, "lenient parse: %zu diagnostic(s), %zu net section(s) rejected\n",
+               diagnostics.size(), nets_rejected);
+}
+
+/// Parses the command's SPEF input honoring --lenient and --parse-jobs
+/// (mmap + indexed section fan-out).
 SpefFile parse_spef_input(const SpefFlags& flags) {
   const obs::Span span("cli.spef.parse", "cli", flags.positional[0]);
-  SpefParseOptions opt;
-  opt.lenient = flags.lenient;
-  SpefFile file = parse_spef_file(flags.positional[0], opt);
-  if (!file.diagnostics.empty()) {
-    std::fprintf(stderr, "%s", robust::format_diagnostics(file.diagnostics).c_str());
-    std::fprintf(stderr, "lenient parse: %zu diagnostic(s), %zu net section(s) rejected\n",
-                 file.diagnostics.size(), file.nets_rejected);
-  }
-  return file;
+  engine::ParseOptions opt;
+  opt.jobs = effective_parse_jobs(flags);
+  opt.spef.lenient = flags.lenient;
+  engine::ParsedSpef parsed = engine::parse_spef_parallel_file(flags.positional[0], opt);
+  print_parse_diagnostics(parsed.file.diagnostics, parsed.file.nets_rejected);
+  return std::move(parsed.file);
 }
 
 int cmd_report(const std::string& path) {
@@ -344,6 +362,18 @@ class ProgressMeter {
     const std::uint64_t degraded = reg.counter_value("engine.nets.degraded");
     const std::uint64_t hits = reg.counter_value("engine.cache.hits");
     const std::uint64_t misses = reg.counter_value("engine.cache.misses");
+    // Fused parse+analyze runs construct the meter with total 0: the net
+    // count is not known until the index pass lands, and then grows as
+    // sections parse.  Use the live counter and show the parse phase.
+    const std::uint64_t sections_total = reg.counter_value("parse.sections.total");
+    const std::uint64_t sections_done = reg.counter_value("parse.sections.completed");
+    const std::uint64_t total =
+        total_ != 0 ? total_ : std::max(reg.counter_value("engine.nets.total"), done_nets);
+    char parse_phase[48] = "";
+    if (total_ == 0 && sections_total > 0 && sections_done < sections_total)
+      std::snprintf(parse_phase, sizeof(parse_phase), "parse %llu/%llu, ",
+                    static_cast<unsigned long long>(sections_done),
+                    static_cast<unsigned long long>(sections_total));
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
     char hit_rate[16] = "-";
@@ -351,9 +381,9 @@ class ProgressMeter {
       std::snprintf(hit_rate, sizeof(hit_rate), "%.0f%%",
                     100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses));
     char eta[16] = "-";
-    if (done_nets > 0 && done_nets < total_)
+    if (done_nets > 0 && done_nets < total)
       std::snprintf(eta, sizeof(eta), "%.1fs",
-                    elapsed * static_cast<double>(total_ - done_nets) /
+                    elapsed * static_cast<double>(total - done_nets) /
                         static_cast<double>(done_nets));
     // Live latency quantiles ride along once the histogram has samples
     // (absent under -DRCT_OBS=OFF, where the scoped timers compile out).
@@ -363,9 +393,10 @@ class ProgressMeter {
       std::snprintf(quantiles, sizeof(quantiles), ", p50 %s / p95 %s",
                     format_time(h->quantile(0.50)).c_str(),
                     format_time(h->quantile(0.95)).c_str());
-    std::fprintf(stderr, "\rbatch: %llu/%zu nets, %llu failed, %llu degraded, "
+    std::fprintf(stderr, "\rbatch: %s%llu/%llu nets, %llu failed, %llu degraded, "
                  "cache hit %s%s, eta %s   ",
-                 static_cast<unsigned long long>(done_nets), total_,
+                 parse_phase, static_cast<unsigned long long>(done_nets),
+                 static_cast<unsigned long long>(total),
                  static_cast<unsigned long long>(failed),
                  static_cast<unsigned long long>(degraded), hit_rate, quantiles, eta);
     std::fflush(stderr);
@@ -445,17 +476,33 @@ int cmd_batch(const SpefFlags& flags) {
   // writes the final snapshot / trace / flight dump.
   try {
     const MetricsFlusher flusher(flags);
-    const SpefFile file = parse_spef_input(flags);
     engine::BatchOptions batch = flags.batch;
     if (!flags.store_dir.empty()) {
       auto store = std::make_shared<server::DiskStore>(flags.store_dir);
       if (!store->ok()) throw robust::Error(robust::Code::kFileOpen, store->error());
       batch.cache_backend = std::move(store);
     }
+    engine::ParseOptions parse_opts;
+    parse_opts.jobs = effective_parse_jobs(flags);
+    parse_opts.spef.lenient = flags.lenient;
     engine::BatchResult result;
-    {
-      const ProgressMeter progress(flags.progress, file.nets.size());
-      result = engine::analyze_batch(file, batch);
+    if (flags.parse_jobs != SIZE_MAX && flags.parse_jobs != flags.batch.jobs) {
+      // An explicitly distinct parser pool: parse first, then analyze.
+      engine::ParsedSpef parsed = engine::parse_spef_parallel_file(flags.positional[0],
+                                                                   parse_opts);
+      print_parse_diagnostics(parsed.file.diagnostics, parsed.file.nets_rejected);
+      const ProgressMeter progress(flags.progress, parsed.file.nets.size());
+      result = engine::analyze_batch(parsed.file, batch);
+    } else {
+      // Default: one pool, each *D_NET section parsed and analyzed as one
+      // task — parsing overlaps analysis with no barrier between them.
+      engine::FileBatchResult file_result;
+      {
+        const ProgressMeter progress(flags.progress, 0);
+        file_result = engine::analyze_spef_file(flags.positional[0], batch, parse_opts);
+      }
+      print_parse_diagnostics(file_result.diagnostics, file_result.nets_rejected);
+      result = std::move(file_result.batch);
     }
     // Timings and thread counts go to stderr so stdout stays byte-identical
     // for every --jobs value (and with observability on or off).
@@ -491,6 +538,7 @@ int cmd_serve(const SpefFlags& flags) {
     if (!flags.listen.empty()) options.listen = flags.listen;
     options.store_dir = flags.store_dir;
     options.jobs = flags.batch.jobs;
+    options.parse_jobs = effective_parse_jobs(flags);
     options.cache_max_entries = flags.batch.cache_max_entries;
     options.request_timeout_ms =
         flags.request_timeout_ms != 0 ? flags.request_timeout_ms : flags.batch.net_timeout_ms;
@@ -657,17 +705,22 @@ int cmd_client(int argc, char** argv) {
   return all_ok ? 0 : 1;
 }
 
-/// `rct validate <file.spef>`: lenient parse, one diagnostic per line on
-/// stdout, human summary on stderr.  Exit 0 = clean, 1 = any diagnostic.
-int cmd_validate(const std::string& path) {
-  SpefParseOptions opt;
-  opt.lenient = true;
-  const SpefFile file = parse_spef_file(path, opt);
+/// `rct validate <file.spef> [--jobs N] [--parse-jobs N]`: lenient parse,
+/// one diagnostic per line on stdout, human summary plus parse throughput
+/// (bytes, nets/s, wall) on stderr.  Exit 0 = clean, 1 = any diagnostic.
+int cmd_validate(const SpefFlags& flags) {
+  const std::string& path = flags.positional[0];
+  engine::ParseOptions opt;
+  opt.jobs = effective_parse_jobs(flags);
+  opt.spef.lenient = true;
+  const engine::ParsedSpef parsed = engine::parse_spef_parallel_file(path, opt);
+  const SpefFile& file = parsed.file;
   std::printf("%s", robust::format_diagnostics(file.diagnostics).c_str());
   std::fprintf(stderr, "%s: %zu net(s) parsed, %zu net section(s) rejected, "
                "%zu diagnostic(s)\n",
                path.c_str(), file.nets.size(), file.nets_rejected,
                file.diagnostics.size());
+  std::fprintf(stderr, "%s\n", parsed.stats.summary().c_str());
   return file.diagnostics.empty() ? 0 : 1;
 }
 
@@ -745,7 +798,11 @@ int main(int argc, char** argv) {
       return cmd_serve(flags);
     }
     if (cmd == "client") return cmd_client(argc, argv);
-    if (cmd == "validate") return cmd_validate(argv[2]);
+    if (cmd == "validate") {
+      const SpefFlags flags = parse_spef_flags(argc, argv, 2);
+      if (!flags.ok || flags.positional.size() != 1) return usage();
+      return cmd_validate(flags);
+    }
     if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
     if (cmd == "delay-curve" && argc >= 4) return cmd_delay_curve(argv[2], argv[3]);
     if (cmd == "bode" && argc >= 4) return cmd_bode(argv[2], argv[3]);
