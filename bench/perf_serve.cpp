@@ -12,9 +12,20 @@
 //               the restart scenario the store exists for; expected >=10x
 //               faster than cold
 //
+// All phases run with the embedded HTTP telemetry listener enabled and a
+// background thread scraping GET /metrics every ~50ms (a Prometheus
+// server's view of a busy daemon), so the numbers include the telemetry
+// tax a deployed instance actually pays.
+//
 // Datapoints land in google-benchmark-shaped JSON (default
 // BENCH_serve.json) so scripts/perf_compare.py can diff runs.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +45,55 @@
 namespace {
 
 namespace fs = std::filesystem;
+
+/// One GET against the telemetry listener; returns the bytes received (0 on
+/// any failure — the scraper keeps polling regardless).
+std::size_t scrape_metrics(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::size_t received = 0;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    if (::send(fd, request, sizeof(request) - 1, 0) == sizeof(request) - 1) {
+      char buf[8192];
+      for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        received += static_cast<std::size_t>(n);
+      }
+    }
+  }
+  ::close(fd);
+  return received;
+}
+
+/// Background /metrics poller at a fixed cadence, running for the lifetime
+/// of one server instance.
+class Scraper {
+ public:
+  explicit Scraper(int port) : port_(port), thread_([this] { loop(); }) {}
+  ~Scraper() {
+    stop_.store(true);
+    thread_.join();
+  }
+  [[nodiscard]] std::size_t scrapes() const { return scrapes_.load(); }
+
+ private:
+  void loop() {
+    while (!stop_.load()) {
+      if (scrape_metrics(port_) > 0) scrapes_.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  const int port_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> scrapes_{0};
+  std::thread thread_;
+};
 
 /// Writes a deck of `count` distinct random nets as a SPEF file.
 std::vector<std::string> write_deck(const fs::path& path, std::size_t count, std::size_t nodes) {
@@ -162,11 +222,19 @@ int main(int argc, char** argv) {
   std::vector<Datapoint> points;
   std::printf("%-14s %12s %16s %10s\n", "phase", "wall_s", "requests_per_s", "speedup");
   double cold_wall = 0.0;
+  std::size_t total_scrapes = 0;
   {
     rct::server::ServeOptions options;
     options.store_dir = store.string();
+    options.listen = "0";  // ephemeral; requests still go through handle_line
+    options.http = "0";    // telemetry listener under concurrent scrape
     rct::server::Server server(options);
+    if (!server.start()) {
+      std::fprintf(stderr, "error: %s\n", server.error().c_str());
+      return 1;
+    }
     (void)server.load_design(deck.string(), /*lenient=*/false);
+    const Scraper scraper(server.http_port());
 
     cold_wall = run_phase(server, names, clients, "computed");
     std::printf("%-14s %12.4f %16.1f %9.2fx\n", "cold", cold_wall, count / cold_wall, 1.0);
@@ -176,13 +244,22 @@ int main(int argc, char** argv) {
     std::printf("%-14s %12.4f %16.1f %9.2fx\n", "warm-memory", warm_mem, count / warm_mem,
                 cold_wall / warm_mem);
     points.push_back({"BM_ServeWarmMemory", warm_mem, count / warm_mem});
+    total_scrapes += scraper.scrapes();
+    server.stop();
   }
   {
     // Restart: a fresh server over the same store answers from disk.
     rct::server::ServeOptions options;
     options.store_dir = store.string();
+    options.listen = "0";
+    options.http = "0";
     rct::server::Server server(options);
+    if (!server.start()) {
+      std::fprintf(stderr, "error: %s\n", server.error().c_str());
+      return 1;
+    }
     (void)server.load_design(deck.string(), /*lenient=*/false);
+    const Scraper scraper(server.http_port());
 
     const double warm_store = run_phase(server, names, clients, "store");
     std::printf("%-14s %12.4f %16.1f %9.2fx\n", "warm-store", warm_store, count / warm_store,
@@ -191,7 +268,10 @@ int main(int argc, char** argv) {
     if (cold_wall / warm_store < 10.0)
       std::printf("# WARNING: warm-store speedup %.2fx below the 10x expectation\n",
                   cold_wall / warm_store);
+    total_scrapes += scraper.scrapes();
+    server.stop();
   }
+  std::printf("# concurrent /metrics scrapes during the run: %zu\n", total_scrapes);
 
   fs::remove_all(scratch);
   if (!write_benchmark_json(out_path, points, net_count, nodes, clients)) {

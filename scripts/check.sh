@@ -12,7 +12,10 @@
 #      timing-server tests (concurrent clients, disk store) and the CLI
 #      batch/serve end-to-end tests under TSan.
 #   2. Trace validation: the TSan-built CLI emits a Chrome trace + metrics
-#      snapshot, checked against a small JSON schema (python3).
+#      snapshot, checked against a small JSON schema (python3); the
+#      Prometheus exposition is validated structurally twice — once from a
+#      --metrics-out file and once scraped over GET /metrics from a live
+#      TSan-built daemon (scripts/validate_prom.py).
 #   3. AddressSanitizer+UBSan build; runs the full ctest suite, then drives
 #      the ASan CLI over every deck in testdata/malformed (strict + lenient):
 #      each must exit 1 with a diagnostic — never crash, never succeed.
@@ -48,12 +51,13 @@ if [[ -n "$LINT_HITS" ]]; then
   exit 1
 fi
 
-# --- lint: raw stderr writes in the engine ----------------------------------
-# The engine reports through obs::log (structured, rate-limited, routable);
-# a raw fprintf(stderr, ...) bypasses --log-out, breaks JSON-lines consumers
-# and dodges the rate limiter.
-echo "== lint: raw fprintf(stderr, ...) in src/engine =="
-STDERR_HITS=$(grep -rn 'fprintf(stderr' src/engine || true)
+# --- lint: raw stderr writes in the engine and the server -------------------
+# The engine and the serve daemon report through obs::log (structured,
+# rate-limited, routable); a raw fprintf(stderr, ...) bypasses --log-out,
+# breaks JSON-lines consumers and dodges the rate limiter.  The daemon case
+# is worse: its stderr may be detached entirely.
+echo "== lint: raw fprintf(stderr, ...) in src/engine src/server =="
+STDERR_HITS=$(grep -rn 'fprintf(stderr' src/engine src/server || true)
 if [[ -n "$STDERR_HITS" ]]; then
   echo "$STDERR_HITS"
   echo "lint: use obs::log::{debug,info,warn,error} instead of fprintf(stderr, ...)"
@@ -138,45 +142,44 @@ PY
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct batch testdata/two_nets.spef \
     --jobs 4 --metrics-format prom --metrics-out build-tsan/metrics.prom \
     > /dev/null 2> /dev/null
-  python3 - build-tsan/metrics.prom <<'PY'
-import re, sys
-lines = open(sys.argv[1]).read().splitlines()
-helps, types, samples = set(), {}, {}
-for ln in lines:
-    if not ln:
-        continue
-    if ln.startswith("# HELP "):
-        helps.add(ln.split()[2])
-    elif ln.startswith("# TYPE "):
-        _, _, name, kind = ln.split()
-        types[name] = kind
-    else:
-        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', ln)
-        assert m, f"malformed sample line: {ln!r}"
-        samples.setdefault(m.group(1), []).append((m.group(2) or "", float(m.group(3))))
-assert types, "no TYPE lines"
-for name, kind in types.items():
-    assert name in helps, f"{name}: TYPE without HELP"
-    assert re.fullmatch(r"rct_[a-z0-9_]+", name), f"unsanitized name: {name}"
-    assert kind in ("counter", "gauge", "histogram"), f"{name}: bad type {kind}"
-hist = [n for n, k in types.items() if k == "histogram"]
-assert hist, "no histograms in exposition"
-for name in hist:
-    buckets = [(l, v) for l, v in samples.get(name + "_bucket", [])]
-    assert buckets, f"{name}: no _bucket samples"
-    les = [re.search(r'le="([^"]+)"', l).group(1) for l, _ in buckets]
-    assert les[-1] == "+Inf", f"{name}: last bucket le={les[-1]}, want +Inf"
-    bounds = [float("inf") if le == "+Inf" else float(le) for le in les]
-    assert bounds == sorted(bounds), f"{name}: le bounds not sorted"
-    counts = [v for _, v in buckets]
-    assert counts == sorted(counts), f"{name}: cumulative bucket counts not monotone"
-    (_, total), = samples[name + "_count"]
-    assert counts[-1] == total, f"{name}: +Inf bucket {counts[-1]} != _count {total}"
-    (_, s), = samples[name + "_sum"]
-    assert s >= 0 or total == 0, f"{name}: negative _sum"
-print(f"prometheus OK ({len(types)} metrics, {len(hist)} histograms, "
-      f"{sum(len(v) for v in samples.values())} samples)")
+  python3 scripts/validate_prom.py build-tsan/metrics.prom
+
+  echo "== live GET /metrics from a TSan-built daemon =="
+  # The same structural validator, but against the HTTP telemetry listener
+  # of a running (TSan-built) daemon instead of a --metrics-out file: start
+  # the daemon with an ephemeral telemetry port, feed it one load+report,
+  # scrape /metrics with python's stdlib (no curl in the image) and pipe
+  # the body through validate_prom.py.
+  SERVE_SOCK=build-tsan/check-serve.sock
+  SERVE_OUT=build-tsan/check-serve.out
+  rm -f "$SERVE_SOCK"
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct serve \
+    --listen "$SERVE_SOCK" --http 0 > "$SERVE_OUT" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill "$SERVE_PID" 2> /dev/null || true' EXIT
+  for _ in $(seq 1 250); do
+    if TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$SERVE_SOCK" ping \
+        > /dev/null 2>&1; then break; fi
+    sleep 0.02
+  done
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$SERVE_SOCK" \
+    load testdata/two_nets.spef > /dev/null
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$SERVE_SOCK" \
+    report net_a > /dev/null
+  HTTP_PORT=$(sed -n 's#^telemetry on http://127\.0\.0\.1:##p' "$SERVE_OUT")
+  [[ -n "$HTTP_PORT" ]] || { echo "FAIL: no telemetry announce line"; cat "$SERVE_OUT"; exit 1; }
+  python3 - "$HTTP_PORT" <<'PY' | python3 scripts/validate_prom.py -
+import sys, urllib.request
+with urllib.request.urlopen(f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10) as r:
+    assert r.status == 200, f"GET /metrics: {r.status}"
+    ct = r.headers.get("Content-Type", "")
+    assert "version=0.0.4" in ct, f"Content-Type {ct!r}"
+    sys.stdout.write(r.read().decode())
 PY
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$SERVE_SOCK" shutdown \
+    > /dev/null
+  wait "$SERVE_PID" 2> /dev/null || true
+  trap - EXIT
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then

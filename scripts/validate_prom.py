@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Structural validator for Prometheus text exposition format 0.0.4.
+
+Usage: validate_prom.py [FILE]    (reads stdin when FILE is absent or "-")
+
+Checks the invariants a scraper relies on: every TYPE has a HELP, metric
+names are sanitized rct_* identifiers, histogram _bucket series are
+cumulative and monotone with a trailing +Inf bucket that equals _count.
+Exits nonzero with a diagnostic on the first violation.  Used by check.sh
+both on --metrics-out files and on live GET /metrics scrapes.
+"""
+import re
+import sys
+
+
+def validate(text, source="<stdin>"):
+    helps, types, samples = set(), {}, {}
+    for ln in text.splitlines():
+        if not ln:
+            continue
+        if ln.startswith("# HELP "):
+            helps.add(ln.split()[2])
+        elif ln.startswith("# TYPE "):
+            _, _, name, kind = ln.split()
+            types[name] = kind
+        else:
+            m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', ln)
+            assert m, f"malformed sample line: {ln!r}"
+            samples.setdefault(m.group(1), []).append((m.group(2) or "", float(m.group(3))))
+    assert types, "no TYPE lines"
+    for name, kind in types.items():
+        assert name in helps, f"{name}: TYPE without HELP"
+        assert re.fullmatch(r"rct_[a-z0-9_]+", name), f"unsanitized name: {name}"
+        assert kind in ("counter", "gauge", "histogram"), f"{name}: bad type {kind}"
+    hist = [n for n, k in types.items() if k == "histogram"]
+    assert hist, "no histograms in exposition"
+    for name in hist:
+        buckets = [(l, v) for l, v in samples.get(name + "_bucket", [])]
+        assert buckets, f"{name}: no _bucket samples"
+        les = [re.search(r'le="([^"]+)"', l).group(1) for l, _ in buckets]
+        assert les[-1] == "+Inf", f"{name}: last bucket le={les[-1]}, want +Inf"
+        bounds = [float("inf") if le == "+Inf" else float(le) for le in les]
+        assert bounds == sorted(bounds), f"{name}: le bounds not sorted"
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts), f"{name}: cumulative bucket counts not monotone"
+        (_, total), = samples[name + "_count"]
+        assert counts[-1] == total, f"{name}: +Inf bucket {counts[-1]} != _count {total}"
+        (_, s), = samples[name + "_sum"]
+        assert s >= 0 or total == 0, f"{name}: negative _sum"
+    print(f"prometheus OK: {source} ({len(types)} metrics, {len(hist)} histograms, "
+          f"{sum(len(v) for v in samples.values())} samples)")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "-"
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    try:
+        validate(text, source=path)
+    except AssertionError as err:
+        print(f"validate_prom: {path}: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,28 @@ obs::Histogram& eigensolve_histogram() {
   return h;
 }
 
+/// Ratio buckets (1-2-5 from 0.01% to 200%) for the paper's accuracy
+/// signals: these are dimensionless relative gaps, not latencies.
+const std::vector<double>& ratio_bounds() {
+  static const std::vector<double> bounds = {1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2,
+                                             2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0};
+  return bounds;
+}
+/// Per-row relative width of the paper's bound sandwich,
+/// (elmore - lower) / elmore — the live "how tight is Theorem 1 here"
+/// telemetry signal.
+obs::Histogram& bound_gap_histogram() {
+  static obs::Histogram& h = obs::registry().histogram("core.report.bound_gap", ratio_bounds());
+  return h;
+}
+/// Relative error of the Elmore upper bound against the eigensolve delay,
+/// |elmore - exact| / exact, observed only when the exact path ran.
+obs::Histogram& exact_error_histogram() {
+  static obs::Histogram& h =
+      obs::registry().histogram("core.report.exact_vs_elmore_error", ratio_bounds());
+  return h;
+}
+
 /// Every pole of a healthy RC tree is finite and strictly positive;
 /// anything else marks the whole eigensolve as garbage.
 bool poles_valid(const sim::ExactAnalysis& exact) {
@@ -117,6 +139,8 @@ std::vector<NodeReport> build_report(const analysis::TreeContext& context,
       // Moments themselves are broken: nothing to fall back to, but the
       // row still ships (flagged) rather than poisoning the whole net.
       r.degraded = true;
+    } else if (r.elmore > 0.0) {
+      bound_gap_histogram().observe((r.elmore - r.lower_bound) / r.elmore);
     }
     if (eigensolve_invalid) r.degraded = true;
     if (exact) {
@@ -133,6 +157,7 @@ std::vector<NodeReport> build_report(const analysis::TreeContext& context,
       } else {
         r.exact_delay = d;
         r.exact_rise = exact->step_rise_time_10_90(i);
+        if (d > 0.0) exact_error_histogram().observe(std::abs(r.elmore - d) / d);
       }
     }
     if (r.degraded) degraded_rows_counter().add();

@@ -1,0 +1,236 @@
+#include "server/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace rct::server {
+namespace {
+
+obs::Counter& http_request_counter() {
+  static obs::Counter& c = obs::registry().counter("server.http.requests");
+  return c;
+}
+obs::Counter& http_error_counter() {
+  static obs::Counter& c = obs::registry().counter("server.http.errors");
+  return c;
+}
+
+bool is_all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string render_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::string listen_spec, Handler handler)
+    : listen_(std::move(listen_spec)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start() {
+  if (is_all_digits(listen_)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      error_ = "socket: " + std::string(std::strerror(errno));
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(std::strtoul(listen_.c_str(), nullptr, 10)));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error_ = "bind 127.0.0.1:" + listen_ + ": " + std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+    address_ = "http://127.0.0.1:" + std::to_string(port_);
+  } else {
+    sockaddr_un addr{};
+    if (listen_.size() >= sizeof(addr.sun_path)) {
+      error_ = "unix socket path too long: " + listen_;
+      return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      error_ = "socket: " + std::string(std::strerror(errno));
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, listen_.c_str(), listen_.size() + 1);
+    ::unlink(listen_.c_str());  // stale socket from a dead server
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error_ = "bind " + listen_ + ": " + std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    address_ = "unix:" + listen_;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    error_ = "listen: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  obs::log::info("server.http.start", {{"address", std::string_view(address_)}});
+  started_ = true;
+  accept_thread_ = std::thread(&HttpServer::accept_loop, this);
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  reap_connections(true);
+  if (!address_.empty() && address_.compare(0, 5, "unix:") == 0) ::unlink(listen_.c_str());
+  obs::log::info("server.http.stop",
+                 {{"requests", http_request_counter().value()}});
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 200);
+    reap_connections(false);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Both directions bounded: a scraper that stalls mid-request or stops
+    // reading the body cannot wedge stop().
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(std::make_unique<Connection>());
+    Connection* conn = conns_.back().get();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn, fd] {
+      serve_connection(fd);
+      conn->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void HttpServer::reap_connections(bool all) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  if (all) {
+    for (const auto& conn : conns_)
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::erase_if(conns_, [all](const std::unique_ptr<Connection>& conn) {
+    if (!all && !conn->done.load(std::memory_order_acquire)) return false;
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+    return true;
+  });
+}
+
+void HttpServer::serve_connection(int fd) {
+  http_request_counter().add();
+  // Read the request head (first line + headers).  One scrape per
+  // connection; the body of a GET is empty, so the blank line ends it.
+  std::string head;
+  char chunk[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() > 16384) break;  // oversized head: reject below
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+  HttpResponse response;
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string request_line = head.substr(0, line_end == std::string::npos ? 0 : line_end);
+  const std::size_t method_end = request_line.find(' ');
+  const std::size_t path_end = request_line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request_line.compare(0, method_end, "GET") != 0) {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    std::string path = request_line.substr(method_end + 1, path_end - method_end - 1);
+    const std::size_t query = path.find('?');  // queries are ignored, not errors
+    if (query != std::string::npos) path.resize(query);
+    response = handler_(path);
+  }
+  if (response.status != 200) {
+    http_error_counter().add();
+    obs::log::debug("server.http.error",
+                    {{"status", static_cast<std::uint64_t>(response.status)},
+                     {"line", std::string_view(request_line)}});
+  }
+  (void)send_all(fd, render_response(response));
+  ::shutdown(fd, SHUT_WR);
+}
+
+}  // namespace rct::server

@@ -1,0 +1,90 @@
+#pragma once
+// server::HttpServer — the daemon's embedded telemetry endpoint.
+//
+// A deliberately minimal HTTP/1.0 listener (`rct serve --http PORT|SOCKET`)
+// so Prometheus and humans can scrape a live daemon directly instead of
+// via textfile exports: GET-only, Connection: close per request, no
+// keep-alive, no TLS, no external dependencies.  The daemon registers the
+// routes (/metrics, /healthz, /varz, /flight); anything else is 404 and
+// any method but GET is 405.
+//
+// Threading mirrors server::Server: one accept thread polling with a short
+// timeout (stop() is prompt), one short-lived thread per connection
+// (requests are a handful of bytes and responses are rendered snapshots,
+// so connections live for one scrape).  Send/recv both carry socket
+// timeouts so a stuck scraper can never wedge stop().
+//
+// The listen spec mirrors the protocol socket: a unix path, or an
+// all-digits TCP port on 127.0.0.1 (0 = ephemeral, reported by port()).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace rct::server {
+
+/// One rendered response for a routed GET.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  /// `handler` maps a request path ("/metrics") to a response; it runs on
+  /// connection threads and must be thread-safe.  Paths the handler does
+  /// not recognize come back with status 404 and are counted as errors.
+  using Handler = std::function<HttpResponse(std::string_view path)>;
+
+  HttpServer(std::string listen_spec, Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the accept thread.  False (with error())
+  /// when the address cannot be bound.
+  [[nodiscard]] bool start();
+
+  /// Stops accepting, joins every connection thread.  Idempotent.
+  void stop();
+
+  /// Human-readable bound address: "http://127.0.0.1:<port>" or
+  /// "unix:<path>".
+  [[nodiscard]] const std::string& address() const { return address_; }
+  /// Bound TCP port (after start(); 0 for unix sockets).
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_connections(bool all);
+
+  const std::string listen_;
+  const Handler handler_;
+  std::string address_;
+  int port_ = 0;
+  std::string error_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace rct::server

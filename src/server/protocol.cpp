@@ -265,6 +265,12 @@ ParsedRequest parse_request(std::string_view line) {
       field_ok = kind == 'n' && parse_u64(raw, req.timeout_ms);
     } else if (key == "fraction") {
       field_ok = kind == 'n' && parse_f64(raw, req.fraction);
+    } else if (key == "trace") {
+      field_ok = kind == 's';
+      req.trace = raw;
+    } else if (key == "span") {
+      field_ok = kind == 's';
+      req.span = raw;
     }
     // Unknown keys with scalar values are silently skipped.
     if (!field_ok) {
@@ -308,6 +314,8 @@ std::string encode_request(const Request& request) {
     out += ",\"fraction\":";
     append_json_double(out, request.fraction);
   }
+  if (!request.trace.empty()) field("trace", request.trace);
+  if (!request.span.empty()) field("span", request.span);
   out.push_back('}');
   return out;
 }

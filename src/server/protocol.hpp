@@ -7,11 +7,17 @@
 //   {"id":7,"cmd":"report","design":"a1b2c3d4e5f6","net":"clk_7",
 //    "timeout_ms":50,"leaves_only":true}
 //
-// Commands: ping, load, report, bounds, stats, evict, shutdown.  Unknown
-// keys are ignored (forward compatibility); unknown commands are rejected
-// by the server, not the parser.  Responses are likewise one JSON object
-// per line, always carrying "id" (echoed) and "ok"; failures carry
+// Commands: ping, load, report, bounds, stats, evict, trace, shutdown.
+// Unknown keys are ignored (forward compatibility); unknown commands are
+// rejected by the server, not the parser.  Responses are likewise one JSON
+// object per line, always carrying "id" (echoed) and "ok"; failures carry
 // "error" (message) and "code" (robust::code_name vocabulary).
+//
+// Trace context: any request may carry "trace" (a 16-hex trace id minted
+// by the client) and "span" (the client's span id).  The server records
+// its per-phase spans for that request under the trace id; a later
+// `trace` command with the same id fetches the slice, and the client
+// stitches both halves into one Perfetto timeline (see request_trace.hpp).
 //
 // The parser accepts exactly what the encoder emits plus ordinary JSON
 // freedoms (whitespace, any key order, escaped strings).  It never throws:
@@ -40,6 +46,8 @@ struct Request {
   std::uint64_t exact_limit = 0;  ///< report: exact_node_limit override (0 = default)
   std::uint64_t timeout_ms = 0;   ///< per-request deadline override (0 = default)
   double fraction = 0.0;          ///< threshold fraction override (0 = default)
+  std::string trace;  ///< 16-hex trace id; also the id a `trace` cmd fetches
+  std::string span;   ///< client span id within the trace ("" = none)
 };
 
 /// Outcome of parsing one request line.

@@ -1,0 +1,269 @@
+#include "server/request_trace.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "server/protocol.hpp"
+
+namespace rct::server {
+
+void RequestTraceStore::record(std::string_view trace_id, TraceSpan span) {
+  if (trace_id.empty() || capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = traces_.find(std::string(trace_id));
+  if (it == traces_.end()) {
+    while (order_.size() >= capacity_) {
+      traces_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.emplace_back(trace_id);
+    it = traces_.emplace(std::string(trace_id), std::vector<TraceSpan>{}).first;
+  }
+  it->second.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> RequestTraceStore::fetch(std::string_view trace_id) const {
+  std::vector<TraceSpan> spans;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = traces_.find(std::string(trace_id));
+    if (it != traces_.end()) spans = it->second;
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) { return a.ts_ns < b.ts_ns; });
+  return spans;
+}
+
+std::size_t RequestTraceStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return traces_.size();
+}
+
+void append_trace_spans_json(std::string& out, const std::vector<TraceSpan>& spans) {
+  out += "\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    if (!s.detail.empty()) {
+      out += ",\"detail\":";
+      append_json_string(out, s.detail);
+    }
+    out += ",\"ts_ns\":" + std::to_string(s.ts_ns);
+    out += ",\"dur_ns\":" + std::to_string(s.dur_ns);
+    out.push_back('}');
+  }
+  out.push_back(']');
+}
+
+namespace {
+
+/// Cursor over the span array text; just enough JSON to read back what
+/// append_trace_spans_json wrote (tolerating unknown scalar keys).
+struct SpanCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return false;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        default: out.push_back('?'); break;
+      }
+    }
+    return false;
+  }
+  bool parse_number(std::uint64_t& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 || text[pos] == '-' ||
+            text[pos] == '+' || text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E'))
+      ++pos;
+    if (pos == start) return false;
+    out = std::strtoull(std::string(text.substr(start, pos - start)).c_str(), nullptr, 10);
+    return true;
+  }
+};
+
+}  // namespace
+
+bool parse_trace_spans(std::string_view response_line, std::vector<TraceSpan>& out) {
+  out.clear();
+  const std::size_t at = response_line.find("\"spans\":[");
+  if (at == std::string_view::npos) return false;
+  SpanCursor cur{response_line.substr(at + 8), 0};
+  if (!cur.consume('[')) return false;
+  bool first = true;
+  while (!cur.peek(']')) {
+    if (!first && !cur.consume(',')) return false;
+    first = false;
+    if (!cur.consume('{')) return false;
+    TraceSpan span;
+    bool first_field = true;
+    while (!cur.peek('}')) {
+      if (!first_field && !cur.consume(',')) return false;
+      first_field = false;
+      std::string key;
+      if (!cur.parse_string(key) || !cur.consume(':')) return false;
+      if (key == "name") {
+        if (!cur.parse_string(span.name)) return false;
+      } else if (key == "detail") {
+        if (!cur.parse_string(span.detail)) return false;
+      } else if (key == "ts_ns") {
+        if (!cur.parse_number(span.ts_ns)) return false;
+      } else if (key == "dur_ns") {
+        if (!cur.parse_number(span.dur_ns)) return false;
+      } else if (cur.peek('"')) {
+        std::string ignored;
+        if (!cur.parse_string(ignored)) return false;
+      } else {
+        std::uint64_t ignored = 0;
+        if (!cur.parse_number(ignored)) return false;
+      }
+    }
+    if (!cur.consume('}')) return false;
+    out.push_back(std::move(span));
+  }
+  return cur.consume(']');
+}
+
+void rebase_spans(std::vector<TraceSpan>& server_spans, std::uint64_t send_ns,
+                  std::uint64_t recv_ns) {
+  if (server_spans.empty()) return;
+  // Anchor on the root request span: the handler's own timing, so queue
+  // and phase children stay nested under it after the shift.
+  const TraceSpan* root = nullptr;
+  for (const TraceSpan& s : server_spans)
+    if (s.name == "server.request" && (root == nullptr || s.dur_ns > root->dur_ns)) root = &s;
+  if (root == nullptr) root = &server_spans.front();
+  // NTP midpoint: center the server's handling inside the client's
+  // roundtrip window, splitting the residual network time evenly between
+  // the request and response legs.
+  const std::uint64_t window = recv_ns > send_ns ? recv_ns - send_ns : 0;
+  const std::uint64_t slack = window > root->dur_ns ? (window - root->dur_ns) / 2 : 0;
+  const std::uint64_t target = send_ns + slack;
+  const std::uint64_t anchor = root->ts_ns;
+  for (TraceSpan& s : server_spans) {
+    // Shift = target - anchor, applied without signed overflow either way.
+    if (target >= anchor)
+      s.ts_ns += target - anchor;
+    else
+      s.ts_ns = s.ts_ns > anchor - target ? s.ts_ns - (anchor - target) : 0;
+  }
+}
+
+namespace {
+
+/// Microseconds with nanosecond precision, fixed format (trace viewers do
+/// not accept exponents in ts/dur).
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu", static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_process(std::string& out, int pid, std::string_view name, bool& first) {
+  if (!first) out.push_back(',');
+  first = false;
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"args\":{\"name\":";
+  append_json_string(out, name);
+  out += "}}";
+}
+
+void append_spans(std::string& out, const std::vector<TraceSpan>& spans, int pid,
+                  std::string_view cat, std::string_view trace_id, bool& first) {
+  for (const TraceSpan& s : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"cat\":";
+    append_json_string(out, cat);
+    out += ",\"ph\":\"X\",\"pid\":" + std::to_string(pid) + ",\"tid\":1,\"ts\":";
+    append_us(out, s.ts_ns);
+    out += ",\"dur\":";
+    append_us(out, s.dur_ns);
+    out += ",\"args\":{\"trace\":";
+    append_json_string(out, trace_id);
+    if (!s.detail.empty()) {
+      out += ",\"detail\":";
+      append_json_string(out, s.detail);
+    }
+    out += "}}";
+  }
+}
+
+}  // namespace
+
+std::string stitched_chrome_json(const std::vector<StitchedTrace>& traces) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  append_process(out, 1, "rct client", first);
+  append_process(out, 2, "rct serve", first);
+  for (const StitchedTrace& t : traces) {
+    append_spans(out, t.client_spans, 1, "client", t.trace_id, first);
+    append_spans(out, t.server_spans, 2, "server", t.trace_id, first);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string generate_trace_id() {
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  // Seeded once per process from the strongest local entropy plus clock
+  // and pid, so concurrent clients mint distinct ids.
+  static std::mt19937_64 rng([] {
+    std::random_device rd;
+    std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    seed ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= static_cast<std::uint64_t>(::getpid()) << 17;
+    return seed;
+  }());
+  std::uint64_t value = 0;
+  while (value == 0) value = rng();
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace rct::server

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -25,6 +26,7 @@
 #include "rctree/mapped_file.hpp"
 #include "robust/error.hpp"
 #include "robust/fault.hpp"
+#include "server/version.hpp"
 
 namespace rct::server {
 namespace {
@@ -41,10 +43,87 @@ obs::Counter& connection_counter() {
   static obs::Counter& c = obs::registry().counter("server.connections");
   return c;
 }
+obs::Counter& disconnect_counter() {
+  static obs::Counter& c = obs::registry().counter("server.disconnects");
+  return c;
+}
+obs::Gauge& active_connections_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("server.connections.active");
+  return g;
+}
 obs::Histogram& request_histogram() {
   static obs::Histogram& h = obs::registry().histogram("server.request.seconds");
   return h;
 }
+
+/// Per-command latency split.  Only the protocol's own vocabulary gets an
+/// instrument — an unknown command must not mint registry entries — and
+/// each is a function-local static so the hot path stays one atomic add.
+obs::Histogram* command_histogram(const std::string& cmd) {
+  if (cmd == "report") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.report.seconds");
+    return &h;
+  }
+  if (cmd == "bounds") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.bounds.seconds");
+    return &h;
+  }
+  if (cmd == "load") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.load.seconds");
+    return &h;
+  }
+  if (cmd == "ping") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.ping.seconds");
+    return &h;
+  }
+  if (cmd == "stats") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.stats.seconds");
+    return &h;
+  }
+  if (cmd == "evict") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.evict.seconds");
+    return &h;
+  }
+  if (cmd == "trace") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.trace.seconds");
+    return &h;
+  }
+  if (cmd == "shutdown") {
+    static obs::Histogram& h = obs::registry().histogram("server.request.shutdown.seconds");
+    return &h;
+  }
+  return nullptr;
+}
+
+/// RAII phase span for one traced request: on destruction the interval is
+/// taped into the trace store (always, when tracing) and into the global
+/// tracer (when --trace-out armed it), so the same phase shows up in both
+/// the stitched client timeline and the server's own trace file.  `name`
+/// must be a static string.
+class TracePhase {
+ public:
+  TracePhase(RequestTraceStore* store, const std::string* trace_id, const char* name,
+             std::string detail = {})
+      : store_(store), trace_id_(trace_id), name_(name), detail_(std::move(detail)) {
+    if (store_ != nullptr) start_ns_ = obs::tracer().now_ns();
+  }
+  TracePhase(const TracePhase&) = delete;
+  TracePhase& operator=(const TracePhase&) = delete;
+  ~TracePhase() {
+    if (store_ == nullptr) return;
+    const std::uint64_t dur_ns = obs::tracer().now_ns() - start_ns_;
+    if (obs::tracer().enabled())
+      obs::tracer().record(name_, "server", start_ns_, dur_ns, detail_);
+    store_->record(*trace_id_, TraceSpan{name_, detail_, start_ns_, dur_ns});
+  }
+
+ private:
+  RequestTraceStore* store_;  ///< nullptr = request is untraced, record nothing
+  const std::string* trace_id_;
+  const char* name_;
+  std::string detail_;
+  std::uint64_t start_ns_ = 0;
+};
 
 bool is_all_digits(const std::string& s) {
   if (s.empty()) return false;
@@ -202,6 +281,17 @@ bool Server::start() {
     listen_fd_ = -1;
     return false;
   }
+  if (!options_.http.empty()) {
+    http_ = std::make_unique<HttpServer>(
+        options_.http, [this](std::string_view path) { return route_http(path); });
+    if (!http_->start()) {
+      error_ = "http: " + http_->error();
+      http_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  }
   obs::log::info("server.start", {{"address", std::string_view(address_)},
                                   {"threads", static_cast<std::uint64_t>(pool_.thread_count())}});
   accept_thread_ = std::thread(&Server::accept_loop, this);
@@ -225,6 +315,7 @@ void Server::stop() {
     shutdown_requested_ = true;
   }
   stop_cv_.notify_all();
+  if (http_ != nullptr) http_->stop();
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
@@ -259,6 +350,7 @@ void Server::accept_loop() {
     tv.tv_sec = 10;
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     connection_counter().add();
+    active_connections_gauge().add(1.0);
     obs::log::info("server.connect", {{"fd", static_cast<std::uint64_t>(fd)}});
     std::lock_guard<std::mutex> lock(conns_mutex_);
     conns_.push_back(std::make_unique<Connection>());
@@ -320,6 +412,8 @@ void Server::serve_connection(int fd) {
       if (!open) break;
     }
   }
+  disconnect_counter().add();
+  active_connections_gauge().add(-1.0);
   obs::log::info("server.disconnect", {{"fd", static_cast<std::uint64_t>(fd)}});
 }
 
@@ -333,6 +427,16 @@ std::string Server::handle_line(const std::string& line) {
     return error_response(0, "syntax", parsed.error);
   }
   const Request& request = parsed.request;
+  std::optional<obs::ScopedTimer> cmd_timer;
+  if (obs::Histogram* h = command_histogram(request.cmd)) cmd_timer.emplace(*h);
+  // Adopt the client's trace: the root phase span covers dispatch to
+  // response render, on every exit path.  A `trace` fetch itself is never
+  // taped — reading a trace must not grow it.
+  RequestTraceStore* const sink =
+      !request.trace.empty() && request.cmd != "trace" ? &traces_ : nullptr;
+  const TracePhase root_phase(sink, &request.trace, "server.request",
+                              request.net.empty() ? request.cmd
+                                                  : request.cmd + " " + request.net);
   obs::Span span("server.request", "server", request.cmd);
   auto flight = obs::flight::recorder().begin(
       request.net.empty() ? std::string_view(request.cmd) : std::string_view(request.net),
@@ -373,6 +477,7 @@ std::string Server::dispatch(const Request& request) {
   if (request.cmd == "bounds") return cmd_report(request, /*bounds_only=*/true);
   if (request.cmd == "stats") return cmd_stats(request);
   if (request.cmd == "evict") return cmd_evict(request);
+  if (request.cmd == "trace") return cmd_trace(request);
   if (request.cmd == "shutdown") return cmd_shutdown(request);
   throw robust::Error(robust::Code::kUnsupported, "unknown command '" + request.cmd + "'");
 }
@@ -385,7 +490,31 @@ std::string Server::run_on_pool(std::function<std::string()> fn) {
 }
 
 std::string Server::cmd_ping(const Request& request) {
-  return "{\"id\":" + std::to_string(request.id) + ",\"ok\":true}";
+  // uptime/version/pid ride along additively: the tolerant scanner on old
+  // clients skips the unknown keys.
+  std::string out = "{\"id\":" + std::to_string(request.id) + ",\"ok\":true,\"uptime_s\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", uptime_seconds());
+  out += buf;
+  out += ",\"version\":";
+  append_json_string(out, kVersion);
+  out += ",\"pid\":" + std::to_string(static_cast<long>(::getpid()));
+  out.push_back('}');
+  return out;
+}
+
+std::string Server::cmd_trace(const Request& request) {
+  if (request.trace.empty())
+    throw robust::Error(robust::Code::kUnsupported, "trace needs \"trace\"");
+  // An unknown (or already evicted) id is an empty slice, not an error:
+  // the client still writes its own half of the timeline.
+  const std::vector<TraceSpan> spans = traces_.fetch(request.trace);
+  std::string out = "{\"id\":" + std::to_string(request.id) + ",\"ok\":true,\"trace\":";
+  append_json_string(out, request.trace);
+  out.push_back(',');
+  append_trace_spans_json(out, spans);
+  out.push_back('}');
+  return out;
 }
 
 std::string Server::load_design(const std::string& path, bool lenient) {
@@ -426,9 +555,12 @@ std::string Server::load_design(const std::string& path, bool lenient) {
                                  {"handle", std::string_view(handle)},
                                  {"path", std::string_view(path)},
                                  {"nets", static_cast<std::uint64_t>(design->file.nets.size())}});
-  std::lock_guard<std::mutex> lock(designs_mutex_);
-  designs_.emplace(handle, std::move(design));
-  last_design_ = handle;
+  {
+    std::lock_guard<std::mutex> lock(designs_mutex_);
+    designs_.emplace(handle, std::move(design));
+    last_design_ = handle;
+  }
+  update_gauges();
   return handle;
 }
 
@@ -491,8 +623,20 @@ std::string Server::cmd_report(const Request& request, bool bounds_only) {
   const std::uint64_t timeout_ms =
       request.timeout_ms != 0 ? request.timeout_ms : options_.request_timeout_ms;
 
-  return run_on_pool([this, design, &net, &request, report, timeout_ms,
-                      bounds_only]() -> std::string {
+  // The gap between submit and the task body running is pool queue wait —
+  // under load, the span that explains "the server was busy".
+  RequestTraceStore* const sink = !request.trace.empty() ? &traces_ : nullptr;
+  const std::uint64_t submit_ns = sink != nullptr ? obs::tracer().now_ns() : 0;
+
+  return run_on_pool([this, design, &net, &request, report, timeout_ms, bounds_only, sink,
+                      submit_ns]() -> std::string {
+    if (sink != nullptr) {
+      const std::uint64_t now_ns = obs::tracer().now_ns();
+      if (obs::tracer().enabled())
+        obs::tracer().record("server.queue_wait", "server", submit_ns, now_ns - submit_ns);
+      sink->record(request.trace, TraceSpan{"server.queue_wait", {}, submit_ns,
+                                            now_ns - submit_ns});
+    }
     const robust::Deadline deadline = robust::Deadline::after_ms(timeout_ms);
     core::ReportOptions effective = report;
     effective.deadline = deadline.armed() ? &deadline : nullptr;
@@ -502,25 +646,36 @@ std::string Server::cmd_report(const Request& request, bool bounds_only) {
 
     const engine::NetKey key = engine::NetKey::of(net.tree, effective);
     engine::CacheSource source = engine::CacheSource::kMiss;
-    std::optional<std::vector<core::NodeReport>> rows = cache_.lookup(key, net.tree, &source);
+    std::optional<std::vector<core::NodeReport>> rows;
+    {
+      const TracePhase phase(sink, &request.trace, "server.cache.lookup", request.net);
+      rows = cache_.lookup(key, net.tree, &source);
+    }
     if (!rows.has_value()) {
       const engine::NetKey content_key = engine::NetKey::content_of(net.tree);
-      std::shared_ptr<const analysis::TreeContext> context =
-          cache_.lookup_context(content_key);
-      if (context == nullptr) {
-        // The cached context owns a copy of the tree: evicting the design
-        // later cannot dangle it.
-        auto owned = std::make_shared<const RCTree>(net.tree);
-        context = cache_.insert_context(
-            content_key, std::make_shared<const analysis::TreeContext>(std::move(owned)));
+      std::shared_ptr<const analysis::TreeContext> context;
+      {
+        const TracePhase phase(sink, &request.trace, "server.context.build", request.net);
+        context = cache_.lookup_context(content_key);
+        if (context == nullptr) {
+          // The cached context owns a copy of the tree: evicting the design
+          // later cannot dangle it.
+          auto owned = std::make_shared<const RCTree>(net.tree);
+          context = cache_.insert_context(
+              content_key, std::make_shared<const analysis::TreeContext>(std::move(owned)));
+        }
       }
-      rows = core::build_report(*context, effective);
-      // The context may have been donated by a content-identical net with
-      // different node names; bind the rows to the requested net.
-      engine::rebind_report_names(*rows, net.tree);
-      cache_.insert(key, *rows);
+      {
+        const TracePhase phase(sink, &request.trace, "server.report.build", request.net);
+        rows = core::build_report(*context, effective);
+        // The context may have been donated by a content-identical net with
+        // different node names; bind the rows to the requested net.
+        engine::rebind_report_names(*rows, net.tree);
+        cache_.insert(key, *rows);
+      }
     }
 
+    const TracePhase render_phase(sink, &request.trace, "server.render", request.net);
     std::string out = "{\"id\":" + std::to_string(request.id) + ",\"ok\":true,\"design\":";
     append_json_string(out, design->handle);
     out += ",\"net\":";
@@ -595,10 +750,68 @@ std::string Server::cmd_evict(const Request& request) {
                  {{"designs", static_cast<std::uint64_t>(designs_evicted)},
                   {"entries", static_cast<std::uint64_t>(entries_dropped)},
                   {"contexts", static_cast<std::uint64_t>(contexts_dropped)}});
+  update_gauges();
   return "{\"id\":" + std::to_string(request.id) +
          ",\"ok\":true,\"designs_evicted\":" + std::to_string(designs_evicted) +
          ",\"entries_dropped\":" + std::to_string(entries_dropped) +
          ",\"contexts_dropped\":" + std::to_string(contexts_dropped) + "}";
+}
+
+void Server::update_gauges() {
+  static obs::Gauge& designs_gauge = obs::registry().gauge("server.designs");
+  static obs::Gauge& nets_gauge = obs::registry().gauge("server.nets.loaded");
+  static obs::Gauge& entries_gauge = obs::registry().gauge("server.cache.entries");
+  static obs::Gauge& contexts_gauge = obs::registry().gauge("server.cache.contexts");
+  static obs::Gauge& cache_hit_gauge = obs::registry().gauge("server.cache.hit_rate");
+  static obs::Gauge& store_hit_gauge = obs::registry().gauge("server.store.hit_rate");
+  std::size_t n_designs = 0;
+  std::size_t n_nets = 0;
+  {
+    std::lock_guard<std::mutex> lock(designs_mutex_);
+    n_designs = designs_.size();
+    for (const auto& [handle, design] : designs_) n_nets += design->file.nets.size();
+  }
+  designs_gauge.set(static_cast<double>(n_designs));
+  nets_gauge.set(static_cast<double>(n_nets));
+  entries_gauge.set(static_cast<double>(cache_.size()));
+  contexts_gauge.set(static_cast<double>(cache_.context_count()));
+  // hits = memory, backend_hits = store, misses = recomputed; the three are
+  // disjoint, so hit rates are straightforward fractions.
+  const double memory_hits = static_cast<double>(cache_.hits());
+  const double store_hits = static_cast<double>(cache_.backend_hits());
+  const double misses = static_cast<double>(cache_.misses());
+  const double lookups = memory_hits + store_hits + misses;
+  cache_hit_gauge.set(lookups > 0.0 ? (memory_hits + store_hits) / lookups : 0.0);
+  store_hit_gauge.set(store_hits + misses > 0.0 ? store_hits / (store_hits + misses) : 0.0);
+}
+
+HttpResponse Server::route_http(std::string_view path) {
+  if (path == "/metrics") {
+    update_gauges();  // scrapes see current designs/cache/store levels
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        obs::registry().to_prometheus()};
+  }
+  if (path == "/varz") {
+    update_gauges();
+    return HttpResponse{200, "application/json", obs::registry().to_json() + "\n"};
+  }
+  if (path == "/healthz") {
+    std::string body = "{\"status\":\"ok\",\"uptime_s\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", uptime_seconds());
+    body += buf;
+    body += ",\"version\":";
+    append_json_string(body, kVersion);
+    body += ",\"pid\":" + std::to_string(static_cast<long>(::getpid()));
+    body += ",\"requests\":" + std::to_string(requests_.load(std::memory_order_relaxed));
+    body += ",\"address\":";
+    append_json_string(body, address_);
+    body += "}\n";
+    return HttpResponse{200, "application/json", std::move(body)};
+  }
+  if (path == "/flight")
+    return HttpResponse{200, "application/json", obs::flight::recorder().to_json() + "\n"};
+  return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
 }
 
 std::string Server::cmd_shutdown(const Request& request) {

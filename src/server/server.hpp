@@ -28,16 +28,25 @@
 //     immutable once written, so cross-server sharing needs no locking.
 //
 // Every request runs under an obs::Span ("server.request"), lands in the
-// `server.request.seconds` histogram, and is recorded in the flight
-// recorder (phase "serve"); failures optionally dump the recorder to
-// `flight_out`.  Connect/disconnect/evict/shutdown emit structured log
-// events.
+// `server.request.seconds` histogram (plus a per-command split,
+// `server.request.<cmd>.seconds`), and is recorded in the flight recorder
+// (phase "serve"); failures optionally dump the recorder to `flight_out`.
+// Connect/disconnect/evict/shutdown emit structured log events.
+//
+// Telemetry surface: `http` in ServeOptions starts an embedded HTTP
+// listener (see http.hpp) serving /metrics (Prometheus exposition),
+// /healthz, /varz (JSON metrics snapshot) and /flight (flight-recorder
+// dump).  Requests carrying a client trace id get their server-side phase
+// spans taped into a bounded RequestTraceStore, fetchable with the `trace`
+// command and stitched client-side into one Perfetto timeline (see
+// request_trace.hpp).
 //
 // Listening: `listen` is a unix-domain socket path, or — when it is all
 // digits — a TCP port on 127.0.0.1 (0 picks an ephemeral port, reported
 // by address()/port() for tests).
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -51,7 +60,9 @@
 #include "engine/net_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "rctree/spef.hpp"
+#include "server/http.hpp"
 #include "server/protocol.hpp"
+#include "server/request_trace.hpp"
 #include "server/store.hpp"
 
 namespace rct::server {
@@ -79,6 +90,9 @@ struct ServeOptions {
   /// Flight-recorder dump target on request failure ("" = no dump,
   /// "-" = stderr).
   std::string flight_out;
+  /// Telemetry HTTP listener spec: unix socket path, or an all-digits TCP
+  /// port on 127.0.0.1 (0 = ephemeral); "" = no HTTP endpoint.
+  std::string http;
 };
 
 class Server {
@@ -97,6 +111,19 @@ class Server {
   /// Bound TCP port (after start(); 0 for unix sockets).
   [[nodiscard]] int port() const { return port_; }
   [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// The telemetry endpoint's bound address ("" when `http` is unset) and
+  /// TCP port (0 for unix sockets / no endpoint); valid after start().
+  [[nodiscard]] std::string http_address() const {
+    return http_ != nullptr ? http_->address() : std::string();
+  }
+  [[nodiscard]] int http_port() const { return http_ != nullptr ? http_->port() : 0; }
+
+  /// Seconds since this Server was constructed (the `ping` uptime_s field).
+  [[nodiscard]] double uptime_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_)
+        .count();
+  }
 
   /// Blocks until a client issues `shutdown` or stop() is called.
   void wait();
@@ -142,7 +169,14 @@ class Server {
   [[nodiscard]] std::string cmd_report(const Request& request, bool bounds_only);
   [[nodiscard]] std::string cmd_stats(const Request& request);
   [[nodiscard]] std::string cmd_evict(const Request& request);
+  [[nodiscard]] std::string cmd_trace(const Request& request);
   [[nodiscard]] std::string cmd_shutdown(const Request& request);
+
+  /// Routes one telemetry GET (/metrics, /healthz, /varz, /flight).
+  [[nodiscard]] HttpResponse route_http(std::string_view path);
+  /// Refreshes the server-level gauges (designs, nets, cache, store hit
+  /// rate) from current state; called after loads/evicts and on scrape.
+  void update_gauges();
 
   /// Resolves a design by handle, SPEF design name, or "" (most recently
   /// loaded).  nullptr when unknown.
@@ -161,10 +195,14 @@ class Server {
   std::string address_;
   int port_ = 0;
   std::string error_;
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
 
   engine::ThreadPool pool_;
   engine::NetCache cache_;
   std::shared_ptr<DiskStore> store_;  ///< nullptr when store_dir is empty
+  std::unique_ptr<HttpServer> http_;  ///< nullptr when options_.http is empty
+  RequestTraceStore traces_;          ///< server-side span slices per trace id
 
   std::mutex designs_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const Design>> designs_;

@@ -1,0 +1,11 @@
+#pragma once
+// The toolkit version the daemon reports (`ping` response, /healthz).
+// Mirrors the CMake project() version — bump both together.
+
+#include <string_view>
+
+namespace rct {
+
+inline constexpr std::string_view kVersion = "1.0.0";
+
+}  // namespace rct

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -472,6 +476,194 @@ TEST(Cli, ServeClientRoundTrip) {
   // The daemon unlinks its socket on the way out.
   for (int i = 0; i < 250 && access(sock.c_str(), F_OK) == 0; ++i) usleep(20 * 1000);
   EXPECT_NE(access(sock.c_str(), F_OK), 0);
+}
+
+/// Launches `rct serve` in the background with stdout captured to a file,
+/// then polls ping until the daemon answers.  Returns false when it never
+/// comes up (the test should fail with the captured output).
+bool launch_daemon(const std::string& sock, const std::string& extra_flags,
+                   const std::string& stdout_file) {
+  std::remove(sock.c_str());
+  const std::string launch = std::string(RCT_CLI_PATH) + " serve --listen " + sock + " " +
+                             extra_flags + " > " + stdout_file + " 2>&1 &";
+  if (std::system(launch.c_str()) != 0) return false;
+  for (int i = 0; i < 250; ++i) {
+    usleep(20 * 1000);
+    if (run("client " + sock + " ping").exit_code == 0) return true;
+  }
+  return false;
+}
+
+void shutdown_daemon(const std::string& sock) {
+  (void)run("client " + sock + " shutdown");
+  for (int i = 0; i < 250 && access(sock.c_str(), F_OK) == 0; ++i) usleep(20 * 1000);
+}
+
+/// One HTTP/1.0 GET against 127.0.0.1:port via a raw socket (no curl in the
+/// test environment); returns status line through body, or "" on failure.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Extracts the port from the daemon's "telemetry on http://127.0.0.1:PORT"
+/// announce line; 0 when the line never appeared.
+int telemetry_port(const std::string& stdout_file) {
+  const std::string out = slurp(stdout_file);
+  const std::string needle = "telemetry on http://127.0.0.1:";
+  const std::size_t at = out.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::atoi(out.c_str() + at + needle.size());
+}
+
+TEST(Cli, ServeHttpEndpoints) {
+  const std::string sock = ::testing::TempDir() + "/rct_cli_http.sock";
+  const std::string log = ::testing::TempDir() + "/rct_cli_http_serve.txt";
+  ASSERT_TRUE(launch_daemon(sock, "--http 0", log)) << slurp(log);
+  const int port = telemetry_port(log);
+  ASSERT_GT(port, 0) << slurp(log);
+
+  // Feed the daemon real work so the scrape carries live levels.
+  ASSERT_EQ(run("client " + sock + " load " + data("two_nets.spef")).exit_code, 0);
+  ASSERT_EQ(run("client " + sock + " report net_a").exit_code, 0);
+
+  const std::string metrics = http_get(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("rct_server_designs 1"), std::string::npos);
+  EXPECT_NE(metrics.find("rct_server_request_report_seconds_count"), std::string::npos);
+  EXPECT_NE(metrics.find("rct_core_report_bound_gap_count"), std::string::npos);
+
+  const std::string healthz = http_get(port, "/healthz");
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"version\":\""), std::string::npos);
+
+  const std::string varz = http_get(port, "/varz");
+  EXPECT_NE(varz.find("\"schema_version\":1"), std::string::npos);
+
+  EXPECT_NE(http_get(port, "/flight").find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(http_get(port, "/missing").find("HTTP/1.0 404"), std::string::npos);
+
+  shutdown_daemon(sock);
+  std::remove(log.c_str());
+}
+
+TEST(Cli, ClientTraceStitch) {
+  const std::string sock = ::testing::TempDir() + "/rct_cli_stitch.sock";
+  const std::string log = ::testing::TempDir() + "/rct_cli_stitch_serve.txt";
+  const std::string trace = ::testing::TempDir() + "/rct_cli_stitch_trace.json";
+  std::remove(trace.c_str());
+  ASSERT_TRUE(launch_daemon(sock, "", log)) << slurp(log);
+  ASSERT_EQ(run("client " + sock + " load " + data("two_nets.spef")).exit_code, 0);
+
+  const auto traced = run("client " + sock + " --trace-out " + trace + " report net_a");
+  EXPECT_EQ(traced.exit_code, 0) << traced.output;
+  EXPECT_NE(traced.output.find("\"source\":"), std::string::npos);  // response still printed
+
+  // The stitched file holds both halves of one request: the client process
+  // (pid 1) and the server process (pid 2), every span tagged with the same
+  // 16-hex trace id.
+  const std::string body = slurp(trace);
+  EXPECT_EQ(body.rfind("{\"displayTimeUnit\":", 0), 0u);
+  EXPECT_NE(body.find("\"name\":\"rct client\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"rct serve\""), std::string::npos);
+  for (const char* span : {"\"name\":\"client.request\"", "\"name\":\"client.roundtrip\"",
+                           "\"name\":\"server.request\"", "\"name\":\"server.queue_wait\"",
+                           "\"name\":\"server.report.build\"", "\"name\":\"server.render\""})
+    EXPECT_NE(body.find(span), std::string::npos) << span;
+  // Every span carries the same args.trace id, and a client (pid 1) and a
+  // server (pid 2) span both reference it.
+  const std::string needle = "\"trace\":\"";
+  std::string first_id;
+  std::size_t occurrences = 0;
+  for (std::size_t at = body.find(needle); at != std::string::npos;
+       at = body.find(needle, at + 1)) {
+    const std::string id = body.substr(at + needle.size(), 16);
+    if (first_id.empty()) first_id = id;
+    EXPECT_EQ(id, first_id);
+    ++occurrences;
+  }
+  EXPECT_EQ(first_id.size(), 16u);
+  for (const char c : first_id)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << first_id;
+  EXPECT_GE(occurrences, 2u);
+  const std::size_t server_span = body.find("\"name\":\"server.request\"");
+  ASSERT_NE(server_span, std::string::npos);
+  EXPECT_NE(body.find("\"pid\":2", server_span), std::string::npos);
+
+  // Batch mode mints a distinct trace id per request but stays one file.
+  const std::string batch = ::testing::TempDir() + "/rct_cli_stitch_batch.txt";
+  {
+    std::ofstream out(batch);
+    out << "report net_a\nreport net_b\n";
+  }
+  const auto multi =
+      run("client " + sock + " --trace-out " + trace + " --batch " + batch);
+  EXPECT_EQ(multi.exit_code, 0) << multi.output;
+  const std::string body2 = slurp(trace);
+  std::string id_a;
+  std::size_t distinct = 0;
+  for (std::size_t at = body2.find(needle); at != std::string::npos;
+       at = body2.find(needle, at + 1)) {
+    const std::string id = body2.substr(at + needle.size(), 16);
+    if (id_a.empty()) id_a = id;
+    if (id != id_a) ++distinct;
+  }
+  EXPECT_GT(distinct, 0u);  // the second request's spans carry a new id
+
+  shutdown_daemon(sock);
+  std::remove(trace.c_str());
+  std::remove(batch.c_str());
+  std::remove(log.c_str());
+}
+
+TEST(Cli, ServeMetricsIntervalFlushesWhileRunning) {
+  // The periodic flusher must write snapshots while the daemon is alive,
+  // not only at exit.
+  const std::string sock = ::testing::TempDir() + "/rct_cli_interval.sock";
+  const std::string log = ::testing::TempDir() + "/rct_cli_interval_serve.txt";
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_interval_metrics.json";
+  std::remove(metrics.c_str());
+  ASSERT_TRUE(launch_daemon(
+      sock, "--metrics-out " + metrics + " --metrics-interval-ms 50", log))
+      << slurp(log);
+  // Poll for the snapshot with the daemon still up (no shutdown yet).
+  bool flushed = false;
+  for (int i = 0; i < 100 && !flushed; ++i) {
+    usleep(20 * 1000);
+    std::ifstream in(metrics);
+    flushed = in.good() && in.peek() != std::ifstream::traits_type::eof();
+  }
+  EXPECT_TRUE(flushed) << "no periodic snapshot while serving";
+  const std::string body = slurp(metrics);
+  EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(body.find("server.requests"), std::string::npos);
+  shutdown_daemon(sock);
+  std::remove(metrics.c_str());
+  std::remove(log.c_str());
 }
 
 // ---------------------------------------------------------------------------

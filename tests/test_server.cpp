@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +28,7 @@
 #include "robust/fault.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
+#include "server/request_trace.hpp"
 #include "server/server.hpp"
 #include "server/store.hpp"
 
@@ -67,6 +74,45 @@ std::string write_deck(const std::string& dir, const char* name, std::size_t net
 std::vector<core::NodeReport> sample_rows(std::size_t nodes, std::uint64_t seed) {
   const RCTree tree = gen::random_tree(nodes, seed);
   return core::build_report(tree);
+}
+
+/// Minimal HTTP/1.0 GET over a raw TCP socket; returns the full response
+/// (status line through body) or "" on any socket failure.  Deliberately
+/// does not reuse HttpServer-side code, so the wire format is checked by an
+/// independent peer.
+std::string http_request(int port, const std::string& request_text) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request_text.size()) {
+    const ssize_t n = ::send(fd, request_text.data() + sent, request_text.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n");
 }
 
 // ---------------------------------------------------------------- protocol
@@ -132,6 +178,135 @@ TEST(Protocol, RejectsMalformedLines) {
   EXPECT_FALSE(server::parse_request("{\"id\":1}").ok);               // missing cmd
   EXPECT_FALSE(server::parse_request("{\"cmd\":\"x\"} trailing").ok); // trailing bytes
   EXPECT_FALSE(server::parse_request("{\"cmd\":\"x\",\"id\":\"seven\"}").ok);  // bad type
+}
+
+TEST(Protocol, TraceContextRoundTrip) {
+  server::Request request;
+  request.id = 9;
+  request.cmd = "report";
+  request.net = "clk";
+  request.trace = "0123456789abcdef";
+  request.span = "fedcba9876543210";
+  const std::string line = server::encode_request(request);
+  EXPECT_NE(line.find("\"trace\":\"0123456789abcdef\""), std::string::npos);
+  const server::ParsedRequest parsed = server::parse_request(line);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.trace, request.trace);
+  EXPECT_EQ(parsed.request.span, request.span);
+  EXPECT_EQ(server::encode_request(parsed.request), line);
+  // Untraced requests stay byte-identical to the pre-trace wire format.
+  server::Request plain;
+  plain.id = 1;
+  plain.cmd = "ping";
+  EXPECT_EQ(server::encode_request(plain), "{\"id\":1,\"cmd\":\"ping\"}");
+}
+
+// ------------------------------------------------------------ request trace
+
+TEST(RequestTrace, StoreRecordsFetchesAndEvictsFifo) {
+  server::RequestTraceStore store(2);
+  store.record("aaaa", {"server.request", "report clk", 100, 50});
+  store.record("aaaa", {"server.render", "", 120, 10});
+  store.record("bbbb", {"server.request", "", 200, 5});
+  EXPECT_EQ(store.size(), 2u);
+
+  const std::vector<server::TraceSpan> spans = store.fetch("aaaa");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "server.request");
+  EXPECT_EQ(spans[0].detail, "report clk");
+  EXPECT_EQ(spans[1].ts_ns, 120u);
+
+  // A third trace evicts the oldest ("aaaa"); known ids stay resident.
+  store.record("cccc", {"server.request", "", 300, 5});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.fetch("aaaa").empty());
+  EXPECT_FALSE(store.fetch("bbbb").empty());
+  EXPECT_TRUE(store.fetch("unknown").empty());
+
+  // Empty ids are dropped, not recorded under "".
+  store.record("", {"x", "", 1, 1});
+  EXPECT_TRUE(store.fetch("").empty());
+}
+
+TEST(RequestTrace, SpanJsonRoundTripAndTolerance) {
+  const std::vector<server::TraceSpan> spans = {
+      {"server.request", "report \"clk\"\n", 1234567890123ULL, 4567ULL},
+      {"server.queue_wait", "", 0, 12},
+  };
+  std::string payload = "{\"id\":1,\"ok\":true,";
+  server::append_trace_spans_json(payload, spans);
+  payload.push_back('}');
+
+  std::vector<server::TraceSpan> back;
+  ASSERT_TRUE(server::parse_trace_spans(payload, back));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, spans[0].name);
+  EXPECT_EQ(back[0].detail, spans[0].detail);  // escapes survive
+  EXPECT_EQ(back[0].ts_ns, spans[0].ts_ns);
+  EXPECT_EQ(back[0].dur_ns, spans[0].dur_ns);
+  EXPECT_EQ(back[1].name, "server.queue_wait");
+  EXPECT_TRUE(back[1].detail.empty());
+
+  // Unknown keys from a newer server are skipped, not fatal.
+  std::vector<server::TraceSpan> tolerant;
+  ASSERT_TRUE(server::parse_trace_spans(
+      "{\"spans\":[{\"name\":\"x\",\"ts_ns\":5,\"dur_ns\":2,\"cpu\":\"7\",\"flags\":3}]}",
+      tolerant));
+  ASSERT_EQ(tolerant.size(), 1u);
+  EXPECT_EQ(tolerant[0].ts_ns, 5u);
+
+  // Empty array and malformed payloads.
+  std::vector<server::TraceSpan> empty;
+  EXPECT_TRUE(server::parse_trace_spans("{\"ok\":true,\"spans\":[]}", empty));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(server::parse_trace_spans("{\"ok\":true}", empty));
+  EXPECT_FALSE(server::parse_trace_spans("{\"spans\":[{\"name\":}", empty));
+}
+
+TEST(RequestTrace, RebaseCentersServerRootInClientWindow) {
+  // Server clock is wildly offset from the client's; the root span is 40ns
+  // of handling inside a 100ns client window, so 30ns of slack lands on
+  // each leg after the midpoint rebase.
+  std::vector<server::TraceSpan> spans = {
+      {"server.request", "", 900100, 40},
+      {"server.render", "", 900120, 10},
+  };
+  server::rebase_spans(spans, 1000, 1100);
+  EXPECT_EQ(spans[0].ts_ns, 1030u);  // 1000 + (100 - 40) / 2
+  EXPECT_EQ(spans[1].ts_ns, 1050u);  // relative offset +20 preserved
+  EXPECT_EQ(spans[0].dur_ns, 40u);   // durations never change
+
+  // A server clock far ahead shifts spans backward, clamping at zero
+  // rather than wrapping.
+  std::vector<server::TraceSpan> ahead = {{"server.request", "", 5000, 10}};
+  server::rebase_spans(ahead, 0, 4);
+  EXPECT_EQ(ahead[0].ts_ns, 0u);
+}
+
+TEST(RequestTrace, StitchedChromeJsonCarriesBothProcesses) {
+  server::StitchedTrace trace;
+  trace.trace_id = "00ff00ff00ff00ff";
+  trace.client_spans = {{"client.request", "report clk", 100, 90}};
+  trace.server_spans = {{"server.request", "report clk", 120, 40}};
+  const std::string json = server::stitched_chrome_json({trace});
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rct client\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rct serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"client.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"server.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":\"00ff00ff00ff00ff\""), std::string::npos);
+  // ts/dur are fixed-format microseconds (0.100, 0.090) — no exponents.
+  EXPECT_NE(json.find("\"ts\":0.100"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.090"), std::string::npos);
+}
+
+TEST(RequestTrace, GeneratedIdsAreDistinctSixteenHex) {
+  const std::string a = server::generate_trace_id();
+  const std::string b = server::generate_trace_id();
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_NE(a, b);
+  for (const char c : a)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << a;
 }
 
 TEST(Protocol, ErrorResponseShape) {
@@ -402,7 +577,8 @@ TEST(Server, UnixSocketEndToEnd) {
   ASSERT_TRUE(client.connect(options.listen)) << client.error();
   std::string response;
   ASSERT_TRUE(client.roundtrip("{\"id\":1,\"cmd\":\"ping\"}", response));
-  EXPECT_EQ(response, "{\"id\":1,\"ok\":true}");
+  EXPECT_EQ(response.rfind("{\"id\":1,\"ok\":true,\"uptime_s\":", 0), 0u) << response;
+  EXPECT_NE(response.find("\"pid\":"), std::string::npos);
 
   server::Request load;
   load.id = 2;
@@ -588,6 +764,274 @@ TEST(Server, ConcurrentClientsMixedWorkload) {
   EXPECT_EQ(responses.load(), kClients * kRequestsPerClient);
   server.stop();
   EXPECT_GE(server.requests_served(), static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+}
+
+// ----------------------------------------------------- server observability
+
+TEST(Server, PingReportsUptimeVersionAndPid) {
+  server::Server server({});
+  const std::string response = server.handle_line("{\"id\":1,\"cmd\":\"ping\"}");
+  ASSERT_TRUE(server::response_ok(response)) << response;
+  EXPECT_NE(response.find("\"uptime_s\":"), std::string::npos);
+  EXPECT_NE(response.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(response.find("\"pid\":" + std::to_string(::getpid())), std::string::npos);
+  EXPECT_GE(server.uptime_seconds(), 0.0);
+}
+
+TEST(Server, AdoptsClientTraceAndServesItBack) {
+  const ScratchDir dir("trace");
+  const std::string deck = write_deck(dir.path, "traced", 1, 10, 800);
+  server::Server server({});
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+
+  // A traced report: the server records its phase spans under the
+  // client-minted id.
+  server::Request report;
+  report.id = 2;
+  report.cmd = "report";
+  report.net = "net_0";
+  report.trace = server::generate_trace_id();
+  report.span = server::generate_trace_id();
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(report))));
+
+  server::Request fetch;
+  fetch.id = 3;
+  fetch.cmd = "trace";
+  fetch.trace = report.trace;
+  const std::string response = server.handle_line(server::encode_request(fetch));
+  ASSERT_TRUE(server::response_ok(response)) << response;
+  std::vector<server::TraceSpan> spans;
+  ASSERT_TRUE(server::parse_trace_spans(response, spans));
+  // The full phase tape: root request plus queue/cache/context/report/render.
+  std::vector<std::string> names;
+  names.reserve(spans.size());
+  for (const server::TraceSpan& s : spans) names.push_back(s.name);
+  for (const char* expected : {"server.request", "server.queue_wait", "server.cache.lookup",
+                               "server.context.build", "server.report.build", "server.render"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing span " << expected;
+  // Spans arrive sorted by start time, inside the root's window.
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_GE(spans[i].ts_ns, spans[i - 1].ts_ns);
+
+  // Unknown (or evicted) ids answer ok with an empty slice; fetching a
+  // trace never tapes the fetch itself.
+  fetch.id = 4;
+  fetch.trace = "00000000000000aa";
+  const std::string empty = server.handle_line(server::encode_request(fetch));
+  ASSERT_TRUE(server::response_ok(empty)) << empty;
+  ASSERT_TRUE(server::parse_trace_spans(empty, spans));
+  EXPECT_TRUE(spans.empty());
+
+  // trace without an id is a typed error.
+  EXPECT_NE(server.handle_line("{\"id\":5,\"cmd\":\"trace\"}").find("\"code\":\"unsupported\""),
+            std::string::npos);
+
+  // Untraced requests leave no tape behind.
+  server::Request untraced;
+  untraced.id = 6;
+  untraced.cmd = "report";
+  untraced.net = "net_0";
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(untraced))));
+  fetch.id = 7;
+  fetch.trace = report.trace;
+  ASSERT_TRUE(server::parse_trace_spans(server.handle_line(server::encode_request(fetch)),
+                                        spans));
+  const std::size_t before = spans.size();
+  EXPECT_GT(before, 0u);  // the traced request's tape is still there
+}
+
+TEST(Server, BoundGapHistogramObservesReportRows) {
+  const ScratchDir dir("gap");
+  const std::string deck = write_deck(dir.path, "gap", 1, 14, 900);
+  server::Server server({});
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+
+  const obs::Histogram* gap = obs::registry().find_histogram("core.report.bound_gap");
+  const std::uint64_t before = gap != nullptr ? gap->count() : 0;
+  ASSERT_TRUE(server::response_ok(
+      server.handle_line("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}")));
+  gap = obs::registry().find_histogram("core.report.bound_gap");
+  ASSERT_NE(gap, nullptr);
+  EXPECT_GT(gap->count(), before);
+  // The gap is relative: every sample sits in [0, 1] for finite rows.
+  EXPECT_GE(gap->min(), 0.0);
+  EXPECT_LE(gap->max(), 1.0);
+  // The exact engine ran too, so the Elmore-vs-exact error histogram moved.
+  const obs::Histogram* err =
+      obs::registry().find_histogram("core.report.exact_vs_elmore_error");
+  ASSERT_NE(err, nullptr);
+  EXPECT_GT(err->count(), 0u);
+}
+
+TEST(Server, PerCommandHistogramsSplitByVocabulary) {
+  server::Server server({});
+  const obs::Histogram* ping_h =
+      obs::registry().find_histogram("server.request.ping.seconds");
+  const std::uint64_t before = ping_h != nullptr ? ping_h->count() : 0;
+  ASSERT_TRUE(server::response_ok(server.handle_line("{\"id\":1,\"cmd\":\"ping\"}")));
+  ping_h = obs::registry().find_histogram("server.request.ping.seconds");
+  ASSERT_NE(ping_h, nullptr);
+#if RCT_OBS_ENABLED
+  // ScopedTimer is compiled out under -DRCT_OBS=OFF, so the count only
+  // moves in instrumented builds; the vocabulary gating below holds in both.
+  EXPECT_GT(ping_h->count(), before);
+#else
+  (void)before;
+#endif
+  // Unknown commands must not mint new instruments.
+  (void)server.handle_line("{\"id\":2,\"cmd\":\"frobnicate\"}");
+  EXPECT_EQ(obs::registry().find_histogram("server.request.frobnicate.seconds"), nullptr);
+}
+
+TEST(Server, HttpTelemetryEndpoints) {
+  const ScratchDir dir("http");
+  const std::string deck = write_deck(dir.path, "telemetry", 2, 10, 1000);
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.http = "0";  // ephemeral TCP
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  ASSERT_GT(server.http_port(), 0);
+  EXPECT_EQ(server.http_address(),
+            "http://127.0.0.1:" + std::to_string(server.http_port()));
+
+  // Load a design and run a report through the protocol socket first, so
+  // the scrape sees real levels.
+  server::Client client;
+  ASSERT_TRUE(client.connect(options.listen)) << client.error();
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  std::string response;
+  ASSERT_TRUE(client.roundtrip(server::encode_request(load), response));
+  ASSERT_TRUE(server::response_ok(response)) << response;
+  ASSERT_TRUE(client.roundtrip("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}", response));
+  ASSERT_TRUE(server::response_ok(response)) << response;
+
+  // /metrics: Prometheus 0.0.4 text with the server's own instruments.
+  const std::string metrics = http_get(server.http_port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE rct_server_requests counter"), std::string::npos);
+  EXPECT_NE(metrics.find("rct_server_designs 1"), std::string::npos);
+  EXPECT_NE(metrics.find("rct_server_request_report_seconds_count"), std::string::npos);
+  EXPECT_NE(metrics.find("rct_core_report_bound_gap_bucket"), std::string::npos);
+
+  // /healthz: liveness JSON with uptime, version, pid.
+  const std::string healthz = http_get(server.http_port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"uptime_s\":"), std::string::npos);
+  EXPECT_NE(healthz.find("\"pid\":" + std::to_string(::getpid())), std::string::npos);
+
+  // /varz: the JSON metrics snapshot (same schema as --metrics-out).
+  const std::string varz = http_get(server.http_port(), "/varz");
+  EXPECT_NE(varz.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(varz.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(varz.find("server.designs"), std::string::npos);
+
+  // /flight: the flight-recorder dump.
+  const std::string flight = http_get(server.http_port(), "/flight");
+  EXPECT_NE(flight.find("HTTP/1.0 200 OK"), std::string::npos);
+
+  // Unknown paths 404; query strings are stripped before routing.
+  EXPECT_NE(http_get(server.http_port(), "/nope").find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_NE(http_get(server.http_port(), "/healthz?probe=1").find("HTTP/1.0 200"),
+            std::string::npos);
+
+  // Non-GET methods 405; malformed request lines 400.
+  EXPECT_NE(http_request(server.http_port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("HTTP/1.0 405"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.http_port(), "garbage\r\n\r\n").find("HTTP/1.0 400"),
+            std::string::npos);
+
+  server.stop();
+}
+
+TEST(Server, HttpOnUnixSocketPath) {
+  const ScratchDir dir("http_unix");
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.http = dir.path + "/http.sock";
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  EXPECT_EQ(server.http_address(), "unix:" + options.http);
+  EXPECT_TRUE(std::filesystem::exists(options.http));
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(options.http));
+}
+
+TEST(Server, ConcurrentScrapeWhileServing) {
+  const ScratchDir dir("scrape");
+  const std::string deck = write_deck(dir.path, "scraped", 4, 10, 1100);
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.http = "0";
+  options.jobs = 2;
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  const int http_port = server.http_port();
+  ASSERT_GT(http_port, 0);
+
+  constexpr int kProtocolClients = 4;
+  constexpr int kScrapers = 4;
+  constexpr int kIterations = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProtocolClients + kScrapers);
+  for (int c = 0; c < kProtocolClients; ++c) {
+    threads.emplace_back([&, c] {
+      server::Client client;
+      if (!client.connect(options.listen)) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        server::Request request;
+        request.id = static_cast<std::uint64_t>(c) * 1000 + static_cast<std::uint64_t>(i);
+        if (i == 0) {
+          request.cmd = "load";
+          request.path = deck;
+        } else {
+          request.cmd = "report";
+          request.net = "net_" + std::to_string(i % 4);
+          request.trace = server::generate_trace_id();  // tracing under load
+        }
+        std::string response;
+        if (!client.roundtrip(server::encode_request(request), response)) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (!server::response_ok(response) &&
+            response.find("\"code\":") == std::string::npos)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  const char* kPaths[] = {"/metrics", "/healthz", "/varz", "/flight"};
+  for (int s = 0; s < kScrapers; ++s) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string response =
+            http_get(http_port, kPaths[(s + i) % 4]);
+        if (response.find("HTTP/1.0 200 OK") == std::string::npos) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
 }
 
 }  // namespace

@@ -46,6 +46,7 @@
 #include "robust/error.hpp"
 #include "server/client.hpp"
 #include "server/protocol.hpp"
+#include "server/request_trace.hpp"
 #include "server/server.hpp"
 #include "server/store.hpp"
 #include "sim/ac.hpp"
@@ -71,13 +72,15 @@ int usage() {
                "                 [--log-out FILE] [--log-level debug|info|warn|error]\n"
                "                 [--flight-recorder-out FILE] [--top-slow N]\n"
                "                 (FILE arguments accept '-' for stderr)\n"
-               "       rct serve [--listen PATH|PORT] [--store DIR] [--jobs N] "
-               "[--parse-jobs N]\n"
-               "                 [--cache-max-entries N] [--request-timeout-ms N]\n"
+               "       rct serve [--listen PATH|PORT] [--http PATH|PORT] [--store DIR] "
+               "[--jobs N]\n"
+               "                 [--parse-jobs N] [--cache-max-entries N] "
+               "[--request-timeout-ms N]\n"
                "                 [--preload FILE]... [--lenient] [--exact-limit N]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
                "                 [--metrics-interval-ms N] [--log-out FILE] "
                "[--flight-recorder-out FILE]\n"
+               "                 (--http serves GET /metrics /healthz /varz /flight)\n"
                "       rct client <PATH|PORT> ping|stats|shutdown\n"
                "       rct client <PATH|PORT> load <file.spef> [--lenient]\n"
                "       rct client <PATH|PORT> report|bounds <net> [--design D] "
@@ -85,7 +88,10 @@ int usage() {
                "                 [--no-exact] [--exact-limit N] [--timeout-ms N] "
                "[--fraction F]\n"
                "       rct client <PATH|PORT> evict [--design D]\n"
+               "       rct client <PATH|PORT> trace <trace_id>\n"
                "       rct client <PATH|PORT> --batch FILE   (one command per line)\n"
+               "       rct client <PATH|PORT> [--trace-out FILE] ...   (stitched "
+               "client+server trace)\n"
                "       rct validate <file.spef> [--jobs N] [--parse-jobs N]\n"
                "       rct convert <deck.sp> <out.spef>\n"
                "       rct delay-curve <deck.sp> <node>\n"
@@ -115,6 +121,7 @@ struct SpefFlags {
   std::size_t top_slow = 0;  ///< stderr table of the N slowest nets (0 = off)
   std::string store_dir;     ///< on-disk content-addressed net cache ("" = off)
   std::string listen;        ///< serve: unix socket path or all-digits TCP port
+  std::string http;          ///< serve: telemetry HTTP listener spec ("" = off)
   std::uint64_t request_timeout_ms = 0;   ///< serve: default per-request deadline
   std::vector<std::string> preload;       ///< serve: SPEF files loaded at startup
   bool ok = true;
@@ -192,6 +199,8 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first, bool serve_mode = f
         f.batch.cache_max_entries = std::strtoul(v, nullptr, 10);
     } else if (serve_mode && arg == "--listen") {
       if (const char* v = value("--listen")) f.listen = v;
+    } else if (serve_mode && arg == "--http") {
+      if (const char* v = value("--http")) f.http = v;
     } else if (serve_mode && arg == "--request-timeout-ms") {
       if (const char* v = value("--request-timeout-ms"))
         f.request_timeout_ms = std::strtoull(v, nullptr, 10);
@@ -545,6 +554,7 @@ int cmd_serve(const SpefFlags& flags) {
     options.report = flags.batch.report;
     options.lenient = flags.lenient;
     options.flight_out = flags.flight_out;
+    options.http = flags.http;
     server::Server server(options);
     for (const std::string& path : flags.preload) {
       const std::string handle = server.load_design(path, flags.lenient);
@@ -554,6 +564,9 @@ int cmd_serve(const SpefFlags& flags) {
     // Announce the bound address on stdout (tests and scripts wait for this
     // line; with --listen 0 it is the only place the ephemeral port shows).
     std::printf("listening on %s\n", server.address().c_str());
+    // Same for the telemetry endpoint: with --http 0 this line is the only
+    // place the scrape port shows.
+    if (!flags.http.empty()) std::printf("telemetry on %s\n", server.http_address().c_str());
     std::fflush(stdout);
     server.wait();
     server.stop();
@@ -631,6 +644,12 @@ bool build_client_request(const std::vector<std::string>& tokens, server::Reques
       return false;
     }
     request.net = positional[0];
+  } else if (request.cmd == "trace") {
+    if (positional.size() != 1) {
+      error = "trace expects exactly one trace id";
+      return false;
+    }
+    request.trace = positional[0];
   } else if (!positional.empty()) {
     error = request.cmd + " takes no positional arguments";
     return false;
@@ -655,9 +674,50 @@ std::vector<std::string> tokenize_client_line(const std::string& line) {
   return tokens;
 }
 
+/// After the traced commands ran, pulls each request's server-side span
+/// slice over the same connection, rebases it onto the client clock and
+/// writes one stitched Perfetto file.  Best-effort: a server that already
+/// shut down (or predates the `trace` command) still yields the client
+/// half of every timeline.
+void write_stitched_traces(server::Client& client, std::uint64_t& next_id,
+                           std::vector<server::StitchedTrace>& traces,
+                           const std::string& trace_out) {
+  for (server::StitchedTrace& trace : traces) {
+    server::Request fetch;
+    fetch.id = next_id++;
+    fetch.cmd = "trace";
+    fetch.trace = trace.trace_id;
+    std::string response;
+    if (!client.roundtrip(server::encode_request(fetch), response)) break;
+    if (!server::response_ok(response)) continue;
+    if (!server::parse_trace_spans(response, trace.server_spans)) continue;
+    server::rebase_spans(trace.server_spans, trace.send_ns, trace.recv_ns);
+  }
+  std::ofstream out(trace_out);
+  if (out) out << server::stitched_chrome_json(traces) << '\n';
+  if (!out)
+    std::fprintf(stderr, "warning: cannot write trace to '%s'\n", trace_out.c_str());
+}
+
 int cmd_client(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string target = argv[2];
+  // --trace-out may sit anywhere after the target; everything else passes
+  // through to the command builder untouched.
+  std::string trace_out;
+  std::vector<std::string> args;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace-out expects a value\n");
+        return 2;
+      }
+      trace_out = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) return usage();
   server::Client client;
   if (!client.connect(target)) {
     std::fprintf(stderr, "error: %s\n", client.error().c_str());
@@ -665,6 +725,7 @@ int cmd_client(int argc, char** argv) {
   }
   std::uint64_t next_id = 1;
   bool all_ok = true;
+  std::vector<server::StitchedTrace> traces;
   const auto run_one = [&](const std::vector<std::string>& tokens) -> bool {
     server::Request request;
     std::string build_error;
@@ -674,8 +735,32 @@ int cmd_client(int argc, char** argv) {
       return true;  // a bad batch line does not kill the session
     }
     request.id = next_id++;
+    const bool traced = !trace_out.empty() && request.cmd != "trace";
+    if (traced) {
+      request.trace = server::generate_trace_id();
+      request.span = server::generate_trace_id();
+    }
+    // Client-side timeline: serialize and roundtrip, on the process tracer
+    // clock (the same clock the server slice is rebased onto).
+    const std::uint64_t t_start = traced ? obs::tracer().now_ns() : 0;
+    const std::string line = server::encode_request(request);
+    const std::uint64_t t_sent = traced ? obs::tracer().now_ns() : 0;
     std::string response;
-    if (!client.roundtrip(server::encode_request(request), response)) {
+    const bool ok = client.roundtrip(line, response);
+    if (traced) {
+      const std::uint64_t t_recv = obs::tracer().now_ns();
+      server::StitchedTrace trace;
+      trace.trace_id = request.trace;
+      trace.send_ns = t_sent;
+      trace.recv_ns = t_recv;
+      trace.client_spans.push_back(
+          {"client.request", request.net.empty() ? request.cmd : request.net, t_start,
+           t_recv - t_start});
+      trace.client_spans.push_back({"client.serialize", {}, t_start, t_sent - t_start});
+      trace.client_spans.push_back({"client.roundtrip", {}, t_sent, t_recv - t_sent});
+      traces.push_back(std::move(trace));
+    }
+    if (!ok) {
       std::fprintf(stderr, "error: %s\n", client.error().c_str());
       all_ok = false;
       return false;
@@ -684,11 +769,11 @@ int cmd_client(int argc, char** argv) {
     if (!server::response_ok(response)) all_ok = false;
     return true;
   };
-  if (std::strcmp(argv[3], "--batch") == 0) {
-    if (argc < 5) return usage();
-    std::ifstream in(argv[4]);
+  if (args[0] == "--batch") {
+    if (args.size() < 2) return usage();
+    std::ifstream in(args[1]);
     if (!in) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", argv[4]);
+      std::fprintf(stderr, "error: cannot open '%s'\n", args[1].c_str());
       return 1;
     }
     std::string line;
@@ -698,10 +783,9 @@ int cmd_client(int argc, char** argv) {
       if (!run_one(tokens)) break;
     }
   } else {
-    std::vector<std::string> tokens;
-    for (int i = 3; i < argc; ++i) tokens.emplace_back(argv[i]);
-    run_one(tokens);
+    run_one(args);
   }
+  if (!trace_out.empty()) write_stitched_traces(client, next_id, traces, trace_out);
   return all_ok ? 0 : 1;
 }
 
