@@ -5,12 +5,15 @@
 //
 //   perf_serve [nets] [nodes_per_net] [clients] [--benchmark_out=FILE]
 //
-// Three phases over the same deck and one shared on-disk store:
+// Four phases over the same deck and one shared on-disk store:
 //   cold        fresh server, empty store: every report computes + persists
 //   warm-mem    same server again: every report served from memory
 //   warm-store  NEW server, same store: every report served from disk —
 //               the restart scenario the store exists for; expected >=10x
 //               faster than cold
+//   overload    ~4x clients against a one-worker/two-slot server: admission
+//               control sheds the excess as typed "overloaded" responses;
+//               reported as goodput, shed rate, and accepted-request p99
 //
 // All phases run with the embedded HTTP telemetry listener enabled and a
 // background thread scraping GET /metrics every ~50ms (a Prometheus
@@ -25,6 +28,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -160,6 +164,9 @@ struct Datapoint {
   std::string name;
   double real_time_s;
   double requests_per_second;
+  double shed_rate = 0.0;     ///< overload phase: fraction of offered load shed
+  double p99_ms = 0.0;        ///< overload phase: p99 latency of accepted requests
+  bool informational = false; ///< excluded from the perf_compare real_time gate
 };
 
 bool write_benchmark_json(const std::string& path, const std::vector<Datapoint>& points,
@@ -174,12 +181,15 @@ bool write_benchmark_json(const std::string& path, const std::vector<Datapoint>&
       << "    \"clients\": " << clients << "\n"
       << "  },\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "    {\"name\": \"%s\", \"run_type\": \"iteration\", \"iterations\": 1, "
                   "\"real_time\": %.6e, \"time_unit\": \"s\", "
-                  "\"requests_per_second\": %.1f}%s\n",
+                  "\"requests_per_second\": %.1f, "
+                  "\"shed_rate\": %.4f, \"p99_ms\": %.3f, \"informational\": %s}%s\n",
                   points[i].name.c_str(), points[i].real_time_s, points[i].requests_per_second,
+                  points[i].shed_rate, points[i].p99_ms,
+                  points[i].informational ? "true" : "false",
                   i + 1 < points.size() ? "," : "");
     out << buf;
   }
@@ -268,6 +278,85 @@ int main(int argc, char** argv) {
     if (cold_wall / warm_store < 10.0)
       std::printf("# WARNING: warm-store speedup %.2fx below the 10x expectation\n",
                   cold_wall / warm_store);
+    total_scrapes += scraper.scrapes();
+    server.stop();
+  }
+  {
+    // Overload: ~4x the configured client count hammers a deliberately
+    // narrow server (one worker, near-zero queue) over the warm store.
+    // Admission control must shed the excess as typed "overloaded" lines
+    // while the accepted fraction keeps a bounded p99 — goodput under
+    // pressure, not collapse.
+    rct::server::ServeOptions options;
+    options.store_dir = store.string();
+    options.listen = "0";
+    options.http = "0";
+    options.jobs = 1;
+    options.max_queue_depth = 2;
+    rct::server::Server server(options);
+    if (!server.start()) {
+      std::fprintf(stderr, "error: %s\n", server.error().c_str());
+      return 1;
+    }
+    (void)server.load_design(deck.string(), /*lenient=*/false);
+    const Scraper scraper(server.http_port());
+
+    const std::size_t offered_clients = clients * 4;
+    std::atomic<std::size_t> accepted{0};
+    std::atomic<std::size_t> shed{0};
+    std::vector<std::string> failures(offered_clients);
+    std::vector<std::vector<double>> latencies_ms(offered_clients);
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < offered_clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t i = c; i < names.size(); i += offered_clients) {
+          rct::server::Request request;
+          request.id = i + 1;
+          request.cmd = "report";
+          request.net = names[i];
+          const auto r0 = std::chrono::steady_clock::now();
+          const std::string response =
+              server.handle_line(rct::server::encode_request(request));
+          const auto r1 = std::chrono::steady_clock::now();
+          if (rct::server::response_ok(response)) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            latencies_ms[c].push_back(
+                std::chrono::duration<double, std::milli>(r1 - r0).count());
+          } else if (rct::server::response_error_code(response) == "overloaded") {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failures[c] = response;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    for (const std::string& f : failures)
+      if (!f.empty()) {
+        std::fprintf(stderr, "error: unexpected response in overload phase: %s\n", f.c_str());
+        return 1;
+      }
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    std::vector<double> all_ms;
+    for (const auto& v : latencies_ms) all_ms.insert(all_ms.end(), v.begin(), v.end());
+    std::sort(all_ms.begin(), all_ms.end());
+    const double p99_ms =
+        all_ms.empty() ? 0.0 : all_ms[std::min(all_ms.size() - 1, all_ms.size() * 99 / 100)];
+    const std::size_t offered = accepted.load() + shed.load();
+    const double shed_rate =
+        offered == 0 ? 0.0
+                     : static_cast<double>(shed.load()) / static_cast<double>(offered);
+    const double goodput = wall > 0.0 ? static_cast<double>(accepted.load()) / wall : 0.0;
+    std::printf("%-14s %12.4f %16.1f %9s\n", "overload", wall, goodput, "-");
+    std::printf("# overload: %zu offered by %zu clients over jobs=1/queue=2, "
+                "%zu accepted, %zu shed (%.1f%%), accepted p99 %.3f ms\n",
+                offered, offered_clients, accepted.load(), shed.load(), shed_rate * 100.0,
+                p99_ms);
+    points.push_back({"BM_ServeOverload", wall, goodput, shed_rate, p99_ms,
+                      /*informational=*/true});
     total_scrapes += scraper.scrapes();
     server.stop();
   }

@@ -16,9 +16,15 @@
 #      Prometheus exposition is validated structurally twice — once from a
 #      --metrics-out file and once scraped over GET /metrics from a live
 #      TSan-built daemon (scripts/validate_prom.py).
+#   2b. Chaos gate: a live TSan-built daemon with socket faults armed via
+#      RCT_FAULT (mid-request disconnect, torn write); the retry client
+#      must land every command and a disrupted report must match an
+#      undisturbed rerun byte-for-byte.
 #   3. AddressSanitizer+UBSan build; runs the full ctest suite, then drives
 #      the ASan CLI over every deck in testdata/malformed (strict + lenient):
-#      each must exit 1 with a diagnostic — never crash, never succeed.
+#      each must exit 1 with a diagnostic — never crash, never succeed;
+#      finally re-runs the store-GC crash-recovery and socket-chaos suites
+#      by name so a renamed/deleted suite cannot pass silently.
 #   4. Perf gate (full runs only): rebuilds the benches in Release, re-runs
 #      perf_batch / perf_report / perf_serve / perf_parse on the baseline
 #      workloads and diffs against the committed BENCH_*.json with
@@ -180,6 +186,47 @@ PY
     > /dev/null
   wait "$SERVE_PID" 2> /dev/null || true
   trap - EXIT
+
+  echo "== chaos: fault-injected daemon vs retry client (TSan) =="
+  # A live daemon with socket-layer faults armed through RCT_FAULT: the
+  # first response send hits a mid-request disconnect, a later one a torn
+  # write.  The client's --retries reconnect+backoff must land every
+  # command anyway, and a disrupted-then-retried report must be
+  # byte-identical to an undisturbed rerun.
+  CHAOS_SOCK=build-tsan/check-chaos.sock
+  CHAOS_OUT=build-tsan/check-chaos.out
+  rm -f "$CHAOS_SOCK"
+  RCT_FAULT='server.conn.disconnect=throwx1; server.conn.write=throwx1' \
+    TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct serve \
+    --listen "$CHAOS_SOCK" > "$CHAOS_OUT" 2>&1 &
+  CHAOS_PID=$!
+  trap 'kill "$CHAOS_PID" 2> /dev/null || true' EXIT
+  for _ in $(seq 1 250); do
+    if TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$CHAOS_SOCK" ping \
+        --retries 5 > /dev/null 2>&1; then break; fi
+    sleep 0.02
+  done
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$CHAOS_SOCK" \
+    load testdata/two_nets.spef --retries 5 > /dev/null
+  CHAOS_A=$(TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$CHAOS_SOCK" \
+    report net_a --retries 5)
+  echo "$CHAOS_A" | grep -q '"ok":true' \
+    || { echo "FAIL: chaos report did not succeed: $CHAOS_A"; exit 1; }
+  # Both faults are consumed by now; two quiet reruns must agree with each
+  # other AND with the row payload of the disrupted run.
+  CHAOS_B=$(TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$CHAOS_SOCK" \
+    report net_a --retries 5)
+  CHAOS_C=$(TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$CHAOS_SOCK" \
+    report net_a --retries 5)
+  [[ "$CHAOS_B" == "$CHAOS_C" ]] \
+    || { echo "FAIL: chaos reruns differ"; echo "$CHAOS_B"; echo "$CHAOS_C"; exit 1; }
+  [[ "${CHAOS_A#*\"rows\"}" == "${CHAOS_B#*\"rows\"}" ]] \
+    || { echo "FAIL: disrupted run's rows differ from the clean rerun"; exit 1; }
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tools/rct client "$CHAOS_SOCK" shutdown \
+    --retries 5 > /dev/null
+  wait "$CHAOS_PID" 2> /dev/null || true
+  trap - EXIT
+  echo "chaos daemon: all commands landed through injected socket faults"
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then
@@ -208,6 +255,16 @@ if [[ "$MODE" == "all" || "$MODE" == "--asan-only" ]]; then
     done
   done
   echo "malformed corpus: every deck handled without a crash"
+
+  echo "== store GC crash-recovery + socket chaos under ASan =="
+  # The DiskStoreGc suite injects a crash between the eviction journal
+  # write and the first unlink, then recovers on reopen; the Chaos suite
+  # drives torn writes / short reads / oversized lines over real sockets.
+  # Already part of the full ctest run above, but gated by name so a
+  # filter-level regression (renamed/deleted suite) cannot pass silently.
+  (cd build-asan &&
+    ASAN_OPTIONS="detect_leaks=0" UBSAN_OPTIONS="halt_on_error=1" \
+      ./tests/test_server --gtest_filter='DiskStoreGc.*:Chaos.*' --gtest_fail_fast)
 fi
 
 if [[ "$MODE" == "all" || "$MODE" == "--perf-only" ]]; then

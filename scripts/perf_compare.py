@@ -44,6 +44,11 @@ def load_benchmarks(path):
         run_type = b.get("run_type", "iteration")
         if run_type == "aggregate" and b.get("aggregate_name") != "mean":
             continue
+        # Informational datapoints (e.g. the serve overload phase, whose
+        # wall time shrinks when MORE load is shed) are recorded but never
+        # gated on real_time.
+        if b.get("informational"):
+            continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}.get(unit)
         if scale is None:

@@ -5,7 +5,14 @@
 // budget unwinds to the engine's per-net failure handler instead of
 // stalling the whole batch.  Cooperative means exactly that: code between
 // checkpoints runs to completion, no thread is ever killed.
+//
+// A Deadline can also be cancelled from another thread (cancel() is a
+// single atomic store, safe to call concurrently with check()); the next
+// checkpoint then throws robust::Error(kCancelled).  The server's graceful
+// drain uses this to cut in-flight requests loose at --drain-timeout-ms
+// without ever killing a worker thread.
 
+#include <atomic>
 #include <chrono>
 #include <string>
 
@@ -17,8 +24,23 @@ class Deadline {
  public:
   using Clock = std::chrono::steady_clock;
 
-  /// No deadline: never expires.
+  /// No deadline: never expires (but stays cancellable).
   Deadline() = default;
+
+  // Copies carry the cancellation state at copy time; the atomic itself is
+  // per-instance (copying an armed-but-uncancelled deadline is the common
+  // after_ms() return path).
+  Deadline(const Deadline& other)
+      : armed_(other.armed_),
+        expires_at_(other.expires_at_),
+        cancelled_(other.cancelled_.load(std::memory_order_acquire)) {}
+  Deadline& operator=(const Deadline& other) {
+    armed_ = other.armed_;
+    expires_at_ = other.expires_at_;
+    cancelled_.store(other.cancelled_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    return *this;
+  }
 
   /// Expires `timeout_ms` milliseconds from now; 0 means no deadline.
   static Deadline after_ms(std::uint64_t timeout_ms) {
@@ -33,8 +55,19 @@ class Deadline {
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] bool expired() const { return armed_ && Clock::now() >= expires_at_; }
 
-  /// Throws robust::Error(kTimeout) naming the checkpoint when expired.
+  /// Cancels cooperatively: the next check() throws kCancelled.  const so
+  /// holders of a `const Deadline*` (the read-only view computations get)
+  /// can still be cancelled by their owner.
+  void cancel() const { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Throws robust::Error(kCancelled/kTimeout) naming the checkpoint when
+  /// cancelled or expired.
   void check(std::string_view where) const {
+    if (cancelled())
+      throw Error(Code::kCancelled, "cancelled at " + std::string(where));
     if (expired())
       throw Error(Code::kTimeout,
                   "deadline exceeded at " + std::string(where));
@@ -43,6 +76,7 @@ class Deadline {
  private:
   bool armed_ = false;
   Clock::time_point expires_at_{};
+  mutable std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace rct::robust

@@ -23,6 +23,8 @@ std::string_view code_name(Code code) {
     case Code::kBoundViolation: return "bound-violation";
     case Code::kTimeout: return "timeout";
     case Code::kTaskFailure: return "task-failure";
+    case Code::kOverloaded: return "overloaded";
+    case Code::kRequestTooLarge: return "request-too-large";
     case Code::kCancelled: return "cancelled";
   }
   return "unknown";
@@ -52,6 +54,8 @@ Category category_of(Code code) {
       return Category::kNumeric;
     case Code::kTimeout:
     case Code::kTaskFailure:
+    case Code::kOverloaded:
+    case Code::kRequestTooLarge:
       return Category::kResource;
     case Code::kCancelled:
       return Category::kCancelled;

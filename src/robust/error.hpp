@@ -56,6 +56,8 @@ enum class Code {
   // resource
   kTimeout,
   kTaskFailure,
+  kOverloaded,        ///< admission control shed the request; retry later
+  kRequestTooLarge,   ///< request exceeds the protocol's line-length cap
   // cancelled
   kCancelled,
 };

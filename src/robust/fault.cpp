@@ -208,6 +208,8 @@ double corrupt(std::string_view site, double value) {
   return value;
 }
 
+bool maybe_fire(std::string_view site) { return consume(site, Action::kThrow); }
+
 }  // namespace rct::robust::fault
 
 #endif  // RCT_FAULT_ENABLED

@@ -75,6 +75,12 @@ void maybe_sleep(std::string_view site);
 /// Returns NaN when armed with kNan, `value` otherwise.
 [[nodiscard]] double corrupt(std::string_view site, double value);
 
+/// True when `site` is armed with kThrow — for sites whose failure mode is
+/// modeled by the caller instead of an exception (torn socket writes,
+/// forced disconnects, clamped reads).  Consumes one hit like the other
+/// checkpoints.
+[[nodiscard]] bool maybe_fire(std::string_view site);
+
 #else  // RCT_FAULT_ENABLED == 0: every checkpoint is a constant no-op.
 
 inline void arm(std::string_view, Action, std::uint64_t = 0, int = -1) {}
@@ -87,6 +93,7 @@ inline void reset_fired() {}
 inline void maybe_throw(std::string_view, Code = Code::kTaskFailure) {}
 inline void maybe_sleep(std::string_view) {}
 [[nodiscard]] inline double corrupt(std::string_view, double value) { return value; }
+[[nodiscard]] inline bool maybe_fire(std::string_view) { return false; }
 
 #endif
 

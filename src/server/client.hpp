@@ -4,12 +4,38 @@
 //
 // One blocking socket, one buffered line reader.  The target spec mirrors
 // the server's listen spec: a unix socket path, or an all-digits TCP port
-// on 127.0.0.1.  No retries, no reconnects — callers that need
-// wait-for-server semantics loop on connect() themselves.
+// on 127.0.0.1.
+//
+// Two tiers of API:
+//
+//   * roundtrip() — one send, one receive, no second chances.  Callers
+//     that need wait-for-server semantics loop on connect() themselves.
+//   * request()   — roundtrip wrapped in a RetryPolicy: reconnects after
+//     a broken pipe / server restart, and backs off and resends when the
+//     server sheds the request with a typed `overloaded` response.
+//     Backoff is capped exponential with deterministic seeded jitter and
+//     honors the server's `retry_after_ms` hint when it is larger.
+//
+// The retry loop is deliberately transport-level only: a response that
+// arrives with any error code other than "overloaded" is a *successful*
+// roundtrip from the client's point of view and is returned to the caller
+// untouched.
 
+#include <cstdint>
 #include <string>
 
 namespace rct::server {
+
+/// Knobs for Client::request().  The defaults mean "no retries" so plain
+/// callers keep roundtrip semantics; `rct client --retries N` turns the
+/// resilience on.
+struct RetryPolicy {
+  int max_attempts = 1;             ///< total tries (1 = no retry)
+  std::uint64_t budget_ms = 0;      ///< wall-clock cap on waiting (0 = none)
+  std::uint64_t base_backoff_ms = 25;
+  std::uint64_t max_backoff_ms = 2000;
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;  ///< deterministic jitter stream
+};
 
 class Client {
  public:
@@ -19,7 +45,8 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connects to `target` (unix path, or all-digits port on 127.0.0.1).
-  /// False (with error()) on failure; never throws.
+  /// False (with error()) on failure; never throws.  Remembers the target
+  /// so request() can reconnect after the server restarts.
   [[nodiscard]] bool connect(const std::string& target);
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
@@ -30,12 +57,32 @@ class Client {
   /// or a server that hung up mid-response.
   [[nodiscard]] bool roundtrip(const std::string& request_line, std::string& response_line);
 
+  /// roundtrip() with resilience per `policy`: transport failures trigger
+  /// reconnect + resend, `overloaded` responses trigger backoff + resend.
+  /// Returns true when ANY response line was obtained (including a typed
+  /// error the caller should surface); false only when every attempt died
+  /// on the wire or the retry budget ran out.
+  [[nodiscard]] bool request(const std::string& request_line, std::string& response_line,
+                             const RetryPolicy& policy);
+
+  /// Retries consumed by the last request() call (for stats/tests).
+  [[nodiscard]] std::uint64_t last_retries() const { return last_retries_; }
+
   void close();
 
  private:
+  /// Next jittered backoff for attempt number `attempt` (0-based retry
+  /// index): uniform in [base/2, base] where base doubles per attempt and
+  /// caps at max_backoff_ms.  xorshift64 over the policy seed keeps runs
+  /// reproducible.
+  [[nodiscard]] std::uint64_t backoff_ms(const RetryPolicy& policy, int attempt);
+
   int fd_ = -1;
   std::string buffer_;  ///< bytes read past the last consumed line
   std::string error_;
+  std::string target_;  ///< last successful connect() spec, for reconnects
+  std::uint64_t jitter_state_ = 0;  ///< xorshift64 state (lazily seeded)
+  std::uint64_t last_retries_ = 0;
 };
 
 }  // namespace rct::server

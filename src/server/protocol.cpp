@@ -329,8 +329,40 @@ std::string error_response(std::uint64_t id, std::string_view code, std::string_
   return out;
 }
 
+std::string overloaded_response(std::uint64_t id, std::uint64_t retry_after_ms,
+                                std::string_view message) {
+  std::string out = error_response(id, "overloaded", message);
+  out.pop_back();  // reopen the object to append the hint
+  out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms) + "}";
+  return out;
+}
+
 bool response_ok(std::string_view response_line) {
   return response_line.find("\"ok\":true") != std::string_view::npos;
+}
+
+std::string response_error_code(std::string_view response_line) {
+  if (response_ok(response_line)) return {};
+  const std::string_view marker = "\"code\":\"";
+  const std::size_t at = response_line.find(marker);
+  if (at == std::string_view::npos) return {};
+  const std::size_t begin = at + marker.size();
+  const std::size_t end = response_line.find('"', begin);
+  if (end == std::string_view::npos) return {};
+  return std::string(response_line.substr(begin, end - begin));
+}
+
+std::uint64_t response_retry_after_ms(std::string_view response_line) {
+  const std::string_view marker = "\"retry_after_ms\":";
+  const std::size_t at = response_line.find(marker);
+  if (at == std::string_view::npos) return 0;
+  std::size_t pos = at + marker.size();
+  std::uint64_t value = 0;
+  while (pos < response_line.size() && response_line[pos] >= '0' && response_line[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(response_line[pos] - '0');
+    ++pos;
+  }
+  return value;
 }
 
 }  // namespace rct::server

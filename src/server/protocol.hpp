@@ -76,7 +76,19 @@ void append_json_double(std::string& out, double v);
 [[nodiscard]] std::string error_response(std::uint64_t id, std::string_view code,
                                          std::string_view message);
 
+/// Load-shed response: error_response with code "overloaded" plus a
+/// `retry_after_ms` backoff hint clients honor before resending.
+[[nodiscard]] std::string overloaded_response(std::uint64_t id, std::uint64_t retry_after_ms,
+                                              std::string_view message);
+
 /// True when a response line reports success (`"ok":true`).
 [[nodiscard]] bool response_ok(std::string_view response_line);
+
+/// The "code" of a failure response ("" on success / uncoded lines).
+/// Codes are kebab-case robust::code_name tokens, so no unescaping needed.
+[[nodiscard]] std::string response_error_code(std::string_view response_line);
+
+/// The retry_after_ms hint of an `overloaded` response (0 when absent).
+[[nodiscard]] std::uint64_t response_retry_after_ms(std::string_view response_line);
 
 }  // namespace rct::server

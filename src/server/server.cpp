@@ -55,6 +55,30 @@ obs::Histogram& request_histogram() {
   static obs::Histogram& h = obs::registry().histogram("server.request.seconds");
   return h;
 }
+obs::Counter& shed_counter() {
+  static obs::Counter& c = obs::registry().counter("server.requests.shed");
+  return c;
+}
+obs::Counter& conn_rejected_counter() {
+  static obs::Counter& c = obs::registry().counter("server.conn.rejected");
+  return c;
+}
+obs::Counter& request_too_large_counter() {
+  static obs::Counter& c = obs::registry().counter("server.requests.too_large");
+  return c;
+}
+obs::Counter& idle_close_counter() {
+  static obs::Counter& c = obs::registry().counter("server.conn.idle_closed");
+  return c;
+}
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("server.queue.depth");
+  return g;
+}
+obs::Gauge& state_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("server.state");
+  return g;
+}
 
 /// Per-command latency split.  Only the protocol's own vocabulary gets an
 /// instrument — an unknown command must not mint registry entries — and
@@ -209,14 +233,32 @@ void append_row_json(std::string& out, const core::NodeReport& row, bool bounds_
   out.push_back('}');
 }
 
+/// Steady-clock nanoseconds since an arbitrary epoch (for shed freshness).
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+std::string_view server_state_name(ServerState state) {
+  switch (state) {
+    case ServerState::kStarting: return "starting";
+    case ServerState::kServing: return "serving";
+    case ServerState::kDegraded: return "degraded";
+    case ServerState::kDraining: return "draining";
+    case ServerState::kStopped: return "stopped";
+  }
+  return "?";
+}
 
 Server::Server(ServeOptions options)
     : options_(std::move(options)),
       pool_(options_.jobs),
       cache_(16, options_.cache_max_entries) {
   if (!options_.store_dir.empty()) {
-    store_ = std::make_shared<DiskStore>(options_.store_dir);
+    store_ = std::make_shared<DiskStore>(options_.store_dir, options_.store_max_bytes);
     if (store_->ok()) {
       cache_.set_backend(store_);
     } else {
@@ -295,12 +337,31 @@ bool Server::start() {
   obs::log::info("server.start", {{"address", std::string_view(address_)},
                                   {"threads", static_cast<std::uint64_t>(pool_.thread_count())}});
   accept_thread_ = std::thread(&Server::accept_loop, this);
+  state_.store(static_cast<int>(ServerState::kServing), std::memory_order_release);
+  update_gauges();
   return true;
 }
 
+ServerState Server::current_state() const {
+  const auto base = static_cast<ServerState>(state_.load(std::memory_order_acquire));
+  if (base != ServerState::kServing) return base;
+  // Degraded is an overlay, not a stored state: the queue is nearly full,
+  // or admission shed something in the last 5 seconds.
+  const std::size_t cap = effective_queue_cap();
+  if (cap != 0 && queue_depth_.load(std::memory_order_relaxed) >= cap - cap / 4)
+    return ServerState::kDegraded;
+  const std::int64_t last = last_shed_ns_.load(std::memory_order_relaxed);
+  if (last != 0 && steady_now_ns() - last < 5'000'000'000LL) return ServerState::kDegraded;
+  return ServerState::kServing;
+}
+
 void Server::wait() {
+  // Polls (100ms) instead of a pure wait so a signal handler's
+  // request_drain() — which cannot touch the condition variable — still
+  // wakes us promptly.
   std::unique_lock<std::mutex> lock(stop_mutex_);
-  stop_cv_.wait(lock, [this] { return shutdown_requested_; });
+  while (!shutdown_requested_ && !drain_requested_.load(std::memory_order_relaxed))
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(100));
 }
 
 void Server::stop() {
@@ -310,28 +371,79 @@ void Server::stop() {
     stop_cv_.wait(lock, [this] { return stopped_; });
     return;
   }
+  state_.store(static_cast<int>(ServerState::kDraining), std::memory_order_release);
+  state_gauge().set(static_cast<double>(static_cast<int>(ServerState::kDraining)));
+  obs::log::info("server.drain", {{"conns", active_connections_gauge().value()},
+                                  {"queue_depth", static_cast<std::uint64_t>(
+                                                      queue_depth_.load(std::memory_order_relaxed))}});
   {
     std::lock_guard<std::mutex> lock(stop_mutex_);
     shutdown_requested_ = true;
   }
   stop_cv_.notify_all();
-  if (http_ != nullptr) http_->stop();
+  // Stop taking on new work first; connections notice stopping_ within
+  // ~200ms (recv timeout) and close themselves once their current request
+  // is answered.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  // Drain window: give in-flight requests drain_timeout_ms to finish.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.drain_timeout_ms);
+  bool drained = false;
+  for (;;) {
+    reap_connections(false);
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      drained = conns_.empty();
+    }
+    if (drained || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!drained) {
+    // Budget blown: cancel the stragglers cooperatively.  Their next
+    // deadline checkpoint throws kCancelled, the response comes back as a
+    // typed error, and the connection unwinds normally — no thread is
+    // killed.
+    obs::log::warn("server.drain.timeout",
+                   {{"drain_timeout_ms", options_.drain_timeout_ms}});
+    cancel_inflight();
+  }
   reap_connections(true);
   pool_.wait_idle();
+  // The telemetry endpoint outlives the drain so /healthz reports
+  // "draining" while it happens.
+  if (http_ != nullptr) http_->stop();
   if (!address_.empty() && address_.compare(0, 5, "unix:") == 0)
     ::unlink(options_.listen.c_str());
-  obs::log::info("server.stop", {{"requests", requests_.load(std::memory_order_relaxed)}});
+  state_.store(static_cast<int>(ServerState::kStopped), std::memory_order_release);
+  state_gauge().set(static_cast<double>(static_cast<int>(ServerState::kStopped)));
+  obs::log::info("server.stop", {{"requests", requests_.load(std::memory_order_relaxed)},
+                                 {"shed", sheds_.load(std::memory_order_relaxed)},
+                                 {"drained", drained}});
   {
     std::lock_guard<std::mutex> lock(stop_mutex_);
     stopped_ = true;
   }
   stop_cv_.notify_all();
+}
+
+void Server::register_inflight(const robust::Deadline* deadline) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  inflight_.push_back(deadline);
+}
+
+void Server::unregister_inflight(const robust::Deadline* deadline) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  std::erase(inflight_, deadline);
+}
+
+void Server::cancel_inflight() {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  for (const robust::Deadline* deadline : inflight_) deadline->cancel();
 }
 
 void Server::accept_loop() {
@@ -349,6 +461,34 @@ void Server::accept_loop() {
     timeval tv{};
     tv.tv_sec = 10;
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    // Short recv timeout: connection threads wake every 200ms to notice
+    // stop()/drain and enforce the idle timeout.
+    timeval rtv{};
+    rtv.tv_usec = 200000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rtv, sizeof(rtv));
+    if (options_.max_connections != 0) {
+      std::size_t live = 0;
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        live = conns_.size();
+      }
+      if (live >= options_.max_connections) {
+        // Typed rejection, not a silent RST: retry clients back off and
+        // come back instead of treating this as a dead server.
+        conn_rejected_counter().add();
+        note_shed();
+        std::string line = overloaded_response(
+            0, retry_after_hint_ms(),
+            "connection limit reached (" + std::to_string(options_.max_connections) + ")");
+        line.push_back('\n');
+        (void)send_all(fd, line);
+        ::close(fd);
+        obs::log::warn("server.conn.rejected",
+                       {{"live", static_cast<std::uint64_t>(live)},
+                        {"max", static_cast<std::uint64_t>(options_.max_connections)}});
+        continue;
+      }
+    }
     connection_counter().add();
     active_connections_gauge().add(1.0);
     obs::log::info("server.connect", {{"fd", static_cast<std::uint64_t>(fd)}});
@@ -383,22 +523,87 @@ void Server::serve_connection(int fd) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  // Oversized-line recovery: once a request blows kMaxRequestLine we
+  // answer with `request-too-large` and throw bytes away until the next
+  // newline, so one runaway line does not cost the client its connection.
+  bool discarding = false;
+  auto last_activity = std::chrono::steady_clock::now();
   while (open) {
+    // Chaos site: a reader that stalls mid-stream (network hiccup, stuck
+    // client) — the idle timeout below is what keeps this bounded.
+    robust::fault::maybe_sleep("server.conn.read");
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // recv timeout tick: notice stop()/drain promptly, enforce idle cap.
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (options_.idle_timeout_ms != 0 &&
+          std::chrono::steady_clock::now() - last_activity >
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        idle_close_counter().add();
+        obs::log::info("server.conn.idle_closed",
+                       {{"fd", static_cast<std::uint64_t>(fd)},
+                        {"idle_timeout_ms", options_.idle_timeout_ms}});
+        break;
+      }
+      continue;
+    }
     if (n <= 0) break;
+    last_activity = std::chrono::steady_clock::now();
     buffer.append(chunk, static_cast<std::size_t>(n));
+    if (discarding) {
+      const std::size_t nl = buffer.find('\n');
+      if (nl == std::string::npos) {
+        buffer.clear();
+        continue;
+      }
+      buffer.erase(0, nl + 1);
+      discarding = false;
+    }
+    if (buffer.size() > kMaxRequestLine && buffer.find('\n') == std::string::npos) {
+      request_too_large_counter().add();
+      std::string response =
+          error_response(0, "request-too-large",
+                         "request line exceeds " + std::to_string(kMaxRequestLine) + " bytes");
+      response.push_back('\n');
+      if (!send_all(fd, response)) break;
+      buffer.clear();
+      discarding = true;
+      continue;
+    }
     std::size_t pos = 0;
     while ((pos = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
       if (line.empty()) continue;
-      std::string response = handle_line(line);
+      std::string response;
+      if (line.size() > kMaxRequestLine) {
+        request_too_large_counter().add();
+        response = error_response(
+            0, "request-too-large",
+            "request line exceeds " + std::to_string(kMaxRequestLine) + " bytes");
+      } else {
+        response = handle_line(line);
+      }
       response.push_back('\n');
+      // Chaos sites: a connection that dies before the response leaves,
+      // and a write torn halfway through.  Clients must treat both as a
+      // transport failure and resend — results stay byte-identical
+      // because the request itself is idempotent.
+      if (robust::fault::maybe_fire("server.conn.disconnect")) {
+        open = false;
+        break;
+      }
+      if (robust::fault::maybe_fire("server.conn.write")) {
+        (void)send_all(fd, std::string_view(response).substr(0, response.size() / 2));
+        open = false;
+        break;
+      }
       if (!send_all(fd, response)) {
         open = false;
         break;
       }
+      last_activity = std::chrono::steady_clock::now();
       // A shutdown request was acknowledged above; drop the connection so
       // stop() (triggered via wait()) does not have to race our recv.
       if (stopping_.load(std::memory_order_relaxed)) {
@@ -452,6 +657,12 @@ std::string Server::handle_line(const std::string& line) {
                                     ? obs::flight::Outcome::kTimeout
                                     : obs::flight::Outcome::kFailed,
                                 e.code());
+    if (e.code() == robust::Code::kOverloaded) {
+      // Load shedding is expected under pressure: answer with the typed
+      // backoff hint and skip the failure dump — writing a flight file per
+      // shed would turn overload into an I/O storm.
+      return overloaded_response(request.id, retry_after_hint_ms(), e.what());
+    }
     obs::log::warn("server.request_failed",
                    {{"cmd", std::string_view(request.cmd)},
                     {"code", robust::code_name(e.code())},
@@ -482,7 +693,48 @@ std::string Server::dispatch(const Request& request) {
   throw robust::Error(robust::Code::kUnsupported, "unknown command '" + request.cmd + "'");
 }
 
+std::size_t Server::effective_queue_cap() const {
+  if (options_.max_queue_depth != 0) return options_.max_queue_depth;
+  return pool_.thread_count() * 4;
+}
+
+std::uint64_t Server::retry_after_hint_ms() const {
+  // Scale the hint with how far past capacity we are: an empty queue says
+  // "come right back" (25ms), a deeply backed-up one pushes clients out to
+  // 2s so the herd thins instead of re-stampeding.
+  const std::size_t depth = queue_depth_.load(std::memory_order_relaxed);
+  const std::size_t threads = std::max<std::size_t>(pool_.thread_count(), 1);
+  const std::uint64_t hint = 25 * (1 + depth / threads);
+  return std::min<std::uint64_t>(std::max<std::uint64_t>(hint, 25), 2000);
+}
+
+void Server::note_shed() {
+  sheds_.fetch_add(1, std::memory_order_relaxed);
+  shed_counter().add();
+  last_shed_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
 std::string Server::run_on_pool(std::function<std::string()> fn) {
+  // Admission control: the depth counts pool-bound requests queued or
+  // running.  Shedding here — before any submit — keeps the rejection
+  // cost near zero, which is exactly what an overloaded server needs.
+  const std::size_t cap = effective_queue_cap();
+  const std::size_t depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  queue_depth_gauge().set(static_cast<double>(depth));
+  struct DepthGuard {
+    Server* server;
+    ~DepthGuard() {
+      const std::size_t now =
+          server->queue_depth_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      queue_depth_gauge().set(static_cast<double>(now));
+    }
+  } guard{this};
+  if (cap != 0 && depth > cap) {
+    note_shed();
+    throw robust::Error(robust::Code::kOverloaded,
+                        "server overloaded: dispatch queue full (depth " +
+                            std::to_string(depth) + ", cap " + std::to_string(cap) + ")");
+  }
   auto task = std::make_shared<std::packaged_task<std::string()>>(std::move(fn));
   std::future<std::string> future = task->get_future();
   pool_.submit([task] { (*task)(); });
@@ -499,6 +751,8 @@ std::string Server::cmd_ping(const Request& request) {
   out += ",\"version\":";
   append_json_string(out, kVersion);
   out += ",\"pid\":" + std::to_string(static_cast<long>(::getpid()));
+  out += ",\"state\":";
+  append_json_string(out, server_state_name(current_state()));
   out.push_back('}');
   return out;
 }
@@ -582,6 +836,11 @@ std::string Server::cmd_load(const Request& request) {
   return run_on_pool([this, &request, lenient]() -> std::string {
     const std::string handle = load_design(request.path, lenient);
     const std::shared_ptr<const Design> design = find_design(handle);
+    // A racing evict can win between the insert above and this lookup; the
+    // load itself succeeded, but the design is gone — say so, typed.
+    if (design == nullptr)
+      throw robust::Error(robust::Code::kUnsupported,
+                          "design '" + handle + "' evicted during load");
     std::size_t nodes = 0;
     for (const auto& net : design->file.nets) nodes += net.tree.size();
     std::string out = "{\"id\":" + std::to_string(request.id) + ",\"ok\":true,\"design\":";
@@ -639,7 +898,18 @@ std::string Server::cmd_report(const Request& request, bool bounds_only) {
     }
     const robust::Deadline deadline = robust::Deadline::after_ms(timeout_ms);
     core::ReportOptions effective = report;
-    effective.deadline = deadline.armed() ? &deadline : nullptr;
+    // Always pass the deadline, armed or not: an unarmed Deadline is still
+    // cancellable, which is how a drain past its budget cuts this request
+    // loose at the next checkpoint.
+    effective.deadline = &deadline;
+    struct InflightGuard {
+      Server* server;
+      const robust::Deadline* deadline;
+      InflightGuard(Server* s, const robust::Deadline* d) : server(s), deadline(d) {
+        server->register_inflight(deadline);
+      }
+      ~InflightGuard() { server->unregister_inflight(deadline); }
+    } inflight_guard(this, &deadline);
     robust::fault::maybe_sleep("server.report");
     robust::fault::maybe_throw("server.report");
     deadline.check("server.report");
@@ -705,6 +975,11 @@ std::string Server::cmd_stats(const Request& request) {
   out += ",\"nets\":" + std::to_string(n_nets);
   out += ",\"requests\":" + std::to_string(requests_.load(std::memory_order_relaxed));
   out += ",\"threads\":" + std::to_string(pool_.thread_count());
+  out += ",\"state\":";
+  append_json_string(out, server_state_name(current_state()));
+  out += ",\"shed\":" + std::to_string(sheds_.load(std::memory_order_relaxed));
+  out += ",\"queue_depth\":" + std::to_string(queue_depth_.load(std::memory_order_relaxed));
+  out += ",\"queue_cap\":" + std::to_string(effective_queue_cap());
   out += ",\"cache\":{\"entries\":" + std::to_string(cache_.size());
   out += ",\"contexts\":" + std::to_string(cache_.context_count());
   out += ",\"hits\":" + std::to_string(cache_.hits());
@@ -714,7 +989,9 @@ std::string Server::cmd_stats(const Request& request) {
   if (store_ != nullptr) {
     out += ",\"store\":{\"dir\":";
     append_json_string(out, store_->dir());
-    out += ",\"entries\":" + std::to_string(store_->entry_count()) + "}";
+    out += ",\"entries\":" + std::to_string(store_->entry_count());
+    out += ",\"bytes\":" + std::to_string(store_->total_bytes());
+    out += ",\"max_bytes\":" + std::to_string(store_->max_bytes()) + "}";
   }
   out.push_back('}');
   return out;
@@ -783,6 +1060,8 @@ void Server::update_gauges() {
   const double lookups = memory_hits + store_hits + misses;
   cache_hit_gauge.set(lookups > 0.0 ? (memory_hits + store_hits) / lookups : 0.0);
   store_hit_gauge.set(store_hits + misses > 0.0 ? store_hits / (store_hits + misses) : 0.0);
+  state_gauge().set(static_cast<double>(static_cast<int>(current_state())));
+  queue_depth_gauge().set(static_cast<double>(queue_depth_.load(std::memory_order_relaxed)));
 }
 
 HttpResponse Server::route_http(std::string_view path) {
@@ -796,7 +1075,13 @@ HttpResponse Server::route_http(std::string_view path) {
     return HttpResponse{200, "application/json", obs::registry().to_json() + "\n"};
   }
   if (path == "/healthz") {
-    std::string body = "{\"status\":\"ok\",\"uptime_s\":";
+    const ServerState state = current_state();
+    const bool healthy = state == ServerState::kServing || state == ServerState::kDegraded;
+    std::string body = "{\"status\":\"";
+    body += healthy ? "ok" : "unavailable";
+    body += "\",\"state\":";
+    append_json_string(body, server_state_name(state));
+    body += ",\"uptime_s\":";
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.3f", uptime_seconds());
     body += buf;
@@ -804,10 +1089,13 @@ HttpResponse Server::route_http(std::string_view path) {
     append_json_string(body, kVersion);
     body += ",\"pid\":" + std::to_string(static_cast<long>(::getpid()));
     body += ",\"requests\":" + std::to_string(requests_.load(std::memory_order_relaxed));
+    body += ",\"shed\":" + std::to_string(sheds_.load(std::memory_order_relaxed));
     body += ",\"address\":";
     append_json_string(body, address_);
     body += "}\n";
-    return HttpResponse{200, "application/json", std::move(body)};
+    // Draining/stopped answer 503 so load balancers and scripts see the
+    // instance leaving rotation before its socket disappears.
+    return HttpResponse{healthy ? 200 : 503, "application/json", std::move(body)};
   }
   if (path == "/flight")
     return HttpResponse{200, "application/json", obs::flight::recorder().to_json() + "\n"};

@@ -44,6 +44,26 @@
 // Listening: `listen` is a unix-domain socket path, or — when it is all
 // digits — a TCP port on 127.0.0.1 (0 picks an ephemeral port, reported
 // by address()/port() for tests).
+//
+// Overload resilience (see DESIGN.md "Operations"):
+//   - Admission control: pool-bound commands (report/bounds/load) pass a
+//     bounded dispatch queue; past the cap the request is shed immediately
+//     with a typed `overloaded` response carrying a `retry_after_ms` hint
+//     scaled to the current queue depth.  Connections past
+//     --max-connections are answered with the same typed line and closed.
+//     Control commands (ping/stats/evict/trace/shutdown) always answer.
+//   - Lifecycle: starting → serving → degraded → draining → stopped.
+//     `degraded` is computed, not stored: serving plus a nearly-full queue
+//     or a recent shed.  The state shows up in `ping`, `stats`, /healthz
+//     (503 while draining) and the `server.state` gauge.
+//   - Graceful drain: request_drain() is async-signal-safe (one atomic
+//     store); wait() polls it, and stop() then stops accepting, lets
+//     in-flight work finish until --drain-timeout-ms, cancels whatever
+//     remains via cooperative robust::Deadline::cancel(), and only then
+//     joins.  Idle connections notice within ~200ms via a recv timeout.
+//   - Socket hygiene: request lines are capped (kMaxRequestLine; oversized
+//     input gets a typed `request-too-large` response and the connection
+//     stays usable), reads carry an idle timeout, writes a send timeout.
 
 #include <atomic>
 #include <chrono>
@@ -60,6 +80,7 @@
 #include "engine/net_cache.hpp"
 #include "engine/thread_pool.hpp"
 #include "rctree/spef.hpp"
+#include "robust/deadline.hpp"
 #include "server/http.hpp"
 #include "server/protocol.hpp"
 #include "server/request_trace.hpp"
@@ -93,7 +114,25 @@ struct ServeOptions {
   /// Telemetry HTTP listener spec: unix socket path, or an all-digits TCP
   /// port on 127.0.0.1 (0 = ephemeral); "" = no HTTP endpoint.
   std::string http;
+  /// Admission control: concurrent client connections (0 = unbounded) and
+  /// pool-bound requests queued or running (0 = 4× worker threads).
+  std::size_t max_connections = 0;
+  std::size_t max_queue_depth = 0;
+  /// Close connections silent for this long (0 = never).
+  std::uint64_t idle_timeout_ms = 30000;
+  /// Graceful-drain budget: in-flight requests get this long to finish
+  /// before they are cooperatively cancelled.
+  std::uint64_t drain_timeout_ms = 5000;
+  /// DiskStore capacity cap in bytes (0 = unbounded); see store.hpp GC.
+  std::uint64_t store_max_bytes = 0;
 };
+
+/// Server lifecycle state (the `server.state` gauge exports the numeric
+/// value in declaration order).
+enum class ServerState { kStarting = 0, kServing, kDegraded, kDraining, kStopped };
+
+/// Stable lowercase name ("serving", "draining"...) for ping/healthz/stats.
+[[nodiscard]] std::string_view server_state_name(ServerState state);
 
 class Server {
  public:
@@ -125,12 +164,36 @@ class Server {
         .count();
   }
 
-  /// Blocks until a client issues `shutdown` or stop() is called.
+  /// Blocks until a client issues `shutdown`, stop() is called, or
+  /// request_drain() fires (polled, so a signal handler can trigger it).
   void wait();
 
-  /// Stops accepting, closes every connection, joins all threads.
-  /// Idempotent.
+  /// Stops accepting, drains in-flight work (up to drain_timeout_ms, then
+  /// cooperative cancellation), closes every connection, joins all
+  /// threads.  Idempotent.
   void stop();
+
+  /// Marks the server for graceful drain.  Async-signal-safe: one relaxed
+  /// atomic store, nothing else — the SIGTERM/SIGINT handlers in `rct
+  /// serve` call exactly this.  wait() notices within ~100ms.
+  void request_drain() { drain_requested_.store(true, std::memory_order_relaxed); }
+
+  /// Current lifecycle state; `degraded` is computed from queue pressure
+  /// and recent sheds, the rest track start()/stop().
+  [[nodiscard]] ServerState current_state() const;
+
+  /// Pool-bound requests queued or running right now / shed so far.
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_shed() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+
+  /// Longest request line the NDJSON path accepts (1 MiB); longer input
+  /// draws a typed `request-too-large` response and is discarded without
+  /// closing the connection.
+  static constexpr std::size_t kMaxRequestLine = 1 << 20;
 
   /// Parses and registers a design (the `--preload` path and the worker
   /// behind the `load` command).  Returns its content handle; throws
@@ -183,7 +246,22 @@ class Server {
   [[nodiscard]] std::shared_ptr<const Design> find_design(const std::string& ref);
 
   /// Runs `fn` on the pool and waits; exceptions cross back to the caller.
+  /// Admission control lives here: past the queue cap the call throws
+  /// robust::Error(kOverloaded) without submitting anything.
   [[nodiscard]] std::string run_on_pool(std::function<std::string()> fn);
+
+  /// Queue cap in effect (options or the 4×threads default).
+  [[nodiscard]] std::size_t effective_queue_cap() const;
+  /// Backoff hint for a shed response, scaled to current queue pressure.
+  [[nodiscard]] std::uint64_t retry_after_hint_ms() const;
+  /// Records one shed (counter + the degraded-state freshness clock).
+  void note_shed();
+
+  /// In-flight deadline registry: pooled request bodies register their
+  /// Deadline so a drain past its budget can cancel them cooperatively.
+  void register_inflight(const robust::Deadline* deadline);
+  void unregister_inflight(const robust::Deadline* deadline);
+  void cancel_inflight();
 
   void accept_loop();
   void serve_connection(int fd);
@@ -218,8 +296,18 @@ class Server {
   bool shutdown_requested_ = false;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;  ///< guarded by stop_mutex_; stop() ran to completion
+  std::atomic<bool> drain_requested_{false};  ///< set by signal handlers
 
   std::atomic<std::uint64_t> requests_{0};
+
+  // Admission control + lifecycle (see header comment).
+  std::atomic<int> state_{static_cast<int>(ServerState::kStarting)};
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::int64_t> last_shed_ns_{0};  ///< steady-clock ns of the last shed
+
+  std::mutex inflight_mutex_;
+  std::vector<const robust::Deadline*> inflight_;
 };
 
 }  // namespace rct::server

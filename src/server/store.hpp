@@ -23,12 +23,25 @@
 // the entry and validate in place — no heap copy until the rows
 // deserialize.
 //
+// Capacity management: a nonzero `max_bytes` arms LRU-by-atime GC.  Every
+// save() tracks the store's total entry bytes; crossing the cap triggers a
+// sweep that deletes least-recently-read entries (load() hits bump the
+// file's atime explicitly, so relatime/noatime mounts still order
+// correctly) down to 90% of the cap.  Sweeps are crash-safe: the victim
+// list is journaled (`gc.journal`, written tmp+rename) before the first
+// unlink, and the next constructor finishes a half-done sweep from the
+// journal and clears orphaned `*.tmp.*` files left by crashed writers.
+// Counted in `store.gc.sweeps` / `store.gc.evicted` / `store.gc.bytes_freed`
+// / `store.gc.recovered`; the `store.bytes` gauge tracks the live total.
+//
 // DiskStore never throws past its interface: the constructor reports an
 // unusable directory via ok()/error(), and load()/save() degrade to
 // miss/no-op, matching the CacheBackend contract.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,8 +53,9 @@ namespace rct::server {
 
 class DiskStore final : public engine::CacheBackend {
  public:
-  /// Opens (creating if needed) the store rooted at `dir`.
-  explicit DiskStore(std::string dir);
+  /// Opens (creating if needed) the store rooted at `dir`.  A nonzero
+  /// `max_bytes` caps total entry bytes via LRU-by-atime GC sweeps.
+  explicit DiskStore(std::string dir, std::uint64_t max_bytes = 0);
 
   /// False when the root directory could not be created/used; load() then
   /// always misses and save() is a no-op.
@@ -56,15 +70,31 @@ class DiskStore final : public engine::CacheBackend {
   /// Entry files currently present (walks the shard dirs; for stats/tests).
   [[nodiscard]] std::size_t entry_count() const;
 
+  /// Tracked total entry bytes / configured cap (0 = unbounded).
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_bytes() const { return max_bytes_; }
+
   /// On-disk envelope format version this build reads and writes.
   static constexpr std::uint32_t kVersion = 1;
 
  private:
   [[nodiscard]] std::string path_for(const engine::NetKey& key) const;
+  /// Finishes a journaled sweep a crashed process left behind and removes
+  /// orphaned writer temp files; then seeds total_bytes_ from a full walk.
+  void recover_and_scan();
+  /// LRU-by-atime sweep down to 90% of max_bytes_.  One sweeper at a time;
+  /// concurrent callers skip.  Never throws (an injected mid-sweep fault
+  /// leaves the journal behind, exactly like a crash).
+  void sweep();
 
   std::string dir_;
   bool ok_ = false;
   std::string error_;
+  std::uint64_t max_bytes_ = 0;
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::mutex gc_mutex_;
 };
 
 }  // namespace rct::server

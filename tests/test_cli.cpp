@@ -6,6 +6,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -56,6 +57,15 @@ std::string data(const char* file) { return std::string(RCT_TESTDATA_DIR) + "/" 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
   EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Like slurp, but a missing file reads as "" — for polling loops.
+std::string slurp_if_present(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -663,6 +673,76 @@ TEST(Cli, ServeMetricsIntervalFlushesWhileRunning) {
   EXPECT_NE(body.find("server.requests"), std::string::npos);
   shutdown_daemon(sock);
   std::remove(metrics.c_str());
+  std::remove(log.c_str());
+}
+
+TEST(Cli, ServeSigtermDrainsGracefullyAndExitsZero) {
+  // SIGTERM is the orchestrator's stop signal: the daemon must drain and
+  // exit 0 with its final accounting flushed — not dump-and-die.
+  const std::string sock = ::testing::TempDir() + "/rct_cli_sigterm.sock";
+  const std::string log = ::testing::TempDir() + "/rct_cli_sigterm_serve.txt";
+  const std::string metrics = ::testing::TempDir() + "/rct_cli_sigterm_metrics.json";
+  const std::string pid_file = ::testing::TempDir() + "/rct_cli_sigterm.pid";
+  const std::string rc_file = ::testing::TempDir() + "/rct_cli_sigterm.rc";
+  std::remove(sock.c_str());
+  std::remove(pid_file.c_str());
+  std::remove(rc_file.c_str());
+  std::remove(metrics.c_str());
+  // Wrapper shell records the daemon's pid and, after it exits, its code.
+  const std::string launch = "( " + std::string(RCT_CLI_PATH) + " serve --listen " + sock +
+                             " --metrics-out " + metrics + " > " + log + " 2>&1 & echo $! > " +
+                             pid_file + "; wait $!; echo $? > " + rc_file + " ) &";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+  RunResult ping{1, ""};
+  for (int i = 0; i < 250 && ping.exit_code != 0; ++i) {
+    usleep(20 * 1000);
+    ping = run("client " + sock + " ping");
+  }
+  ASSERT_EQ(ping.exit_code, 0) << slurp(log);
+  ASSERT_EQ(run("client " + sock + " load " + data("two_nets.spef")).exit_code, 0);
+  ASSERT_EQ(run("client " + sock + " report net_a").exit_code, 0);
+
+  const int pid = std::atoi(slurp_if_present(pid_file).c_str());
+  ASSERT_GT(pid, 0);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  // The wrapper writes the exit code only after the daemon is fully down.
+  std::string rc;
+  for (int i = 0; i < 250 && rc.empty(); ++i) {
+    usleep(20 * 1000);
+    rc = slurp_if_present(rc_file);
+  }
+  ASSERT_FALSE(rc.empty()) << "daemon did not exit after SIGTERM";
+  EXPECT_EQ(std::atoi(rc.c_str()), 0) << slurp(log);
+  // Drained, not killed: the final accounting line made it out, the socket
+  // was unlinked, and the exit-path metrics snapshot was flushed.
+  EXPECT_NE(slurp(log).find("served "), std::string::npos) << slurp(log);
+  EXPECT_NE(access(sock.c_str(), F_OK), 0);
+  const std::string body = slurp(metrics);
+  EXPECT_NE(body.find("server.requests"), std::string::npos);
+  std::remove(metrics.c_str());
+  std::remove(pid_file.c_str());
+  std::remove(rc_file.c_str());
+  std::remove(log.c_str());
+}
+
+TEST(Cli, ClientRetriesFlagSurvivesLateServerStart) {
+  // `--retries N` makes the one-shot client resilient to a server that is
+  // still coming up: connect fails, backoff, reconnect, succeed.
+  const std::string sock = ::testing::TempDir() + "/rct_cli_retries.sock";
+  const std::string log = ::testing::TempDir() + "/rct_cli_retries_serve.txt";
+  std::remove(sock.c_str());
+  // Daemon starts ~200ms from now; the client is launched first.
+  const std::string late = "( sleep 0.2; exec " + std::string(RCT_CLI_PATH) +
+                           " serve --listen " + sock + " > " + log + " 2>&1 ) &";
+  ASSERT_EQ(std::system(late.c_str()), 0);
+  const auto ping = run("client " + sock + " ping --retries 10 --retry-budget 8000");
+  EXPECT_EQ(ping.exit_code, 0) << ping.output;
+  EXPECT_NE(ping.output.find("\"ok\":true"), std::string::npos);
+  // Without retries the same race loses cleanly (daemon already up now, so
+  // exercise the flag parser's rejection path instead of re-racing).
+  const auto bad = run("client " + sock + " ping --retries");
+  EXPECT_NE(bad.exit_code, 0);
+  shutdown_daemon(sock);
   std::remove(log.c_str());
 }
 

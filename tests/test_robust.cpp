@@ -123,6 +123,42 @@ TEST(DeadlineTest, ExpiryThrowsTimeoutNamingCheckpoint) {
   }
 }
 
+TEST(DeadlineTest, CancelThrowsCancelledEvenWhenUnarmed) {
+  // An unarmed deadline is still cancellable: graceful drain uses this to
+  // cut loose requests that never asked for a timeout.
+  const robust::Deadline none;
+  EXPECT_FALSE(none.armed());
+  none.cancel();
+  try {
+    none.check("drain.checkpoint");
+    FAIL() << "expected cancellation";
+  } catch (const robust::Error& e) {
+    EXPECT_EQ(e.code(), Code::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("drain.checkpoint"), std::string::npos);
+  }
+}
+
+TEST(DeadlineTest, CancelWinsOverExpiry) {
+  // When a drain cancels an already-expired deadline, the typed error is
+  // "cancelled", not "timeout" — the client should not retry a drained server.
+  const robust::Deadline d = robust::Deadline::after_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  d.cancel();
+  try {
+    d.check("x");
+    FAIL() << "expected cancellation";
+  } catch (const robust::Error& e) {
+    EXPECT_EQ(e.code(), Code::kCancelled);
+  }
+}
+
+TEST(ErrorTest, OverloadCodesRoundTripNames) {
+  EXPECT_EQ(robust::code_name(Code::kOverloaded), "overloaded");
+  EXPECT_EQ(robust::code_name(Code::kRequestTooLarge), "request-too-large");
+  EXPECT_EQ(robust::category_of(Code::kOverloaded), robust::Category::kResource);
+  EXPECT_EQ(robust::category_of(Code::kRequestTooLarge), robust::Category::kResource);
+}
+
 // ----------------------------------------------------------- fault harness
 
 #if RCT_FAULT_ENABLED

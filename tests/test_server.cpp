@@ -8,12 +8,15 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -113,6 +116,33 @@ std::string http_request(int port, const std::string& request_text) {
 
 std::string http_get(int port, const std::string& path) {
   return http_request(port, "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n");
+}
+
+/// Raw unix-socket connect, for tests that need byte-level control of the
+/// NDJSON stream (short reads, oversized lines, silent stalls).
+int unix_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads one newline-terminated line ("" on EOF before any byte).
+std::string recv_line(int fd) {
+  std::string line;
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0 || c == '\n') break;
+    line.push_back(c);
+  }
+  return line;
 }
 
 // ---------------------------------------------------------------- protocol
@@ -1032,6 +1062,551 @@ TEST(Server, ConcurrentScrapeWhileServing) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
   server.stop();
+}
+
+// ------------------------------------------------ protocol (overload)
+
+TEST(Protocol, OverloadedResponseCarriesRetryAfterHint) {
+  const std::string line = server::overloaded_response(7, 125, "queue full");
+  EXPECT_FALSE(server::response_ok(line));
+  EXPECT_EQ(server::response_error_code(line), "overloaded");
+  EXPECT_EQ(server::response_retry_after_ms(line), 125u);
+  EXPECT_NE(line.find("\"id\":7"), std::string::npos);
+}
+
+TEST(Protocol, ResponseErrorCodeExtraction) {
+  EXPECT_EQ(server::response_error_code("{\"id\":1,\"ok\":true}"), "");
+  EXPECT_EQ(server::response_error_code(server::error_response(1, "timeout", "x")), "timeout");
+  EXPECT_EQ(server::response_error_code("{\"id\":1,\"ok\":false,\"error\":\"no code\"}"), "");
+  EXPECT_EQ(server::response_retry_after_ms(server::error_response(1, "timeout", "x")), 0u);
+}
+
+// --------------------------------------------------- admission control
+
+TEST(Server, OverloadShedsWithTypedResponseAndRetryHint) {
+  const ScratchDir dir("overload");
+  const std::string deck = write_deck(dir.path, "busy", 2, 10, 1200);
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.jobs = 1;
+  options.max_queue_depth = 1;
+  server::Server server(options);
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Occupy the single worker (and the whole queue) with a slow report.
+  robust::fault::arm("server.report", robust::fault::Action::kSleep, 400, 1);
+  std::string slow_response;
+  std::thread busy([&server, &slow_response] {
+    slow_response = server.handle_line("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Second pool-bound request: shed, typed, with a backoff hint.
+  const std::string shed =
+      server.handle_line("{\"id\":3,\"cmd\":\"report\",\"net\":\"net_1\"}");
+  EXPECT_EQ(server::response_error_code(shed), "overloaded") << shed;
+  EXPECT_GT(server::response_retry_after_ms(shed), 0u) << shed;
+
+  // Control commands still answer while the queue is full, and a recent
+  // shed shows up as the degraded overlay.
+  const std::string stats = server.handle_line("{\"id\":4,\"cmd\":\"stats\"}");
+  EXPECT_TRUE(server::response_ok(stats)) << stats;
+  EXPECT_NE(stats.find("\"state\":\"degraded\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"shed\":"), std::string::npos);
+  EXPECT_GE(server.requests_shed(), 1u);
+
+  busy.join();
+  robust::fault::disarm_all();
+  EXPECT_TRUE(server::response_ok(slow_response)) << slow_response;
+
+  // Once the queue drains, the same request is admitted.
+  const std::string retried =
+      server.handle_line("{\"id\":5,\"cmd\":\"report\",\"net\":\"net_1\"}");
+  EXPECT_TRUE(server::response_ok(retried)) << retried;
+  server.stop();
+}
+
+TEST(Server, ConnectionCapRejectsWithTypedLine) {
+  const ScratchDir dir("conncap");
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.max_connections = 1;
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  server::Client first;
+  ASSERT_TRUE(first.connect(options.listen)) << first.error();
+  std::string response;
+  ASSERT_TRUE(first.roundtrip("{\"id\":1,\"cmd\":\"ping\"}", response));
+  ASSERT_TRUE(server::response_ok(response));
+
+  // Second connection: accepted just long enough to say "overloaded".
+  const int fd = unix_connect(options.listen);
+  ASSERT_GE(fd, 0);
+  const std::string line = recv_line(fd);
+  ::close(fd);
+  EXPECT_EQ(server::response_error_code(line), "overloaded") << line;
+  EXPECT_GT(server::response_retry_after_ms(line), 0u) << line;
+
+  // The admitted connection is unaffected.
+  ASSERT_TRUE(first.roundtrip("{\"id\":2,\"cmd\":\"ping\"}", response));
+  EXPECT_TRUE(server::response_ok(response));
+  server.stop();
+}
+
+// ------------------------------------------------------- socket hygiene
+
+TEST(Server, OversizedLineGetsTypedErrorAndConnectionSurvives) {
+  const ScratchDir dir("toolarge");
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  const int fd = unix_connect(options.listen);
+  ASSERT_GE(fd, 0);
+
+  // One line well past the cap, no newline yet: the server answers as soon
+  // as the buffered prefix exceeds the cap, then discards to the newline.
+  const std::string huge(server::Server::kMaxRequestLine + 4096, 'x');
+  std::size_t sent = 0;
+  while (sent < huge.size()) {
+    const ssize_t n = ::send(fd, huge.data() + sent, huge.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+  const std::string error_line = recv_line(fd);
+  EXPECT_EQ(server::response_error_code(error_line), "request-too-large") << error_line;
+
+  // Terminate the runaway line; the connection stays usable.
+  const std::string follow_up = "\n{\"id\":2,\"cmd\":\"ping\"}\n";
+  ASSERT_EQ(::send(fd, follow_up.data(), follow_up.size(), 0),
+            static_cast<ssize_t>(follow_up.size()));
+  const std::string pong = recv_line(fd);
+  EXPECT_TRUE(server::response_ok(pong)) << pong;
+  EXPECT_NE(pong.find("\"id\":2"), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Chaos, ShortReadsByteByByteStillParse) {
+  const ScratchDir dir("shortreads");
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  const int fd = unix_connect(options.listen);
+  ASSERT_GE(fd, 0);
+  const std::string request = "{\"id\":9,\"cmd\":\"ping\"}\n";
+  for (const char c : request) {
+    ASSERT_EQ(::send(fd, &c, 1, 0), 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string response = recv_line(fd);
+  EXPECT_TRUE(server::response_ok(response)) << response;
+  ::close(fd);
+  server.stop();
+}
+
+TEST(Chaos, SilentConnectionIsClosedByIdleTimeout) {
+  const ScratchDir dir("idle");
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.idle_timeout_ms = 300;
+  server::Server server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+  const int fd = unix_connect(options.listen);
+  ASSERT_GE(fd, 0);
+  const auto start = std::chrono::steady_clock::now();
+  // Say nothing; the server must hang up on its own (recv returns EOF).
+  char c = 0;
+  const ssize_t n = ::recv(fd, &c, 1, 0);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(n, 0);
+  EXPECT_LT(elapsed.count(), 5000);
+  ::close(fd);
+  EXPECT_GE(obs::registry().counter_value("server.conn.idle_closed"), 1u);
+  server.stop();
+}
+
+// -------------------------------------------------------- chaos + retry
+
+TEST(Chaos, MidRequestDisconnectRetriesToByteIdenticalResult) {
+  const ScratchDir dir("disconnect");
+  const std::string deck = write_deck(dir.path, "chaos", 1, 10, 1300);
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  server::Server server(options);
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+  ASSERT_TRUE(server.start()) << server.error();
+
+  server::Client client;
+  ASSERT_TRUE(client.connect(options.listen)) << client.error();
+  const std::string report_line = "{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}";
+  // Warm the cache so every later answer has source "memory" — that makes
+  // the byte-identical comparison meaningful across retries.
+  std::string warm;
+  ASSERT_TRUE(client.roundtrip(report_line, warm));
+  std::string clean;
+  ASSERT_TRUE(client.roundtrip(report_line, clean));
+  ASSERT_NE(clean.find("\"source\":\"memory\""), std::string::npos);
+
+  server::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_ms = 5;
+
+  // The server hangs up before answering; the retry reconnects and the
+  // rerun is byte-identical to the clean response.
+  robust::fault::arm("server.conn.disconnect", robust::fault::Action::kThrow, 0, 1);
+  std::string after_disconnect;
+  ASSERT_TRUE(client.request(report_line, after_disconnect, policy)) << client.error();
+  EXPECT_EQ(after_disconnect, clean);
+  EXPECT_GE(client.last_retries(), 1u);
+
+  // A torn write (half the response, then the connection dies) likewise.
+  robust::fault::arm("server.conn.write", robust::fault::Action::kThrow, 0, 1);
+  std::string after_torn_write;
+  ASSERT_TRUE(client.request(report_line, after_torn_write, policy)) << client.error();
+  EXPECT_EQ(after_torn_write, clean);
+  robust::fault::disarm_all();
+  server.stop();
+}
+
+TEST(ClientRetry, SurvivesServerRestartMidBatch) {
+  const ScratchDir dir("restart");
+  const std::string deck = write_deck(dir.path, "durable", 1, 10, 1400);
+  const std::string sock = dir.path + "/rct.sock";
+  const std::string store_dir = dir.path + "/store";
+  const std::string load_line = "{\"id\":1,\"cmd\":\"load\",\"path\":\"" + deck + "\"}";
+  const std::string report_line = "{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}";
+
+  server::ServeOptions options;
+  options.listen = sock;
+  options.store_dir = store_dir;
+
+  server::Client client;
+  std::string first_rows;
+  {
+    server::Server first(options);
+    ASSERT_TRUE(first.start()) << first.error();
+    ASSERT_TRUE(client.connect(sock)) << client.error();
+    std::string response;
+    ASSERT_TRUE(client.roundtrip(load_line, response));
+    ASSERT_TRUE(server::response_ok(response)) << response;
+    ASSERT_TRUE(client.roundtrip(report_line, response));
+    ASSERT_TRUE(server::response_ok(response)) << response;
+    first_rows = response.substr(response.find("\"rows\""));
+    first.stop();
+  }
+  // The server the client was talking to is gone; a new one owns the same
+  // socket and the same warm store.
+  server::Server second(options);
+  ASSERT_TRUE(second.start()) << second.error();
+
+  server::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_ms = 10;
+  std::string response;
+  ASSERT_TRUE(client.request(load_line, response, policy)) << client.error();
+  EXPECT_TRUE(server::response_ok(response)) << response;
+  ASSERT_TRUE(client.request(report_line, response, policy)) << client.error();
+  ASSERT_TRUE(server::response_ok(response)) << response;
+  // Served from the shared store, and row-identical to the pre-restart run.
+  EXPECT_NE(response.find("\"source\":\"store\""), std::string::npos) << response;
+  EXPECT_EQ(response.substr(response.find("\"rows\"")), first_rows);
+  second.stop();
+}
+
+// ------------------------------------------------------- graceful drain
+
+TEST(Server, DrainCancelsInFlightPastDeadline) {
+  const ScratchDir dir("drain");
+  const std::string deck = write_deck(dir.path, "draining", 1, 10, 1500);
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.jobs = 1;
+  options.drain_timeout_ms = 50;
+  server::Server server(options);
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // An in-flight report that will outlive the drain budget by a lot.
+  robust::fault::arm("server.report", robust::fault::Action::kSleep, 600, 1);
+  std::string response;
+  bool got_response = false;
+  std::thread slow([&] {
+    server::Client client;
+    ASSERT_TRUE(client.connect(dir.path + "/rct.sock"));
+    got_response = client.roundtrip("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}", response);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  const auto start = std::chrono::steady_clock::now();
+  server.request_drain();  // what the SIGTERM handler does
+  server.stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  slow.join();
+  robust::fault::disarm_all();
+
+  // stop() returned promptly (bounded by the sleep, not by a hang), and the
+  // straggler got a typed cancellation instead of a dropped connection.
+  EXPECT_LT(elapsed.count(), 5000);
+  ASSERT_TRUE(got_response) << "in-flight request never got an answer";
+  EXPECT_EQ(server::response_error_code(response), "cancelled") << response;
+}
+
+TEST(Server, HealthzReportsDrainingAs503) {
+  const ScratchDir dir("drain503");
+  const std::string deck = write_deck(dir.path, "draining", 1, 10, 1700);
+  server::ServeOptions options;
+  options.listen = dir.path + "/rct.sock";
+  options.http = "0";
+  options.jobs = 1;
+  options.drain_timeout_ms = 2000;
+  server::Server server(options);
+  server::Request load;
+  load.id = 1;
+  load.cmd = "load";
+  load.path = deck;
+  ASSERT_TRUE(server::response_ok(server.handle_line(server::encode_request(load))));
+  ASSERT_TRUE(server.start()) << server.error();
+  const int http_port = server.http_port();
+  ASSERT_GT(http_port, 0);
+  const std::string healthy = http_get(http_port, "/healthz");
+  EXPECT_NE(healthy.find("HTTP/1.0 200"), std::string::npos) << healthy;
+  EXPECT_NE(healthy.find("\"state\":\"serving\""), std::string::npos) << healthy;
+
+  // Pin one request in flight, then stop() from another thread: while the
+  // drain waits for it, /healthz must flip to 503 "draining" so load
+  // balancers pull the instance before its socket disappears.
+  robust::fault::arm("server.report", robust::fault::Action::kSleep, 500, 1);
+  std::thread slow([&] {
+    server::Client client;
+    ASSERT_TRUE(client.connect(options.listen));
+    std::string response;
+    (void)client.roundtrip("{\"id\":2,\"cmd\":\"report\",\"net\":\"net_0\"}", response);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::thread stopper([&server] { server.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::string draining = http_get(http_port, "/healthz");
+  EXPECT_NE(draining.find("HTTP/1.0 503"), std::string::npos) << draining;
+  EXPECT_NE(draining.find("\"state\":\"draining\""), std::string::npos) << draining;
+  stopper.join();
+  slow.join();
+  robust::fault::disarm_all();
+}
+
+// --------------------------------------------------------- evict races
+
+TEST(Server, ConcurrentEvictRacesReportAndLoad) {
+  const ScratchDir dir("evictrace");
+  const std::string deck = write_deck(dir.path, "raced", 2, 10, 1600);
+  const std::string store_dir = dir.path + "/store";
+  server::ServeOptions options;
+  options.jobs = 2;
+  options.store_dir = store_dir;
+  server::Server server(options);
+  const std::string load_line = "{\"id\":1,\"cmd\":\"load\",\"path\":\"" + deck + "\"}";
+  ASSERT_TRUE(server::response_ok(server.handle_line(load_line)));
+
+  // Reports and loads race a full evict for ~200ms.  Requests may come
+  // back "no design loaded" — that is fine; what must hold is that nothing
+  // crashes, hangs, or races (the TSan build runs this test too).
+  std::atomic<bool> go{true};
+  std::atomic<int> answered{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&server, &go, &answered, t] {
+      while (go.load(std::memory_order_relaxed)) {
+        const std::string net = "net_" + std::to_string(t);
+        const std::string r = server.handle_line(
+            "{\"id\":5,\"cmd\":\"report\",\"net\":\"" + net + "\"}");
+        ASSERT_FALSE(r.empty());
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  workers.emplace_back([&server, &go, &load_line, &answered] {
+    while (go.load(std::memory_order_relaxed)) {
+      ASSERT_FALSE(server.handle_line(load_line).empty());
+      answered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  workers.emplace_back([&server, &go, &answered] {
+    while (go.load(std::memory_order_relaxed)) {
+      ASSERT_FALSE(server.handle_line("{\"id\":6,\"cmd\":\"evict\"}").empty());
+      answered.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  go.store(false, std::memory_order_relaxed);
+  for (std::thread& w : workers) w.join();
+  EXPECT_GT(answered.load(), 0);
+
+  // After the dust settles the server still works end to end.
+  ASSERT_TRUE(server::response_ok(server.handle_line(load_line)));
+  EXPECT_TRUE(server::response_ok(
+      server.handle_line("{\"id\":7,\"cmd\":\"report\",\"net\":\"net_0\"}")));
+}
+
+// ------------------------------------------------------------- store GC
+
+TEST(DiskStoreGc, CapEnforcedWithLruByAtimeVictims) {
+  const ScratchDir dir("gc_cap");
+  // Measure one entry's on-disk size so the cap maths is fs-independent.
+  std::uint64_t entry_size = 0;
+  {
+    server::DiskStore probe(dir.path + "/probe");
+    const RCTree tree = gen::random_tree(16, 21);
+    probe.save(engine::NetKey::of(tree, {}), core::build_report(tree));
+    entry_size = probe.total_bytes();
+  }
+  ASSERT_GT(entry_size, 0u);
+  const std::uint64_t cap = entry_size * 3 + entry_size / 2;  // fits 3 entries, not 4
+
+  const std::string gc_dir = dir.path + "/gc";
+  server::DiskStore store(gc_dir, cap);
+  ASSERT_TRUE(store.ok()) << store.error();
+  EXPECT_EQ(store.max_bytes(), cap);
+  std::vector<engine::NetKey> keys;
+  for (int i = 0; i < 3; ++i) {
+    const RCTree tree = gen::random_tree(16, 30 + i);
+    keys.push_back(engine::NetKey::of(tree, {}));
+    store.save(keys.back(), core::build_report(tree));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(store.entry_count(), 3u);
+  // Read the oldest entry: the explicit atime bump makes it most recently
+  // used, so the sweep must spare it.
+  ASSERT_TRUE(store.load(keys[0]).has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  const RCTree straw = gen::random_tree(16, 99);
+  store.save(engine::NetKey::of(straw, {}), core::build_report(straw));  // crosses the cap
+
+  EXPECT_LE(store.total_bytes(), cap);
+  EXPECT_LT(store.entry_count(), 4u);
+  EXPECT_TRUE(store.load(keys[0]).has_value()) << "LRU evicted the recently-read entry";
+  EXPECT_FALSE(store.load(keys[1]).has_value()) << "oldest-by-atime entry survived the sweep";
+  EXPECT_FALSE(std::filesystem::exists(gc_dir + "/gc.journal"));
+  EXPECT_GE(obs::registry().counter_value("store.gc.sweeps"), 1u);
+  EXPECT_GE(obs::registry().counter_value("store.gc.evicted"), 1u);
+}
+
+TEST(DiskStoreGc, CrashMidSweepLeavesJournalAndRecoversOnRestart) {
+  const ScratchDir dir("gc_crash");
+  std::uint64_t entry_size = 0;
+  {
+    server::DiskStore probe(dir.path + "/probe");
+    const RCTree tree = gen::random_tree(16, 41);
+    probe.save(engine::NetKey::of(tree, {}), core::build_report(tree));
+    entry_size = probe.total_bytes();
+  }
+  ASSERT_GT(entry_size, 0u);
+  const std::uint64_t cap = entry_size * 2 + entry_size / 2;  // fits 2 entries, not 3
+  const std::string gc_dir = dir.path + "/gc";
+
+  std::vector<engine::NetKey> keys;
+  std::vector<std::vector<core::NodeReport>> rows;
+  const std::uint64_t fired_before = robust::fault::fired_count("store.gc.sweep");
+  {
+    server::DiskStore store(gc_dir, cap);
+    for (int i = 0; i < 2; ++i) {
+      const RCTree tree = gen::random_tree(16, 50 + i);
+      keys.push_back(engine::NetKey::of(tree, {}));
+      rows.push_back(core::build_report(tree));
+      store.save(keys.back(), rows.back());
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    // The third save crosses the cap; the sweep journals its victims and
+    // then "crashes" (injected) before the first unlink.
+    robust::fault::arm("store.gc.sweep", robust::fault::Action::kThrow, 0, 1);
+    const RCTree tree = gen::random_tree(16, 60);
+    keys.push_back(engine::NetKey::of(tree, {}));
+    rows.push_back(core::build_report(tree));
+    store.save(keys.back(), rows.back());
+    robust::fault::disarm_all();
+    EXPECT_EQ(robust::fault::fired_count("store.gc.sweep"), fired_before + 1);
+    EXPECT_TRUE(std::filesystem::exists(gc_dir + "/gc.journal"));
+    EXPECT_EQ(store.entry_count(), 3u);  // nothing deleted before the crash
+    EXPECT_GE(obs::registry().counter_value("store.gc.errors"), 1u);
+  }
+
+  // "Restart": the constructor replays the journal, finishing the sweep.
+  server::DiskStore reopened(gc_dir, cap);
+  ASSERT_TRUE(reopened.ok()) << reopened.error();
+  EXPECT_FALSE(std::filesystem::exists(gc_dir + "/gc.journal"));
+  EXPECT_LT(reopened.entry_count(), 3u);
+  EXPECT_LE(reopened.total_bytes(), cap);
+  EXPECT_GE(obs::registry().counter_value("store.gc.recovered"), 1u);
+  // Every surviving entry still round-trips bit-exact — no corruption.
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto back = reopened.load(keys[i]);
+    if (!back.has_value()) continue;
+    ++survivors;
+    ASSERT_EQ(back->size(), rows[i].size());
+    EXPECT_EQ((*back)[1].elmore, rows[i][1].elmore);
+  }
+  EXPECT_EQ(survivors, reopened.entry_count());
+}
+
+TEST(DiskStoreGc, ConcurrentSaveLoadUnderCapStaysConsistent) {
+  const ScratchDir dir("gc_race");
+  std::uint64_t entry_size = 0;
+  {
+    server::DiskStore probe(dir.path + "/probe");
+    const RCTree tree = gen::random_tree(16, 71);
+    probe.save(engine::NetKey::of(tree, {}), core::build_report(tree));
+    entry_size = probe.total_bytes();
+  }
+  const std::uint64_t cap = entry_size * 4;
+  server::DiskStore store(dir.path + "/gc", cap);
+  // Writers push entries past the cap (triggering sweeps) while readers
+  // load whatever is resident: loads are hits or clean misses, never junk.
+  std::vector<engine::NetKey> keys;
+  std::vector<std::vector<core::NodeReport>> rows;
+  for (int i = 0; i < 12; ++i) {
+    const RCTree tree = gen::random_tree(16, 80 + i);
+    keys.push_back(engine::NetKey::of(tree, {}));
+    rows.push_back(core::build_report(tree));
+  }
+  std::atomic<bool> go{true};
+  std::thread writer([&] {
+    for (int round = 0; round < 3; ++round)
+      for (std::size_t i = 0; i < keys.size(); ++i) store.save(keys[i], rows[i]);
+    go.store(false, std::memory_order_relaxed);
+  });
+  std::thread reader([&] {
+    std::size_t i = 0;
+    while (go.load(std::memory_order_relaxed)) {
+      const auto back = store.load(keys[i % keys.size()]);
+      if (back.has_value()) {
+        EXPECT_EQ(back->size(), rows[i % keys.size()].size());
+      }
+      ++i;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_LE(store.total_bytes(), cap);
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/gc/gc.journal"));
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 // net, or validate with diagnostics), 2 = usage error.
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <condition_variable>
@@ -77,10 +78,14 @@ int usage() {
                "                 [--parse-jobs N] [--cache-max-entries N] "
                "[--request-timeout-ms N]\n"
                "                 [--preload FILE]... [--lenient] [--exact-limit N]\n"
+               "                 [--max-connections N] [--max-queue-depth N] "
+               "[--drain-timeout-ms N]\n"
+               "                 [--idle-timeout-ms N] [--store-max-bytes N]\n"
                "                 [--metrics-out FILE] [--metrics-format json|prom]\n"
                "                 [--metrics-interval-ms N] [--log-out FILE] "
                "[--flight-recorder-out FILE]\n"
-               "                 (--http serves GET /metrics /healthz /varz /flight)\n"
+               "                 (--http serves GET /metrics /healthz /varz /flight;\n"
+               "                  SIGTERM/SIGINT drain gracefully and exit 0)\n"
                "       rct client <PATH|PORT> ping|stats|shutdown\n"
                "       rct client <PATH|PORT> load <file.spef> [--lenient]\n"
                "       rct client <PATH|PORT> report|bounds <net> [--design D] "
@@ -90,6 +95,9 @@ int usage() {
                "       rct client <PATH|PORT> evict [--design D]\n"
                "       rct client <PATH|PORT> trace <trace_id>\n"
                "       rct client <PATH|PORT> --batch FILE   (one command per line)\n"
+               "       rct client <PATH|PORT> [--retries N] [--retry-budget MS] ...\n"
+               "                 (reconnect + capped jittered backoff; honors the "
+               "server's retry_after_ms)\n"
                "       rct client <PATH|PORT> [--trace-out FILE] ...   (stitched "
                "client+server trace)\n"
                "       rct validate <file.spef> [--jobs N] [--parse-jobs N]\n"
@@ -124,6 +132,11 @@ struct SpefFlags {
   std::string http;          ///< serve: telemetry HTTP listener spec ("" = off)
   std::uint64_t request_timeout_ms = 0;   ///< serve: default per-request deadline
   std::vector<std::string> preload;       ///< serve: SPEF files loaded at startup
+  std::size_t max_connections = 0;        ///< serve: connection cap (0 = unbounded)
+  std::size_t max_queue_depth = 0;        ///< serve: dispatch-queue cap (0 = 4x workers)
+  std::uint64_t drain_timeout_ms = 5000;  ///< serve: graceful-drain budget
+  std::uint64_t idle_timeout_ms = 30000;  ///< serve: silent-connection cap (0 = never)
+  std::uint64_t store_max_bytes = 0;      ///< serve: DiskStore GC cap (0 = unbounded)
   bool ok = true;
 };
 
@@ -206,6 +219,21 @@ SpefFlags parse_spef_flags(int argc, char** argv, int first, bool serve_mode = f
         f.request_timeout_ms = std::strtoull(v, nullptr, 10);
     } else if (serve_mode && arg == "--preload") {
       if (const char* v = value("--preload")) f.preload.push_back(v);
+    } else if (serve_mode && arg == "--max-connections") {
+      if (const char* v = value("--max-connections"))
+        f.max_connections = std::strtoul(v, nullptr, 10);
+    } else if (serve_mode && arg == "--max-queue-depth") {
+      if (const char* v = value("--max-queue-depth"))
+        f.max_queue_depth = std::strtoul(v, nullptr, 10);
+    } else if (serve_mode && arg == "--drain-timeout-ms") {
+      if (const char* v = value("--drain-timeout-ms"))
+        f.drain_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (serve_mode && arg == "--idle-timeout-ms") {
+      if (const char* v = value("--idle-timeout-ms"))
+        f.idle_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (serve_mode && arg == "--store-max-bytes") {
+      if (const char* v = value("--store-max-bytes"))
+        f.store_max_bytes = std::strtoull(v, nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       f.ok = false;
@@ -295,6 +323,19 @@ extern "C" void flight_signal_handler(int sig) {
   obs::flight::recorder().dump_signal(2);
   std::signal(sig, SIG_DFL);
   std::raise(sig);
+}
+
+/// The serving daemon a SIGTERM/SIGINT should drain, when one is live.
+std::atomic<rct::server::Server*> g_drain_server{nullptr};
+
+/// SIGTERM/SIGINT for `rct serve`: request a graceful drain and return.
+/// Async-signal-safe by construction — one atomic load plus one relaxed
+/// atomic store (request_drain); wait() polls the flag and the normal
+/// shutdown path (finish in-flight, flush telemetry, exit 0) runs on the
+/// main thread.
+extern "C" void serve_drain_signal_handler(int) {
+  rct::server::Server* server = g_drain_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->request_drain();
 }
 
 /// `--metrics-interval-ms`: re-writes --metrics-out on a fixed cadence from
@@ -555,12 +596,22 @@ int cmd_serve(const SpefFlags& flags) {
     options.lenient = flags.lenient;
     options.flight_out = flags.flight_out;
     options.http = flags.http;
+    options.max_connections = flags.max_connections;
+    options.max_queue_depth = flags.max_queue_depth;
+    options.drain_timeout_ms = flags.drain_timeout_ms;
+    options.idle_timeout_ms = flags.idle_timeout_ms;
+    options.store_max_bytes = flags.store_max_bytes;
     server::Server server(options);
     for (const std::string& path : flags.preload) {
       const std::string handle = server.load_design(path, flags.lenient);
       std::fprintf(stderr, "preloaded %s as %s\n", path.c_str(), handle.c_str());
     }
     if (!server.start()) throw robust::Error(robust::Code::kFileOpen, server.error());
+    // From here on SIGTERM/SIGINT mean "drain gracefully, exit 0" — the
+    // daemon contract — instead of the batch commands' dump-and-die.
+    g_drain_server.store(&server, std::memory_order_relaxed);
+    std::signal(SIGTERM, serve_drain_signal_handler);
+    std::signal(SIGINT, serve_drain_signal_handler);
     // Announce the bound address on stdout (tests and scripts wait for this
     // line; with --listen 0 it is the only place the ephemeral port shows).
     std::printf("listening on %s\n", server.address().c_str());
@@ -570,8 +621,10 @@ int cmd_serve(const SpefFlags& flags) {
     std::fflush(stdout);
     server.wait();
     server.stop();
-    std::fprintf(stderr, "served %llu request(s)\n",
-                 static_cast<unsigned long long>(server.requests_served()));
+    g_drain_server.store(nullptr, std::memory_order_relaxed);
+    std::fprintf(stderr, "served %llu request(s), shed %llu\n",
+                 static_cast<unsigned long long>(server.requests_served()),
+                 static_cast<unsigned long long>(server.requests_shed()));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
@@ -702,9 +755,11 @@ void write_stitched_traces(server::Client& client, std::uint64_t& next_id,
 int cmd_client(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string target = argv[2];
-  // --trace-out may sit anywhere after the target; everything else passes
-  // through to the command builder untouched.
+  // --trace-out / --retries / --retry-budget may sit anywhere after the
+  // target; everything else passes through to the command builder
+  // untouched.
   std::string trace_out;
+  server::RetryPolicy retry;
   std::vector<std::string> args;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0) {
@@ -713,13 +768,27 @@ int cmd_client(int argc, char** argv) {
         return 2;
       }
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --retries expects a value\n");
+        return 2;
+      }
+      retry.max_attempts = std::atoi(argv[++i]) + 1;
+    } else if (std::strcmp(argv[i], "--retry-budget") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --retry-budget expects a value\n");
+        return 2;
+      }
+      retry.budget_ms = std::strtoull(argv[++i], nullptr, 10);
     } else {
       args.emplace_back(argv[i]);
     }
   }
   if (args.empty()) return usage();
   server::Client client;
-  if (!client.connect(target)) {
+  // With retries armed, a failed first connect is not fatal: the server may
+  // still be starting (or restarting), and request() reconnects with backoff.
+  if (!client.connect(target) && retry.max_attempts <= 1) {
     std::fprintf(stderr, "error: %s\n", client.error().c_str());
     return 1;
   }
@@ -746,7 +815,9 @@ int cmd_client(int argc, char** argv) {
     const std::string line = server::encode_request(request);
     const std::uint64_t t_sent = traced ? obs::tracer().now_ns() : 0;
     std::string response;
-    const bool ok = client.roundtrip(line, response);
+    // request() with the default policy degenerates to one roundtrip;
+    // --retries arms reconnect + backoff without a second code path.
+    const bool ok = client.request(line, response, retry);
     if (traced) {
       const std::uint64_t t_recv = obs::tracer().now_ns();
       server::StitchedTrace trace;
